@@ -1,0 +1,61 @@
+// Ablation B: sensitivity of the fused VitBit GEMM to the Tensor:CUDA
+// column split (the paper fixes m = 4 from its initial study; this sweeps
+// the CUDA-core slice and reports where the optimum sits).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/launcher.h"
+#include "trace/gemm_traces.h"
+#include "vitbit/tuner.h"
+
+namespace vitbit {
+namespace {
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  trace::GemmShape shape{197, 768, 3072, 1};
+  shape.n = static_cast<int>(cli.get_int("n", shape.n));
+
+  const double tc_cycles = static_cast<double>(
+      sim::launch_kernel(
+          trace::build_gemm_kernel(shape, trace::plan_tc(calib), spec, calib),
+          spec, calib)
+          .total_cycles);
+
+  Table t("Ablation B — fused-kernel CUDA slice sweep (GEMM " +
+          std::to_string(shape.m) + "x" + std::to_string(shape.k) + "x" +
+          std::to_string(shape.n) + ")");
+  t.header({"cuda cols", "effective m", "B1 cols", "B2 cols", "speedup vs TC"});
+  for (const int cols : {3, 6, 9, 12, 15, 18, 21, 24}) {
+    const auto plan = trace::plan_vitbit(calib, cols);
+    const double cycles = static_cast<double>(
+        sim::launch_kernel(trace::build_gemm_kernel(shape, plan, spec, calib),
+                           spec, calib)
+            .total_cycles);
+    t.row()
+        .cell(std::int64_t{cols})
+        .cell(static_cast<double>(plan.tc_cols) / cols, 1)
+        .cell(std::int64_t{plan.int_cols})
+        .cell(std::int64_t{plan.fp_cols})
+        .cell(tc_cycles / cycles, 3);
+  }
+  bench::emit(t, cli);
+
+  const auto study = core::run_initial_study(shape, spec, calib);
+  std::cout << "\nInitial-study ratios (TC=1): IC "
+            << format_fixed(study.ratio_ic(), 2) << ", FC "
+            << format_fixed(study.ratio_fc(), 2) << ", IC+FC "
+            << format_fixed(study.ratio_icfc(), 2) << ", IC+FC+P "
+            << format_fixed(study.ratio_icfcp(), 2) << " -> derived m = "
+            << core::derive_m_ratio(study) << " (paper: 4)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vitbit
+
+int main(int argc, char** argv) { return vitbit::run(argc, argv); }

@@ -1,0 +1,53 @@
+// Extension bench: batched ViT-Base inference. Larger batches enlarge the
+// GEMMs (more blocks, better GPU fill); this sweeps the batch size and
+// reports throughput and VitBit's advantage at each point.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "nn/vit_model.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit {
+namespace {
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  (void)cli;
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const core::StrategyConfig cfg;
+
+  Table t("Extension — batch-size sweep, ViT-Base");
+  t.header({"batch", "TC (ms)", "VitBit (ms)", "VitBit speedup",
+            "TC img/s", "VitBit img/s"});
+  for (const int batch : {1, 2, 4, 8}) {
+    const auto log = nn::build_kernel_log(nn::vit_base(), batch);
+    const auto tc = core::time_inference(log, core::Strategy::kTC, cfg, spec,
+                                         calib);
+    const auto vb = core::time_inference(log, core::Strategy::kVitBit, cfg,
+                                         spec, calib);
+    const double tc_ms = tc.total_ms(spec);
+    const double vb_ms = vb.total_ms(spec);
+    t.row()
+        .cell(std::int64_t{batch})
+        .cell(tc_ms, 3)
+        .cell(vb_ms, 3)
+        .cell(static_cast<double>(tc.total_cycles) /
+                  static_cast<double>(vb.total_cycles),
+              2)
+        .cell(1000.0 * batch / tc_ms, 1)
+        .cell(1000.0 * batch / vb_ms, 1);
+  }
+  bench::emit(t, cli);
+  std::cout << "\nBatching amortizes kernel-launch overhead and fills the\n"
+               "grid; VitBit's co-scheduling gain persists across batch\n"
+               "sizes (the paper evaluates batch 1 only).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vitbit
+
+int main(int argc, char** argv) { return vitbit::run(argc, argv); }

@@ -1,0 +1,124 @@
+// vitbit_cli — one binary to drive the library's main entry points:
+//
+//   vitbit_cli study  [--m=197 --k=768 --n=3072]     Section 3.2 ratio study
+//   vitbit_cli tune   [--m=197 --k=768 --n=3072]     derive m / fused slice
+//   vitbit_cli infer  [--model=vit|cnn] [--strategy=VitBit] [--pack=2]
+//   vitbit_cli layout [--bits=8]                     packing policy details
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "nn/cnn.h"
+#include "nn/vit_model.h"
+#include "swar/layout.h"
+#include "vitbit/config_io.h"
+#include "vitbit/pipeline.h"
+#include "vitbit/timeline.h"
+#include "vitbit/tuner.h"
+
+namespace vitbit {
+namespace {
+
+const arch::OrinSpec kSpec;
+
+int cmd_study(const Cli& cli) {
+  const auto& calib = arch::default_calibration();
+  trace::GemmShape shape{static_cast<int>(cli.get_int("m", 197)),
+                         static_cast<int>(cli.get_int("k", 768)),
+                         static_cast<int>(cli.get_int("n", 3072)), 1};
+  const auto s = core::run_initial_study(shape, kSpec, calib);
+  Table t("initial study (normalized to TC)");
+  t.header({"TC", "IC", "FC", "IC+FC", "IC+FC+P"});
+  t.row()
+      .cell(1.0, 2)
+      .cell(s.ratio_ic(), 2)
+      .cell(s.ratio_fc(), 2)
+      .cell(s.ratio_icfc(), 2)
+      .cell(s.ratio_icfcp(), 2);
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const Cli& cli) {
+  const auto& calib = arch::default_calibration();
+  trace::GemmShape shape{static_cast<int>(cli.get_int("m", 197)),
+                         static_cast<int>(cli.get_int("k", 768)),
+                         static_cast<int>(cli.get_int("n", 3072)), 1};
+  const auto cfg = core::tune_strategy_config(shape, kSpec, calib);
+  std::cout << "derived Tensor:CUDA ratio m = " << cfg.m_ratio
+            << "\nfused CUDA column slice   = " << cfg.fused_cuda_cols
+            << "\npacking factor            = " << cfg.pack_factor << "\n";
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    core::save_config_file(out, cfg);
+    std::cout << "saved to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_infer(const Cli& cli) {
+  const auto& calib = arch::default_calibration();
+  const std::string model = cli.get("model", "vit");
+  const auto log = model == "cnn" ? nn::build_cnn_kernel_log(nn::cnn_edge())
+                                  : nn::build_kernel_log(nn::vit_base());
+  core::StrategyConfig cfg;
+  const std::string cfg_path = cli.get("config", "");
+  if (!cfg_path.empty()) cfg = core::load_config_file(cfg_path);
+  cfg.pack_factor = static_cast<int>(cli.get_int("pack", cfg.pack_factor));
+  const std::string want = cli.get("strategy", "");
+  std::vector<core::InferenceTiming> results;
+
+  Table t("inference timing — " + (model == "cnn" ? std::string("edge CNN")
+                                                  : std::string("ViT-Base")));
+  t.header({"method", "time (ms)", "energy (mJ)", "instructions"});
+  for (const auto s : core::all_strategies()) {
+    if (!want.empty() && want != core::strategy_name(s)) continue;
+    auto r = core::time_inference(log, s, cfg, kSpec, calib);
+    t.row()
+        .cell(core::strategy_name(s))
+        .cell(r.total_ms(kSpec), 3)
+        .cell(r.total_energy_mj, 2)
+        .cell(r.total_instructions);
+    results.push_back(std::move(r));
+  }
+  t.print(std::cout);
+  if (cli.get_bool("timeline", false) && !results.empty()) {
+    std::cout << "\n";
+    core::render_comparison(std::cout, results, kSpec);
+    std::cout << "\n";
+    core::render_timeline(std::cout, results.back());
+  }
+  return 0;
+}
+
+int cmd_layout(const Cli& cli) {
+  const int bits = static_cast<int>(cli.get_int("bits", 8));
+  for (const auto mode : {swar::LaneMode::kUnsigned, swar::LaneMode::kOffset,
+                          swar::LaneMode::kTopSigned}) {
+    const auto l = swar::paper_policy_layout(bits, mode);
+    std::cout << l.to_string() << "  budget=" << l.scalar_abs_budget() << "\n";
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string cmd =
+      cli.positional().empty() ? "help" : cli.positional()[0];
+  if (cmd == "study") return cmd_study(cli);
+  if (cmd == "tune") return cmd_tune(cli);
+  if (cmd == "infer") return cmd_infer(cli);
+  if (cmd == "layout") return cmd_layout(cli);
+  std::cout << "usage: vitbit_cli <study|tune|infer|layout> [--flags]\n"
+               "  study  --m --k --n        Section 3.2 GEMM ratio study\n"
+               "  tune   --m --k --n        derive the VitBit split ratios\n"
+               "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
+               "  layout --bits=N           packing policy for a bitwidth\n";
+  return cmd == "help" ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vitbit
+
+int main(int argc, char** argv) { return vitbit::run(argc, argv); }

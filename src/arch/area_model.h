@@ -1,0 +1,43 @@
+// Coarse silicon-area model for the arithmetic-density metric (paper
+// Section 2.1: "operations per second per mm^2", Figure 8).
+//
+// Absolute mm^2 values are rough published-die-shot estimates for an 8 nm
+// Ampere SM; every paper result is a *normalized* density, which depends
+// only on achieved op rates since the area is a fixed denominator. We keep
+// the absolute numbers so the benches can also print ops/s/mm^2.
+#pragma once
+
+#include "arch/orin_spec.h"
+
+namespace vitbit::arch {
+
+struct AreaModel {
+  // mm^2 per unit instance.
+  double int_lane_mm2 = 0.0030;
+  double fp_lane_mm2 = 0.0036;
+  double sfu_lane_mm2 = 0.0050;
+  double tensor_core_mm2 = 0.0900;
+  double sm_other_mm2 = 1.20;  // schedulers, register file, smem, LSU, ...
+
+  double sm_arithmetic_mm2(const OrinSpec& spec) const {
+    return spec.subcores_per_sm *
+           (spec.int_lanes_per_subcore * int_lane_mm2 +
+            spec.fp_lanes_per_subcore * fp_lane_mm2 +
+            spec.sfu_lanes_per_subcore * sfu_lane_mm2 +
+            spec.tensor_cores_per_subcore * tensor_core_mm2);
+  }
+  double sm_total_mm2(const OrinSpec& spec) const {
+    return sm_arithmetic_mm2(spec) + sm_other_mm2;
+  }
+  double gpu_total_mm2(const OrinSpec& spec) const {
+    return spec.num_sms * sm_total_mm2(spec);
+  }
+};
+
+// Arithmetic density in TOPS/mm^2 for an achieved op rate (ops per second).
+inline double arithmetic_density(const OrinSpec& spec, const AreaModel& area,
+                                 double ops_per_second) {
+  return ops_per_second / 1e12 / area.gpu_total_mm2(spec);
+}
+
+}  // namespace vitbit::arch

@@ -1,0 +1,46 @@
+// Energy model for the embedded GPU — the paper's motivation is energy
+// efficiency under the Jetson power envelope (Section 1), so the benches
+// report energy per inference alongside time.
+//
+// Event-level accounting: each dispatch-busy cycle of a unit class costs a
+// fixed dynamic energy, plus leakage/base power for the kernel duration.
+// Coefficients are coarse 8nm-class estimates (pJ per lane-cycle); as with
+// the area model, the reproduced results are ratios, which depend only on
+// relative unit costs and busy-cycle counts from the simulator.
+#pragma once
+
+#include "arch/orin_spec.h"
+#include "sim/stats.h"
+
+namespace vitbit::arch {
+
+struct EnergyModel {
+  // Dynamic energy per dispatch-busy cycle of one unit instance (nJ).
+  double int_pipe_nj = 0.020;   // 16 INT32 lanes
+  double fp_pipe_nj = 0.026;    // 16 FP32 lanes
+  double sfu_nj = 0.012;
+  double tensor_core_nj = 0.110;
+  double lsu_nj = 0.040;        // smem/L1 access path
+  // DRAM energy per byte actually transferred (nJ/B; LPDDR5-class).
+  double dram_nj_per_byte = 0.060;
+  // Static/base power of the GPU complex while a kernel runs (W).
+  double base_watts = 4.0;
+
+  // Energy of one SM's execution (nJ), excluding DRAM.
+  double sm_dynamic_nj(const sim::SmStats& stats) const {
+    using sim::ExecUnit;
+    return int_pipe_nj * static_cast<double>(stats.busy(ExecUnit::kIntPipe)) +
+           fp_pipe_nj * static_cast<double>(stats.busy(ExecUnit::kFpPipe)) +
+           sfu_nj * static_cast<double>(stats.busy(ExecUnit::kSfu)) +
+           tensor_core_nj *
+               static_cast<double>(stats.busy(ExecUnit::kTensor)) +
+           lsu_nj * static_cast<double>(stats.busy(ExecUnit::kLsu));
+  }
+
+  // Static energy for a duration in cycles (nJ).
+  double static_nj(const OrinSpec& spec, double cycles) const {
+    return base_watts * cycles / (spec.clock_ghz * 1e9) * 1e9;
+  }
+};
+
+}  // namespace vitbit::arch

@@ -1,0 +1,37 @@
+#include "arch/orin_spec.h"
+
+#include "arch/calibration.h"
+#include "swar/layout.h"
+
+namespace vitbit::arch {
+
+std::vector<FormatThroughput> table1_rows(const OrinSpec& spec) {
+  // paper_tops: the spec-sheet values quoted in the paper's Table 1 (boost
+  // clock, and sparse throughput for Tensor core INT8/INT4).
+  // model_tops: the raw rates the cycle model implements at its sustained
+  // clock (dense). Normalized experiments depend only on the model column's
+  // internal ratios.
+  const double fp32 = spec.peak_fp32_macs_per_sec() * 2 / 1e12;
+  const double int32 = spec.peak_int32_macs_per_sec() * 2 / 1e12;
+  // Model tensor core: sustained dense rate per TC (see calibration.h).
+  const double tc_int8 = default_calibration().tc_macs_per_cycle *
+                         spec.tensor_cores() * spec.clock_ghz * 1e9 * 2 / 1e12;
+  return {
+      {"FP32", "CUDA Core", 4.0, fp32},
+      {"FP16", "CUDA Core", 8.0, fp32 * 2},
+      {"TF32", "Tensor Core", 32.0, tc_int8 / 4},
+      {"FP16", "Tensor Core", 65.0, tc_int8 / 2},
+      {"BFloat16", "Tensor Core", 65.0, tc_int8 / 2},
+      {"INT32", "CUDA Core", 4.0, int32},
+      {"INT8", "Tensor Core", 131.0, tc_int8},
+      {"INT4", "Tensor Core", 262.0, tc_int8 * 2},
+  };
+}
+
+double cuda_core_int_tops(const OrinSpec& spec, int bitwidth, bool packed) {
+  const double base = spec.peak_int32_macs_per_sec() * 2 / 1e12;
+  if (!packed) return base;  // zero-masking saturates at INT32 rate
+  return base * swar::packing_factor(bitwidth);
+}
+
+}  // namespace vitbit::arch

@@ -1,0 +1,80 @@
+// Hardware model of the NVIDIA Jetson AGX Orin GPU (Ampere GA10B class)
+// as described in the VitBit paper (Table 2: 1792 CUDA cores, 56 Tensor
+// cores, 204.8 GB/s LPDDR5).
+//
+// The simulator consumes these counts directly; Table 1 ("peak throughput
+// per numeric format") is reproduced from the same spec sheet values the
+// paper quotes, alongside the throughput our cycle model realizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vitbit::arch {
+
+struct OrinSpec {
+  // Topology. 1792 CUDA cores / 128 per SM = 14 SMs; 56 TCs / 14 = 4 per SM.
+  int num_sms = 14;
+  int subcores_per_sm = 4;  // Ampere "processing blocks", 1 scheduler each
+  int warp_size = 32;
+
+  // Per sub-core execution resources. Ampere runs FP32 and INT32 paths
+  // concurrently at full rate (the property VitBit exploits).
+  int int_lanes_per_subcore = 16;
+  int fp_lanes_per_subcore = 16;
+  int sfu_lanes_per_subcore = 4;
+  int tensor_cores_per_subcore = 1;
+
+  // Occupancy limits.
+  int max_warps_per_sm = 48;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_block = 1024;
+  int registers_per_sm = 64 * 1024;   // 32-bit registers
+  int smem_bytes_per_sm = 164 * 1024;
+
+  // Clocks / memory.
+  double clock_ghz = 1.3;
+  double dram_bandwidth_gbps = 204.8;
+
+  int cuda_cores() const {
+    return num_sms * subcores_per_sm *
+           (int_lanes_per_subcore + fp_lanes_per_subcore);
+  }
+  int tensor_cores() const { return num_sms * subcores_per_sm; }
+  int int_lanes_per_sm() const {
+    return subcores_per_sm * int_lanes_per_subcore;
+  }
+  int fp_lanes_per_sm() const { return subcores_per_sm * fp_lanes_per_subcore; }
+
+  // DRAM bytes deliverable per GPU cycle to one SM (even split).
+  double dram_bytes_per_cycle_per_sm() const {
+    return dram_bandwidth_gbps / clock_ghz / num_sms;
+  }
+
+  // Model peak rates in MAC/s (1 MAC = 2 ops in TOPS accounting).
+  double peak_int32_macs_per_sec() const {
+    return static_cast<double>(num_sms) * int_lanes_per_sm() * clock_ghz * 1e9;
+  }
+  double peak_fp32_macs_per_sec() const {
+    return static_cast<double>(num_sms) * fp_lanes_per_sm() * clock_ghz * 1e9;
+  }
+};
+
+// One row of the paper's Table 1.
+struct FormatThroughput {
+  std::string format;       // e.g. "INT8"
+  std::string unit;         // "CUDA Core" / "Tensor Core"
+  double paper_tops;        // spec-sheet value the paper quotes
+  double model_tops;        // what our cycle model's raw rates amount to
+};
+
+// Table 1 of the paper, with the corresponding raw rates of this model.
+std::vector<FormatThroughput> table1_rows(const OrinSpec& spec);
+
+// Throughput CUDA cores would reach for a w-bit integer format.
+// Without packing they saturate at INT32 rate (the paper's zero-masking
+// observation); with VitBit packing the rate scales by the packing factor.
+double cuda_core_int_tops(const OrinSpec& spec, int bitwidth, bool packed);
+
+}  // namespace vitbit::arch

@@ -1,0 +1,54 @@
+// Lightweight contract checking used across the library.
+//
+// VITBIT_CHECK is always on (cheap predicates only: argument validation,
+// invariants whose failure would corrupt results). VITBIT_DCHECK compiles
+// out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vitbit {
+
+// Thrown on any failed contract. Tests assert on this type.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace vitbit
+
+#define VITBIT_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::vitbit::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                                "");                    \
+  } while (0)
+
+#define VITBIT_CHECK_MSG(expr, msg)                                \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      std::ostringstream vitbit_os_;                               \
+      vitbit_os_ << msg;                                           \
+      ::vitbit::detail::check_failed(#expr, __FILE__, __LINE__,    \
+                                     vitbit_os_.str());            \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define VITBIT_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define VITBIT_DCHECK(expr) VITBIT_CHECK(expr)
+#endif

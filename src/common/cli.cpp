@@ -1,0 +1,75 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace vitbit {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg] = "true";
+      } else {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  used_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  used_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  VITBIT_CHECK_MSG(end && *end == '\0', "flag --" << name
+                                                  << " is not an integer: " << v);
+  return parsed;
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  VITBIT_CHECK_MSG(end && *end == '\0',
+                   "flag --" << name << " is not a number: " << v);
+  return parsed;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return def;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  VITBIT_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << v);
+  return def;
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : flags_) {
+    (void)v;
+    if (!used_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace vitbit

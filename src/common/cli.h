@@ -1,0 +1,37 @@
+// Tiny --flag=value command-line parser for bench and example binaries.
+// Unrecognized flags raise a CheckError so typos in sweep scripts fail loud.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vitbit {
+
+class Cli {
+ public:
+  // Parses argv of the form: prog [--name=value | --bool-flag] ...
+  // Positional arguments are collected in order.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Returns the set of flags that were provided but never queried; benches
+  // call this after parsing all flags to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vitbit

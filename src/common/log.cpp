@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace vitbit {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace vitbit

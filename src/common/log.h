@@ -1,0 +1,45 @@
+// Minimal leveled logger. Benches and examples use it for progress lines;
+// the library itself logs only at kDebug.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vitbit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace vitbit
+
+#define VITBIT_LOG(level)                                  \
+  if (::vitbit::LogLevel::level < ::vitbit::log_threshold()) \
+    ;                                                      \
+  else                                                     \
+    ::vitbit::detail::LogLine(::vitbit::LogLevel::level)

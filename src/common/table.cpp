@@ -1,0 +1,84 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vitbit {
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  VITBIT_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  return cell(format_fixed(v, precision));
+}
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      widths[i] = std::max(widths[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = ncols >= 1 ? (3 * (ncols - 1)) : 0;
+  for (auto w : widths) total += w;
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      if (i) os << " | ";
+      const std::string& v = i < r.size() ? r[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i])) << v;
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ",";
+      os << r[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace vitbit

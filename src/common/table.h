@@ -1,0 +1,46 @@
+// Console table / CSV printer used by every bench binary to render
+// paper-style tables and figure series.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vitbit {
+
+// A simple column-aligned text table. Cells are strings; numeric helpers
+// format with fixed precision so bench output is diff-stable.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+
+  // Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+
+  // Renders the aligned table.
+  void print(std::ostream& os) const;
+
+  // Renders as CSV (header first if present).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `precision` digits after the point.
+std::string format_fixed(double v, int precision);
+
+}  // namespace vitbit

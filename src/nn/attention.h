@@ -1,0 +1,28 @@
+// Integer-only multi-head self-attention (I-ViT computation rules):
+// QKV linear -> per-head Q.K^T -> shiftmax -> probs.V -> output projection.
+#pragma once
+
+#include <string>
+
+#include "nn/kernel_log.h"
+#include "nn/linear.h"
+#include "nn/vit_config.h"
+#include "quant/qtensor.h"
+
+namespace vitbit::nn {
+
+struct AttentionLayer {
+  int num_heads = 12;
+  QuantLinear qkv;   // hidden -> 3*hidden
+  QuantLinear proj;  // hidden -> hidden
+
+  // x: (seq x hidden) activations at `act_bits` signed bits; output keeps
+  // the same shape, scale and bitwidth.
+  quant::QTensor forward(const quant::QTensor& x, const GemmFn& gemm,
+                         KernelLog* log, const std::string& name,
+                         int act_bits = 8) const;
+};
+
+AttentionLayer random_attention(Rng& rng, const VitConfig& cfg);
+
+}  // namespace vitbit::nn

@@ -1,0 +1,69 @@
+// Integer-only convolutional network workload: convolutions execute as
+// im2col + GEMM (how GPU libraries run them), so VitBit's fused GEMM and
+// packing apply directly — a second "benchmark AI workload" beyond ViT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/kernel_log.h"
+#include "nn/linear.h"
+
+namespace vitbit::nn {
+
+struct ConvSpec {
+  int out_channels = 32;
+  int kernel = 3;
+  int stride = 1;
+  bool pool_after = false;  // 2x2 max-pool after the activation
+};
+
+struct CnnConfig {
+  int image_size = 32;
+  int channels = 3;
+  std::vector<ConvSpec> convs;
+  int num_classes = 10;
+
+  void validate() const;
+  // Spatial size after layer `i` (post conv stride and pooling).
+  int spatial_after(int i) const;
+  int features_before_head() const;
+};
+
+// CIFAR-scale config for fast functional tests.
+CnnConfig cnn_small();
+// Edge-vision config (96x96 input, 6 convs) for the timing benches.
+CnnConfig cnn_edge();
+
+struct QuantConv {
+  ConvSpec spec;
+  int in_channels = 3;
+  // Weights as the im2col GEMM operand: (in_ch * k * k) x out_ch.
+  QuantLinear weights;
+};
+
+struct CnnModel {
+  CnnConfig cfg;
+  std::vector<QuantConv> convs;
+  QuantLinear head;
+  int act_frac_bits = 4;
+  int act_bits = 8;
+
+  // Integer-only forward over an image (channels*size x size, real values);
+  // returns logits (1 x classes) and optionally records kernel calls.
+  MatrixF32 forward(const MatrixF32& image_chw, const GemmFn& gemm,
+                    KernelLog* log = nullptr) const;
+};
+
+CnnModel random_cnn(const CnnConfig& cfg, std::uint64_t seed,
+                    int act_bits = 8, int weight_bits = 8);
+
+// im2col: rows = output pixels, cols = in_ch * k * k patches (zero padded
+// "same" when stride 1; "valid" edges handled by zero fill).
+MatrixI32 im2col(const MatrixI32& input_chw, int channels, int size,
+                 int kernel, int stride);
+
+// Kernel sequence of one inference from shapes alone (timing pipeline).
+KernelLog build_cnn_kernel_log(const CnnConfig& cfg);
+
+}  // namespace vitbit::nn

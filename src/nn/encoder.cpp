@@ -1,0 +1,79 @@
+#include "nn/encoder.h"
+
+#include "common/int_math.h"
+#include "quant/ilayernorm.h"
+#include "quant/shift_gelu.h"
+
+namespace vitbit::nn {
+
+quant::QTensor residual_add(const quant::QTensor& a, const quant::QTensor& b,
+                            KernelLog* log, const std::string& name,
+                            int act_bits) {
+  VITBIT_CHECK(a.frac_bits == b.frac_bits);
+  VITBIT_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  quant::QTensor out;
+  out.frac_bits = a.frac_bits;
+  out.q = MatrixI32(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.q.size(); ++i)
+    out.q.flat()[i] = static_cast<std::int32_t>(clamp_signed(
+        static_cast<std::int64_t>(a.q.flat()[i]) + b.q.flat()[i], act_bits));
+  if (log)
+    log->add({KernelKind::kAdd, name, 0, 0, 0, 1,
+              static_cast<std::int64_t>(out.q.size())});
+  return out;
+}
+
+quant::QTensor layer_norm(const quant::QTensor& x, KernelLog* log,
+                          const std::string& name, int act_bits) {
+  quant::QTensor out;
+  out.frac_bits = x.frac_bits;
+  out.q = quant::ilayernorm(x.q, x.frac_bits);
+  for (auto& v : out.q.flat())
+    v = static_cast<std::int32_t>(clamp_signed(v, act_bits));
+  if (log)
+    log->add({KernelKind::kLayerNorm, name, 0, 0, 0, 1,
+              static_cast<std::int64_t>(out.q.size())});
+  return out;
+}
+
+quant::QTensor dropout(const quant::QTensor& x, KernelLog* log,
+                       const std::string& name) {
+  if (log)
+    log->add({KernelKind::kDropout, name, 0, 0, 0, 1,
+              static_cast<std::int64_t>(x.q.size())});
+  return x;
+}
+
+quant::QTensor EncoderLayer::forward(const quant::QTensor& x,
+                                     const GemmFn& gemm, KernelLog* log,
+                                     const std::string& name,
+                                     int act_bits) const {
+  const auto ln1 = layer_norm(x, log, name + ".ln1", act_bits);
+  const auto att = attn.forward(ln1, gemm, log, name + ".attn", act_bits);
+  const auto att_d = dropout(att, log, name + ".drop1");
+  const auto h = residual_add(x, att_d, log, name + ".add1", act_bits);
+
+  const auto ln2 = layer_norm(h, log, name + ".ln2", act_bits);
+  auto mid =
+      fc1.forward(ln2, ln2.frac_bits, gemm, log, name + ".fc1", act_bits);
+  mid.q = quant::shift_gelu(mid.q, mid.frac_bits);
+  for (auto& v : mid.q.flat())
+    v = static_cast<std::int32_t>(clamp_signed(v, act_bits));
+  if (log)
+    log->add({KernelKind::kGelu, name + ".gelu", 0, 0, 0, 1,
+              static_cast<std::int64_t>(mid.q.size())});
+  const auto out =
+      fc2.forward(mid, x.frac_bits, gemm, log, name + ".fc2", act_bits);
+  const auto out_d = dropout(out, log, name + ".drop2");
+  return residual_add(h, out_d, log, name + ".add2", act_bits);
+}
+
+EncoderLayer random_encoder_layer(Rng& rng, const VitConfig& cfg) {
+  EncoderLayer l;
+  l.attn = random_attention(rng, cfg);
+  l.fc1 = random_linear(rng, cfg.hidden_dim, cfg.mlp_dim);
+  l.fc2 = random_linear(rng, cfg.mlp_dim, cfg.hidden_dim);
+  return l;
+}
+
+}  // namespace vitbit::nn

@@ -1,0 +1,22 @@
+// Pluggable integer-GEMM execution. The functional model calls through a
+// GemmFn so the VitBit strategies (reference, packed, split-by-core) can be
+// swapped in without touching layer code.
+#pragma once
+
+#include <functional>
+
+#include "tensor/gemm_ref.h"
+#include "tensor/matrix.h"
+
+namespace vitbit::nn {
+
+// C (MxN int32 accumulators) = A (MxK activations) * B (KxN weights).
+using GemmFn = std::function<MatrixI32(const MatrixI32&, const MatrixI32&)>;
+
+inline GemmFn reference_gemm() {
+  return [](const MatrixI32& a, const MatrixI32& b) {
+    return gemm_ref_int(a, b);
+  };
+}
+
+}  // namespace vitbit::nn

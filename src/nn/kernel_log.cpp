@@ -1,0 +1,51 @@
+#include "nn/kernel_log.h"
+
+namespace vitbit::nn {
+
+const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kGemm:
+      return "gemm";
+    case KernelKind::kSoftmax:
+      return "softmax";
+    case KernelKind::kGelu:
+      return "gelu";
+    case KernelKind::kLayerNorm:
+      return "layernorm";
+    case KernelKind::kDropout:
+      return "dropout";
+    case KernelKind::kAdd:
+      return "add";
+    case KernelKind::kRelu:
+      return "relu";
+    case KernelKind::kPool:
+      return "pool";
+  }
+  return "?";
+}
+
+bool is_tensor_core_kernel(KernelKind kind) {
+  return kind == KernelKind::kGemm;
+}
+
+std::int64_t KernelLog::total_macs() const {
+  std::int64_t total = 0;
+  for (const auto& c : calls_) total += c.macs();
+  return total;
+}
+
+std::int64_t KernelLog::total_elementwise() const {
+  std::int64_t total = 0;
+  for (const auto& c : calls_)
+    if (c.kind != KernelKind::kGemm) total += c.elems;
+  return total;
+}
+
+std::size_t KernelLog::count(KernelKind kind) const {
+  std::size_t n = 0;
+  for (const auto& c : calls_)
+    if (c.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace vitbit::nn

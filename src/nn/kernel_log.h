@@ -1,0 +1,60 @@
+// Kernel log: the sequence of GPU kernels one inference launches, with
+// shapes. The functional model records it while executing; the timing
+// pipeline replays it against the simulator under each execution strategy
+// (the paper's per-kernel figures 6, 7, 9, 10 are per-entry results).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vitbit::nn {
+
+enum class KernelKind {
+  kGemm,       // Tensor-core kernel class (paper: "Linear"; also im2col conv)
+  kSoftmax,    // CUDA-core kernels:
+  kGelu,       //   (shiftmax / shift-GELU / I-LayerNorm / dropout / add,
+  kLayerNorm,  //    plus ReLU / pooling for the CNN workload)
+  kDropout,
+  kAdd,
+  kRelu,
+  kPool,
+};
+
+const char* kernel_kind_name(KernelKind kind);
+
+// True for kernels the paper runs on Tensor cores (GEMM); false for the
+// "CUDA core kernels" of Figure 7.
+bool is_tensor_core_kernel(KernelKind kind);
+
+struct KernelCall {
+  KernelKind kind = KernelKind::kGemm;
+  std::string name;  // e.g. "layer0.attn.qkv"
+  // GEMM shape (m x k x n), `batch` independent instances (attention heads).
+  int m = 0, k = 0, n = 0;
+  int batch = 1;
+  // Elementwise extent (kind != kGemm).
+  std::int64_t elems = 0;
+
+  std::int64_t macs() const {
+    return kind == KernelKind::kGemm
+               ? static_cast<std::int64_t>(m) * k * n * batch
+               : 0;
+  }
+};
+
+class KernelLog {
+ public:
+  void add(KernelCall call) { calls_.push_back(std::move(call)); }
+  const std::vector<KernelCall>& calls() const { return calls_; }
+  void clear() { calls_.clear(); }
+
+  std::int64_t total_macs() const;
+  std::int64_t total_elementwise() const;
+  std::size_t count(KernelKind kind) const;
+
+ private:
+  std::vector<KernelCall> calls_;
+};
+
+}  // namespace vitbit::nn

@@ -1,0 +1,71 @@
+// Integer-only MLP-Mixer workload: token-mixing and channel-mixing MLPs —
+// an all-GEMM architecture with no attention, rounding out the workload
+// set (transformer / CNN / mixer) the simultaneous-execution strategies
+// are evaluated on.
+#pragma once
+
+#include "nn/encoder.h"
+#include "nn/linear.h"
+
+namespace vitbit::nn {
+
+struct MixerConfig {
+  int image_size = 224;
+  int patch_size = 16;
+  int channels = 3;
+  int hidden_dim = 512;     // per-token channels
+  int token_mlp_dim = 256;  // token-mixing bottleneck
+  int channel_mlp_dim = 2048;
+  int num_layers = 8;
+  int num_classes = 1000;
+
+  int num_patches() const {
+    return (image_size / patch_size) * (image_size / patch_size);
+  }
+  int patch_dim() const { return channels * patch_size * patch_size; }
+  void validate() const;
+};
+
+// Mixer-S/16-class configuration.
+inline MixerConfig mixer_small() { return MixerConfig{}; }
+
+// Tiny configuration for functional tests.
+inline MixerConfig mixer_tiny() {
+  MixerConfig c;
+  c.image_size = 32;
+  c.patch_size = 8;
+  c.hidden_dim = 64;
+  c.token_mlp_dim = 32;
+  c.channel_mlp_dim = 128;
+  c.num_layers = 2;
+  c.num_classes = 10;
+  return c;
+}
+
+struct MixerLayer {
+  QuantLinear token_fc1;    // tokens -> token_mlp (on transposed view)
+  QuantLinear token_fc2;    // token_mlp -> tokens
+  QuantLinear channel_fc1;  // hidden -> channel_mlp
+  QuantLinear channel_fc2;  // channel_mlp -> hidden
+};
+
+struct MixerModel {
+  MixerConfig cfg;
+  QuantLinear patch_embed;
+  std::vector<MixerLayer> layers;
+  QuantLinear head;
+  int act_frac_bits = 4;
+  int act_bits = 8;
+
+  // Integer-only forward over extracted patches (num_patches x patch_dim,
+  // real values); returns logits (1 x classes).
+  MatrixF32 forward(const MatrixF32& patches, const GemmFn& gemm,
+                    KernelLog* log = nullptr) const;
+};
+
+MixerModel random_mixer(const MixerConfig& cfg, std::uint64_t seed);
+
+// Kernel sequence from shapes alone (timing pipeline).
+KernelLog build_mixer_kernel_log(const MixerConfig& cfg);
+
+}  // namespace vitbit::nn

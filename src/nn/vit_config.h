@@ -1,0 +1,68 @@
+// Vision Transformer configurations (the paper's workload is ViT-Base,
+// pretrained on ImageNet, quantized integer-only per I-ViT).
+#pragma once
+
+#include "common/check.h"
+
+namespace vitbit::nn {
+
+struct VitConfig {
+  int image_size = 224;
+  int patch_size = 16;
+  int channels = 3;
+  int hidden_dim = 768;
+  int num_heads = 12;
+  int num_layers = 12;
+  int mlp_dim = 3072;
+  int num_classes = 1000;
+
+  int num_patches() const {
+    return (image_size / patch_size) * (image_size / patch_size);
+  }
+  int seq_len() const { return num_patches() + 1; }  // + class token
+  int head_dim() const { return hidden_dim / num_heads; }
+  int patch_dim() const { return channels * patch_size * patch_size; }
+
+  void validate() const {
+    VITBIT_CHECK(image_size % patch_size == 0);
+    VITBIT_CHECK(hidden_dim % num_heads == 0);
+    VITBIT_CHECK(num_layers >= 1);
+  }
+};
+
+// ViT-Base/16 (paper Table 2): 197x768 tokens, 12 layers, 12 heads.
+inline VitConfig vit_base() { return VitConfig{}; }
+
+// ViT-Small/16: half the width of Base, 6 heads.
+inline VitConfig vit_small() {
+  VitConfig c;
+  c.hidden_dim = 384;
+  c.num_heads = 6;
+  c.mlp_dim = 1536;
+  return c;
+}
+
+// ViT-Large/16: 1024 wide, 16 heads, 24 layers.
+inline VitConfig vit_large() {
+  VitConfig c;
+  c.hidden_dim = 1024;
+  c.num_heads = 16;
+  c.num_layers = 24;
+  c.mlp_dim = 4096;
+  return c;
+}
+
+// A small configuration for fast functional tests (same structure).
+inline VitConfig vit_tiny() {
+  VitConfig c;
+  c.image_size = 32;
+  c.patch_size = 8;
+  c.hidden_dim = 64;
+  c.num_heads = 2;
+  c.num_layers = 2;
+  c.mlp_dim = 128;
+  c.num_classes = 10;
+  return c;
+}
+
+}  // namespace vitbit::nn

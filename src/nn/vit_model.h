@@ -1,0 +1,50 @@
+// Integer-only Vision Transformer (the paper's ViT-Base workload), plus an
+// fp32 reference path over the same (dequantized) weights for parity checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/encoder.h"
+#include "nn/vit_config.h"
+
+namespace vitbit::nn {
+
+struct VitModel {
+  VitConfig cfg;
+  QuantLinear patch_embed;   // patch_dim -> hidden
+  MatrixI32 pos_embed;       // seq x hidden, int8 at activation scale
+  std::vector<std::int32_t> cls_token;  // hidden, int8 at activation scale
+  std::vector<EncoderLayer> layers;
+  QuantLinear head;          // hidden -> num_classes
+  int act_frac_bits = 4;
+  // Activation bitwidth: 8 for the paper's INT8 evaluation; lower widths
+  // (e.g. 4) exercise the packing policy's denser layouts (future work in
+  // the paper, implemented here).
+  int act_bits = 8;
+
+  // Integer-only forward pass over already-extracted patches
+  // (num_patches x patch_dim, real values). Returns class logits
+  // (1 x num_classes, real values) and optionally records kernel calls.
+  MatrixF32 forward(const MatrixF32& patches, const GemmFn& gemm,
+                    KernelLog* log = nullptr) const;
+
+  // fp32 reference over dequantized weights: identical graph, float math.
+  MatrixF32 forward_f32(const MatrixF32& patches) const;
+};
+
+// `act_bits`/`weight_bits` select the quantization width (8 = paper setup).
+VitModel random_vit(const VitConfig& cfg, std::uint64_t seed,
+                    int act_bits = 8, int weight_bits = 8);
+
+// Splits a (channels*image_size) x image_size image into
+// num_patches x patch_dim rows (row-major patches, channel-minor).
+MatrixF32 extract_patches(const MatrixF32& image_chw, const VitConfig& cfg);
+
+// The kernel sequence one inference launches, from shapes alone — used by
+// the timing pipeline so that ViT-Base figures never require a (slow)
+// functional ViT-Base execution. `batch` images fuse batch-wise: GEMM row
+// dimensions and elementwise extents scale by the batch size.
+KernelLog build_kernel_log(const VitConfig& cfg, int batch = 1);
+
+}  // namespace vitbit::nn

@@ -1,0 +1,37 @@
+// Dyadic fixed-point arithmetic: every runtime scale in the integer-only
+// inference path is (mult / 2^shift), so rescaling is one integer multiply
+// plus a rounding shift — exactly what an INT ALU can do (I-ViT's approach).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/int_math.h"
+
+namespace vitbit::quant {
+
+struct Dyadic {
+  std::int32_t mult = 1;
+  int shift = 0;  // value = mult / 2^shift
+
+  double to_double() const {
+    return static_cast<double>(mult) / static_cast<double>(std::int64_t{1} << shift);
+  }
+};
+
+// Closest dyadic representation of `v` with a multiplier of at most
+// `mult_bits` significant bits. v must be positive.
+Dyadic dyadic_from_double(double v, int mult_bits = 15);
+
+// round(x * d.mult / 2^d.shift) with round-half-away-from-zero, computed in
+// int64 (the GPU equivalent: IMAD.WIDE + SHF + rounding add).
+std::int32_t dyadic_mul(std::int32_t x, const Dyadic& d);
+
+// round(x / 2^shift), round-half-away-from-zero.
+std::int32_t rounding_shift(std::int64_t x, int shift);
+
+// Integer square root: floor(sqrt(x)) via Newton iterations (I-LayerNorm's
+// bit-shift sqrt). x >= 0.
+std::int64_t isqrt(std::int64_t x);
+
+}  // namespace vitbit::quant

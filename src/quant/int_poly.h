@@ -1,0 +1,32 @@
+// Second-order polynomial integer approximations (the I-BERT family) as an
+// alternative to the shift-based I-ViT kernels — both are "arbitrary
+// integer format" compute streams VitBit can pack; the accuracy bench
+// compares them against float references.
+//
+// All functions take fixed-point inputs with `fb` fraction bits and return
+// the same scale, computing with integer adds/multiplies and dyadic
+// rescales only.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace vitbit::quant {
+
+// erf(x) ~= sign(x) * [a*(clip(|x|,0,-b) + b)^2 + 1], a=-0.2888, b=-1.769
+// (I-BERT eq. 4-5). Input/output at fb fraction bits.
+std::int32_t int_erf_poly(std::int32_t q, int fb);
+
+// GELU(x) = 0.5 * x * (1 + erf(x / sqrt(2))) with the polynomial erf.
+MatrixI32 poly_gelu(const MatrixI32& x, int fb);
+
+// exp(p) for p <= 0 via range decomposition p = r - z*ln2, r in (-ln2, 0],
+// and a second-order polynomial for exp(r) (I-BERT eq. 6-8). Returns a
+// value in (0, 2^fb].
+std::int32_t int_exp_poly(std::int32_t p, int fb);
+
+// Row-wise softmax built on int_exp_poly; same contract as shiftmax.
+MatrixI32 poly_softmax(const MatrixI32& logits, int in_fb, int out_bits);
+
+}  // namespace vitbit::quant

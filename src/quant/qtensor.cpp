@@ -1,0 +1,63 @@
+#include "quant/qtensor.h"
+
+#include <cmath>
+
+#include "common/int_math.h"
+#include "quant/fixed_point.h"
+
+namespace vitbit::quant {
+
+QTensor quantize(const MatrixF32& x, int frac_bits, int bits) {
+  VITBIT_CHECK(bits >= 2 && bits <= 31);
+  QTensor t;
+  t.frac_bits = frac_bits;
+  t.q = MatrixI32(x.rows(), x.cols());
+  const double s = std::ldexp(1.0, frac_bits);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto v = static_cast<std::int64_t>(std::llround(x.flat()[i] * s));
+    t.q.flat()[i] = static_cast<std::int32_t>(clamp_signed(v, bits));
+  }
+  return t;
+}
+
+MatrixF32 dequantize(const QTensor& t) {
+  MatrixF32 x(t.q.rows(), t.q.cols());
+  const double s = std::ldexp(1.0, -t.frac_bits);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.flat()[i] = static_cast<float>(t.q.flat()[i] * s);
+  return x;
+}
+
+int choose_frac_bits(const MatrixF32& x, int bits) {
+  double maxabs = 0.0;
+  for (const auto v : x.flat())
+    maxabs = std::max(maxabs, std::abs(static_cast<double>(v)));
+  if (maxabs == 0.0) return 0;
+  // Largest f with maxabs * 2^f <= signed_max(bits).
+  int f = 0;
+  while (maxabs * std::ldexp(1.0, f + 1) <=
+             static_cast<double>(signed_max(bits)) &&
+         f < 24)
+    ++f;
+  while (maxabs * std::ldexp(1.0, f) > static_cast<double>(signed_max(bits)) &&
+         f > -24)
+    --f;
+  return f;
+}
+
+MatrixI32 requantize(const MatrixI32& acc, int in_fb, int out_fb, int bits) {
+  MatrixI32 out(acc.rows(), acc.cols());
+  const int shift = in_fb - out_fb;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    std::int64_t v = acc.flat()[i];
+    if (shift >= 0) {
+      v = rounding_shift(v, shift);
+    } else {
+      v <<= -shift;
+    }
+    out.flat()[i] = static_cast<std::int32_t>(clamp_signed(v, bits));
+  }
+  return out;
+}
+
+}  // namespace vitbit::quant

@@ -1,0 +1,49 @@
+#include "quant/shift_gelu.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "quant/fixed_point.h"
+#include "quant/int_exp.h"
+
+namespace vitbit::quant {
+
+MatrixI32 shift_gelu(const MatrixI32& x, int fb) {
+  VITBIT_CHECK(fb >= 1 && fb <= 20);
+  MatrixI32 out(x.rows(), x.cols());
+  const std::int32_t one = std::int32_t{1} << fb;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::int32_t q = x.flat()[i];
+    // 1.702*x by shifts: 1 + 1/2 + 1/8 + 1/16 + 1/128 = 1.6953.
+    const std::int32_t y = q + (q >> 1) + (q >> 3) + (q >> 4) + (q >> 7);
+    const std::int32_t n = y < 0 ? y : -y;  // -|y|
+    const std::int32_t e = int_exp_neg(n, fb);
+    const std::int64_t denom = static_cast<std::int64_t>(one) + e;
+    const std::int64_t num =
+        (static_cast<std::int64_t>(y < 0 ? e : one) << fb) + denom / 2;
+    const auto sigma = static_cast<std::int32_t>(num / denom);  // [0, 2^fb]
+    out.flat()[i] = rounding_shift(static_cast<std::int64_t>(q) * sigma, fb);
+  }
+  return out;
+}
+
+MatrixF32 gelu_sigmoid_ref(const MatrixF32& x) {
+  MatrixF32 out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = x.flat()[i];
+    out.flat()[i] = static_cast<float>(v / (1.0 + std::exp(-1.702 * v)));
+  }
+  return out;
+}
+
+MatrixF32 gelu_erf_ref(const MatrixF32& x) {
+  MatrixF32 out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = x.flat()[i];
+    out.flat()[i] =
+        static_cast<float>(0.5 * v * (1.0 + std::erf(v / std::sqrt(2.0))));
+  }
+  return out;
+}
+
+}  // namespace vitbit::quant

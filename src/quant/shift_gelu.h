@@ -1,0 +1,19 @@
+// ShiftGELU (I-ViT): integer-only GELU via the sigmoid approximation
+// GELU(x) ~ x * sigmoid(1.702 x), with 1.702 and exp realized by shifts.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace vitbit::quant {
+
+// Elementwise integer GELU. Input and output carry `fb` fraction bits.
+MatrixI32 shift_gelu(const MatrixI32& x, int fb);
+
+// Float references: the sigmoid form (what ShiftGELU approximates) and the
+// exact erf form (what GELU is).
+MatrixF32 gelu_sigmoid_ref(const MatrixF32& x);
+MatrixF32 gelu_erf_ref(const MatrixF32& x);
+
+}  // namespace vitbit::quant

@@ -1,0 +1,57 @@
+#include "quant/shiftmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "quant/int_div.h"
+#include "quant/int_exp.h"
+
+namespace vitbit::quant {
+
+MatrixI32 shiftmax(const MatrixI32& logits, int in_fb, int out_bits) {
+  VITBIT_CHECK(in_fb >= 1 && in_fb <= 24);
+  VITBIT_CHECK(out_bits >= 1 && out_bits <= 24);
+  VITBIT_CHECK(logits.cols() >= 1);
+  MatrixI32 out(logits.rows(), logits.cols());
+  std::vector<std::int32_t> e(static_cast<std::size_t>(logits.cols()));
+  for (int r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    const std::int32_t mx = *std::max_element(row.begin(), row.end());
+    std::int64_t sum = 0;
+    for (int c = 0; c < logits.cols(); ++c) {
+      // Delta <= 0; exp via shifts.
+      const std::int32_t d = row[static_cast<std::size_t>(c)] - mx;
+      e[static_cast<std::size_t>(c)] = int_exp_neg(d, in_fb);
+      sum += e[static_cast<std::size_t>(c)];
+    }
+    VITBIT_DCHECK(sum > 0);  // the max element contributes 2^in_fb
+    for (int c = 0; c < logits.cols(); ++c) {
+      // Integer-only normalization: Newton-reciprocal division (GPUs have
+      // no integer divider; see quant/int_div.h).
+      out.at(r, c) = static_cast<std::int32_t>(int_div_rounded(
+          static_cast<std::int64_t>(e[static_cast<std::size_t>(c)])
+              << out_bits,
+          sum));
+    }
+  }
+  return out;
+}
+
+MatrixF32 softmax_ref(const MatrixF32& logits) {
+  MatrixF32 out(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (int c = 0; c < logits.cols(); ++c)
+      sum += std::exp(static_cast<double>(row[static_cast<std::size_t>(c)]) - mx);
+    for (int c = 0; c < logits.cols(); ++c)
+      out.at(r, c) = static_cast<float>(
+          std::exp(static_cast<double>(row[static_cast<std::size_t>(c)]) - mx) /
+          sum);
+  }
+  return out;
+}
+
+}  // namespace vitbit::quant

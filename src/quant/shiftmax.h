@@ -1,0 +1,20 @@
+// Shiftmax (I-ViT): integer-only softmax built from shift-based exp and an
+// integer divider — the attention-probability kernel of the quantized
+// ViT-Base workload.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace vitbit::quant {
+
+// Row-wise integer softmax. `logits` carry `in_fb` fraction bits; the output
+// holds probabilities with `out_bits` fraction bits (values in
+// [0, 2^out_bits], each row summing to ~2^out_bits). Integer ops only.
+MatrixI32 shiftmax(const MatrixI32& logits, int in_fb, int out_bits);
+
+// Float reference for error measurement.
+MatrixF32 softmax_ref(const MatrixF32& logits);
+
+}  // namespace vitbit::quant

@@ -1,0 +1,155 @@
+#include "sim/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vitbit::sim {
+
+namespace {
+
+Opcode opcode_from_name(const std::string& name, const std::string& line) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (name == opcode_name(op)) return op;
+  }
+  VITBIT_CHECK_MSG(false, "unknown opcode '" << name << "' in: " << line);
+  return Opcode::kNop;
+}
+
+std::uint16_t parse_reg(const std::string& tok, const std::string& line) {
+  VITBIT_CHECK_MSG(tok.size() >= 2 && (tok[0] == 'r' || tok[0] == 'R'),
+                   "expected register, got '" << tok << "' in: " << line);
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str() + 1, &end, 10);
+  VITBIT_CHECK_MSG(end && *end == '\0' && v >= 0 && v < kNoReg,
+                   "bad register '" << tok << "' in: " << line);
+  return static_cast<std::uint16_t>(v);
+}
+
+// Splits on whitespace and commas.
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Instr assemble_line(const std::string& line) {
+  auto toks = tokenize(line);
+  VITBIT_CHECK_MSG(!toks.empty(), "empty instruction");
+
+  // Optional "(dram NB)" suffix on global ops.
+  std::uint32_t dram_bytes = UINT32_MAX;
+  if (toks.size() >= 2 && toks.back().size() > 2 &&
+      toks[toks.size() - 2] == "(dram") {
+    std::string b = toks.back();
+    VITBIT_CHECK_MSG(b.size() >= 3 && b.substr(b.size() - 2) == "B)",
+                     "bad dram suffix in: " << line);
+    dram_bytes = static_cast<std::uint32_t>(
+        std::strtoul(b.substr(0, b.size() - 2).c_str(), nullptr, 10));
+    toks.pop_back();
+    toks.pop_back();
+  }
+
+  // Opcode, possibly with a ".bytes" width.
+  std::string mnemonic = toks[0];
+  std::uint32_t bytes = 0;
+  const auto dot = mnemonic.find('.');
+  if (dot != std::string::npos) {
+    bytes = static_cast<std::uint32_t>(
+        std::strtoul(mnemonic.substr(dot + 1).c_str(), nullptr, 10));
+    mnemonic = mnemonic.substr(0, dot);
+  }
+  const Opcode op = opcode_from_name(mnemonic, line);
+
+  Instr instr;
+  instr.op = op;
+  instr.bytes = bytes;
+  instr.dram_bytes = dram_bytes == UINT32_MAX ? bytes : dram_bytes;
+
+  std::vector<std::uint16_t> regs;
+  for (std::size_t i = 1; i < toks.size(); ++i)
+    regs.push_back(parse_reg(toks[i], line));
+
+  switch (op) {
+    case Opcode::kLdg:
+    case Opcode::kLds:
+      VITBIT_CHECK_MSG(regs.size() == 1, "load needs one register: " << line);
+      instr.dst = regs[0];
+      break;
+    case Opcode::kStg:
+    case Opcode::kSts:
+      VITBIT_CHECK_MSG(regs.size() == 1, "store needs one register: " << line);
+      instr.src[0] = regs[0];
+      break;
+    case Opcode::kBar:
+    case Opcode::kExit:
+    case Opcode::kNop:
+      VITBIT_CHECK_MSG(regs.empty(), "control op takes no registers: " << line);
+      break;
+    case Opcode::kBra:
+      VITBIT_CHECK_MSG(regs.size() == 1, "BRA needs a predicate: " << line);
+      instr.src[0] = regs[0];
+      break;
+    default: {
+      // ALU: dst first, then up to 3 sources.
+      VITBIT_CHECK_MSG(!regs.empty() && regs.size() <= 4,
+                       "ALU op needs 1-4 registers: " << line);
+      instr.dst = regs[0];
+      for (std::size_t i = 1; i < regs.size(); ++i)
+        instr.src[i - 1] = regs[i];
+      break;
+    }
+  }
+  return instr;
+}
+
+ProgramPtr assemble(const std::string& text) {
+  ProgramBuilder builder;
+  std::istringstream in(text);
+  std::string line;
+  std::uint16_t max_reg = 0;
+  bool any_reg = false;
+  Program prog;
+  while (std::getline(in, line)) {
+    // Strip comments, label prefixes ("12:\t..."), and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.find_first_not_of("0123456789 \t") >= colon)
+      line = line.substr(colon + 1);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+
+    const Instr instr = assemble_line(line);
+    for (const auto r : {instr.dst, instr.src[0], instr.src[1], instr.src[2]})
+      if (r != kNoReg) {
+        max_reg = std::max(max_reg, r);
+        any_reg = true;
+      }
+    prog.code.push_back(instr);
+  }
+  prog.num_regs = any_reg ? static_cast<std::uint16_t>(max_reg + 1) : 0;
+  VITBIT_CHECK_MSG(!prog.code.empty() && prog.code.back().op == Opcode::kExit,
+                   "program must end with EXIT");
+  return std::make_shared<Program>(std::move(prog));
+}
+
+}  // namespace vitbit::sim

@@ -1,0 +1,29 @@
+// Assembler for the simulator's textual kernel format — the inverse of
+// sim/disasm.h. Lets warp programs be written, stored, and inspected as
+// text (the role inline PTX plays in the paper's real implementation), and
+// gives tests a round-trip invariant.
+//
+// Grammar (one instruction per line; '#' starts a comment):
+//   IMAD r1, r2, r3, r1        ALU op, dst first, then sources
+//   LDG.128 r4                 memory op with byte width
+//   LDG.128 r4 (dram 16B)      global op with an explicit DRAM charge
+//   STG.128 r4                 stores name the data register
+//   BAR / BRA r0 / EXIT / NOP  control
+// Registers are written r<N>; the program's register count is
+// 1 + the highest register mentioned.
+#pragma once
+
+#include <string>
+
+#include "sim/program.h"
+
+namespace vitbit::sim {
+
+// Parses one instruction line. Throws CheckError with the offending text on
+// malformed input.
+Instr assemble_line(const std::string& line);
+
+// Parses a whole program (must end with EXIT, as ProgramBuilder requires).
+ProgramPtr assemble(const std::string& text);
+
+}  // namespace vitbit::sim

@@ -1,0 +1,78 @@
+#include "sim/disasm.h"
+
+#include <sstream>
+
+namespace vitbit::sim {
+
+std::string disassemble(const Instr& instr) {
+  std::ostringstream os;
+  os << opcode_name(instr.op);
+  if (is_memory(instr.op)) {
+    os << "." << instr.bytes;
+    bool first = true;
+    for (const auto s : {instr.dst, instr.src[0]}) {
+      if (s == kNoReg) continue;
+      os << (first ? " r" : ", r") << s;
+      first = false;
+    }
+    if ((instr.op == Opcode::kLdg || instr.op == Opcode::kStg) &&
+        instr.dram_bytes != instr.bytes)
+      os << " (dram " << instr.dram_bytes << "B)";
+    return os.str();
+  }
+  bool first = true;
+  if (instr.dst != kNoReg) {
+    os << " r" << instr.dst;
+    first = false;
+  }
+  for (const auto s : instr.src) {
+    if (s == kNoReg) continue;
+    os << (first ? " r" : ", r") << s;
+    first = false;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& prog, std::size_t max_lines) {
+  std::ostringstream os;
+  const std::size_t n = max_lines == 0
+                            ? prog.code.size()
+                            : std::min(max_lines, prog.code.size());
+  for (std::size_t i = 0; i < n; ++i)
+    os << i << ":\t" << disassemble(prog.code[i]) << "\n";
+  if (n < prog.code.size())
+    os << "... (+" << prog.code.size() - n << " more)\n";
+  return os.str();
+}
+
+std::map<Opcode, std::size_t> opcode_histogram(const Program& prog) {
+  std::map<Opcode, std::size_t> hist;
+  for (const auto& i : prog.code) ++hist[i.op];
+  return hist;
+}
+
+MemoryFootprint memory_footprint(const Program& prog) {
+  MemoryFootprint f;
+  for (const auto& i : prog.code) {
+    switch (i.op) {
+      case Opcode::kLdg:
+        f.ldg_bytes += i.bytes;
+        f.ldg_dram_bytes += i.dram_bytes;
+        break;
+      case Opcode::kStg:
+        f.stg_bytes += i.bytes;
+        break;
+      case Opcode::kLds:
+        f.lds_bytes += i.bytes;
+        break;
+      case Opcode::kSts:
+        f.sts_bytes += i.bytes;
+        break;
+      default:
+        break;
+    }
+  }
+  return f;
+}
+
+}  // namespace vitbit::sim

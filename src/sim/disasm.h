@@ -1,0 +1,34 @@
+// Program introspection: disassembly listing and opcode histograms for the
+// generated kernel traces — used by tests to assert on trace structure and
+// by humans to inspect what the builders emit.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/program.h"
+
+namespace vitbit::sim {
+
+// One-line rendering of a single instruction, e.g.
+// "IMAD r12, r3, r3, r12" or "LDG.128 r7 (dram 16B)".
+std::string disassemble(const Instr& instr);
+
+// Full listing, capped at `max_lines` (0 = all). Appends "... (+N more)"
+// when truncated.
+std::string disassemble(const Program& prog, std::size_t max_lines = 0);
+
+// Instruction counts by opcode.
+std::map<Opcode, std::size_t> opcode_histogram(const Program& prog);
+
+// Aggregate byte counts of the program's memory instructions.
+struct MemoryFootprint {
+  std::uint64_t ldg_bytes = 0;
+  std::uint64_t ldg_dram_bytes = 0;
+  std::uint64_t stg_bytes = 0;
+  std::uint64_t lds_bytes = 0;
+  std::uint64_t sts_bytes = 0;
+};
+MemoryFootprint memory_footprint(const Program& prog);
+
+}  // namespace vitbit::sim

@@ -1,0 +1,165 @@
+#include "sim/functional.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vitbit::sim {
+
+namespace {
+float as_float(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+std::uint32_t as_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+}  // namespace
+
+FunctionalWarp::FunctionalWarp(ProgramPtr program,
+                               std::span<std::uint8_t> global,
+                               std::array<std::uint64_t, 4> operand_bases)
+    : prog_(std::move(program)), global_(global), bases_(operand_bases) {
+  VITBIT_CHECK(prog_ != nullptr);
+  regs_.assign(prog_->num_regs, 0);
+  shared_.assign(48 * 1024, 0);
+}
+
+std::uint32_t FunctionalWarp::reg(std::uint16_t r) const {
+  VITBIT_CHECK(r < regs_.size());
+  return regs_[r];
+}
+
+void FunctionalWarp::set_reg(std::uint16_t r, std::uint32_t value) {
+  VITBIT_CHECK(r < regs_.size());
+  regs_[r] = value;
+}
+
+std::uint32_t FunctionalWarp::load(std::uint8_t operand, std::uint32_t offset,
+                                   bool shared) const {
+  if (shared) {
+    VITBIT_CHECK_MSG(offset + 4 <= shared_.size(), "LDS out of bounds");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(shared_[offset + i]) << (8 * i);
+    return v;
+  }
+  VITBIT_CHECK_MSG(operand != kNoOperand,
+                   "functional LDG needs an addressed instruction");
+  const std::uint64_t addr = bases_[operand] + offset;
+  VITBIT_CHECK_MSG(addr + 4 <= global_.size(), "LDG out of bounds: " << addr);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(global_[addr + i]) << (8 * i);
+  return v;
+}
+
+void FunctionalWarp::store(std::uint8_t operand, std::uint32_t offset,
+                           std::uint32_t value, bool shared) {
+  if (shared) {
+    VITBIT_CHECK_MSG(offset + 4 <= shared_.size(), "STS out of bounds");
+    for (int i = 0; i < 4; ++i)
+      shared_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return;
+  }
+  VITBIT_CHECK_MSG(operand != kNoOperand,
+                   "functional STG needs an addressed instruction");
+  const std::uint64_t addr = bases_[operand] + offset;
+  VITBIT_CHECK_MSG(addr + 4 <= global_.size(), "STG out of bounds: " << addr);
+  for (int i = 0; i < 4; ++i)
+    global_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void FunctionalWarp::run() {
+  executed_ = 0;
+  auto src = [&](const Instr& in, int i) -> std::uint32_t {
+    const auto r = in.src[static_cast<std::size_t>(i)];
+    return r == kNoReg ? 0u : regs_[r];
+  };
+  for (const Instr& in : prog_->code) {
+    ++executed_;
+    std::uint32_t result = 0;
+    bool writes = in.dst != kNoReg;
+    switch (in.op) {
+      case Opcode::kIadd:
+        result = src(in, 0) + src(in, 1);
+        break;
+      case Opcode::kImad:
+        // The packed-operand workhorse: wrapping 32-bit multiply-add,
+        // exactly the arithmetic swar::gemm_packed models.
+        result = src(in, 0) * src(in, 1) + src(in, 2);
+        break;
+      case Opcode::kIsetp:
+        result = src(in, 0) != 0 ? 1 : 0;
+        break;
+      case Opcode::kShf:
+        result = src(in, 0) >> (in.offset & 31);
+        break;
+      case Opcode::kLop3:
+        result = src(in, 0) & (in.offset ? in.offset : src(in, 1));
+        break;
+      case Opcode::kMov:
+        result = src(in, 0);
+        break;
+      case Opcode::kI2f:
+        result = as_bits(
+            static_cast<float>(static_cast<std::int32_t>(src(in, 0))));
+        break;
+      case Opcode::kF2i:
+        result = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(std::lround(as_float(src(in, 0)))));
+        break;
+      case Opcode::kFadd:
+        result = as_bits(as_float(src(in, 0)) + as_float(src(in, 1)));
+        break;
+      case Opcode::kFmul:
+        result = as_bits(as_float(src(in, 0)) * as_float(src(in, 1)));
+        break;
+      case Opcode::kFfma:
+        result = as_bits(std::fmaf(as_float(src(in, 0)), as_float(src(in, 1)),
+                                   as_float(src(in, 2))));
+        break;
+      case Opcode::kMufu:
+        result = as_bits(1.0f / as_float(src(in, 0)));  // rcp
+        break;
+      case Opcode::kLdg:
+        result = load(in.operand, in.offset, /*shared=*/false);
+        break;
+      case Opcode::kLds:
+        result = load(in.operand, in.offset, /*shared=*/true);
+        break;
+      case Opcode::kStg:
+        store(in.operand, in.offset, src(in, 0), /*shared=*/false);
+        writes = false;
+        break;
+      case Opcode::kSts:
+        store(in.operand, in.offset, src(in, 0), /*shared=*/true);
+        writes = false;
+        break;
+      case Opcode::kBar:
+      case Opcode::kBra:
+      case Opcode::kNop:
+        writes = false;
+        break;
+      case Opcode::kExit:
+        return;
+      case Opcode::kImma:
+      case Opcode::kHmma:
+        VITBIT_CHECK_MSG(false,
+                         "tensor-core ops have no functional model; use the "
+                         "swar/tensor libraries for their arithmetic");
+    }
+    if (writes) regs_[in.dst] = result;
+  }
+  VITBIT_CHECK_MSG(false, "program ran off the end without EXIT");
+}
+
+void emit_shf_imm(ProgramBuilder& b, std::uint16_t dst, std::uint16_t src,
+                  std::uint32_t shift) {
+  b.shf(dst, src);
+  b.last().offset = shift;
+}
+
+void emit_and_imm(ProgramBuilder& b, std::uint16_t dst, std::uint16_t src,
+                  std::uint32_t mask) {
+  b.lop3(dst, src, kNoReg);
+  b.last().offset = mask;
+}
+
+}  // namespace vitbit::sim

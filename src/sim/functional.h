@@ -1,0 +1,60 @@
+// Functional execution of warp programs: registers hold real 32-bit values
+// and ALU ops compute them — so a hand-written packed-SWAR kernel can be
+// *run*, not just timed, and its arithmetic checked against the swar
+// library. (The packed-operand semantics of VitBit live inside single
+// 32-bit registers, so a one-lane model exercises them faithfully.)
+//
+// Scope: straight-line programs (the builders emit fully unrolled traces;
+// BRA is a timing marker and is ignored here), CUDA-core opcodes only —
+// IMMA/HMMA have no functional model and are rejected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/program.h"
+
+namespace vitbit::sim {
+
+class FunctionalWarp {
+ public:
+  // `global` is the byte-addressable global memory LDG/STG access through
+  // Instr::operand/offset plus `operand_bases`. Shared memory is a private
+  // buffer addressed by Instr::offset (for LDS/STS emitted with offsets).
+  FunctionalWarp(ProgramPtr program, std::span<std::uint8_t> global,
+                 std::array<std::uint64_t, 4> operand_bases = {});
+
+  // Executes to EXIT. Throws on non-functional opcodes (IMMA/HMMA) or
+  // out-of-bounds memory.
+  void run();
+
+  std::uint32_t reg(std::uint16_t r) const;
+  void set_reg(std::uint16_t r, std::uint32_t value);
+
+  // Number of instructions executed by the last run().
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  std::uint32_t load(std::uint8_t operand, std::uint32_t offset,
+                     bool shared) const;
+  void store(std::uint8_t operand, std::uint32_t offset, std::uint32_t value,
+             bool shared);
+
+  ProgramPtr prog_;
+  std::span<std::uint8_t> global_;
+  std::array<std::uint64_t, 4> bases_;
+  std::vector<std::uint32_t> regs_;
+  mutable std::vector<std::uint8_t> shared_;
+  std::uint64_t executed_ = 0;
+};
+
+// ALU immediates: SHF/LOP3 consume Instr::offset as their immediate
+// (shift amount / mask). These builder helpers set it.
+void emit_shf_imm(ProgramBuilder& b, std::uint16_t dst, std::uint16_t src,
+                  std::uint32_t shift);
+void emit_and_imm(ProgramBuilder& b, std::uint16_t dst, std::uint16_t src,
+                  std::uint32_t mask);
+
+}  // namespace vitbit::sim

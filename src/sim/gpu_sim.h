@@ -1,0 +1,80 @@
+// Whole-GPU simulation: every SM stepped in lockstep against a shared L2
+// cache and a shared DRAM channel. This is the validation counterpart of
+// the calibrated single-SM model (sim/launcher.h), replacing its static
+// operand-reuse derates with real addressed hit/miss behaviour —
+// bench/ext_l2_validation compares the two.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "sim/l2_cache.h"
+#include "sim/launcher.h"
+#include "sim/sm_sim.h"
+
+namespace vitbit::sim {
+
+// Physical layout of a kernel's logical operand regions. A block at grid
+// position (outer, row, col) reads operand i at
+//   base[i] + outer*outer_stride[i] + row*row_stride[i] + col*col_stride[i]
+// plus the per-instruction offset. The GEMM builders populate this so the
+// L2 sees the real reuse topology (the A tile shared across column-blocks,
+// B slices private per column-block, ...).
+struct OperandGeom {
+  std::uint64_t base = 0;
+  std::uint64_t outer_stride = 0;
+  std::uint64_t row_stride = 0;
+  std::uint64_t col_stride = 0;
+};
+
+struct GridGeom {
+  std::array<OperandGeom, 4> operands{};
+  int row_blocks = 1;
+  int col_blocks = 1;
+  bool addressed = false;  // true when the builder populated addresses
+
+  std::array<std::uint64_t, 4> block_bases(int block_idx) const;
+};
+
+struct GpuRunResult {
+  std::uint64_t cycles = 0;       // makespan across SMs
+  SmStats total;                  // aggregated over all SMs
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  double l2_hit_rate = 0.0;
+};
+
+class GpuSim : public GlobalMemory {
+ public:
+  GpuSim(const arch::OrinSpec& spec, const arch::Calibration& calib);
+
+  // Distributes `grid_blocks` copies of the block round-robin over SMs,
+  // capped at `blocks_per_sm` resident per SM; remaining blocks are
+  // back-filled as residents finish — approximated here by multiple
+  // rounds (each round simulated to completion, like waves, but with the
+  // L2 kept warm between rounds).
+  GpuRunResult run(const KernelSpec& kernel, const GridGeom& geom,
+                   int blocks_per_sm);
+
+  // GlobalMemory: shared L2 front, shared DRAM channel behind it.
+  std::uint64_t access(std::uint64_t addr, std::uint32_t bytes,
+                       std::uint64_t now, bool is_store) override;
+
+ private:
+  const arch::OrinSpec spec_;
+  const arch::Calibration calib_;
+  L2Cache l2_;
+  double dram_free_ = 0.0;
+};
+
+// Occupancy-respecting whole-GPU launch using the L2 model. Returns the
+// same LaunchResult shape as launch_kernel for apples-to-apples benches.
+LaunchResult launch_kernel_l2(const KernelSpec& kernel, const GridGeom& geom,
+                              const arch::OrinSpec& spec,
+                              const arch::Calibration& calib);
+
+}  // namespace vitbit::sim

@@ -1,0 +1,86 @@
+#include "sim/isa.h"
+
+#include "common/check.h"
+
+namespace vitbit::sim {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kIadd: return "IADD";
+    case Opcode::kImad: return "IMAD";
+    case Opcode::kIsetp: return "ISETP";
+    case Opcode::kShf: return "SHF";
+    case Opcode::kLop3: return "LOP3";
+    case Opcode::kMov: return "MOV";
+    case Opcode::kI2f: return "I2F";
+    case Opcode::kF2i: return "F2I";
+    case Opcode::kFadd: return "FADD";
+    case Opcode::kFmul: return "FMUL";
+    case Opcode::kFfma: return "FFMA";
+    case Opcode::kMufu: return "MUFU";
+    case Opcode::kImma: return "IMMA";
+    case Opcode::kHmma: return "HMMA";
+    case Opcode::kLdg: return "LDG";
+    case Opcode::kStg: return "STG";
+    case Opcode::kLds: return "LDS";
+    case Opcode::kSts: return "STS";
+    case Opcode::kBar: return "BAR";
+    case Opcode::kBra: return "BRA";
+    case Opcode::kExit: return "EXIT";
+    case Opcode::kNop: return "NOP";
+  }
+  return "?";
+}
+
+const char* unit_name(ExecUnit unit) {
+  switch (unit) {
+    case ExecUnit::kIntPipe: return "INT";
+    case ExecUnit::kFpPipe: return "FP";
+    case ExecUnit::kSfu: return "SFU";
+    case ExecUnit::kTensor: return "TC";
+    case ExecUnit::kLsu: return "LSU";
+    case ExecUnit::kBranch: return "BR";
+    case ExecUnit::kNone: return "-";
+  }
+  return "?";
+}
+
+const OpInfo& op_info(Opcode op) {
+  // 16-lane INT/FP pipes: a 32-thread warp op occupies the port 2 cycles.
+  // ALU latency 4-5 (Ampere register-forwarded). IMMA: m16n8k32 held on the
+  // tensor core for 16 cycles (256 MACs/cycle sustained; see calibration.h).
+  // Memory pipeline parts here; queueing/bandwidth added dynamically.
+  static constexpr std::array<OpInfo, kNumOpcodes> kTable = {{
+      /*kIadd*/ {ExecUnit::kIntPipe, 2, 4},
+      /*kImad*/ {ExecUnit::kIntPipe, 2, 5},
+      /*kIsetp*/ {ExecUnit::kIntPipe, 2, 4},
+      /*kShf*/ {ExecUnit::kIntPipe, 2, 4},
+      /*kLop3*/ {ExecUnit::kIntPipe, 2, 4},
+      /*kMov*/ {ExecUnit::kIntPipe, 2, 4},
+      /*kI2f*/ {ExecUnit::kIntPipe, 2, 5},
+      /*kF2i*/ {ExecUnit::kIntPipe, 2, 5},
+      /*kFadd*/ {ExecUnit::kFpPipe, 2, 4},
+      /*kFmul*/ {ExecUnit::kFpPipe, 2, 4},
+      /*kFfma*/ {ExecUnit::kFpPipe, 2, 4},
+      /*kMufu*/ {ExecUnit::kSfu, 8, 16},
+      /*kImma*/ {ExecUnit::kTensor, 16, 24},
+      /*kHmma*/ {ExecUnit::kTensor, 16, 24},
+      /*kLdg*/ {ExecUnit::kLsu, 1, 0},   // latency from the memory model
+      /*kStg*/ {ExecUnit::kLsu, 1, 0},
+      /*kLds*/ {ExecUnit::kLsu, 1, 0},
+      /*kSts*/ {ExecUnit::kLsu, 1, 0},
+      /*kBar*/ {ExecUnit::kBranch, 1, 1},
+      /*kBra*/ {ExecUnit::kBranch, 1, 2},
+      /*kExit*/ {ExecUnit::kBranch, 1, 1},
+      /*kNop*/ {ExecUnit::kBranch, 1, 1},
+  }};
+  const int i = static_cast<int>(op);
+  VITBIT_DCHECK(i >= 0 && i < kNumOpcodes);
+  return kTable[static_cast<std::size_t>(i)];
+}
+
+bool is_int_pipe(Opcode op) { return op_info(op).unit == ExecUnit::kIntPipe; }
+bool is_fp_pipe(Opcode op) { return op_info(op).unit == ExecUnit::kFpPipe; }
+bool is_memory(Opcode op) { return op_info(op).unit == ExecUnit::kLsu; }
+
+}  // namespace vitbit::sim

@@ -1,0 +1,77 @@
+// Instruction set of the simulated SM: the SASS-level opcode classes that
+// matter for issue/occupancy/latency modeling of the VitBit kernels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vitbit::sim {
+
+enum class Opcode : std::uint8_t {
+  // Integer pipe.
+  kIadd,   // IADD3: address/index arithmetic, also packed-lane extraction
+  kImad,   // IMAD: integer multiply-add (the packed-GEMM workhorse)
+  kIsetp,  // predicate set (loop conditions)
+  kShf,    // funnel shift (packing/unpacking, requantization)
+  kLop3,   // bitwise ops (masking)
+  kMov,
+  kI2f,    // int -> float conversion
+  kF2i,
+  // Floating-point pipe.
+  kFadd,
+  kFmul,
+  kFfma,
+  // Special function unit.
+  kMufu,  // rcp/exp2/... (float softmax/gelu baselines)
+  // Tensor core.
+  kImma,  // integer MMA (m16n8k32: 4096 MACs)
+  kHmma,  // fp16 MMA
+  // Memory.
+  kLdg,  // global load
+  kStg,  // global store
+  kLds,  // shared-memory load
+  kSts,  // shared-memory store
+  // Control.
+  kBar,   // __syncthreads
+  kBra,   // branch (loop back-edge)
+  kExit,
+  kNop,
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kNop) + 1;
+
+const char* opcode_name(Opcode op);
+
+enum class ExecUnit : std::uint8_t {
+  kIntPipe,
+  kFpPipe,
+  kSfu,
+  kTensor,
+  kLsu,     // shared-memory / global-memory pipeline (per SM)
+  kBranch,  // branch/control (per sub-core, no throughput modeling)
+  kNone,
+};
+
+constexpr int kNumUnits = static_cast<int>(ExecUnit::kNone) + 1;
+
+const char* unit_name(ExecUnit unit);
+
+struct OpInfo {
+  ExecUnit unit;
+  // Cycles the op occupies its unit's dispatch port (32-lane warp over a
+  // 16-lane pipe = 2; IMMA holds the tensor core for its full duration).
+  std::uint8_t issue_cycles;
+  // Cycles until the result register is readable.
+  std::uint8_t latency;
+};
+
+// Static latency/occupancy table (memory ops get additional dynamic
+// latency from the memory model; their entry holds the pipeline part).
+const OpInfo& op_info(Opcode op);
+
+// True for opcodes whose unit is the integer pipe.
+bool is_int_pipe(Opcode op);
+bool is_fp_pipe(Opcode op);
+bool is_memory(Opcode op);
+
+}  // namespace vitbit::sim

@@ -1,0 +1,63 @@
+#include "sim/l2_cache.h"
+
+#include <bit>
+
+namespace vitbit::sim {
+
+L2Cache::L2Cache(std::uint64_t capacity_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  VITBIT_CHECK(line_bytes >= 32 && std::has_single_bit(
+                                       static_cast<unsigned>(line_bytes)));
+  VITBIT_CHECK(ways >= 1);
+  const std::uint64_t lines = capacity_bytes / static_cast<std::uint64_t>(line_bytes);
+  VITBIT_CHECK_MSG(lines >= static_cast<std::uint64_t>(ways),
+                   "cache smaller than one set");
+  num_sets_ = static_cast<std::size_t>(lines / static_cast<std::uint64_t>(ways));
+  sets_.assign(num_sets_ * static_cast<std::size_t>(ways_), Way{});
+}
+
+int L2Cache::access(std::uint64_t addr, std::uint32_t bytes) {
+  VITBIT_CHECK(bytes >= 1);
+  const std::uint64_t first = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::uint64_t last =
+      (addr + bytes - 1) / static_cast<std::uint64_t>(line_bytes_);
+  int line_misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++clock_;
+    Way* base = &sets_[set_index(line) * static_cast<std::size_t>(ways_)];
+    Way* lru = base;
+    bool hit = false;
+    for (int w = 0; w < ways_; ++w) {
+      if (base[w].tag == line) {
+        base[w].last_use = clock_;
+        hit = true;
+        break;
+      }
+      if (base[w].last_use < lru->last_use) lru = &base[w];
+    }
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+      ++line_misses;
+      lru->tag = line;
+      lru->last_use = clock_;
+    }
+  }
+  return line_misses;
+}
+
+bool L2Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const Way* base = &sets_[set_index(line) * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w)
+    if (base[w].tag == line) return true;
+  return false;
+}
+
+void L2Cache::reset() {
+  sets_.assign(sets_.size(), Way{});
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace vitbit::sim

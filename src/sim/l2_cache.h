@@ -1,0 +1,55 @@
+// Set-associative L2 cache model (Orin: 4 MB shared across SMs). Used by
+// the multi-SM GPU simulation to replace the single-SM model's static
+// operand-reuse derates with real hit/miss behaviour over addressed loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vitbit::sim {
+
+class L2Cache {
+ public:
+  // capacity/line in bytes; ways per set. Defaults: Orin's 4 MB, 128 B
+  // lines, 16-way.
+  L2Cache(std::uint64_t capacity_bytes = 4ull << 20, int line_bytes = 128,
+          int ways = 16);
+
+  // Accesses one line-aligned span; returns the number of line misses
+  // (0..lines touched). LRU replacement; every touched line is resident
+  // afterwards.
+  int access(std::uint64_t addr, std::uint32_t bytes);
+
+  // True if the line containing addr is resident (no state change).
+  bool contains(std::uint64_t addr) const;
+
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+  int line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = UINT64_MAX;
+    std::uint64_t last_use = 0;
+  };
+
+  std::size_t set_index(std::uint64_t line) const { return line % num_sets_; }
+
+  int line_bytes_;
+  int ways_;
+  std::size_t num_sets_;
+  std::vector<Way> sets_;  // num_sets_ * ways_
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vitbit::sim

@@ -1,0 +1,56 @@
+// Kernel launcher: occupancy calculation and grid-to-SM wave scheduling.
+// A kernel is simulated on one SM at its resident-block occupancy and the
+// result is extrapolated over the grid's waves (all SMs run identical work;
+// the partial last wave is simulated separately).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "sim/program.h"
+#include "sim/stats.h"
+
+namespace vitbit::sim {
+
+struct KernelSpec {
+  // The warps of one thread block (shared instruction traces).
+  std::vector<ProgramPtr> block_warps;
+  int grid_blocks = 1;
+  int regs_per_thread = 64;
+  int smem_bytes = 48 * 1024;
+};
+
+struct LaunchResult {
+  std::uint64_t total_cycles = 0;
+  int blocks_per_sm = 0;  // occupancy limit
+  int resident_blocks = 0;  // blocks actually co-resident in the simulation
+  int grid_blocks = 0;
+  int waves = 0;
+  // Stats of one SM over one full wave (per-kernel IPC/utilization/mix).
+  SmStats sm;
+  // Whole-grid issued-instruction total (scaled over SMs and waves).
+  std::uint64_t grid_instructions = 0;
+
+  double milliseconds(const arch::OrinSpec& spec) const {
+    return static_cast<double>(total_cycles) / (spec.clock_ghz * 1e6);
+  }
+
+  // Scale factor from the simulated SM slice to the whole grid.
+  double grid_scale() const {
+    return resident_blocks == 0
+               ? 0.0
+               : static_cast<double>(grid_blocks) / resident_blocks;
+  }
+};
+
+// Resident blocks per SM under warp/block/smem/register limits.
+int occupancy_blocks_per_sm(const KernelSpec& kernel,
+                            const arch::OrinSpec& spec);
+
+LaunchResult launch_kernel(const KernelSpec& kernel,
+                           const arch::OrinSpec& spec,
+                           const arch::Calibration& calib);
+
+}  // namespace vitbit::sim

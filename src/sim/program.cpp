@@ -1,0 +1,101 @@
+#include "sim/program.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vitbit::sim {
+
+std::uint16_t ProgramBuilder::new_reg() {
+  VITBIT_CHECK_MSG(prog_.num_regs < kNoReg - 1, "register space exhausted");
+  return prog_.num_regs++;
+}
+
+void ProgramBuilder::emit(Opcode op, std::uint16_t dst, std::uint16_t s0,
+                          std::uint16_t s1, std::uint16_t s2,
+                          std::uint32_t bytes) {
+  Instr i;
+  i.op = op;
+  i.dst = dst;
+  i.src = {s0, s1, s2};
+  i.bytes = bytes;
+  i.dram_bytes = bytes;
+  prog_.code.push_back(i);
+}
+
+void ProgramBuilder::iadd(std::uint16_t d, std::uint16_t a, std::uint16_t b) {
+  emit(Opcode::kIadd, d, a, b);
+}
+void ProgramBuilder::imad(std::uint16_t d, std::uint16_t a, std::uint16_t b,
+                          std::uint16_t c) {
+  emit(Opcode::kImad, d, a, b, c);
+}
+void ProgramBuilder::isetp(std::uint16_t d, std::uint16_t a) {
+  emit(Opcode::kIsetp, d, a);
+}
+void ProgramBuilder::shf(std::uint16_t d, std::uint16_t a) {
+  emit(Opcode::kShf, d, a);
+}
+void ProgramBuilder::lop3(std::uint16_t d, std::uint16_t a, std::uint16_t b) {
+  emit(Opcode::kLop3, d, a, b);
+}
+void ProgramBuilder::i2f(std::uint16_t d, std::uint16_t a) {
+  emit(Opcode::kI2f, d, a);
+}
+void ProgramBuilder::ffma(std::uint16_t d, std::uint16_t a, std::uint16_t b,
+                          std::uint16_t c) {
+  emit(Opcode::kFfma, d, a, b, c);
+}
+void ProgramBuilder::fadd(std::uint16_t d, std::uint16_t a, std::uint16_t b) {
+  emit(Opcode::kFadd, d, a, b);
+}
+void ProgramBuilder::fmul(std::uint16_t d, std::uint16_t a, std::uint16_t b) {
+  emit(Opcode::kFmul, d, a, b);
+}
+void ProgramBuilder::mufu(std::uint16_t d, std::uint16_t a) {
+  emit(Opcode::kMufu, d, a);
+}
+void ProgramBuilder::imma(std::uint16_t d, std::uint16_t a, std::uint16_t b) {
+  emit(Opcode::kImma, d, a, b, d);  // accumulator read-modify-write
+}
+void ProgramBuilder::ldg(std::uint16_t d, std::uint32_t bytes,
+                         std::uint32_t dram_bytes, std::uint8_t operand,
+                         std::uint32_t offset) {
+  emit(Opcode::kLdg, d, kNoReg, kNoReg, kNoReg, bytes);
+  prog_.code.back().dram_bytes = std::min(dram_bytes, bytes);
+  prog_.code.back().operand = operand;
+  prog_.code.back().offset = offset;
+}
+void ProgramBuilder::stg(std::uint16_t data, std::uint32_t bytes,
+                         std::uint32_t dram_bytes, std::uint8_t operand,
+                         std::uint32_t offset) {
+  emit(Opcode::kStg, kNoReg, data, kNoReg, kNoReg, bytes);
+  prog_.code.back().dram_bytes = std::min(dram_bytes, bytes);
+  prog_.code.back().operand = operand;
+  prog_.code.back().offset = offset;
+}
+void ProgramBuilder::lds(std::uint16_t d, std::uint32_t bytes) {
+  emit(Opcode::kLds, d, kNoReg, kNoReg, kNoReg, bytes);
+}
+void ProgramBuilder::sts(std::uint16_t data, std::uint32_t bytes) {
+  emit(Opcode::kSts, kNoReg, data, kNoReg, kNoReg, bytes);
+}
+void ProgramBuilder::bar() { emit(Opcode::kBar, kNoReg); }
+void ProgramBuilder::bra(std::uint16_t pred) {
+  emit(Opcode::kBra, kNoReg, pred);
+}
+void ProgramBuilder::exit() { emit(Opcode::kExit, kNoReg); }
+
+Instr& ProgramBuilder::last() {
+  VITBIT_CHECK_MSG(!prog_.code.empty(), "no instructions emitted yet");
+  return prog_.code.back();
+}
+
+ProgramPtr ProgramBuilder::build() {
+  VITBIT_CHECK_MSG(!prog_.code.empty() &&
+                       prog_.code.back().op == Opcode::kExit,
+                   "program must end with EXIT");
+  return std::make_shared<Program>(std::move(prog_));
+}
+
+}  // namespace vitbit::sim

@@ -1,0 +1,102 @@
+// Cycle-level simulator of one Streaming Multiprocessor:
+//  * 4 sub-cores ("processing blocks"), each with one warp scheduler that
+//    issues at most one instruction per cycle (loose round-robin), a 16-lane
+//    INT32 pipe, a 16-lane FP32 pipe, an SFU, and a tensor core — the
+//    Ampere organization of Figure 1 that lets INT, FP, and tensor units
+//    run concurrently, which VitBit exploits;
+//  * a register scoreboard per warp (in-order issue, latency-checked reads);
+//  * an SM-wide LSU with byte-throughput occupancy and a DRAM model with
+//    fixed latency plus a per-SM bandwidth share (the mechanism that makes
+//    tensor-core GEMM memory-bound at the paper's ratios);
+//  * thread-block barriers.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "sim/program.h"
+#include "sim/stats.h"
+
+namespace vitbit::sim {
+
+// Pluggable global-memory service for addressed accesses: given a physical
+// address, transfer size and current cycle, returns the completion cycle.
+// Implemented by GpuSim (shared L2 + DRAM); when absent, SmSim falls back
+// to its private bandwidth-share model using Instr::dram_bytes.
+class GlobalMemory {
+ public:
+  virtual ~GlobalMemory() = default;
+  virtual std::uint64_t access(std::uint64_t addr, std::uint32_t bytes,
+                               std::uint64_t now, bool is_store) = 0;
+};
+
+class SmSim {
+ public:
+  SmSim(const arch::OrinSpec& spec, const arch::Calibration& calib,
+        GlobalMemory* gmem = nullptr);
+
+  // Adds one resident thread block (its warps are distributed round-robin
+  // over sub-cores). `operand_bases` maps Instr::operand indices to the
+  // block's physical base addresses (addressed mode only). Throws if the
+  // SM's warp limit would be exceeded.
+  void add_block(const std::vector<ProgramPtr>& warps,
+                 const std::array<std::uint64_t, 4>& operand_bases = {});
+
+  int resident_warps() const { return static_cast<int>(warps_.size()); }
+  bool done() const { return done_warps_ >= static_cast<int>(warps_.size()); }
+
+  // Lockstep interface for multi-SM simulation: attempts one issue per
+  // sub-core at `cycle`; returns true if anything issued and lowers
+  // `next_wake` to the earliest cycle a blocked candidate could go.
+  bool step(std::uint64_t cycle, std::uint64_t& next_wake);
+
+  // Finalizes and returns statistics after stepping to completion.
+  SmStats finish(std::uint64_t cycles);
+
+  // Runs until every warp has exited; returns the statistics. Throws if
+  // max_cycles is exceeded (deadlock guard).
+  SmStats run(std::uint64_t max_cycles = 400'000'000);
+
+ private:
+  struct WarpState {
+    ProgramPtr prog;
+    std::uint32_t pc = 0;
+    std::vector<std::uint64_t> reg_ready;
+    bool at_barrier = false;
+    bool done = false;
+    int block = 0;
+  };
+  struct Subcore {
+    std::vector<int> warp_ids;
+    std::size_t rr_cursor = 0;
+    std::uint64_t int_busy_until = 0;
+    std::uint64_t fp_busy_until = 0;
+    std::uint64_t sfu_busy_until = 0;
+    std::uint64_t tc_busy_until = 0;
+  };
+  struct Block {
+    int num_warps = 0;
+    int arrived = 0;
+    std::array<std::uint64_t, 4> operand_bases{};
+  };
+
+  // Attempts to issue one instruction on `sc` at `cycle`; returns true if
+  // something issued. Updates `next_wake` with the earliest cycle at which
+  // a currently-blocked candidate could become issuable.
+  bool try_issue(Subcore& sc, std::uint64_t cycle, std::uint64_t& next_wake);
+
+  const arch::OrinSpec spec_;
+  const arch::Calibration calib_;
+  GlobalMemory* gmem_ = nullptr;
+  std::vector<WarpState> warps_;
+  std::vector<Subcore> subcores_;
+  std::vector<Block> blocks_;
+  std::uint64_t lsu_busy_until_ = 0;
+  double dram_free_ = 0.0;  // next cycle the DRAM channel is free (per-SM share)
+  int done_warps_ = 0;
+  SmStats stats_;
+};
+
+}  // namespace vitbit::sim

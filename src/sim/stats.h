@@ -1,0 +1,47 @@
+// Execution statistics of one simulated SM — the source for the paper's
+// instruction-count (Fig. 9), IPC (Fig. 10), and utilization results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/isa.h"
+
+namespace vitbit::sim {
+
+struct SmStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions_issued = 0;
+  std::array<std::uint64_t, kNumOpcodes> issued_by_opcode{};
+  // Dispatch-port busy cycles, aggregated over all instances of each unit
+  // class in the SM.
+  std::array<std::uint64_t, kNumUnits> unit_busy_cycles{};
+  // Bytes charged against DRAM bandwidth (post-L2; drives the energy model).
+  std::uint64_t dram_bytes = 0;
+
+  std::uint64_t issued(Opcode op) const {
+    return issued_by_opcode[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t busy(ExecUnit u) const {
+    return unit_busy_cycles[static_cast<std::size_t>(u)];
+  }
+
+  // Instructions per cycle for the whole SM.
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions_issued) /
+                             static_cast<double>(cycles);
+  }
+
+  // Fraction of cycles the given unit class was dispatching, averaged over
+  // `instances` physical units.
+  double utilization(ExecUnit u, int instances) const {
+    if (cycles == 0 || instances <= 0) return 0.0;
+    return static_cast<double>(busy(u)) /
+           (static_cast<double>(cycles) * instances);
+  }
+
+  SmStats& operator+=(const SmStats& other);
+};
+
+}  // namespace vitbit::sim

@@ -1,0 +1,160 @@
+#include "swar/layout.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vitbit::swar {
+
+const char* lane_mode_name(LaneMode mode) {
+  switch (mode) {
+    case LaneMode::kUnsigned:
+      return "unsigned";
+    case LaneMode::kOffset:
+      return "offset";
+    case LaneMode::kTopSigned:
+      return "top-signed";
+  }
+  return "?";
+}
+
+std::int64_t LaneLayout::scalar_abs_budget() const {
+  // Let S_l = sum_k scalar_k * encoded_l,k be the true integer partial sum of
+  // lane l (encoded values are what the lane physically holds: raw unsigned,
+  // offset-unsigned, or raw signed for the top lane). A 32-bit accumulator
+  // holds sum_l S_l * 2^(l*field) mod 2^32, and lane extraction is exact iff
+  //   non-top lanes:  unsigned modes: 0 <= S_l <  2^field      (monotone)
+  //                   top-signed mode: |S_l| < 2^(field-1)     (sext extract)
+  //   top lane:       unsigned modes: 0 <= S_top < 2^top_field
+  //                   signed scalars:  |S_top| < 2^(top_field-1)
+  // for every prefix of the accumulation. Bounding |S_l| by
+  // max|encoded| * sum|scalar| turns each constraint into a budget on
+  // sum_k |scalar_k| (for unsigned modes scalars are non-negative so the sum
+  // *is* the absolute sum). We return the smallest lane budget.
+  const std::int64_t enc_max_low =
+      mode == LaneMode::kUnsigned ? unsigned_max(value_bits)
+                                  : unsigned_max(value_bits);  // offset lanes
+  std::int64_t budget = INT64_MAX;
+  auto tighten = [&](std::int64_t cap, std::int64_t per_unit) {
+    if (per_unit <= 0) return;  // lane constant: never constrains
+    budget = std::min(budget, cap / per_unit);
+  };
+  const bool signed_scalar = mode == LaneMode::kTopSigned;
+  // Non-top lanes (only exist when num_lanes > 1).
+  if (num_lanes > 1) {
+    const std::int64_t cap = signed_scalar
+                                 ? (std::int64_t{1} << (field_bits - 1)) - 1
+                                 : (std::int64_t{1} << field_bits) - 1;
+    tighten(cap, enc_max_low);
+  }
+  // Top lane.
+  {
+    const int tf = top_field_bits();
+    std::int64_t enc_top = 0;
+    bool top_signed_sum = false;
+    switch (mode) {
+      case LaneMode::kUnsigned:
+        enc_top = unsigned_max(value_bits);
+        top_signed_sum = false;
+        break;
+      case LaneMode::kOffset:
+        enc_top = unsigned_max(value_bits);
+        top_signed_sum = false;
+        break;
+      case LaneMode::kTopSigned:
+        // Top lane holds raw signed values, |v| <= 2^(w-1).
+        enc_top = std::int64_t{1} << (value_bits - 1);
+        top_signed_sum = true;
+        break;
+    }
+    const std::int64_t cap = top_signed_sum
+                                 ? (tf >= 63 ? INT64_MAX : (std::int64_t{1} << (tf - 1)) - 1)
+                                 : (tf >= 63 ? INT64_MAX : (std::int64_t{1} << tf) - 1);
+    tighten(cap, enc_top);
+  }
+  return budget;
+}
+
+std::int64_t LaneLayout::worst_case_period() const {
+  const std::int64_t max_scalar =
+      mode == LaneMode::kUnsigned
+          ? unsigned_max(scalar_bits)
+          : (mode == LaneMode::kOffset ? unsigned_max(scalar_bits)
+                                       : (std::int64_t{1} << (scalar_bits - 1)));
+  if (max_scalar == 0) return INT64_MAX;
+  return scalar_abs_budget() / max_scalar;
+}
+
+bool LaneLayout::valid() const {
+  if (value_bits < 1 || value_bits > 16) return false;
+  if (scalar_bits < 1 || scalar_bits > 16) return false;
+  if (num_lanes < 1 || num_lanes > 8) return false;
+  if (num_lanes * field_bits > 32) return false;
+  if (num_lanes > 1 && field_bits < value_bits) return false;
+  if (top_field_bits() < value_bits) return false;
+  return worst_case_period() >= 1;
+}
+
+std::string LaneLayout::to_string() const {
+  std::ostringstream os;
+  os << "w" << value_bits << "xs" << scalar_bits << " lanes=" << num_lanes
+     << " field=" << field_bits << " mode=" << lane_mode_name(mode)
+     << " P=" << worst_case_period();
+  return os.str();
+}
+
+LaneLayout paper_policy_layout(int bitwidth, LaneMode mode) {
+  VITBIT_CHECK_MSG(bitwidth >= 1 && bitwidth <= 32,
+                   "unsupported bitwidth " << bitwidth);
+  LaneLayout l;
+  l.value_bits = bitwidth;
+  l.scalar_bits = bitwidth <= 16 ? bitwidth : 16;
+  l.mode = mode;
+  if (bitwidth >= 9) {
+    l.num_lanes = 1;
+    l.field_bits = 32;
+    l.value_bits = std::min(bitwidth, 16);
+  } else if (bitwidth >= 6) {
+    l.num_lanes = 2;
+    l.field_bits = 16;
+  } else if (bitwidth == 5) {
+    l.num_lanes = 3;
+    l.field_bits = 10;
+  } else {
+    l.num_lanes = 4;
+    l.field_bits = 8;
+  }
+  return l;
+}
+
+int packing_factor(int bitwidth) {
+  if (bitwidth >= 9) return 1;
+  if (bitwidth >= 6) return 2;
+  if (bitwidth == 5) return 3;
+  return 4;
+}
+
+LaneLayout guaranteed_layout(int bitwidth, std::int64_t min_period,
+                             LaneMode mode) {
+  VITBIT_CHECK(min_period >= 1);
+  // Try the densest layouts first: for each lane count, use even field
+  // spacing (the top lane absorbs the remainder).
+  for (int lanes = 4; lanes >= 1; --lanes) {
+    LaneLayout l;
+    l.value_bits = bitwidth;
+    l.scalar_bits = bitwidth;
+    l.num_lanes = lanes;
+    l.field_bits = lanes == 1 ? 32 : 32 / lanes;
+    l.mode = mode;
+    if (l.valid() && l.worst_case_period() >= min_period) return l;
+  }
+  LaneLayout l;
+  l.value_bits = bitwidth;
+  l.scalar_bits = bitwidth;
+  l.num_lanes = 1;
+  l.field_bits = 32;
+  l.mode = mode;
+  return l;
+}
+
+}  // namespace vitbit::swar

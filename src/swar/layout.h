@@ -1,0 +1,126 @@
+// Lane layouts for register operand packing (paper Section 3.2, Figure 3).
+//
+// A 32-bit register is divided into `num_lanes` fields of `field_bits` each
+// (the top lane additionally owns any leftover high bits). One IMAD
+// `acc += scalar * packed` then performs `num_lanes` multiply-accumulates.
+//
+// Exactness: a GEMM accumulates K products into the same field, so a field
+// must hold the *partial sum*, not just one product. The paper's policy
+// reserves 2w bits per w-bit product, which leaves no headroom for
+// accumulation at w=8. This module therefore exposes the full algebra:
+// for each layout and signedness mode it computes how many steps can be
+// accumulated before a spill is required, both worst-case (data
+// independent) and adaptively from the static weight values (exact for
+// *any* input, see tile_policy.h).
+//
+// Signedness modes:
+//  * kUnsigned  — all lanes hold unsigned values, scalar unsigned. Partial
+//                 sums are monotone non-negative; no cross-lane interference
+//                 below the overflow bound.
+//  * kOffset    — all lanes store v + 2^(w-1) (zero-point offset), scalar is
+//                 offset likewise. Signed data, exact via gemmlowp-style
+//                 correction terms (offset * row/lane sums).
+//  * kTopSigned — top lane raw two's-complement, lower lanes offset; scalar
+//                 raw signed. Signed data with much larger accumulation
+//                 budgets than kOffset (products are not inflated by the
+//                 scalar offset). This is the library default for signed
+//                 inputs and the mode the VitBit pipeline uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/int_math.h"
+
+namespace vitbit::swar {
+
+enum class LaneMode { kUnsigned, kOffset, kTopSigned };
+
+const char* lane_mode_name(LaneMode mode);
+
+struct LaneLayout {
+  int value_bits = 8;   // w  — bitwidth of packed values
+  int scalar_bits = 8;  // ws — bitwidth of the scalar multiplier
+  int num_lanes = 2;    // values per 32-bit register
+  int field_bits = 16;  // spacing between lane fields
+  LaneMode mode = LaneMode::kTopSigned;
+
+  // Bits owned by the top lane: its field plus all leftover high bits.
+  int top_field_bits() const { return 32 - (num_lanes - 1) * field_bits; }
+
+  // Zero-point added to offset-encoded lanes (2^(w-1)); 0 in unsigned mode.
+  std::int64_t zero_point() const {
+    return mode == LaneMode::kUnsigned ? 0 : (std::int64_t{1} << (value_bits - 1));
+  }
+  std::int64_t scalar_zero_point() const {
+    return mode == LaneMode::kOffset ? (std::int64_t{1} << (scalar_bits - 1)) : 0;
+  }
+
+  // Inclusive value range a lane may hold (pre-encoding).
+  std::int64_t value_min() const {
+    return mode == LaneMode::kUnsigned ? 0 : signed_min(value_bits);
+  }
+  std::int64_t value_max() const {
+    return mode == LaneMode::kUnsigned ? unsigned_max(value_bits)
+                                       : signed_max(value_bits);
+  }
+  std::int64_t scalar_min() const {
+    return mode == LaneMode::kUnsigned ? 0 : signed_min(scalar_bits);
+  }
+  std::int64_t scalar_max() const {
+    return mode == LaneMode::kUnsigned ? unsigned_max(scalar_bits)
+                                       : signed_max(scalar_bits);
+  }
+
+  // The magnitude a raw scalar contributes to the lane-sum bound: the
+  // absolute value of its *encoded* form (raw for signed-scalar modes,
+  // offset-shifted for kOffset). Adaptive tiles budget the sum of these.
+  std::int64_t scalar_tile_weight(std::int64_t raw_scalar) const {
+    switch (mode) {
+      case LaneMode::kUnsigned:
+        return raw_scalar;
+      case LaneMode::kOffset:
+        return raw_scalar + scalar_zero_point();
+      case LaneMode::kTopSigned:
+        return raw_scalar < 0 ? -raw_scalar : raw_scalar;
+    }
+    return raw_scalar;
+  }
+
+  // The budget on sum_k |scalar_k| for one accumulation tile such that every
+  // lane's partial sum provably fits its field for *any* lane values in
+  // range. Derivation in layout.cpp. Returns the binding (smallest) budget
+  // across lanes.
+  std::int64_t scalar_abs_budget() const;
+
+  // Worst-case (data-independent) number of accumulation steps before a
+  // spill is required: floor(budget / max|scalar|).
+  std::int64_t worst_case_period() const;
+
+  // True if the layout is internally consistent and a single product always
+  // fits (worst_case_period() >= 1).
+  bool valid() const;
+
+  std::string to_string() const;
+
+  bool operator==(const LaneLayout&) const = default;
+};
+
+// The paper's packing policy (Figure 3):
+//   w >= 9      -> 1 lane  (plain zero-masking)
+//   6 <= w <= 8 -> 2 lanes, 16-bit fields
+//   w == 5      -> 3 lanes, 10-bit fields
+//   w <= 4      -> 4 lanes,  8-bit fields
+// Scalar bitwidth defaults to the value bitwidth.
+LaneLayout paper_policy_layout(int bitwidth,
+                               LaneMode mode = LaneMode::kTopSigned);
+
+// Number of values per register under the paper's policy.
+int packing_factor(int bitwidth);
+
+// A guaranteed-exactness-friendly layout: the widest lane count whose
+// worst-case period is at least `min_period`. Falls back to 1 lane.
+LaneLayout guaranteed_layout(int bitwidth, std::int64_t min_period,
+                             LaneMode mode = LaneMode::kTopSigned);
+
+}  // namespace vitbit::swar

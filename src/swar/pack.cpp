@@ -1,0 +1,114 @@
+#include "swar/pack.h"
+
+namespace vitbit::swar {
+
+namespace {
+// Encoded (physical) lane bits for a logical value in lane `lane`.
+std::uint32_t encode_lane(std::int32_t v, int lane, const LaneLayout& l) {
+  VITBIT_CHECK_MSG(v >= l.value_min() && v <= l.value_max(),
+                   "value " << v << " out of range for layout "
+                            << l.to_string());
+  const bool top = lane == l.num_lanes - 1;
+  std::int64_t enc;
+  switch (l.mode) {
+    case LaneMode::kUnsigned:
+      enc = v;
+      break;
+    case LaneMode::kOffset:
+      enc = static_cast<std::int64_t>(v) + l.zero_point();
+      break;
+    case LaneMode::kTopSigned:
+      if (top) {
+        // Raw two's complement in the top field.
+        const int tf = l.top_field_bits();
+        return static_cast<std::uint32_t>(static_cast<std::uint32_t>(v) &
+                                          low_mask32(tf));
+      }
+      enc = static_cast<std::int64_t>(v) + l.zero_point();
+      break;
+    default:
+      enc = v;
+  }
+  VITBIT_DCHECK(enc >= 0);
+  const int width = top ? l.top_field_bits() : l.field_bits;
+  VITBIT_DCHECK(enc <= unsigned_max(width));
+  (void)width;
+  return static_cast<std::uint32_t>(enc);
+}
+
+std::int32_t decode_lane(std::uint32_t bits, int lane, const LaneLayout& l) {
+  const bool top = lane == l.num_lanes - 1;
+  const int width = top ? l.top_field_bits() : l.field_bits;
+  const std::uint32_t field = bits & low_mask32(width);
+  switch (l.mode) {
+    case LaneMode::kUnsigned:
+      return static_cast<std::int32_t>(field);
+    case LaneMode::kOffset:
+      return static_cast<std::int32_t>(static_cast<std::int64_t>(field) -
+                                       l.zero_point());
+    case LaneMode::kTopSigned:
+      if (top) return static_cast<std::int32_t>(sign_extend(field, width));
+      return static_cast<std::int32_t>(static_cast<std::int64_t>(field) -
+                                       l.zero_point());
+  }
+  return 0;
+}
+}  // namespace
+
+std::uint32_t pack_lanes(std::span<const std::int32_t> values,
+                         const LaneLayout& layout) {
+  VITBIT_CHECK(static_cast<int>(values.size()) == layout.num_lanes);
+  std::uint32_t word = 0;
+  for (int lane = 0; lane < layout.num_lanes; ++lane)
+    word |= encode_lane(values[lane], lane, layout)
+            << (lane * layout.field_bits);
+  return word;
+}
+
+void unpack_lanes(std::uint32_t word, const LaneLayout& layout,
+                  std::span<std::int32_t> out) {
+  VITBIT_CHECK(static_cast<int>(out.size()) == layout.num_lanes);
+  for (int lane = 0; lane < layout.num_lanes; ++lane)
+    out[lane] = decode_lane(word >> (lane * layout.field_bits), lane, layout);
+}
+
+PackedMatrix::PackedMatrix(const MatrixI32& b, const LaneLayout& layout)
+    : layout_(layout), orig_cols_(b.cols()) {
+  VITBIT_CHECK(layout.valid());
+  const int L = layout.num_lanes;
+  const int pc_count = ceil_div(b.cols(), L);
+  words_ = Matrix<std::uint32_t>(b.rows(), pc_count);
+  std::vector<std::int32_t> lanes(static_cast<std::size_t>(L));
+  for (int k = 0; k < b.rows(); ++k) {
+    for (int pc = 0; pc < pc_count; ++pc) {
+      for (int lane = 0; lane < L; ++lane) {
+        const int col = pc * L + lane;
+        lanes[static_cast<std::size_t>(lane)] = col < b.cols() ? b.at(k, col) : 0;
+      }
+      words_.at(k, pc) = pack_lanes(lanes, layout);
+    }
+  }
+}
+
+std::int32_t PackedMatrix::value(int k, int pc, int lane) const {
+  VITBIT_DCHECK(lane >= 0 && lane < layout_.num_lanes);
+  return decode_lane(words_.at(k, pc) >> (lane * layout_.field_bits), lane,
+                     layout_);
+}
+
+MatrixI32 PackedMatrix::unpack() const {
+  MatrixI32 out(rows(), orig_cols_);
+  for (int k = 0; k < rows(); ++k)
+    for (int c = 0; c < orig_cols_; ++c)
+      out.at(k, c) = value(k, c / layout_.num_lanes, c % layout_.num_lanes);
+  return out;
+}
+
+void check_values_fit(const MatrixI32& m, const LaneLayout& layout) {
+  for (const auto v : m.flat())
+    VITBIT_CHECK_MSG(v >= layout.value_min() && v <= layout.value_max(),
+                     "matrix value " << v << " does not fit layout "
+                                     << layout.to_string());
+}
+
+}  // namespace vitbit::swar

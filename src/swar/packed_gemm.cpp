@@ -1,0 +1,193 @@
+#include "swar/packed_gemm.h"
+
+#include <array>
+
+namespace vitbit::swar {
+
+namespace {
+
+constexpr int kMaxLanes = 8;
+
+// Encoded scalar as the 32-bit multiplicand the IMAD would see.
+std::uint32_t encode_scalar(std::int32_t a, const LaneLayout& l) {
+  VITBIT_CHECK_MSG(a >= l.scalar_min() && a <= l.scalar_max(),
+                   "scalar " << a << " out of range for " << l.to_string());
+  if (l.mode == LaneMode::kOffset)
+    return static_cast<std::uint32_t>(a + l.scalar_zero_point());
+  return static_cast<std::uint32_t>(a);  // raw (two's complement if signed)
+}
+
+// Extracts the physical lane partial sums from a 32-bit accumulator.
+// Exact iff every lane's prefix sum stayed within its field bound.
+void extract_lanes(std::uint32_t acc, const LaneLayout& l,
+                   std::array<std::int64_t, kMaxLanes>& out) {
+  if (l.mode == LaneMode::kTopSigned) {
+    // Lower lanes hold signed sums of non-negative encodings times signed
+    // scalars; sign-extended field extraction, subtracting as we go.
+    std::int64_t x = static_cast<std::int32_t>(acc);
+    for (int lane = 0; lane < l.num_lanes - 1; ++lane) {
+      const std::int64_t s =
+          sign_extend(static_cast<std::uint64_t>(x) & low_mask64(l.field_bits),
+                      l.field_bits);
+      out[static_cast<std::size_t>(lane)] = s;
+      x = (x - s) >> l.field_bits;
+    }
+    out[static_cast<std::size_t>(l.num_lanes - 1)] = x;
+  } else {
+    // Unsigned / offset: all lane sums are non-negative and monotone.
+    std::uint32_t x = acc;
+    for (int lane = 0; lane < l.num_lanes - 1; ++lane) {
+      out[static_cast<std::size_t>(lane)] = x & low_mask32(l.field_bits);
+      x >>= l.field_bits;
+    }
+    out[static_cast<std::size_t>(l.num_lanes - 1)] = x;
+  }
+}
+
+// Per-lane prefix-sum caps for violation tracking.
+struct LaneCaps {
+  std::int64_t lo[kMaxLanes];
+  std::int64_t hi[kMaxLanes];
+};
+
+LaneCaps lane_caps(const LaneLayout& l) {
+  LaneCaps caps{};
+  for (int lane = 0; lane < l.num_lanes; ++lane) {
+    const bool top = lane == l.num_lanes - 1;
+    const int width = top ? l.top_field_bits() : l.field_bits;
+    const bool signed_sum = l.mode == LaneMode::kTopSigned;
+    if (signed_sum) {
+      caps.lo[lane] = -(std::int64_t{1} << (width - 1));
+      caps.hi[lane] = (std::int64_t{1} << (width - 1)) - 1;
+    } else {
+      caps.lo[lane] = 0;
+      caps.hi[lane] = (std::int64_t{1} << width) - 1;
+    }
+  }
+  return caps;
+}
+
+}  // namespace
+
+MatrixI32 gemm_packed(const MatrixI32& a, const PackedMatrix& b,
+                      const PackedGemmOptions& options,
+                      PackedGemmStats* stats) {
+  const LaneLayout& l = b.layout();
+  VITBIT_CHECK(l.valid());
+  VITBIT_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: A is "
+                                             << a.rows() << "x" << a.cols()
+                                             << ", packed B has " << b.rows()
+                                             << " rows");
+  VITBIT_CHECK(l.num_lanes <= kMaxLanes);
+
+  const int m_dim = a.rows();
+  const int k_dim = a.cols();
+  const int n_dim = b.orig_cols();
+  const int lanes = l.num_lanes;
+  const std::int64_t z = l.zero_point();
+  const std::int64_t za = l.scalar_zero_point();
+  const LaneCaps caps = lane_caps(l);
+
+  MatrixI32 c(m_dim, n_dim);
+  PackedGemmStats local{};
+  double tile_len_sum = 0.0;
+  std::int64_t tile_rows = 0;
+
+  std::array<std::int64_t, kMaxLanes> phys{};    // extracted physical sums
+  std::array<std::int64_t, kMaxLanes> shadow{};  // exact physical sums
+  std::array<std::int64_t, kMaxLanes> totals{};  // per-lane logical totals
+
+  for (int m = 0; m < m_dim; ++m) {
+    const auto bounds = tile_boundaries(a.row(m), l, options.tile);
+    tile_len_sum += mean_tile_length(bounds);
+    ++tile_rows;
+    for (int pc = 0; pc < b.packed_cols(); ++pc) {
+      totals.fill(0);
+      int k0 = 0;
+      const bool validate = options.validate_bounds ||
+                            options.tile.mode == TileMode::kFixedPeriod;
+      for (const int k1 : bounds) {
+        std::uint32_t acc = 0;
+        shadow.fill(0);
+        bool violated = false;
+        std::int64_t scalar_sum = 0;  // sum of raw scalars over the tile
+        for (int k = k0; k < k1; ++k) {
+          const std::int32_t raw_a = a.at(m, k);
+          acc += encode_scalar(raw_a, l) * b.word(k, pc);  // the packed IMAD
+          scalar_sum += raw_a;
+          if (!validate) continue;
+          // Exact shadow of each lane's physical sum, for violation checks.
+          const std::int64_t enc_a =
+              l.mode == LaneMode::kOffset ? raw_a + za : raw_a;
+          for (int lane = 0; lane < lanes; ++lane) {
+            const bool top = lane == lanes - 1;
+            const std::int32_t v = b.value(k, pc, lane);
+            const std::int64_t enc_b =
+                (l.mode == LaneMode::kTopSigned && top) ? v : v + z;
+            shadow[static_cast<std::size_t>(lane)] += enc_a * enc_b;
+            if (shadow[static_cast<std::size_t>(lane)] < caps.lo[lane] ||
+                shadow[static_cast<std::size_t>(lane)] > caps.hi[lane])
+              violated = true;
+          }
+        }
+        const std::int64_t t_len = k1 - k0;
+        extract_lanes(acc, l, phys);
+        if (violated) {
+          ++local.overflow_tiles;
+          VITBIT_CHECK_MSG(options.tile.mode == TileMode::kFixedPeriod,
+                           "adaptive tiles must never violate lane bounds");
+          if (options.fallback_on_overflow) phys = shadow;
+        }
+        ++local.total_tiles;
+        ++local.spill_events;
+        local.mac_instructions += t_len;
+        // Undo the encodings: logical lane sum = physical sum minus the
+        // offset correction terms (zero-point * scalar sums; in offset mode
+        // also scalar zero-point * lane value sums and the constant term).
+        for (int lane = 0; lane < lanes; ++lane) {
+          const bool top = lane == lanes - 1;
+          std::int64_t value = phys[static_cast<std::size_t>(lane)];
+          if (!(l.mode == LaneMode::kTopSigned && top) &&
+              l.mode != LaneMode::kUnsigned) {
+            value -= z * (scalar_sum + (l.mode == LaneMode::kOffset
+                                            ? za * t_len
+                                            : 0));
+          }
+          if (l.mode == LaneMode::kOffset) {
+            // Remove scalar offset: physical used (a + za); subtract
+            // za * sum(encoded b) = za * (lane value sum + z*t_len).
+            std::int64_t lane_val_sum = 0;
+            for (int k = k0; k < k1; ++k) lane_val_sum += b.value(k, pc, lane);
+            value -= za * lane_val_sum;
+          }
+          totals[static_cast<std::size_t>(lane)] += value;
+        }
+        k0 = k1;
+      }
+      for (int lane = 0; lane < lanes; ++lane) {
+        const int col = pc * lanes + lane;
+        if (col >= n_dim) continue;
+        const std::int64_t v = totals[static_cast<std::size_t>(lane)];
+        VITBIT_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+                         "int32 output overflow at (" << m << "," << col
+                                                      << ")");
+        c.at(m, col) = static_cast<std::int32_t>(v);
+      }
+    }
+  }
+  local.mean_tile_length =
+      tile_rows > 0 ? tile_len_sum / static_cast<double>(tile_rows) : 0.0;
+  if (stats) *stats = local;
+  (void)k_dim;
+  return c;
+}
+
+MatrixI32 gemm_packed(const MatrixI32& a, const MatrixI32& b,
+                      const LaneLayout& layout,
+                      const PackedGemmOptions& options,
+                      PackedGemmStats* stats) {
+  check_values_fit(b, layout);
+  return gemm_packed(a, PackedMatrix(b, layout), options, stats);
+}
+
+}  // namespace vitbit::swar

@@ -1,0 +1,55 @@
+// Functional (bit-faithful) packed GEMM: C = A * B where B's columns are
+// packed `num_lanes` to a register. Each k-step is one wrapping 32-bit
+// multiply-accumulate — exactly the IMAD a GPU INT core would execute — and
+// lane spills/corrections follow the tile policy. This is the ground-truth
+// implementation the timing model's instruction accounting mirrors.
+#pragma once
+
+#include <cstdint>
+
+#include "swar/pack.h"
+#include "swar/tile_policy.h"
+#include "tensor/matrix.h"
+
+namespace vitbit::swar {
+
+struct PackedGemmStats {
+  // Packed multiply-accumulate instructions executed (one per k-step per
+  // packed column per output row) — the quantity packing reduces by the
+  // packing factor.
+  std::int64_t mac_instructions = 0;
+  // Lane-extraction (spill) events: one per packed register per tile end.
+  std::int64_t spill_events = 0;
+  // Tiles in which a lane's exact prefix bound was violated (possible only
+  // in fixed-period mode; adaptive tiles are violation-free by construction).
+  std::int64_t overflow_tiles = 0;
+  std::int64_t total_tiles = 0;
+  double mean_tile_length = 0.0;
+};
+
+struct PackedGemmOptions {
+  TilePolicy tile;
+  // In fixed-period mode, replace a violated tile's lanes with the exact
+  // values (models a saturation-detect-and-replay fallback). If false, the
+  // wrapped (corrupted) lane values are kept — used by tests to demonstrate
+  // what overflow does.
+  bool fallback_on_overflow = true;
+  // Track exact shadow sums to detect lane-bound violations. Adaptive tiles
+  // cannot violate by construction, so pipelines may disable this to skip
+  // the shadow bookkeeping (fixed-period mode always validates).
+  bool validate_bounds = true;
+};
+
+// A is MxK (values must fit layout.scalar_bits); B is the packed KxN operand.
+// Returns the exact MxN int32 product when no unhandled overflow occurs.
+MatrixI32 gemm_packed(const MatrixI32& a, const PackedMatrix& b,
+                      const PackedGemmOptions& options = {},
+                      PackedGemmStats* stats = nullptr);
+
+// Convenience: packs `b` with `layout` and multiplies.
+MatrixI32 gemm_packed(const MatrixI32& a, const MatrixI32& b,
+                      const LaneLayout& layout,
+                      const PackedGemmOptions& options = {},
+                      PackedGemmStats* stats = nullptr);
+
+}  // namespace vitbit::swar

@@ -1,0 +1,101 @@
+#include "swar/packed_ops.h"
+
+#include <algorithm>
+
+#include "common/int_math.h"
+
+namespace vitbit::swar {
+
+namespace {
+// Applies `fn` to every logical lane value of `words` and re-encodes.
+// This reference implementation is lane-exact for every mode; the GPU
+// kernels realize the same ops with swar_* primitives (packed_simd.h) or
+// per-byte SIMD instructions, which the timing model accounts for.
+template <typename Fn>
+void for_each_lane(std::span<std::uint32_t> words, const LaneLayout& layout,
+                   Fn&& fn) {
+  std::vector<std::int32_t> lanes(static_cast<std::size_t>(layout.num_lanes));
+  for (auto& word : words) {
+    unpack_lanes(word, layout, lanes);
+    for (auto& v : lanes) v = fn(v);
+    word = pack_lanes(lanes, layout);
+  }
+}
+
+std::int32_t clamp_to_layout(std::int64_t v, const LaneLayout& l) {
+  const std::int64_t lo = l.value_min(), hi = l.value_max();
+  return static_cast<std::int32_t>(v < lo ? lo : (v > hi ? hi : v));
+}
+}  // namespace
+
+std::vector<std::uint32_t> pack_array(std::span<const std::int32_t> values,
+                                      const LaneLayout& layout) {
+  VITBIT_CHECK(layout.valid());
+  const int lanes = layout.num_lanes;
+  std::vector<std::uint32_t> out(ceil_div(values.size(),
+                                          static_cast<std::size_t>(lanes)));
+  std::vector<std::int32_t> group(static_cast<std::size_t>(lanes), 0);
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    for (int l = 0; l < lanes; ++l) {
+      const std::size_t i = w * static_cast<std::size_t>(lanes) +
+                            static_cast<std::size_t>(l);
+      group[static_cast<std::size_t>(l)] =
+          i < values.size() ? values[i] : 0;
+    }
+    out[w] = pack_lanes(group, layout);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> unpack_array(std::span<const std::uint32_t> words,
+                                       const LaneLayout& layout,
+                                       std::size_t count) {
+  const int lanes = layout.num_lanes;
+  VITBIT_CHECK(count <= words.size() * static_cast<std::size_t>(lanes));
+  std::vector<std::int32_t> out(count);
+  std::vector<std::int32_t> group(static_cast<std::size_t>(lanes));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % static_cast<std::size_t>(lanes) == 0)
+      unpack_lanes(words[i / static_cast<std::size_t>(lanes)], layout, group);
+    out[i] = group[i % static_cast<std::size_t>(lanes)];
+  }
+  return out;
+}
+
+void packed_relu(std::span<std::uint32_t> words, const LaneLayout& layout) {
+  for_each_lane(words, layout,
+                [](std::int32_t v) { return std::max(v, 0); });
+}
+
+void packed_requant_shift(std::span<std::uint32_t> words, int shift,
+                          const LaneLayout& layout) {
+  VITBIT_CHECK(shift >= 0 && shift < 31);
+  for_each_lane(words, layout, [&](std::int32_t v) {
+    // Arithmetic shift with round-half-away-from-zero, then saturate.
+    std::int64_t r = v;
+    if (shift > 0) {
+      const std::int64_t half = std::int64_t{1} << (shift - 1);
+      r = r >= 0 ? (r + half) >> shift : -((-r + half) >> shift);
+    }
+    return clamp_to_layout(r, layout);
+  });
+}
+
+void packed_add_saturate(std::span<std::uint32_t> out,
+                         std::span<const std::uint32_t> a,
+                         std::span<const std::uint32_t> b,
+                         const LaneLayout& layout) {
+  VITBIT_CHECK(out.size() == a.size() && a.size() == b.size());
+  std::vector<std::int32_t> la(static_cast<std::size_t>(layout.num_lanes));
+  std::vector<std::int32_t> lb(static_cast<std::size_t>(layout.num_lanes));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    unpack_lanes(a[i], layout, la);
+    unpack_lanes(b[i], layout, lb);
+    for (std::size_t l = 0; l < la.size(); ++l)
+      la[l] = clamp_to_layout(static_cast<std::int64_t>(la[l]) + lb[l],
+                              layout);
+    out[i] = pack_lanes(la, layout);
+  }
+}
+
+}  // namespace vitbit::swar

@@ -1,0 +1,53 @@
+// Functional packed elementwise operations — the arithmetic the packed
+// CUDA-core kernels (Figure 7's VitBit rows) perform on lane-packed
+// activation arrays. Counterpart of the timed kernels in
+// trace/elementwise_traces.h; tests verify each op against its scalar
+// reference.
+//
+// Operations run on offset-encoded or unsigned lanes (see packed_simd.h for
+// why lane-wise ops need non-negative encodings). The top-signed GEMM lanes
+// convert to offset lanes in one SWAR add (+Z to the top lane only).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "swar/pack.h"
+
+namespace vitbit::swar {
+
+// Packs a value array `n = layout.num_lanes` elements per word (tail padded
+// with zeros). Values must fit the layout's range.
+std::vector<std::uint32_t> pack_array(std::span<const std::int32_t> values,
+                                      const LaneLayout& layout);
+
+// Unpacks the first `count` values.
+std::vector<std::int32_t> unpack_array(std::span<const std::uint32_t> words,
+                                       const LaneLayout& layout,
+                                       std::size_t count);
+
+// Lane-wise ReLU on offset-encoded lanes: max(v, 0) == max(enc, Z), which is
+// a per-lane compare against the broadcast zero-point. Unsigned lanes are
+// already non-negative (identity).
+void packed_relu(std::span<std::uint32_t> words, const LaneLayout& layout);
+
+// Lane-wise saturating right-shift requantization: v' = clamp(v >> shift)
+// to the layout's value range. Works on offset or unsigned lanes.
+void packed_requant_shift(std::span<std::uint32_t> words, int shift,
+                          const LaneLayout& layout);
+
+// Lane-wise addition of two packed arrays with saturation to the value
+// range (the residual-add kernel).
+void packed_add_saturate(std::span<std::uint32_t> out,
+                         std::span<const std::uint32_t> a,
+                         std::span<const std::uint32_t> b,
+                         const LaneLayout& layout);
+
+// Ops-per-element accounting of the packed implementations (mirrors the
+// instruction counts the timing model charges).
+struct PackedOpStats {
+  std::int64_t words_processed = 0;
+  std::int64_t lane_ops = 0;
+};
+
+}  // namespace vitbit::swar

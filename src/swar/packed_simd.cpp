@@ -1,0 +1,122 @@
+#include "swar/packed_simd.h"
+
+#include "common/check.h"
+
+namespace vitbit::swar {
+
+namespace {
+// Mask selecting lane `lane`'s field bits.
+std::uint32_t lane_mask(const LaneLayout& l, int lane) {
+  const bool top = lane == l.num_lanes - 1;
+  const int width = top ? l.top_field_bits() : l.field_bits;
+  return low_mask32(width) << (lane * l.field_bits);
+}
+
+std::uint32_t get_lane(std::uint32_t a, const LaneLayout& l, int lane) {
+  return (a & lane_mask(l, lane)) >> (lane * l.field_bits);
+}
+
+std::uint32_t require_unsigned_lanes(const LaneLayout& l) {
+  VITBIT_CHECK_MSG(l.mode != LaneMode::kTopSigned,
+                   "SWAR lane-wise ops require unsigned lane encodings");
+  return 0;
+}
+}  // namespace
+
+std::uint32_t swar_add(std::uint32_t a, std::uint32_t b,
+                       const LaneLayout& l) {
+  require_unsigned_lanes(l);
+  const std::uint32_t r = a + b;
+#ifndef NDEBUG
+  for (int lane = 0; lane < l.num_lanes; ++lane) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(get_lane(a, l, lane)) +
+                              get_lane(b, l, lane);
+    const bool top = lane == l.num_lanes - 1;
+    const int width = top ? l.top_field_bits() : l.field_bits;
+    VITBIT_CHECK_MSG(sum <= low_mask64(width),
+                     "swar_add lane " << lane << " overflow");
+  }
+#endif
+  return r;
+}
+
+std::uint32_t swar_sub(std::uint32_t a, std::uint32_t b,
+                       const LaneLayout& l) {
+  require_unsigned_lanes(l);
+#ifndef NDEBUG
+  for (int lane = 0; lane < l.num_lanes; ++lane)
+    VITBIT_CHECK_MSG(get_lane(a, l, lane) >= get_lane(b, l, lane),
+                     "swar_sub lane " << lane << " borrow");
+#endif
+  return a - b;
+}
+
+std::uint32_t swar_scalar_mul(std::uint32_t a, std::uint32_t c,
+                              const LaneLayout& l) {
+  require_unsigned_lanes(l);
+  const std::uint32_t r = a * c;
+#ifndef NDEBUG
+  for (int lane = 0; lane < l.num_lanes; ++lane) {
+    const std::uint64_t prod =
+        static_cast<std::uint64_t>(get_lane(a, l, lane)) * c;
+    const bool top = lane == l.num_lanes - 1;
+    const int width = top ? l.top_field_bits() : l.field_bits;
+    VITBIT_CHECK_MSG(prod <= low_mask64(width),
+                     "swar_scalar_mul lane " << lane << " overflow");
+  }
+#endif
+  return r;
+}
+
+std::uint32_t swar_shift_right(std::uint32_t a, int s, const LaneLayout& l) {
+  require_unsigned_lanes(l);
+  VITBIT_CHECK(s >= 0 && s < l.field_bits);
+  std::uint32_t keep = 0;
+  for (int lane = 0; lane < l.num_lanes; ++lane) keep |= lane_mask(l, lane);
+  // Shift the whole register, then clear the bits that crossed into the
+  // lane below (each lane keeps only its own shifted field).
+  std::uint32_t field_keep = 0;
+  for (int lane = 0; lane < l.num_lanes; ++lane) {
+    const bool top = lane == l.num_lanes - 1;
+    const int width = top ? l.top_field_bits() : l.field_bits;
+    field_keep |= (low_mask32(width) >> s) << (lane * l.field_bits);
+  }
+  (void)keep;
+  return (a >> s) & field_keep;
+}
+
+std::uint32_t swar_mask_low(std::uint32_t a, int s, const LaneLayout& l) {
+  require_unsigned_lanes(l);
+  VITBIT_CHECK(s >= 0 && s <= l.field_bits);
+  std::uint32_t m = 0;
+  for (int lane = 0; lane < l.num_lanes; ++lane)
+    m |= low_mask32(s) << (lane * l.field_bits);
+  return a & m;
+}
+
+std::uint32_t swar_min_const(std::uint32_t a, std::uint32_t c,
+                             const LaneLayout& l) {
+  require_unsigned_lanes(l);
+  std::uint32_t r = 0;
+  for (int lane = 0; lane < l.num_lanes; ++lane) {
+    const std::uint32_t v = get_lane(a, l, lane);
+    r |= (v < c ? v : c) << (lane * l.field_bits);
+  }
+  return r;
+}
+
+std::uint64_t swar_lane_sum(std::uint32_t a, const LaneLayout& l) {
+  require_unsigned_lanes(l);
+  std::uint64_t sum = 0;
+  for (int lane = 0; lane < l.num_lanes; ++lane) sum += get_lane(a, l, lane);
+  return sum;
+}
+
+bool swar_lanes_within(std::uint32_t a, std::uint32_t max_value,
+                       const LaneLayout& l) {
+  for (int lane = 0; lane < l.num_lanes; ++lane)
+    if (get_lane(a, l, lane) > max_value) return false;
+  return true;
+}
+
+}  // namespace vitbit::swar

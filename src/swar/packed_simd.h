@@ -1,0 +1,48 @@
+// Lane-wise SWAR primitives on packed registers — the building blocks the
+// packed CUDA-core (elementwise) kernels use. These operate on *unsigned*
+// lane encodings (raw unsigned or offset): cross-lane carries are prevented
+// by headroom, which callers must guarantee and which debug builds verify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "swar/layout.h"
+
+namespace vitbit::swar {
+
+// Per-lane add: result lane l = a lane l + b lane l. Exact iff every lane
+// sum fits its field (no carry into the next lane).
+std::uint32_t swar_add(std::uint32_t a, std::uint32_t b,
+                       const LaneLayout& layout);
+
+// Per-lane subtract, a - b, requiring a >= b lane-wise (no borrows).
+std::uint32_t swar_sub(std::uint32_t a, std::uint32_t b,
+                       const LaneLayout& layout);
+
+// Per-lane multiply by an unsigned scalar c. Exact iff every lane product
+// fits its field.
+std::uint32_t swar_scalar_mul(std::uint32_t a, std::uint32_t c,
+                              const LaneLayout& layout);
+
+// Per-lane logical right shift by s bits (bits shifted out of a lane are
+// dropped, not passed to the lane below).
+std::uint32_t swar_shift_right(std::uint32_t a, int s,
+                               const LaneLayout& layout);
+
+// Per-lane AND with an s-bit low mask (lane-local masking).
+std::uint32_t swar_mask_low(std::uint32_t a, int s, const LaneLayout& layout);
+
+// Per-lane max with an unsigned per-lane constant broadcast (used for the
+// clamp step of requantization on unsigned lanes).
+std::uint32_t swar_min_const(std::uint32_t a, std::uint32_t c,
+                             const LaneLayout& layout);
+
+// Sum of all lanes of `a` (horizontal reduction), as unsigned.
+std::uint64_t swar_lane_sum(std::uint32_t a, const LaneLayout& layout);
+
+// Debug helper: true if every lane of `a` is <= `max_value` (unsigned).
+bool swar_lanes_within(std::uint32_t a, std::uint32_t max_value,
+                       const LaneLayout& layout);
+
+}  // namespace vitbit::swar

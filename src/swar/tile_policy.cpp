@@ -1,0 +1,48 @@
+#include "swar/tile_policy.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace vitbit::swar {
+
+std::vector<int> tile_boundaries(std::span<const std::int32_t> scalar_row,
+                                 const LaneLayout& layout,
+                                 const TilePolicy& policy) {
+  const int k_total = static_cast<int>(scalar_row.size());
+  std::vector<int> out;
+  if (k_total == 0) return out;
+
+  if (policy.mode == TileMode::kFixedPeriod) {
+    VITBIT_CHECK(policy.fixed_period >= 1);
+    for (int k = policy.fixed_period; k < k_total; k += policy.fixed_period)
+      out.push_back(k);
+    out.push_back(k_total);
+    return out;
+  }
+
+  const std::int64_t budget = layout.scalar_abs_budget();
+  std::int64_t used = 0;
+  for (int k = 0; k < k_total; ++k) {
+    const std::int64_t mag = layout.scalar_tile_weight(
+        scalar_row[static_cast<std::size_t>(k)]);
+    VITBIT_CHECK_MSG(mag <= budget, "single scalar " << scalar_row[k]
+                                                     << " exceeds lane budget "
+                                                     << budget);
+    if (used + mag > budget) {
+      out.push_back(k);
+      used = 0;
+    }
+    used += mag;
+  }
+  out.push_back(k_total);
+  return out;
+}
+
+double mean_tile_length(const std::vector<int>& boundaries) {
+  if (boundaries.empty()) return 0.0;
+  return static_cast<double>(boundaries.back()) /
+         static_cast<double>(boundaries.size());
+}
+
+}  // namespace vitbit::swar

@@ -1,0 +1,38 @@
+// Accumulation-tile policies: how many GEMM k-steps may accumulate into a
+// packed register before lanes must be spilled to full-width accumulators.
+//
+//  * kFixedPeriod — spill every `fixed_period` steps. This is the paper's
+//    implicit accounting (it assumes the reserved product space suffices);
+//    exact only if the data keeps partial sums within lane fields, so the
+//    packed GEMM tracks violations ("overflow tiles").
+//  * kAdaptive — per output row, cut tiles from the *static* scalar
+//    (weight) values so that max|lane value| * sum_tile|scalar| provably
+//    fits every lane field. Exact for any input, no runtime checks needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "swar/layout.h"
+
+namespace vitbit::swar {
+
+enum class TileMode { kFixedPeriod, kAdaptive };
+
+struct TilePolicy {
+  TileMode mode = TileMode::kAdaptive;
+  int fixed_period = 32;
+};
+
+// Tile end indices (exclusive, strictly increasing, last == k_total) for one
+// scalar row. In adaptive mode, `scalar_row` are the weights multiplied
+// against the packed operand; in fixed mode only its length is used.
+std::vector<int> tile_boundaries(std::span<const std::int32_t> scalar_row,
+                                 const LaneLayout& layout,
+                                 const TilePolicy& policy);
+
+// Mean tile length over the given boundaries (k_total / num_tiles).
+double mean_tile_length(const std::vector<int>& boundaries);
+
+}  // namespace vitbit::swar

@@ -1,0 +1,44 @@
+#include "tensor/gemm_ref.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace vitbit {
+
+MatrixF32 gemm_ref_f32(const MatrixF32& a, const MatrixF32& b) {
+  VITBIT_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: A is "
+                                             << a.rows() << "x" << a.cols()
+                                             << ", B is " << b.rows() << "x"
+                                             << b.cols());
+  MatrixF32 c(a.rows(), b.cols());
+  for (int m = 0; m < a.rows(); ++m) {
+    for (int n = 0; n < b.cols(); ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k)
+        acc += static_cast<double>(a.at(m, k)) * static_cast<double>(b.at(k, n));
+      c.at(m, n) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+double max_abs_diff(const MatrixF32& a, const MatrixF32& b) {
+  VITBIT_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a.flat()[i]) - b.flat()[i]));
+  return worst;
+}
+
+std::int64_t max_abs_diff(const MatrixI32& a, const MatrixI32& b) {
+  VITBIT_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max<std::int64_t>(
+        worst, std::llabs(static_cast<std::int64_t>(a.flat()[i]) -
+                          static_cast<std::int64_t>(b.flat()[i])));
+  return worst;
+}
+
+}  // namespace vitbit

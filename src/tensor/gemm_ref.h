@@ -1,0 +1,44 @@
+// Reference GEMM implementations. These define "the right answer" that the
+// SWAR-packed and strategy implementations must match bit-exactly (integer)
+// or within float tolerance (fp paths).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace vitbit {
+
+// C (MxN, int32) = A (MxK, int8-like stored in any int type) * B (KxN).
+// Accumulates in int64 internally and checks the result fits int32, so the
+// reference itself can never silently wrap.
+template <typename TA, typename TB>
+MatrixI32 gemm_ref_int(const Matrix<TA>& a, const Matrix<TB>& b) {
+  VITBIT_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: A is "
+                                             << a.rows() << "x" << a.cols()
+                                             << ", B is " << b.rows() << "x"
+                                             << b.cols());
+  MatrixI32 c(a.rows(), b.cols());
+  for (int m = 0; m < a.rows(); ++m) {
+    for (int n = 0; n < b.cols(); ++n) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < a.cols(); ++k)
+        acc += static_cast<std::int64_t>(a.at(m, k)) *
+               static_cast<std::int64_t>(b.at(k, n));
+      VITBIT_CHECK_MSG(acc >= INT32_MIN && acc <= INT32_MAX,
+                       "int32 accumulator overflow at (" << m << "," << n
+                                                         << ")");
+      c.at(m, n) = static_cast<std::int32_t>(acc);
+    }
+  }
+  return c;
+}
+
+// C (MxN, float) = A (MxK) * B (KxN), double accumulation.
+MatrixF32 gemm_ref_f32(const MatrixF32& a, const MatrixF32& b);
+
+// Max absolute elementwise difference.
+double max_abs_diff(const MatrixF32& a, const MatrixF32& b);
+std::int64_t max_abs_diff(const MatrixI32& a, const MatrixI32& b);
+
+}  // namespace vitbit

@@ -1,0 +1,115 @@
+// Dense row-major matrix with a small API surface: the library deals in
+// int8/int16/int32/float matrices for quantized inference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vitbit {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, init) {
+    VITBIT_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int r, int c) {
+    VITBIT_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& at(int r, int c) const {
+    VITBIT_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  T& operator()(int r, int c) { return at(r, c); }
+  const T& operator()(int r, int c) const { return at(r, c); }
+
+  std::span<T> row(int r) {
+    VITBIT_DCHECK(r >= 0 && r < rows_);
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  std::span<const T> row(int r) const {
+    VITBIT_DCHECK(r >= 0 && r < rows_);
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixI8 = Matrix<std::int8_t>;
+using MatrixI16 = Matrix<std::int16_t>;
+using MatrixI32 = Matrix<std::int32_t>;
+using MatrixF32 = Matrix<float>;
+
+// Returns a copy of `m` with every element converted by static_cast.
+template <typename Dst, typename Src>
+Matrix<Dst> convert(const Matrix<Src>& m) {
+  Matrix<Dst> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    out.flat()[i] = static_cast<Dst>(m.flat()[i]);
+  return out;
+}
+
+// Returns the column slice [c0, c1) of `m` as a new matrix.
+template <typename T>
+Matrix<T> slice_cols(const Matrix<T>& m, int c0, int c1) {
+  VITBIT_CHECK(0 <= c0 && c0 <= c1 && c1 <= m.cols());
+  Matrix<T> out(m.rows(), c1 - c0);
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = c0; c < c1; ++c) out.at(r, c - c0) = m.at(r, c);
+  return out;
+}
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& m) {
+  Matrix<T> out(m.cols(), m.rows());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c) out.at(c, r) = m.at(r, c);
+  return out;
+}
+
+// Fills with uniform integers in [lo, hi].
+template <typename T>
+void fill_uniform(Matrix<T>& m, Rng& rng, std::int64_t lo, std::int64_t hi) {
+  for (auto& v : m.flat()) v = static_cast<T>(rng.range(lo, hi));
+}
+
+// Fills with a clipped discrete Gaussian — the shape of quantized DNN
+// weight/activation tensors (mean 0, given sigma, clipped to [lo, hi]).
+template <typename T>
+void fill_gaussian_clipped(Matrix<T>& m, Rng& rng, double sigma,
+                           std::int64_t lo, std::int64_t hi) {
+  for (auto& v : m.flat()) {
+    auto x = static_cast<std::int64_t>(std::lround(rng.normal(0.0, sigma)));
+    if (x < lo) x = lo;
+    if (x > hi) x = hi;
+    v = static_cast<T>(x);
+  }
+}
+
+}  // namespace vitbit

@@ -1,0 +1,51 @@
+// Elementwise ("CUDA core") kernel trace builders: the shiftmax, ShiftGELU,
+// I-LayerNorm and dropout kernels of the quantized ViT (paper Section 3.3,
+// Figure 7). Variants:
+//   IC      — integer ops on the INT pipe only (baseline);
+//   FC      — float ops (FP pipe + SFU) after int->float conversion;
+//   IC+FC   — elements split between the two paths;
+//   VitBit  — packed integer lanes on the INT pipe (+ FP split), packing
+//             applied to the lane-parallel fraction of the op stream.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "nn/kernel_log.h"
+#include "sim/gpu_sim.h"
+#include "sim/launcher.h"
+
+namespace vitbit::trace {
+
+struct ElementwisePlan {
+  std::int64_t elems = 0;
+  // Integer-path cost (ops per element on the INT pipe).
+  int int_ops_per_elem = 16;
+  // Float-path cost per element (used by FC / the FP half of IC+FC).
+  int fp_ops_per_elem = 8;
+  int sfu_ops_per_elem = 2;   // MUFU (exp/rcp)
+  int conv_ops_per_elem = 2;  // I2F/F2I on the INT pipe
+  // Fraction of elements processed by the FP path (0 = IC, 1 = FC).
+  double fp_fraction = 0.0;
+  // Packing of the integer path.
+  bool pack_int = false;
+  int pack_factor = 2;
+  double packable_fraction = 0.7;  // lane-parallel share of the int ops
+  // Bytes moved per element (int8 in + int8 out).
+  int bytes_per_elem = 2;
+};
+
+// Per-element cost table for the ViT CUDA-core kernels, from calibration.
+ElementwisePlan elementwise_plan(nn::KernelKind kind, std::int64_t elems,
+                                 const arch::Calibration& calib);
+
+sim::KernelSpec build_elementwise_kernel(const ElementwisePlan& plan,
+                                         const arch::OrinSpec& spec,
+                                         const arch::Calibration& calib);
+
+// Address layout for the L2 simulation: streaming, block-private ranges.
+sim::GridGeom elementwise_grid_geom(const ElementwisePlan& plan,
+                                    const arch::OrinSpec& spec);
+
+}  // namespace vitbit::trace

@@ -1,0 +1,76 @@
+#include "vitbit/config_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace vitbit::core {
+
+void save_config(std::ostream& os, const StrategyConfig& config) {
+  os << "# VitBit tuned strategy configuration\n"
+     << "m_ratio = " << config.m_ratio << "\n"
+     << "fused_cuda_cols = " << config.fused_cuda_cols << "\n"
+     << "pack_factor = " << config.pack_factor << "\n"
+     << "elementwise_fp_fraction = " << config.elementwise_fp_fraction << "\n"
+     << "auto_tune_fused_cols = " << (config.auto_tune_fused_cols ? 1 : 0)
+     << "\n";
+}
+
+StrategyConfig load_config(std::istream& is) {
+  StrategyConfig cfg;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      VITBIT_CHECK_MSG(line.find_first_not_of(" \t\r") == std::string::npos,
+                       "bad config line " << line_no << ": " << line);
+      continue;
+    }
+    auto trim = [](std::string s) {
+      const auto a = s.find_first_not_of(" \t\r");
+      if (a == std::string::npos) return std::string();
+      const auto b = s.find_last_not_of(" \t\r");
+      return s.substr(a, b - a + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    VITBIT_CHECK_MSG(!value.empty(), "empty value for '" << key << "'");
+    if (key == "m_ratio") {
+      cfg.m_ratio = std::stoi(value);
+    } else if (key == "fused_cuda_cols") {
+      cfg.fused_cuda_cols = std::stoi(value);
+    } else if (key == "pack_factor") {
+      cfg.pack_factor = std::stoi(value);
+    } else if (key == "elementwise_fp_fraction") {
+      cfg.elementwise_fp_fraction = std::stod(value);
+    } else if (key == "auto_tune_fused_cols") {
+      cfg.auto_tune_fused_cols = std::stoi(value) != 0;
+    } else {
+      VITBIT_CHECK_MSG(false, "unknown config key '" << key << "' at line "
+                                                     << line_no);
+    }
+  }
+  VITBIT_CHECK_MSG(cfg.m_ratio >= 1, "m_ratio must be >= 1");
+  VITBIT_CHECK_MSG(cfg.pack_factor >= 1 && cfg.pack_factor <= 4,
+                   "pack_factor out of range");
+  return cfg;
+}
+
+void save_config_file(const std::string& path, const StrategyConfig& config) {
+  std::ofstream f(path);
+  VITBIT_CHECK_MSG(f.good(), "cannot write config file: " << path);
+  save_config(f, config);
+}
+
+StrategyConfig load_config_file(const std::string& path) {
+  std::ifstream f(path);
+  VITBIT_CHECK_MSG(f.good(), "cannot read config file: " << path);
+  return load_config(f);
+}
+
+}  // namespace vitbit::core

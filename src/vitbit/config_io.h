@@ -1,0 +1,21 @@
+// Persistence for tuned strategy configurations: the CLI's `tune` writes a
+// config, `infer --config=` replays it — the deployment flow the paper
+// describes (the ratio study runs once per device/model, its result is
+// reused for every inference).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vitbit/pipeline.h"
+
+namespace vitbit::core {
+
+// Text round-trip: one "key = value" per line, '#' comments.
+void save_config(std::ostream& os, const StrategyConfig& config);
+StrategyConfig load_config(std::istream& is);
+
+void save_config_file(const std::string& path, const StrategyConfig& config);
+StrategyConfig load_config_file(const std::string& path);
+
+}  // namespace vitbit::core

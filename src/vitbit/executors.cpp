@@ -1,0 +1,106 @@
+#include "vitbit/executors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/gemm_ref.h"
+#include "vitbit/fused_gemm.h"
+#include "vitbit/preprocess.h"
+
+namespace vitbit::core {
+
+namespace {
+
+// FC: float GEMM over runtime-converted operands; exact under the 2^24
+// bound (see fused_gemm.h).
+MatrixI32 fc_gemm(const MatrixI32& a, const MatrixI32& b) {
+  const auto af = convert<float>(a);
+  const auto bf = convert<float>(b);
+  double max_a = 0, max_b = 0;
+  for (const auto v : a.flat())
+    max_a = std::max(max_a, std::abs(static_cast<double>(v)));
+  for (const auto v : b.flat())
+    max_b = std::max(max_b, std::abs(static_cast<double>(v)));
+  VITBIT_CHECK_MSG(max_a * max_b * a.cols() < 16777216.0,
+                   "FC path would exceed exact fp32 integer range");
+  MatrixI32 c(a.rows(), b.cols());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int col = 0; col < b.cols(); ++col) {
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols(); ++k)
+        acc = std::fmaf(af.at(r, k), bf.at(k, col), acc);
+      c.at(r, col) = static_cast<std::int32_t>(std::llround(acc));
+    }
+  return c;
+}
+
+// A fused execution with an arbitrary Tensor/CUDA split. m_ratio < 0 means
+// "no tensor-core slice" (pure CUDA methods); use_packing selects packed
+// vs plain INT for the B1 slice; use_fp enables the B2 slice.
+MatrixI32 split_gemm(const MatrixI32& a, const MatrixI32& b, int m_ratio,
+                     bool use_packing, bool use_fp, int bitwidth) {
+  // Packed B1 uses the Fig. 3 policy layout for the value bitwidth;
+  // unpacked B1 is plain zero-masking (the >= 9-bit single-lane layout).
+  // When the packed operand is non-negative — the attention-probability
+  // GEMM of every transformer layer — unsigned lanes apply: no offset
+  // encoding, larger accumulation budgets, longer tiles.
+  const bool b_unsigned =
+      std::all_of(b.flat().begin(), b.flat().end(),
+                  [](std::int32_t v) { return v >= 0; }) &&
+      std::all_of(a.flat().begin(), a.flat().end(),
+                  [](std::int32_t v) { return v >= 0; });
+  const auto mode =
+      b_unsigned ? swar::LaneMode::kUnsigned : swar::LaneMode::kTopSigned;
+  const auto layout =
+      use_packing
+          ? swar::paper_policy_layout(bitwidth, mode)
+          : swar::paper_policy_layout(std::max(bitwidth, 9), mode);
+  // Equation 1: with packing the INT slice takes n of every n+1 CUDA
+  // columns (n = packing factor); unpacked splits 1:1.
+  const int n_ratio = use_packing ? layout.num_lanes : 1;
+  const auto weights = weight_preprocessing(a);
+  const auto input = input_preprocessing(b, std::max(m_ratio, 0), n_ratio,
+                                         layout, use_fp);
+  return vitbit_gemm(weights, input);
+}
+
+}  // namespace
+
+nn::GemmFn make_gemm_executor(Strategy strategy, const ExecutorConfig& cfg) {
+  switch (strategy) {
+    case Strategy::kTC:
+    case Strategy::kIC:
+      // Plain integer MACs (tensor-core IMMA and CUDA-core IMAD compute the
+      // same zero-masked integer arithmetic).
+      return [](const MatrixI32& a, const MatrixI32& b) {
+        return gemm_ref_int(a, b);
+      };
+    case Strategy::kFC:
+      return fc_gemm;
+    case Strategy::kICFC:
+      return [cfg](const MatrixI32& a, const MatrixI32& b) {
+        return split_gemm(a, b, /*m_ratio=*/0, /*use_packing=*/false,
+                          /*use_fp=*/true, cfg.bitwidth);
+      };
+    case Strategy::kTacker:
+      return [cfg](const MatrixI32& a, const MatrixI32& b) {
+        return split_gemm(a, b, cfg.m_ratio, /*use_packing=*/false,
+                          /*use_fp=*/false, cfg.bitwidth);
+      };
+    case Strategy::kTCICFC:
+      return [cfg](const MatrixI32& a, const MatrixI32& b) {
+        return split_gemm(a, b, cfg.m_ratio, /*use_packing=*/false,
+                          /*use_fp=*/true, cfg.bitwidth);
+      };
+    case Strategy::kVitBit:
+      return [cfg](const MatrixI32& a, const MatrixI32& b) {
+        return split_gemm(a, b, cfg.m_ratio, /*use_packing=*/true,
+                          /*use_fp=*/true, cfg.bitwidth);
+      };
+  }
+  VITBIT_CHECK_MSG(false, "unknown strategy");
+  return {};
+}
+
+}  // namespace vitbit::core

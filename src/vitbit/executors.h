@@ -1,0 +1,23 @@
+// Functional GEMM executors for each Table-3 strategy: every strategy is a
+// different execution of the *same* integer product, so all executors must
+// return bit-identical results. These plug into nn::GemmFn so a whole ViT
+// inference can run under any strategy.
+#pragma once
+
+#include "nn/executor.h"
+#include "vitbit/strategy.h"
+
+namespace vitbit::core {
+
+struct ExecutorConfig {
+  int m_ratio = 4;   // Tensor:CUDA split (Section 3.2 initial study)
+  int bitwidth = 8;  // value bitwidth; the packing factor follows the
+                     // paper's Fig. 3 policy (8 bits -> 2, 4 bits -> 4, ...)
+};
+
+// Functional executor for `strategy`. Throws CheckError at call time if an
+// input matrix does not fit the INT8 packing policy ranges.
+nn::GemmFn make_gemm_executor(Strategy strategy,
+                              const ExecutorConfig& config = {});
+
+}  // namespace vitbit::core

@@ -1,0 +1,74 @@
+// End-to-end timing pipeline: replays a model's kernel log (nn::KernelLog)
+// against the simulator under a Table-3 strategy, producing the
+// per-kernel and aggregate quantities behind the paper's Figures 5-10.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "nn/kernel_log.h"
+#include "sim/launcher.h"
+#include "vitbit/strategy.h"
+
+namespace vitbit::core {
+
+struct StrategyConfig {
+  // Tensor:CUDA assignment ratio m (Section 3.2; derived 4 from the study).
+  int m_ratio = 4;
+  // CUDA-core column slice of a fused GEMM block, in output columns
+  // (tc_tile_n / m_ratio by default; the tuner refines it).
+  int fused_cuda_cols = 12;
+  int pack_factor = 2;
+  // Elementwise FP-path share for strategies using both pipes.
+  double elementwise_fp_fraction = 1.0 / 3.0;
+  // Per-shape selection of the fused CUDA slice (the paper sets the split
+  // ratio from measured execution times; with this on, each distinct GEMM
+  // shape picks the fastest slice among candidates, falling back to a pure
+  // tensor-core block where fusion does not pay).
+  bool auto_tune_fused_cols = true;
+};
+
+struct KernelTiming {
+  std::string name;
+  nn::KernelKind kind = nn::KernelKind::kGemm;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  // grid-wide issued instructions
+  double ipc = 0.0;                // per-SM IPC during this kernel
+  double int_util = 0.0;
+  double fp_util = 0.0;
+  double tc_util = 0.0;
+  double energy_mj = 0.0;          // dynamic + static energy of this kernel
+};
+
+struct InferenceTiming {
+  Strategy strategy = Strategy::kTC;
+  std::vector<KernelTiming> kernels;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t gemm_cycles = 0;     // Tensor-core kernel class ("Linear")
+  std::uint64_t cuda_cycles = 0;     // CUDA-core kernel class
+  std::uint64_t total_instructions = 0;
+  double total_energy_mj = 0.0;
+
+  double total_ms(const arch::OrinSpec& spec) const {
+    return static_cast<double>(total_cycles) / (spec.clock_ghz * 1e6);
+  }
+  // Cycle-weighted average IPC across kernels (paper Fig. 10).
+  double mean_ipc() const;
+  // Achieved useful-operation rate over the Linear kernels (ops/cycle):
+  // numerator = 2 * MACs of the log's GEMMs (fixed across strategies), so
+  // density ratios equal inverse Linear-time ratios (paper Fig. 8).
+  double gemm_ops_per_cycle(const nn::KernelLog& log) const;
+};
+
+// Times every kernel of `log` under `strategy`. Results for identical
+// (strategy, kernel-shape) pairs are cached internally, so the 12 identical
+// ViT layers cost one simulation each.
+InferenceTiming time_inference(const nn::KernelLog& log, Strategy strategy,
+                               const StrategyConfig& config,
+                               const arch::OrinSpec& spec,
+                               const arch::Calibration& calib);
+
+}  // namespace vitbit::core

@@ -1,0 +1,54 @@
+#include "vitbit/preprocess.h"
+
+#include "common/check.h"
+#include "common/int_math.h"
+
+namespace vitbit::core {
+
+SplitWidths split_widths(int n_total, int m_ratio, int n_ratio,
+                         bool fp_slice) {
+  VITBIT_CHECK(n_total >= 0);
+  VITBIT_CHECK(m_ratio >= 0);
+  VITBIT_CHECK(n_ratio >= 1);
+  SplitWidths w;
+  w.n3 = n_total * m_ratio / (1 + m_ratio);
+  const int cuda = n_total - w.n3;
+  if (fp_slice) {
+    w.n1 = cuda * n_ratio / (1 + n_ratio);
+    // Packed columns group n_ratio values per register; round down to a
+    // full group so no register straddles the B1/B2 boundary.
+    w.n1 -= w.n1 % n_ratio;
+  } else {
+    w.n1 = cuda;
+  }
+  w.n2 = cuda - w.n1;
+  VITBIT_CHECK(w.n1 + w.n2 + w.n3 == n_total);
+  return w;
+}
+
+PreprocessedInput input_preprocessing(const MatrixI32& b, int m_ratio,
+                                      int n_ratio,
+                                      const swar::LaneLayout& layout,
+                                      bool fp_slice) {
+  VITBIT_CHECK_MSG(layout.num_lanes == n_ratio,
+                   "INT:FP ratio n must equal the packing factor (Eq. 1): n="
+                       << n_ratio << ", lanes=" << layout.num_lanes);
+  swar::check_values_fit(b, layout);
+  PreprocessedInput out;
+  out.widths = split_widths(b.cols(), m_ratio, n_ratio, fp_slice);
+  out.layout = layout;
+  const int n1 = out.widths.n1, n2 = out.widths.n2;
+  out.b1 = swar::PackedMatrix(slice_cols(b, 0, n1), layout);
+  out.b2 = convert<float>(slice_cols(b, n1, n1 + n2));
+  out.b3 = slice_cols(b, n1 + n2, b.cols());
+  return out;
+}
+
+PreprocessedWeights weight_preprocessing(const MatrixI32& a) {
+  PreprocessedWeights w;
+  w.a1 = a;
+  w.a2 = convert<float>(a);
+  return w;
+}
+
+}  // namespace vitbit::core

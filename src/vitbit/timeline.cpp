@@ -1,0 +1,67 @@
+#include "vitbit/timeline.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/check.h"
+
+namespace vitbit::core {
+
+void render_timeline(std::ostream& os, const InferenceTiming& timing,
+                     int width) {
+  VITBIT_CHECK(width >= 10);
+  // Collect the first layer's kernels (plus the pre/post ones).
+  std::vector<const KernelTiming*> shown;
+  std::uint64_t longest = 1;
+  for (const auto& k : timing.kernels) {
+    const bool layer0 = k.name.rfind("layer0", 0) == 0;
+    const bool outer = k.name.find("layer") == std::string::npos;
+    if (!layer0 && !outer) continue;
+    shown.push_back(&k);
+    longest = std::max(longest, k.cycles);
+  }
+  std::size_t name_w = 0;
+  for (const auto* k : shown) name_w = std::max(name_w, k->name.size());
+
+  os << "kernel timeline (" << strategy_name(timing.strategy)
+     << "; '#' = tensor-core kernel, '=' = CUDA-core kernel)\n";
+  for (const auto* k : shown) {
+    const int bar = std::max<int>(
+        1, static_cast<int>(static_cast<double>(k->cycles) /
+                            static_cast<double>(longest) * width));
+    os << "  " << std::left << std::setw(static_cast<int>(name_w)) << k->name
+       << " |"
+       << std::string(static_cast<std::size_t>(bar),
+                      k->kind == nn::KernelKind::kGemm ? '#' : '=')
+       << " " << k->cycles << "\n";
+  }
+}
+
+void render_comparison(std::ostream& os,
+                       const std::vector<InferenceTiming>& timings,
+                       const arch::OrinSpec& spec, int width) {
+  VITBIT_CHECK(!timings.empty());
+  std::uint64_t longest = 1;
+  std::size_t name_w = 0;
+  for (const auto& t : timings) {
+    longest = std::max(longest, t.total_cycles);
+    name_w = std::max(name_w, std::string(strategy_name(t.strategy)).size());
+  }
+  os << "inference time ('#' = GEMM share, '=' = CUDA-kernel share)\n";
+  for (const auto& t : timings) {
+    const double scale = static_cast<double>(width) /
+                         static_cast<double>(longest);
+    const int gemm_bar =
+        static_cast<int>(static_cast<double>(t.gemm_cycles) * scale);
+    const int cuda_bar =
+        static_cast<int>(static_cast<double>(t.cuda_cycles) * scale);
+    os << "  " << std::left << std::setw(static_cast<int>(name_w))
+       << strategy_name(t.strategy) << " |"
+       << std::string(static_cast<std::size_t>(std::max(gemm_bar, 1)), '#')
+       << std::string(static_cast<std::size_t>(std::max(cuda_bar, 1)), '=')
+       << " " << std::fixed << std::setprecision(3) << t.total_ms(spec)
+       << " ms\n";
+  }
+}
+
+}  // namespace vitbit::core

@@ -1,0 +1,25 @@
+// ASCII rendering of an inference timing: per-kernel bars grouped by layer,
+// plus a strategy-comparison summary — the closest a terminal gets to the
+// paper's figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "vitbit/pipeline.h"
+
+namespace vitbit::core {
+
+// Renders one inference as a proportional bar per kernel of the first
+// layer (all layers are identical), with GEMM and CUDA-core kernels
+// distinguished. `width` is the bar budget in characters.
+void render_timeline(std::ostream& os, const InferenceTiming& timing,
+                     int width = 60);
+
+// Renders several strategies' totals as comparative bars.
+void render_comparison(std::ostream& os,
+                       const std::vector<InferenceTiming>& timings,
+                       const arch::OrinSpec& spec, int width = 50);
+
+}  // namespace vitbit::core

@@ -1,0 +1,67 @@
+#include "vitbit/tuner.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/launcher.h"
+
+namespace vitbit::core {
+
+namespace {
+double time_plan(const trace::GemmShape& shape,
+                 const trace::GemmBlockPlan& plan, const arch::OrinSpec& spec,
+                 const arch::Calibration& calib) {
+  const auto kernel = trace::build_gemm_kernel(shape, plan, spec, calib);
+  return static_cast<double>(sim::launch_kernel(kernel, spec, calib).total_cycles);
+}
+}  // namespace
+
+RatioStudy run_initial_study(const trace::GemmShape& shape,
+                             const arch::OrinSpec& spec,
+                             const arch::Calibration& calib) {
+  RatioStudy s;
+  s.tc_cycles = time_plan(shape, trace::plan_tc(calib), spec, calib);
+  s.ic_cycles = time_plan(shape, trace::plan_ic(calib), spec, calib);
+  s.fc_cycles = time_plan(shape, trace::plan_fc(calib), spec, calib);
+  s.icfc_cycles = time_plan(shape, trace::plan_ic_fc(calib), spec, calib);
+  s.icfcp_cycles =
+      time_plan(shape, trace::plan_ic_fc_packed(calib), spec, calib);
+  return s;
+}
+
+int derive_m_ratio(const RatioStudy& study) {
+  VITBIT_CHECK(study.tc_cycles > 0);
+  const int m = static_cast<int>(std::lround(study.ratio_icfcp()));
+  return std::max(1, m);
+}
+
+int tune_fused_cuda_cols(const trace::GemmShape& shape, int pack_factor,
+                         const arch::OrinSpec& spec,
+                         const arch::Calibration& calib) {
+  const int step = pack_factor + 1;  // Eq. 1 splits candidates evenly
+  int best_cols = step;
+  double best_per_col = 1e300;
+  for (int cols = step; cols <= 8 * step; cols += step) {
+    const auto plan = trace::plan_vitbit(calib, cols, pack_factor);
+    const double cycles = time_plan(shape, plan, spec, calib);
+    const double per_col = cycles / plan.total_cols();
+    if (per_col < best_per_col) {
+      best_per_col = per_col;
+      best_cols = cols;
+    }
+  }
+  return best_cols;
+}
+
+StrategyConfig tune_strategy_config(const trace::GemmShape& shape,
+                                    const arch::OrinSpec& spec,
+                                    const arch::Calibration& calib) {
+  StrategyConfig cfg;
+  const auto study = run_initial_study(shape, spec, calib);
+  cfg.m_ratio = derive_m_ratio(study);
+  cfg.fused_cuda_cols =
+      tune_fused_cuda_cols(shape, cfg.pack_factor, spec, calib);
+  return cfg;
+}
+
+}  // namespace vitbit::core

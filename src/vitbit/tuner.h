@@ -1,0 +1,48 @@
+// Ratio auto-tuner: reproduces the paper's Section 3.2 methodology — run
+// the five-case GEMM study on the simulator, derive the Tensor:CUDA ratio
+// m, and pick the fused kernel's CUDA-core column slice by search.
+#pragma once
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "trace/gemm_traces.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit::core {
+
+struct RatioStudy {
+  double tc_cycles = 0;
+  double ic_cycles = 0;
+  double fc_cycles = 0;
+  double icfc_cycles = 0;
+  double icfcp_cycles = 0;
+
+  double ratio_ic() const { return ic_cycles / tc_cycles; }
+  double ratio_fc() const { return fc_cycles / tc_cycles; }
+  double ratio_icfc() const { return icfc_cycles / tc_cycles; }
+  double ratio_icfcp() const { return icfcp_cycles / tc_cycles; }
+};
+
+// Times the five Section-3.2 cases for `shape`.
+RatioStudy run_initial_study(const trace::GemmShape& shape,
+                             const arch::OrinSpec& spec,
+                             const arch::Calibration& calib);
+
+// m = round(IC+FC+P / TC): the packed CUDA path is m times slower than the
+// Tensor path, so Tensor cores take m of every m+1 columns (paper: m = 4).
+int derive_m_ratio(const RatioStudy& study);
+
+// Searches the fused-kernel CUDA column slice that minimizes VitBit's
+// per-column GEMM time on `shape` (candidates are multiples of
+// pack_factor + 1 so Eq. 1 splits evenly).
+int tune_fused_cuda_cols(const trace::GemmShape& shape, int pack_factor,
+                         const arch::OrinSpec& spec,
+                         const arch::Calibration& calib);
+
+// Full configuration derived from the study (what VitBit's setup phase
+// computes once per deployment).
+StrategyConfig tune_strategy_config(const trace::GemmShape& shape,
+                                    const arch::OrinSpec& spec,
+                                    const arch::Calibration& calib);
+
+}  // namespace vitbit::core

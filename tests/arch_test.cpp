@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "arch/area_model.h"
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+
+namespace vitbit::arch {
+namespace {
+
+TEST(OrinSpec, MatchesPaperTable2Topology) {
+  const OrinSpec spec;
+  EXPECT_EQ(spec.cuda_cores(), 1792);  // paper Table 2
+  EXPECT_EQ(spec.tensor_cores(), 56);  // paper Table 2
+  EXPECT_EQ(spec.num_sms, 14);
+  EXPECT_EQ(spec.int_lanes_per_sm(), 64);
+  EXPECT_EQ(spec.fp_lanes_per_sm(), 64);
+}
+
+TEST(OrinSpec, DramBytesPerCyclePerSm) {
+  const OrinSpec spec;
+  // 204.8 GB/s / 1.3 GHz / 14 SMs ≈ 11.25 B/cycle/SM.
+  EXPECT_NEAR(spec.dram_bytes_per_cycle_per_sm(), 11.25, 0.1);
+}
+
+TEST(Table1, HasAllPaperRows) {
+  const OrinSpec spec;
+  const auto rows = table1_rows(spec);
+  ASSERT_EQ(rows.size(), 8u);
+  // Paper column values (Table 1).
+  EXPECT_EQ(rows[0].format, "FP32");
+  EXPECT_DOUBLE_EQ(rows[0].paper_tops, 4.0);
+  EXPECT_DOUBLE_EQ(rows[6].paper_tops, 131.0);  // INT8 Tensor Core
+  EXPECT_DOUBLE_EQ(rows[7].paper_tops, 262.0);  // INT4 Tensor Core
+}
+
+TEST(Table1, ModelPreservesKeyRatios) {
+  const OrinSpec spec;
+  const auto rows = table1_rows(spec);
+  double int32_cc = 0, int8_tc = 0, int4_tc = 0;
+  for (const auto& r : rows) {
+    if (r.format == "INT32") int32_cc = r.model_tops;
+    if (r.format == "INT8" && r.unit == "Tensor Core") int8_tc = r.model_tops;
+    if (r.format == "INT4") int4_tc = r.model_tops;
+  }
+  EXPECT_GT(int32_cc, 0);
+  // Tensor core INT4 doubles INT8 (paper: 262 vs 131).
+  EXPECT_NEAR(int4_tc / int8_tc, 2.0, 1e-9);
+  // Tensor cores far outrun CUDA cores for INT8.
+  EXPECT_GT(int8_tc / int32_cc, 5.0);
+}
+
+TEST(CudaCoreIntTops, ZeroMaskingSaturatesAtInt32) {
+  const OrinSpec spec;
+  // The paper's Table 1 note: INT8/INT4 via zero-masking on CUDA cores run
+  // at INT32 throughput.
+  EXPECT_DOUBLE_EQ(cuda_core_int_tops(spec, 8, /*packed=*/false),
+                   cuda_core_int_tops(spec, 32, false));
+  EXPECT_DOUBLE_EQ(cuda_core_int_tops(spec, 4, false),
+                   cuda_core_int_tops(spec, 32, false));
+}
+
+TEST(CudaCoreIntTops, PackingScalesByFactor) {
+  const OrinSpec spec;
+  const double base = cuda_core_int_tops(spec, 32, false);
+  EXPECT_DOUBLE_EQ(cuda_core_int_tops(spec, 8, true), base * 2);
+  EXPECT_DOUBLE_EQ(cuda_core_int_tops(spec, 5, true), base * 3);
+  EXPECT_DOUBLE_EQ(cuda_core_int_tops(spec, 4, true), base * 4);
+  // Section 2.1: ideal INT8 CUDA-core support would reach a meaningful
+  // fraction of tensor-core throughput; packing recovers half of that gap
+  // versus the 4x an ideal INT8 datapath would give.
+  EXPECT_GT(cuda_core_int_tops(spec, 8, true), base);
+}
+
+TEST(AreaModel, TotalsArePositiveAndOrdered) {
+  const OrinSpec spec;
+  const AreaModel area;
+  EXPECT_GT(area.sm_arithmetic_mm2(spec), 0.0);
+  EXPECT_GT(area.sm_total_mm2(spec), area.sm_arithmetic_mm2(spec));
+  EXPECT_NEAR(area.gpu_total_mm2(spec), spec.num_sms * area.sm_total_mm2(spec),
+              1e-9);
+}
+
+TEST(AreaModel, DensityScalesLinearlyWithThroughput) {
+  const OrinSpec spec;
+  const AreaModel area;
+  const double d1 = arithmetic_density(spec, area, 1e12);
+  const double d2 = arithmetic_density(spec, area, 2e12);
+  EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(Calibration, DefaultsAreConsistent) {
+  const auto& c = default_calibration();
+  EXPECT_GT(c.tc_macs_per_cycle, 0);
+  EXPECT_EQ(c.tc_tile_m % 8, 0);
+  EXPECT_EQ(c.tc_tile_n % 8, 0);
+  EXPECT_GT(c.packed_k_tile, 1);
+  EXPECT_GT(c.elementwise_packable_fraction, 0.0);
+  EXPECT_LE(c.elementwise_packable_fraction, 1.0);
+  // IMMA occupancy must be consistent with the sustained tensor-core rate.
+  EXPECT_NEAR(4096.0 / c.imma_occupancy_cycles, c.tc_macs_per_cycle, 2.0);
+  // The Section 3.2 anchor needs the TC rate to sit well below the INT-pipe
+  // rate times the paper's 7.5x..8.5x ratio band.
+  const OrinSpec spec;
+  const double int_rate_sm = spec.int_lanes_per_sm();
+  const double tc_rate_sm =
+      static_cast<double>(c.tc_macs_per_cycle) * spec.subcores_per_sm;
+  EXPECT_GT(tc_rate_sm / int_rate_sm, 4.0);
+  EXPECT_LT(tc_rate_sm / int_rate_sm, 9.0);
+}
+
+}  // namespace
+}  // namespace vitbit::arch

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "common/check.h"
+#include "sim/assembler.h"
+#include "sim/disasm.h"
+#include "sim/sm_sim.h"
+#include "trace/gemm_traces.h"
+
+namespace vitbit::sim {
+namespace {
+
+TEST(Assembler, ParsesAluOps) {
+  const auto i = assemble_line("IMAD r1, r2, r3, r1");
+  EXPECT_EQ(i.op, Opcode::kImad);
+  EXPECT_EQ(i.dst, 1);
+  EXPECT_EQ(i.src[0], 2);
+  EXPECT_EQ(i.src[1], 3);
+  EXPECT_EQ(i.src[2], 1);
+}
+
+TEST(Assembler, ParsesMemoryOps) {
+  const auto ldg = assemble_line("LDG.128 r4 (dram 16B)");
+  EXPECT_EQ(ldg.op, Opcode::kLdg);
+  EXPECT_EQ(ldg.dst, 4);
+  EXPECT_EQ(ldg.bytes, 128u);
+  EXPECT_EQ(ldg.dram_bytes, 16u);
+  const auto stg = assemble_line("STG.64 r7");
+  EXPECT_EQ(stg.op, Opcode::kStg);
+  EXPECT_EQ(stg.src[0], 7);
+  EXPECT_EQ(stg.dram_bytes, 64u);
+  const auto lds = assemble_line("LDS.32 r2");
+  EXPECT_EQ(lds.op, Opcode::kLds);
+  EXPECT_EQ(lds.bytes, 32u);
+}
+
+TEST(Assembler, ParsesControlOps) {
+  EXPECT_EQ(assemble_line("BAR").op, Opcode::kBar);
+  EXPECT_EQ(assemble_line("EXIT").op, Opcode::kExit);
+  const auto bra = assemble_line("BRA r5");
+  EXPECT_EQ(bra.op, Opcode::kBra);
+  EXPECT_EQ(bra.src[0], 5);
+}
+
+TEST(Assembler, RejectsMalformedInput) {
+  EXPECT_THROW(assemble_line("FROB r1"), CheckError);
+  EXPECT_THROW(assemble_line("IMAD x1"), CheckError);
+  EXPECT_THROW(assemble_line("BAR r1"), CheckError);
+  EXPECT_THROW(assemble_line("LDG.128"), CheckError);
+}
+
+TEST(Assembler, ProgramRequiresExit) {
+  EXPECT_THROW(assemble("IADD r0, r1, r2\n"), CheckError);
+  EXPECT_NO_THROW(assemble("IADD r0, r1, r2\nEXIT\n"));
+}
+
+TEST(Assembler, CommentsAndLabelsIgnored) {
+  const auto p = assemble(R"(
+    # a tiny kernel
+    0:  IADD r0, r1, r2   # comment
+    1:  EXIT
+  )");
+  ASSERT_EQ(p->size(), 2u);
+  EXPECT_EQ(p->code[0].op, Opcode::kIadd);
+  EXPECT_EQ(p->num_regs, 3);
+}
+
+TEST(Assembler, RoundTripsWithDisassembler) {
+  const auto original = assemble(R"(
+    LDG.128 r4 (dram 16B)
+    IMAD r1, r2, r3, r1
+    LDS.64 r2
+    FFMA r5, r2, r2, r5
+    MUFU r6, r5
+    IMMA r7, r4, r2
+    STS.128 r1
+    ISETP r0, r1
+    BRA r0
+    BAR
+    STG.128 r1
+    EXIT
+  )");
+  const auto text = disassemble(*original);
+  const auto back = assemble(text);
+  ASSERT_EQ(back->size(), original->size());
+  for (std::size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ(disassemble(back->code[i]), disassemble(original->code[i])) << i;
+  }
+}
+
+TEST(Assembler, GeneratedTracesRoundTrip) {
+  // Every instruction the GEMM builders emit must survive
+  // disassemble -> assemble unchanged.
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const auto kernel = trace::build_gemm_kernel(
+      {128, 64, 64, 1}, trace::plan_vitbit(calib, 6), spec, calib);
+  for (const auto& warp : kernel.block_warps) {
+    const auto back = assemble(disassemble(*warp));
+    ASSERT_EQ(back->size(), warp->size());
+    for (std::size_t i = 0; i < warp->size(); ++i)
+      ASSERT_EQ(disassemble(back->code[i]), disassemble(warp->code[i]));
+  }
+}
+
+TEST(Assembler, AssembledProgramRunsOnSimulator) {
+  const auto p = assemble(R"(
+    LDG.128 r1
+    IMAD r2, r1, r1, r2
+    IMAD r3, r1, r1, r3
+    STG.128 r2
+    EXIT
+  )");
+  const arch::OrinSpec spec;
+  SmSim sm(spec, arch::default_calibration());
+  sm.add_block({p});
+  const auto stats = sm.run();
+  EXPECT_EQ(stats.issued(Opcode::kImad), 2u);
+  EXPECT_GE(stats.cycles,
+            static_cast<std::uint64_t>(
+                arch::default_calibration().dram_latency_cycles));
+}
+
+}  // namespace
+}  // namespace vitbit::sim

@@ -1,0 +1,96 @@
+// Tests for batched kernel logs and the warp-scheduler policy option.
+#include <gtest/gtest.h>
+
+#include "nn/vit_model.h"
+#include "sim/launcher.h"
+#include "sim/sm_sim.h"
+#include "trace/gemm_traces.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit {
+namespace {
+
+const arch::OrinSpec kSpec;
+
+TEST(BatchedLog, ScalesShapesLinearly) {
+  const auto cfg = nn::vit_tiny();
+  const auto b1 = nn::build_kernel_log(cfg, 1);
+  const auto b4 = nn::build_kernel_log(cfg, 4);
+  ASSERT_EQ(b1.calls().size(), b4.calls().size());
+  EXPECT_EQ(b4.total_macs(), 4 * b1.total_macs());
+  EXPECT_EQ(b4.total_elementwise(), 4 * b1.total_elementwise());
+  // Attention GEMMs scale in batch count, not M.
+  for (std::size_t i = 0; i < b1.calls().size(); ++i) {
+    const auto& c1 = b1.calls()[i];
+    const auto& c4 = b4.calls()[i];
+    if (c1.kind != nn::KernelKind::kGemm) continue;
+    if (c1.name.find("attn.scores") != std::string::npos ||
+        c1.name.find("attn.context") != std::string::npos) {
+      EXPECT_EQ(c4.m, c1.m) << c1.name;
+      EXPECT_EQ(c4.batch, 4 * c1.batch) << c1.name;
+    }
+  }
+}
+
+TEST(BatchedLog, BatchOneIsDefault) {
+  const auto cfg = nn::vit_tiny();
+  const auto a = nn::build_kernel_log(cfg);
+  const auto b = nn::build_kernel_log(cfg, 1);
+  ASSERT_EQ(a.calls().size(), b.calls().size());
+  EXPECT_EQ(a.total_macs(), b.total_macs());
+}
+
+TEST(BatchedLog, RejectsNonPositive) {
+  EXPECT_THROW(nn::build_kernel_log(nn::vit_tiny(), 0), CheckError);
+}
+
+TEST(BatchedTiming, ThroughputImprovesWithBatch) {
+  const auto& calib = arch::default_calibration();
+  core::StrategyConfig cfg;
+  cfg.auto_tune_fused_cols = false;
+  const auto t1 = core::time_inference(nn::build_kernel_log(nn::vit_base(), 1),
+                                       core::Strategy::kTC, cfg, kSpec, calib);
+  const auto t4 = core::time_inference(nn::build_kernel_log(nn::vit_base(), 4),
+                                       core::Strategy::kTC, cfg, kSpec, calib);
+  // Batch 4 is less than 4x the time of batch 1 (launch amortization).
+  EXPECT_LT(t4.total_cycles, 4 * t1.total_cycles);
+  EXPECT_GT(t4.total_cycles, 2 * t1.total_cycles);
+}
+
+TEST(Scheduler, PoliciesDifferButBothComplete) {
+  const auto& base = arch::default_calibration();
+  arch::Calibration gto = base;
+  gto.greedy_scheduler = true;
+  const trace::GemmShape shape{197, 768, 768, 1};
+  const auto plan = trace::plan_ic_fc(base);
+  const auto a = sim::launch_kernel(
+      trace::build_gemm_kernel(shape, plan, kSpec, base), kSpec, base);
+  const auto b = sim::launch_kernel(
+      trace::build_gemm_kernel(shape, plan, kSpec, gto), kSpec, gto);
+  EXPECT_GT(a.total_cycles, 0u);
+  EXPECT_GT(b.total_cycles, 0u);
+  EXPECT_EQ(a.grid_instructions, b.grid_instructions)
+      << "policy changes timing, never the instruction stream";
+  EXPECT_NE(a.total_cycles, b.total_cycles);
+}
+
+TEST(Scheduler, GreedyStillRespectsUnitOccupancy) {
+  // A greedy scheduler cannot exceed pipe throughput: n IMADs still take
+  // ~2n cycles.
+  arch::Calibration gto = arch::default_calibration();
+  gto.greedy_scheduler = true;
+  sim::ProgramBuilder b;
+  const auto x = b.new_reg();
+  for (int i = 0; i < 500; ++i) {
+    const auto d = b.new_reg();
+    b.imad(d, x, x, d);
+  }
+  b.exit();
+  sim::SmSim sm(kSpec, gto);
+  sm.add_block({b.build()});
+  const auto stats = sm.run();
+  EXPECT_NEAR(static_cast<double>(stats.cycles), 1000.0, 60.0);
+}
+
+}  // namespace
+}  // namespace vitbit

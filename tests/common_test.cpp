@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/int_math.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace vitbit {
+namespace {
+
+TEST(Check, ThrowsCheckErrorWithContext) {
+  try {
+    VITBIT_CHECK_MSG(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(VITBIT_CHECK(2 + 2 == 4));
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(197, 64), 4);
+}
+
+TEST(IntMath, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(IntMath, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(IntMath, BitsForSigned) {
+  EXPECT_EQ(bits_for_signed(0), 1);
+  EXPECT_EQ(bits_for_signed(-1), 1);
+  EXPECT_EQ(bits_for_signed(1), 2);
+  EXPECT_EQ(bits_for_signed(-2), 2);
+  EXPECT_EQ(bits_for_signed(127), 8);
+  EXPECT_EQ(bits_for_signed(-128), 8);
+  EXPECT_EQ(bits_for_signed(128), 9);
+}
+
+TEST(IntMath, LowMask) {
+  EXPECT_EQ(low_mask64(0), 0u);
+  EXPECT_EQ(low_mask64(1), 1u);
+  EXPECT_EQ(low_mask64(8), 0xFFu);
+  EXPECT_EQ(low_mask64(64), ~std::uint64_t{0});
+  EXPECT_EQ(low_mask32(16), 0xFFFFu);
+  EXPECT_EQ(low_mask32(32), 0xFFFFFFFFu);
+}
+
+TEST(IntMath, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x1FF, 8), -1);  // upper bits ignored
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+}
+
+TEST(IntMath, SignedRanges) {
+  EXPECT_EQ(signed_min(8), -128);
+  EXPECT_EQ(signed_max(8), 127);
+  EXPECT_EQ(unsigned_max(8), 255);
+  EXPECT_TRUE(fits_signed(-128, 8));
+  EXPECT_FALSE(fits_signed(-129, 8));
+  EXPECT_TRUE(fits_unsigned(255, 8));
+  EXPECT_FALSE(fits_unsigned(-1, 8));
+  EXPECT_FALSE(fits_unsigned(256, 8));
+}
+
+TEST(IntMath, ClampSigned) {
+  EXPECT_EQ(clamp_signed(300, 8), 127);
+  EXPECT_EQ(clamp_signed(-300, 8), -128);
+  EXPECT_EQ(clamp_signed(5, 8), 5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values in [-2,2] should appear";
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 2);
+  t.row().cell("b").cell(std::int64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.header({"a", "b"});
+  t.row().cell(1).cell(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t;
+  EXPECT_THROW(t.cell("x"), CheckError);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=hi", "--flag", "pos1"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("name", ""), "hi");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--alpha=3x"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("alpha", 0), CheckError);
+}
+
+TEST(Cli, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  Cli cli(3, argv);
+  cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace vitbit

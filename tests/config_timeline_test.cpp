@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "nn/vit_model.h"
+#include "vitbit/config_io.h"
+#include "vitbit/timeline.h"
+
+namespace vitbit::core {
+namespace {
+
+TEST(ConfigIo, RoundTrip) {
+  StrategyConfig cfg;
+  cfg.m_ratio = 3;
+  cfg.fused_cuda_cols = 9;
+  cfg.pack_factor = 4;
+  cfg.elementwise_fp_fraction = 0.4;
+  cfg.auto_tune_fused_cols = false;
+  std::stringstream ss;
+  save_config(ss, cfg);
+  const auto back = load_config(ss);
+  EXPECT_EQ(back.m_ratio, 3);
+  EXPECT_EQ(back.fused_cuda_cols, 9);
+  EXPECT_EQ(back.pack_factor, 4);
+  EXPECT_NEAR(back.elementwise_fp_fraction, 0.4, 1e-9);
+  EXPECT_FALSE(back.auto_tune_fused_cols);
+}
+
+TEST(ConfigIo, CommentsAndBlankLines) {
+  std::stringstream ss("# hello\n\nm_ratio = 5  # inline comment\n");
+  const auto cfg = load_config(ss);
+  EXPECT_EQ(cfg.m_ratio, 5);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+  std::stringstream ss("bogus_key = 1\n");
+  EXPECT_THROW(load_config(ss), CheckError);
+}
+
+TEST(ConfigIo, MalformedLineThrows) {
+  std::stringstream ss("this is not a config\n");
+  EXPECT_THROW(load_config(ss), CheckError);
+}
+
+TEST(ConfigIo, ValidatesRanges) {
+  std::stringstream ss("pack_factor = 9\n");
+  EXPECT_THROW(load_config(ss), CheckError);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vitbit_cfg_test.txt";
+  StrategyConfig cfg;
+  cfg.fused_cuda_cols = 15;
+  save_config_file(path, cfg);
+  EXPECT_EQ(load_config_file(path).fused_cuda_cols, 15);
+  EXPECT_THROW(load_config_file(path + ".missing"), CheckError);
+}
+
+TEST(Timeline, RendersBarsForEveryLayer0Kernel) {
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const auto log = nn::build_kernel_log(nn::vit_tiny());
+  StrategyConfig cfg;
+  cfg.auto_tune_fused_cols = false;
+  const auto t = time_inference(log, Strategy::kTC, cfg, spec, calib);
+  std::ostringstream os;
+  render_timeline(os, t);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("layer0.fc1"), std::string::npos);
+  EXPECT_NE(s.find("patch_embed"), std::string::npos);
+  EXPECT_EQ(s.find("layer1"), std::string::npos) << "only layer 0 is shown";
+  EXPECT_NE(s.find('#'), std::string::npos) << "GEMM bars present";
+  EXPECT_NE(s.find('='), std::string::npos) << "CUDA-kernel bars present";
+}
+
+TEST(Timeline, ComparisonScalesToLongest) {
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const auto log = nn::build_kernel_log(nn::vit_tiny());
+  StrategyConfig cfg;
+  cfg.auto_tune_fused_cols = false;
+  std::vector<InferenceTiming> rs;
+  rs.push_back(time_inference(log, Strategy::kTC, cfg, spec, calib));
+  rs.push_back(time_inference(log, Strategy::kIC, cfg, spec, calib));
+  std::ostringstream os;
+  render_comparison(os, rs, spec, 40);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("TC"), std::string::npos);
+  EXPECT_NE(s.find("IC"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vitbit::core

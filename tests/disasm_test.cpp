@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "sim/disasm.h"
+#include "trace/gemm_traces.h"
+
+namespace vitbit::sim {
+namespace {
+
+ProgramPtr sample_program() {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto w = b.new_reg();
+  const auto acc = b.new_reg();
+  b.ldg(acc, 128, 16);
+  b.imad(acc, a, w, acc);
+  b.lds(a, 64);
+  b.stg(acc, 128);
+  b.bar();
+  b.exit();
+  return b.build();
+}
+
+TEST(Disasm, SingleInstructions) {
+  const auto p = sample_program();
+  EXPECT_EQ(disassemble(p->code[0]), "LDG.128 r2 (dram 16B)");
+  EXPECT_EQ(disassemble(p->code[1]), "IMAD r2, r0, r1, r2");
+  EXPECT_EQ(disassemble(p->code[2]), "LDS.64 r0");
+  EXPECT_EQ(disassemble(p->code[3]), "STG.128 r2");
+  EXPECT_EQ(disassemble(p->code[4]), "BAR");
+  EXPECT_EQ(disassemble(p->code[5]), "EXIT");
+}
+
+TEST(Disasm, ListingTruncates) {
+  const auto p = sample_program();
+  const auto full = disassemble(*p);
+  EXPECT_NE(full.find("IMAD"), std::string::npos);
+  EXPECT_EQ(full.find("more"), std::string::npos);
+  const auto cut = disassemble(*p, 2);
+  EXPECT_NE(cut.find("(+4 more)"), std::string::npos);
+}
+
+TEST(Disasm, Histogram) {
+  const auto p = sample_program();
+  const auto h = opcode_histogram(*p);
+  EXPECT_EQ(h.at(Opcode::kImad), 1u);
+  EXPECT_EQ(h.at(Opcode::kLdg), 1u);
+  EXPECT_EQ(h.at(Opcode::kExit), 1u);
+  std::size_t total = 0;
+  for (const auto& [op, n] : h) total += n;
+  EXPECT_EQ(total, p->code.size());
+}
+
+TEST(Disasm, MemoryFootprint) {
+  const auto p = sample_program();
+  const auto f = memory_footprint(*p);
+  EXPECT_EQ(f.ldg_bytes, 128u);
+  EXPECT_EQ(f.ldg_dram_bytes, 16u);
+  EXPECT_EQ(f.stg_bytes, 128u);
+  EXPECT_EQ(f.lds_bytes, 64u);
+  EXPECT_EQ(f.sts_bytes, 0u);
+}
+
+TEST(Disasm, GemmTraceStructure) {
+  // The generated INT GEMM trace is dominated by IMADs, and its DRAM
+  // footprint reflects the L2 derates.
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const auto kernel = trace::build_gemm_kernel(
+      {128, 256, 64, 1}, trace::plan_ic(calib), spec, calib);
+  const auto& warp = *kernel.block_warps.front();
+  const auto h = opcode_histogram(warp);
+  EXPECT_GT(h.at(Opcode::kImad), h.at(Opcode::kIadd));
+  EXPECT_EQ(h.count(Opcode::kImma), 0u);
+  const auto f = memory_footprint(warp);
+  EXPECT_GT(f.ldg_bytes, 0u);
+  EXPECT_LT(f.ldg_dram_bytes, f.ldg_bytes) << "L2 derate must apply";
+}
+
+TEST(Disasm, PackedTraceHasSpills) {
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  auto plan = trace::plan_ic(calib);
+  auto packed = plan;
+  packed.pack_int = true;
+  packed.pack_factor = 2;
+  packed.pack_k_tile = calib.packed_k_tile;
+  packed.pack_spill_ops = calib.packed_spill_ops;
+  const trace::GemmShape shape{128, 256, 64, 1};
+  const auto plain = opcode_histogram(
+      *trace::build_gemm_kernel(shape, plan, spec, calib).block_warps.front());
+  const auto pk = opcode_histogram(
+      *trace::build_gemm_kernel(shape, packed, spec, calib)
+           .block_warps.front());
+  EXPECT_LT(pk.at(Opcode::kImad), plain.at(Opcode::kImad));
+  EXPECT_GT(pk.at(Opcode::kShf), plain.count(Opcode::kShf)
+                                     ? plain.at(Opcode::kShf)
+                                     : 0u)
+      << "packed trace must contain lane-spill shifts";
+}
+
+}  // namespace
+}  // namespace vitbit::sim

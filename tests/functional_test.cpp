@@ -1,0 +1,180 @@
+// Tests for the functional warp interpreter — including the headline check
+// that a hand-written packed-MAC kernel computes exactly what the swar
+// library predicts.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/functional.h"
+#include "swar/pack.h"
+
+namespace vitbit::sim {
+namespace {
+
+TEST(FunctionalWarp, AluBasics) {
+  ProgramBuilder b;
+  const auto r0 = b.new_reg();
+  const auto r1 = b.new_reg();
+  const auto r2 = b.new_reg();
+  b.iadd(r2, r0, r1);
+  b.imad(r2, r0, r1, r2);
+  b.exit();
+  FunctionalWarp w(b.build(), {});
+  w.set_reg(r0, 7);
+  w.set_reg(r1, 9);
+  w.run();
+  EXPECT_EQ(w.reg(r2), 7u + 9u + 7u * 9u);
+  EXPECT_EQ(w.executed(), 3u);
+}
+
+TEST(FunctionalWarp, WrappingImad) {
+  // SWAR correctness depends on mod-2^32 semantics.
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto x = b.new_reg();
+  const auto acc = b.new_reg();
+  b.imad(acc, a, x, acc);
+  b.exit();
+  FunctionalWarp w(b.build(), {});
+  w.set_reg(a, 0xFFFFFFFFu);  // -1
+  w.set_reg(x, 2);
+  w.set_reg(acc, 5);
+  w.run();
+  EXPECT_EQ(w.reg(acc), 3u);  // -2 + 5
+}
+
+TEST(FunctionalWarp, ShiftAndMaskImmediates) {
+  ProgramBuilder b;
+  const auto src = b.new_reg();
+  const auto hi = b.new_reg();
+  const auto lo = b.new_reg();
+  emit_shf_imm(b, hi, src, 16);
+  emit_and_imm(b, lo, src, 0xFFFF);
+  b.exit();
+  FunctionalWarp w(b.build(), {});
+  w.set_reg(src, 0xABCD1234u);
+  w.run();
+  EXPECT_EQ(w.reg(hi), 0xABCDu);
+  EXPECT_EQ(w.reg(lo), 0x1234u);
+}
+
+TEST(FunctionalWarp, FloatPath) {
+  ProgramBuilder b;
+  const auto i = b.new_reg();
+  const auto f = b.new_reg();
+  const auto g = b.new_reg();
+  const auto out = b.new_reg();
+  b.i2f(f, i);
+  b.ffma(g, f, f, f);  // x*x + x
+  b.emit(Opcode::kF2i, out, g);
+  b.exit();
+  FunctionalWarp w(b.build(), {});
+  w.set_reg(i, 5);
+  w.run();
+  EXPECT_EQ(w.reg(out), 30u);
+}
+
+TEST(FunctionalWarp, GlobalAndSharedMemory) {
+  ProgramBuilder b;
+  const auto v = b.new_reg();
+  const auto v2 = b.new_reg();
+  b.ldg(v, 4, UINT32_MAX, /*operand=*/0, /*offset=*/8);
+  b.sts(v, 4);
+  b.last().offset = 100;
+  b.lds(v2, 4);
+  b.last().offset = 100;
+  b.stg(v2, 4, UINT32_MAX, /*operand=*/1, /*offset=*/0);
+  b.exit();
+  std::vector<std::uint8_t> mem(64, 0);
+  mem[8] = 0x78;
+  mem[9] = 0x56;
+  FunctionalWarp w(b.build(), mem, {0, 32, 0, 0});
+  w.run();
+  EXPECT_EQ(mem[32], 0x78);
+  EXPECT_EQ(mem[33], 0x56);
+}
+
+TEST(FunctionalWarp, RejectsTensorOps) {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  b.imma(a, a, a);
+  b.exit();
+  FunctionalWarp w(b.build(), {});
+  EXPECT_THROW(w.run(), CheckError);
+}
+
+TEST(FunctionalWarp, OutOfBoundsMemoryThrows) {
+  ProgramBuilder b;
+  const auto v = b.new_reg();
+  b.ldg(v, 4, UINT32_MAX, 0, 1000);
+  b.exit();
+  std::vector<std::uint8_t> mem(16);
+  FunctionalWarp w(b.build(), mem, {});
+  EXPECT_THROW(w.run(), CheckError);
+}
+
+TEST(FunctionalWarp, PackedMacMatchesSwarLibrary) {
+  // The unification check: a kernel that multiplies a packed register by a
+  // sequence of scalars and spills the lanes must reproduce the swar
+  // library's packed-GEMM arithmetic exactly.
+  const auto layout = swar::paper_policy_layout(8, swar::LaneMode::kUnsigned);
+  Rng rng(42);
+  const int k_steps = 4;  // within the unsigned worst-case budget at small values
+  std::vector<std::int32_t> a(k_steps), b0(k_steps), b1(k_steps);
+  for (int i = 0; i < k_steps; ++i) {
+    a[i] = static_cast<std::int32_t>(rng.range(0, 15));
+    b0[i] = static_cast<std::int32_t>(rng.range(0, 15));
+    b1[i] = static_cast<std::int32_t>(rng.range(0, 15));
+  }
+
+  // Global memory: operand 0 holds packed words, operand 1 the scalars,
+  // operand 2 receives the two lane sums.
+  std::vector<std::uint8_t> mem(256, 0);
+  for (int i = 0; i < k_steps; ++i) {
+    const std::array<std::int32_t, 2> lanes = {b0[i], b1[i]};
+    const std::uint32_t word = swar::pack_lanes(lanes, layout);
+    for (int byte = 0; byte < 4; ++byte)
+      mem[static_cast<std::size_t>(i * 4 + byte)] =
+          static_cast<std::uint8_t>(word >> (8 * byte));
+    for (int byte = 0; byte < 4; ++byte)
+      mem[static_cast<std::size_t>(64 + i * 4 + byte)] =
+          static_cast<std::uint8_t>(static_cast<std::uint32_t>(a[i]) >>
+                                    (8 * byte));
+  }
+
+  ProgramBuilder pb;
+  const auto acc = pb.new_reg();
+  const auto scal = pb.new_reg();
+  const auto packed = pb.new_reg();
+  for (int i = 0; i < k_steps; ++i) {
+    pb.ldg(packed, 4, UINT32_MAX, 0, static_cast<std::uint32_t>(4 * i));
+    pb.ldg(scal, 4, UINT32_MAX, 1, static_cast<std::uint32_t>(4 * i));
+    pb.imad(acc, scal, packed, acc);
+  }
+  // Lane spill: low 16 bits and high 16 bits.
+  const auto lo = pb.new_reg();
+  const auto hi = pb.new_reg();
+  emit_and_imm(pb, lo, acc, 0xFFFF);
+  emit_shf_imm(pb, hi, acc, 16);
+  pb.stg(lo, 4, UINT32_MAX, 2, 0);
+  pb.stg(hi, 4, UINT32_MAX, 2, 4);
+  pb.exit();
+
+  FunctionalWarp w(pb.build(), mem, {0, 64, 128, 0});
+  w.run();
+
+  std::int64_t want0 = 0, want1 = 0;
+  for (int i = 0; i < k_steps; ++i) {
+    want0 += static_cast<std::int64_t>(a[i]) * b0[i];
+    want1 += static_cast<std::int64_t>(a[i]) * b1[i];
+  }
+  const std::uint32_t got0 = mem[128] | (mem[129] << 8);
+  const std::uint32_t got1 = mem[132] | (mem[133] << 8);
+  EXPECT_EQ(got0, static_cast<std::uint32_t>(want0));
+  EXPECT_EQ(got1, static_cast<std::uint32_t>(want1));
+}
+
+}  // namespace
+}  // namespace vitbit::sim

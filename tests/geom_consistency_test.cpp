@@ -1,0 +1,89 @@
+// Consistency between the GEMM trace builder's per-instruction addresses
+// and the grid geometry it declares: every load must fall inside its
+// operand's per-block extent, or blocks would alias each other's data and
+// the L2 model would hallucinate reuse.
+#include <gtest/gtest.h>
+
+#include "sim/gpu_sim.h"
+#include "trace/gemm_traces.h"
+
+namespace vitbit::trace {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration& kCalib = arch::default_calibration();
+
+// The per-block extent of each operand implied by the geometry (the
+// smallest non-zero stride bounds how far a block's offsets may reach).
+std::array<std::uint64_t, 4> block_extents(const sim::GridGeom& g) {
+  std::array<std::uint64_t, 4> e{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t extent = UINT64_MAX;
+    for (const std::uint64_t s :
+         {g.operands[i].outer_stride, g.operands[i].row_stride,
+          g.operands[i].col_stride})
+      if (s > 0) extent = std::min(extent, s);
+    e[i] = extent;
+  }
+  return e;
+}
+
+void check_plan(const GemmShape& shape, const GemmBlockPlan& plan) {
+  const auto kernel = build_gemm_kernel(shape, plan, kSpec, kCalib);
+  const auto geom = gemm_grid_geom(shape, plan, kSpec);
+  ASSERT_TRUE(geom.addressed);
+  const auto extents = block_extents(geom);
+  for (const auto& warp : kernel.block_warps) {
+    for (const auto& in : warp->code) {
+      if (in.op != sim::Opcode::kLdg && in.op != sim::Opcode::kStg) continue;
+      ASSERT_NE(in.operand, sim::kNoOperand)
+          << "GEMM global access must be addressed";
+      ASSERT_LT(in.operand, 4);
+      const std::uint64_t end =
+          static_cast<std::uint64_t>(in.offset) + in.bytes;
+      EXPECT_LE(end, extents[in.operand])
+          << "operand " << static_cast<int>(in.operand)
+          << " access reaches past the block extent (offset=" << in.offset
+          << ", extent=" << extents[in.operand] << ")";
+    }
+  }
+  // Address regions of distinct operands must not overlap anywhere in the
+  // grid (bases are spaced by region).
+  for (int b = 0; b < std::min(kernel.grid_blocks, 8); ++b) {
+    const auto bases = geom.block_bases(b);
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j) {
+        const bool disjoint = bases[i] + extents[i] <= bases[j] ||
+                              bases[j] + extents[j] <= bases[i];
+        EXPECT_TRUE(disjoint) << "operands " << i << " and " << j
+                              << " overlap in block " << b;
+      }
+  }
+}
+
+TEST(GeomConsistency, TcPlan) { check_plan({197, 768, 3072, 1}, plan_tc(kCalib)); }
+
+TEST(GeomConsistency, IcPlan) { check_plan({197, 768, 768, 1}, plan_ic(kCalib)); }
+
+TEST(GeomConsistency, PackedPlan) {
+  check_plan({197, 768, 768, 1}, plan_ic_fc_packed(kCalib));
+}
+
+TEST(GeomConsistency, FusedVitBitPlan) {
+  check_plan({197, 768, 3072, 1}, plan_vitbit(kCalib, 12));
+}
+
+TEST(GeomConsistency, RuntimeConvertPlan) {
+  check_plan({197, 768, 768, 1}, plan_tc_ic_fc(kCalib, 12));
+}
+
+TEST(GeomConsistency, BatchedAttentionShape) {
+  check_plan({197, 64, 197, 12}, plan_tc(kCalib));
+}
+
+TEST(GeomConsistency, SmallKSplit) {
+  check_plan({128, 96, 128, 1}, plan_vitbit(kCalib, 6));
+}
+
+}  // namespace
+}  // namespace vitbit::trace

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/gpu_sim.h"
+#include "trace/gemm_traces.h"
+
+namespace vitbit::sim {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration& kCalib = arch::default_calibration();
+
+TEST(L2Cache, HitsOnRepeatedLines) {
+  L2Cache l2(1 << 20, 128, 8);
+  EXPECT_EQ(l2.access(0x1000, 128), 1);  // cold miss
+  EXPECT_EQ(l2.access(0x1000, 128), 0);  // hit
+  EXPECT_TRUE(l2.contains(0x1000));
+  EXPECT_FALSE(l2.contains(0x2000));
+  EXPECT_EQ(l2.hits(), 1u);
+  EXPECT_EQ(l2.misses(), 1u);
+}
+
+TEST(L2Cache, MultiLineAccessCountsEachLine) {
+  L2Cache l2(1 << 20, 128, 8);
+  EXPECT_EQ(l2.access(0, 512), 4);  // four cold lines
+  EXPECT_EQ(l2.access(0, 512), 0);
+  EXPECT_EQ(l2.access(64, 128), 0);  // straddles two resident lines
+}
+
+TEST(L2Cache, LruEvictsOldest) {
+  // 1 set of 2 ways: capacity = 2 lines of 128B.
+  L2Cache l2(256, 128, 2);
+  l2.access(0 * 128, 128);
+  l2.access(1 * 128, 128);
+  l2.access(2 * 128, 128);          // evicts line 0
+  EXPECT_FALSE(l2.contains(0));
+  EXPECT_TRUE(l2.contains(1 * 128));
+  EXPECT_TRUE(l2.contains(2 * 128));
+  l2.access(1 * 128, 128);          // touch line 1
+  l2.access(3 * 128, 128);          // evicts line 2 (LRU)
+  EXPECT_TRUE(l2.contains(1 * 128));
+  EXPECT_FALSE(l2.contains(2 * 128));
+}
+
+TEST(L2Cache, ResetClearsEverything) {
+  L2Cache l2(1 << 16, 128, 4);
+  l2.access(0, 128);
+  l2.reset();
+  EXPECT_FALSE(l2.contains(0));
+  EXPECT_EQ(l2.hits() + l2.misses(), 0u);
+}
+
+TEST(L2Cache, CapacityWorkingSetSweep) {
+  // A working set within capacity hits on re-walk; beyond capacity it
+  // thrashes.
+  L2Cache l2(64 << 10, 128, 16);
+  auto walk = [&](std::uint64_t bytes) {
+    for (std::uint64_t a = 0; a < bytes; a += 128) l2.access(a, 128);
+  };
+  walk(32 << 10);
+  const auto misses_before = l2.misses();
+  walk(32 << 10);
+  EXPECT_EQ(l2.misses(), misses_before) << "fits: second walk all hits";
+  l2.reset();
+  walk(256 << 10);
+  const auto m1 = l2.misses();
+  walk(256 << 10);
+  EXPECT_GT(l2.misses(), m1 + 1000) << "4x capacity: second walk misses";
+}
+
+TEST(GridGeom, BlockBasesFollowTopology) {
+  GridGeom g;
+  g.addressed = true;
+  g.row_blocks = 2;
+  g.col_blocks = 3;
+  g.operands[0] = {1000, 10000, 100, 0};  // A: row-major sharing
+  g.operands[1] = {2000, 20000, 0, 7};    // B: column-private
+  const auto b0 = g.block_bases(0);           // (outer 0, row 0, col 0)
+  const auto b2 = g.block_bases(2);           // (outer 0, row 0, col 2)
+  const auto b3 = g.block_bases(3);           // (outer 0, row 1, col 0)
+  const auto b6 = g.block_bases(6);           // (outer 1, row 0, col 0)
+  EXPECT_EQ(b0[0], 1000u);
+  EXPECT_EQ(b2[0], 1000u) << "A shared across columns";
+  EXPECT_EQ(b3[0], 1100u);
+  EXPECT_EQ(b6[0], 11000u);
+  EXPECT_EQ(b0[1], 2000u);
+  EXPECT_EQ(b2[1], 2014u) << "B private per column";
+  EXPECT_EQ(b3[1], 2000u) << "B shared across rows";
+}
+
+TEST(GpuSim, RequiresAddressedGeometry) {
+  const auto kernel = trace::build_gemm_kernel(
+      {128, 64, 64, 1}, trace::plan_tc(kCalib), kSpec, kCalib);
+  GpuSim gpu(kSpec, kCalib);
+  GridGeom geom;  // addressed = false
+  EXPECT_THROW(gpu.run(kernel, geom, 1), CheckError);
+}
+
+TEST(GpuSim, MatchesOrderingOfDerateModel) {
+  const trace::GemmShape shape{197, 768, 768, 1};
+  auto cycles_l2 = [&](const trace::GemmBlockPlan& p) {
+    const auto kernel = trace::build_gemm_kernel(shape, p, kSpec, kCalib);
+    const auto geom = trace::gemm_grid_geom(shape, p, kSpec);
+    return launch_kernel_l2(kernel, geom, kSpec, kCalib).total_cycles;
+  };
+  const auto tc = cycles_l2(trace::plan_tc(kCalib));
+  const auto ic = cycles_l2(trace::plan_ic(kCalib));
+  const auto icfcp = cycles_l2(trace::plan_ic_fc_packed(kCalib));
+  EXPECT_LT(tc, icfcp);
+  EXPECT_LT(icfcp, ic);
+  // The Section 3.2 band survives the model change.
+  const double ratio = static_cast<double>(ic) / static_cast<double>(tc);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(GpuSim, SharedOperandsHitInL2) {
+  const trace::GemmShape shape{197, 768, 768, 1};
+  const auto plan = trace::plan_tc(kCalib);
+  const auto kernel = trace::build_gemm_kernel(shape, plan, kSpec, kCalib);
+  const auto geom = trace::gemm_grid_geom(shape, plan, kSpec);
+  GpuSim gpu(kSpec, kCalib);
+  const auto r =
+      gpu.run(kernel, geom, occupancy_blocks_per_sm(kernel, kSpec));
+  // Column-blocks sharing the A tile must produce a substantial hit rate.
+  EXPECT_GT(r.l2_hit_rate, 0.4);
+  EXPECT_GT(r.l2_hits, 0u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(GpuSim, InstructionCountsMatchSingleSmModel) {
+  // Timing differs between models; the instruction stream must not.
+  const trace::GemmShape shape{128, 256, 128, 1};
+  const auto plan = trace::plan_ic(kCalib);
+  const auto kernel = trace::build_gemm_kernel(shape, plan, kSpec, kCalib);
+  const auto geom = trace::gemm_grid_geom(shape, plan, kSpec);
+  const auto a = launch_kernel(kernel, kSpec, kCalib);
+  const auto b = launch_kernel_l2(kernel, geom, kSpec, kCalib);
+  EXPECT_EQ(a.grid_instructions, b.grid_instructions);
+}
+
+}  // namespace
+}  // namespace vitbit::sim

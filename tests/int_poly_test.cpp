@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quant/int_exp.h"
+#include "quant/int_poly.h"
+#include "quant/shift_gelu.h"
+#include "quant/shiftmax.h"
+
+namespace vitbit::quant {
+namespace {
+
+constexpr int kFb = 10;
+constexpr std::int32_t kOne = 1 << kFb;
+
+TEST(IntErfPoly, MatchesErf) {
+  // The I-BERT quadratic is fit for GELU, not for erf itself: its erf
+  // intermediate carries up to ~0.10 error near x=0 (L(0) = a*b^2 + 1 =
+  // 0.096) and tightens toward the tails. GELU (tested below) stays within
+  // 0.03 because it multiplies by x, which vanishes exactly where the erf
+  // error peaks.
+  for (double x = -3.0; x <= 3.0; x += 0.01) {
+    const auto q = static_cast<std::int32_t>(std::lround(x * kOne));
+    const double got = int_erf_poly(q, kFb) / static_cast<double>(kOne);
+    EXPECT_NEAR(got, std::erf(x), 0.105) << "x=" << x;
+  }
+  // Tails are tight.
+  for (const double x : {1.5, 2.0, 2.5, -1.5, -2.0}) {
+    const auto q = static_cast<std::int32_t>(std::lround(x * kOne));
+    EXPECT_NEAR(int_erf_poly(q, kFb) / static_cast<double>(kOne), std::erf(x),
+                0.02)
+        << x;
+  }
+}
+
+TEST(IntErfPoly, OddSymmetry) {
+  for (const double x : {0.3, 0.9, 1.5, 2.4}) {
+    const auto q = static_cast<std::int32_t>(std::lround(x * kOne));
+    EXPECT_EQ(int_erf_poly(q, kFb), -int_erf_poly(-q, kFb)) << x;
+  }
+}
+
+TEST(IntErfPoly, SaturatesOutsideClipRange) {
+  EXPECT_EQ(int_erf_poly(10 * kOne, kFb), int_erf_poly(3 * kOne, kFb));
+  EXPECT_EQ(int_erf_poly(-10 * kOne, kFb), int_erf_poly(-3 * kOne, kFb));
+}
+
+TEST(IntExpPoly, MatchesExp) {
+  for (double x = 0.0; x >= -10.0; x -= 0.01) {
+    const auto p = static_cast<std::int32_t>(std::lround(x * kOne));
+    const double got = int_exp_poly(p, kFb) / static_cast<double>(kOne);
+    EXPECT_NEAR(got, std::exp(x), 0.004) << "x=" << x;
+  }
+}
+
+TEST(IntExpPoly, TighterThanShiftExp) {
+  double worst_shift = 0, worst_poly = 0;
+  for (double x = 0.0; x >= -6.0; x -= 0.005) {
+    const auto p = static_cast<std::int32_t>(std::lround(x * kOne));
+    const double want = std::exp(x);
+    worst_shift = std::max(
+        worst_shift,
+        std::abs(int_exp_neg(p, kFb) / static_cast<double>(kOne) - want));
+    worst_poly = std::max(
+        worst_poly,
+        std::abs(int_exp_poly(p, kFb) / static_cast<double>(kOne) - want));
+  }
+  EXPECT_LT(worst_poly, worst_shift)
+      << "the 2nd-order polynomial should beat the linear-fraction shift";
+}
+
+TEST(IntExpPoly, MonotoneNonIncreasingTowardMinusInf) {
+  std::int32_t prev = int_exp_poly(0, kFb);
+  for (int i = 1; i <= 400; ++i) {
+    const std::int32_t cur = int_exp_poly(-i * (kOne / 16), kFb);
+    EXPECT_LE(cur, prev + 1) << i;  // +1 tolerance for rounding jitter
+    prev = cur;
+  }
+  EXPECT_EQ(int_exp_poly(-100 * kOne, kFb), 0);
+}
+
+TEST(PolyGelu, MatchesReference) {
+  MatrixF32 xf(1, 1601);
+  MatrixI32 xi(1, 1601);
+  for (int i = 0; i <= 1600; ++i) {
+    const double x = -4.0 + 0.005 * i;
+    xf.at(0, i) = static_cast<float>(x);
+    xi.at(0, i) = static_cast<std::int32_t>(std::lround(x * kOne));
+  }
+  const auto want = gelu_erf_ref(xf);
+  const auto got = poly_gelu(xi, kFb);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(got.flat()[i] / static_cast<double>(kOne), want.flat()[i],
+                0.03)
+        << xf.flat()[i];
+}
+
+TEST(PolySoftmax, RowsSumToOne) {
+  Rng rng(4);
+  MatrixI32 logits(8, 40);
+  fill_uniform(logits, rng, -(6 * kOne), 6 * kOne);
+  const auto p = poly_softmax(logits, kFb, 14);
+  for (int r = 0; r < p.rows(); ++r) {
+    std::int64_t sum = 0;
+    for (const auto v : p.row(r)) {
+      EXPECT_GE(v, 0);
+      sum += v;
+    }
+    EXPECT_NEAR(static_cast<double>(sum), 16384.0, 16384.0 * 0.02) << r;
+  }
+}
+
+TEST(PolySoftmax, CloseToFloatReference) {
+  Rng rng(5);
+  MatrixF32 xf(6, 32);
+  for (auto& v : xf.flat()) v = static_cast<float>(rng.normal(0.0, 2.0));
+  MatrixI32 xi(6, 32);
+  for (std::size_t i = 0; i < xf.size(); ++i)
+    xi.flat()[i] = static_cast<std::int32_t>(std::lround(xf.flat()[i] * kOne));
+  const auto got = poly_softmax(xi, kFb, 14);
+  const auto want = softmax_ref(xf);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(got.flat()[i] / 16384.0, want.flat()[i], 0.02);
+}
+
+}  // namespace
+}  // namespace vitbit::quant

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/mixer.h"
+#include "tensor/gemm_ref.h"
+#include "vitbit/executors.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit::nn {
+namespace {
+
+MatrixF32 random_patches(const MixerConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF32 p(cfg.num_patches(), cfg.patch_dim());
+  for (auto& v : p.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return p;
+}
+
+TEST(Mixer, ConfigValidates) {
+  EXPECT_NO_THROW(mixer_small().validate());
+  EXPECT_NO_THROW(mixer_tiny().validate());
+  MixerConfig bad;
+  bad.patch_size = 15;
+  EXPECT_THROW(bad.validate(), CheckError);
+}
+
+TEST(Mixer, ForwardProducesLogits) {
+  const auto cfg = mixer_tiny();
+  const auto model = random_mixer(cfg, 1);
+  const auto logits = model.forward(random_patches(cfg, 2), reference_gemm());
+  EXPECT_EQ(logits.rows(), 1);
+  EXPECT_EQ(logits.cols(), cfg.num_classes);
+}
+
+TEST(Mixer, AllStrategiesBitIdentical) {
+  const auto cfg = mixer_tiny();
+  const auto model = random_mixer(cfg, 3);
+  const auto patches = random_patches(cfg, 4);
+  const auto baseline = model.forward(patches, reference_gemm());
+  for (const auto s : core::all_strategies()) {
+    const auto logits = model.forward(patches, core::make_gemm_executor(s));
+    EXPECT_EQ(max_abs_diff(logits, baseline), 0.0) << core::strategy_name(s);
+  }
+}
+
+TEST(Mixer, KernelLogMatchesStaticWalk) {
+  const auto cfg = mixer_tiny();
+  const auto model = random_mixer(cfg, 5);
+  KernelLog dynamic;
+  model.forward(random_patches(cfg, 6), reference_gemm(), &dynamic);
+  const auto walk = build_mixer_kernel_log(cfg);
+  ASSERT_EQ(dynamic.calls().size(), walk.calls().size());
+  for (std::size_t i = 0; i < walk.calls().size(); ++i) {
+    EXPECT_EQ(dynamic.calls()[i].name, walk.calls()[i].name);
+    EXPECT_EQ(dynamic.calls()[i].m, walk.calls()[i].m) << walk.calls()[i].name;
+    EXPECT_EQ(dynamic.calls()[i].k, walk.calls()[i].k) << walk.calls()[i].name;
+    EXPECT_EQ(dynamic.calls()[i].n, walk.calls()[i].n) << walk.calls()[i].name;
+    EXPECT_EQ(dynamic.calls()[i].elems, walk.calls()[i].elems)
+        << walk.calls()[i].name;
+  }
+}
+
+TEST(Mixer, SmallConfigScale) {
+  const auto log = build_mixer_kernel_log(mixer_small());
+  // 8 layers x 4 GEMMs + embed + head.
+  EXPECT_EQ(log.count(KernelKind::kGemm), 34u);
+  EXPECT_GT(log.total_macs(), std::int64_t{1} << 31);
+}
+
+TEST(Mixer, PipelineOrderingHolds) {
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const auto log = build_mixer_kernel_log(mixer_small());
+  core::StrategyConfig cfg;
+  const auto tc = core::time_inference(log, core::Strategy::kTC, cfg, spec,
+                                       calib);
+  const auto vb = core::time_inference(log, core::Strategy::kVitBit, cfg,
+                                       spec, calib);
+  EXPECT_LT(vb.total_cycles, tc.total_cycles);
+}
+
+}  // namespace
+}  // namespace vitbit::nn

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "swar/packed_ops.h"
+
+namespace vitbit::swar {
+namespace {
+
+class PackedOps : public ::testing::TestWithParam<std::tuple<int, LaneMode>> {
+ protected:
+  LaneLayout layout() const {
+    return paper_policy_layout(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(PackedOps, ArrayRoundTrip) {
+  const auto l = layout();
+  Rng rng(1);
+  std::vector<std::int32_t> vals(101);  // deliberately not a lane multiple
+  for (auto& v : vals)
+    v = static_cast<std::int32_t>(rng.range(l.value_min(), l.value_max()));
+  auto words = pack_array(vals, l);
+  EXPECT_EQ(words.size(),
+            (vals.size() + static_cast<std::size_t>(l.num_lanes) - 1) /
+                static_cast<std::size_t>(l.num_lanes));
+  EXPECT_EQ(unpack_array(words, l, vals.size()), vals);
+}
+
+TEST_P(PackedOps, ReluMatchesScalar) {
+  const auto l = layout();
+  Rng rng(2);
+  std::vector<std::int32_t> vals(96);
+  for (auto& v : vals)
+    v = static_cast<std::int32_t>(rng.range(l.value_min(), l.value_max()));
+  auto words = pack_array(vals, l);
+  packed_relu(words, l);
+  const auto got = unpack_array(words, l, vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    EXPECT_EQ(got[i], std::max(vals[i], 0)) << i;
+}
+
+TEST_P(PackedOps, RequantShiftMatchesScalar) {
+  const auto l = layout();
+  Rng rng(3);
+  std::vector<std::int32_t> vals(96);
+  for (auto& v : vals)
+    v = static_cast<std::int32_t>(rng.range(l.value_min(), l.value_max()));
+  for (const int shift : {0, 1, 3}) {
+    auto words = pack_array(vals, l);
+    packed_requant_shift(words, shift, l);
+    const auto got = unpack_array(words, l, vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      std::int64_t want = vals[i];
+      if (shift > 0) {
+        const std::int64_t half = std::int64_t{1} << (shift - 1);
+        want = want >= 0 ? (want + half) >> shift
+                         : -((-want + half) >> shift);
+      }
+      want = std::clamp<std::int64_t>(want, l.value_min(), l.value_max());
+      EXPECT_EQ(got[i], want) << "i=" << i << " shift=" << shift;
+    }
+  }
+}
+
+TEST_P(PackedOps, AddSaturates) {
+  const auto l = layout();
+  Rng rng(4);
+  std::vector<std::int32_t> va(64), vb(64);
+  for (auto& v : va)
+    v = static_cast<std::int32_t>(rng.range(l.value_min(), l.value_max()));
+  for (auto& v : vb)
+    v = static_cast<std::int32_t>(rng.range(l.value_min(), l.value_max()));
+  const auto wa = pack_array(va, l);
+  const auto wb = pack_array(vb, l);
+  std::vector<std::uint32_t> out(wa.size());
+  packed_add_saturate(out, wa, wb, l);
+  const auto got = unpack_array(out, l, va.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const auto want = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(va[i]) + vb[i], l.value_min(),
+        l.value_max());
+    EXPECT_EQ(got[i], want) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitwidthsAndModes, PackedOps,
+    ::testing::Combine(::testing::Values(4, 5, 8),
+                       ::testing::Values(LaneMode::kUnsigned, LaneMode::kOffset,
+                                         LaneMode::kTopSigned)));
+
+TEST(PackedOpsEdge, EmptyArray) {
+  const auto l = paper_policy_layout(8);
+  const std::vector<std::int32_t> vals;
+  auto words = pack_array(vals, l);
+  EXPECT_TRUE(words.empty());
+  packed_relu(words, l);
+  EXPECT_TRUE(unpack_array(words, l, 0).empty());
+}
+
+TEST(PackedOpsEdge, UnpackBeyondWordsThrows) {
+  const auto l = paper_policy_layout(8);
+  const std::vector<std::uint32_t> words(2);
+  EXPECT_THROW(unpack_array(words, l, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace vitbit::swar

@@ -1,0 +1,57 @@
+// Pipeline coverage for the CNN workload: the Figure-5 strategy ordering
+// must transfer from the transformer to im2col convolutions.
+#include <gtest/gtest.h>
+
+#include "nn/cnn.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit {
+namespace {
+
+TEST(PipelineCnn, StrategyOrderingTransfers) {
+  // A trimmed edge config keeps the test quick while exercising real
+  // conv GEMM shapes.
+  nn::CnnConfig cfg;
+  cfg.image_size = 112;
+  cfg.convs = {{32, 3, 2, false}, {64, 3, 1, true}, {128, 3, 1, true}};
+  cfg.num_classes = 100;
+  const auto log = nn::build_cnn_kernel_log(cfg);
+
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  core::StrategyConfig sc;
+  const auto tc = core::time_inference(log, core::Strategy::kTC, sc, spec,
+                                       calib);
+  const auto vb = core::time_inference(log, core::Strategy::kVitBit, sc, spec,
+                                       calib);
+  EXPECT_LE(vb.total_cycles, tc.total_cycles)
+      << "VitBit must not lose to the TC baseline on convolutions";
+  EXPECT_LT(vb.gemm_cycles, tc.gemm_cycles);
+  EXPECT_LE(vb.cuda_cycles, tc.cuda_cycles);
+}
+
+TEST(PipelineCnn, ReluAndPoolKernelsAreTimed) {
+  const auto log = nn::build_cnn_kernel_log(nn::cnn_small());
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  core::StrategyConfig sc;
+  sc.auto_tune_fused_cols = false;
+  const auto t = core::time_inference(log, core::Strategy::kIC, sc, spec,
+                                      calib);
+  bool saw_relu = false, saw_pool = false;
+  for (const auto& k : t.kernels) {
+    if (k.kind == nn::KernelKind::kRelu) {
+      saw_relu = true;
+      EXPECT_GT(k.cycles, 0u) << k.name;
+    }
+    if (k.kind == nn::KernelKind::kPool) {
+      saw_pool = true;
+      EXPECT_GT(k.cycles, 0u) << k.name;
+    }
+  }
+  EXPECT_TRUE(saw_relu);
+  EXPECT_TRUE(saw_pool);
+}
+
+}  // namespace
+}  // namespace vitbit

@@ -1,0 +1,103 @@
+// Edge-case coverage for Algorithm 1 preprocessing and the fused GEMM:
+// degenerate widths, padding boundaries, and slice-disabled variants.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/gemm_ref.h"
+#include "vitbit/fused_gemm.h"
+#include "vitbit/preprocess.h"
+
+namespace vitbit::core {
+namespace {
+
+const swar::LaneLayout kL8 =
+    swar::paper_policy_layout(8, swar::LaneMode::kTopSigned);
+
+MatrixI32 random_i8(Rng& rng, int r, int c) {
+  MatrixI32 m(r, c);
+  fill_uniform(m, rng, -127, 127);
+  return m;
+}
+
+TEST(PreprocessEdge, SingleColumnInput) {
+  Rng rng(1);
+  const auto b = random_i8(rng, 8, 1);
+  // m=4: N3 = 1*4/5 = 0; cuda = 1; n1 = 1*2/3 = 0; n2 = 1.
+  const auto pre = input_preprocessing(b, 4, 2, kL8);
+  EXPECT_EQ(pre.widths.n1, 0);
+  EXPECT_EQ(pre.widths.n2, 1);
+  EXPECT_EQ(pre.widths.n3, 0);
+  const auto a = random_i8(rng, 3, 8);
+  const auto c = vitbit_gemm(weight_preprocessing(a), pre);
+  EXPECT_EQ(max_abs_diff(c, gemm_ref_int(a, b)), 0);
+}
+
+TEST(PreprocessEdge, NarrowerThanOneLaneGroup) {
+  Rng rng(2);
+  const auto b = random_i8(rng, 4, 2);
+  const auto pre = input_preprocessing(b, 0, 2, kL8);
+  // cuda = 2: n1 = 2*2/3 = 1 -> rounded down to 0; n2 = 2.
+  EXPECT_EQ(pre.widths.n1, 0);
+  EXPECT_EQ(pre.widths.n2, 2);
+}
+
+TEST(PreprocessEdge, AllSlicesExactMultiple) {
+  Rng rng(3);
+  const auto b = random_i8(rng, 16, 30);
+  // m=4: n3 = 24; cuda 6: n1 = 4, n2 = 2.
+  const auto pre = input_preprocessing(b, 4, 2, kL8);
+  EXPECT_EQ(pre.widths.n3, 24);
+  EXPECT_EQ(pre.widths.n1, 4);
+  EXPECT_EQ(pre.widths.n2, 2);
+  EXPECT_EQ(pre.b1.packed_cols(), 2);
+  const auto a = random_i8(rng, 5, 16);
+  EXPECT_EQ(max_abs_diff(vitbit_gemm(weight_preprocessing(a), pre),
+                         gemm_ref_int(a, b)),
+            0);
+}
+
+TEST(PreprocessEdge, KEqualsOne) {
+  Rng rng(4);
+  const auto a = random_i8(rng, 2, 1);
+  const auto b = random_i8(rng, 1, 12);
+  const auto pre = input_preprocessing(b, 2, 2, kL8);
+  EXPECT_EQ(max_abs_diff(vitbit_gemm(weight_preprocessing(a), pre),
+                         gemm_ref_int(a, b)),
+            0);
+}
+
+TEST(PreprocessEdge, HugeMRatioSendsAlmostEverythingToTensor) {
+  Rng rng(5);
+  const auto b = random_i8(rng, 4, 10);
+  // Algorithm 1 floors N*m/(1+m): one column stays on the CUDA side even
+  // at an extreme ratio.
+  const auto pre = input_preprocessing(b, 1000, 2, kL8);
+  EXPECT_EQ(pre.widths.n3, 9);
+  EXPECT_EQ(pre.widths.n1 + pre.widths.n2, 1);
+}
+
+TEST(PreprocessEdge, StatsReflectSliceSizes) {
+  Rng rng(6);
+  const auto a = random_i8(rng, 4, 32);
+  const auto b = random_i8(rng, 32, 30);
+  const auto pre = input_preprocessing(b, 4, 2, kL8);
+  FusedGemmStats stats;
+  vitbit_gemm(weight_preprocessing(a), pre, {}, &stats);
+  EXPECT_EQ(stats.tensor_macs, 4LL * 32 * pre.widths.n3);
+  EXPECT_EQ(stats.fp_macs, 4LL * 32 * pre.widths.n2);
+  EXPECT_GT(stats.packed.mac_instructions, 0);
+}
+
+TEST(PreprocessEdge, ZeroColumnsRejectedGracefully) {
+  MatrixI32 b(4, 0);
+  const auto pre = input_preprocessing(b, 4, 2, kL8);
+  EXPECT_EQ(pre.widths.n1 + pre.widths.n2 + pre.widths.n3, 0);
+}
+
+TEST(PreprocessEdge, WrongLaneCountForRatioThrows) {
+  MatrixI32 b(4, 8);
+  EXPECT_THROW(input_preprocessing(b, 4, 3, kL8), CheckError);
+}
+
+}  // namespace
+}  // namespace vitbit::core

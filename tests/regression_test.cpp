@@ -1,0 +1,100 @@
+// Headline-number regression suite: pins the reproduced figures (see
+// EXPERIMENTS.md) in tolerance bands so calibration or kernel-builder
+// changes that silently move the results are caught. Bands are ± a few
+// points around the values recorded in EXPERIMENTS.md, inside the paper's
+// qualitative shape.
+#include <gtest/gtest.h>
+
+#include "nn/vit_model.h"
+#include "trace/gemm_traces.h"
+#include "vitbit/pipeline.h"
+#include "vitbit/tuner.h"
+
+namespace vitbit {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration& kCalib = arch::default_calibration();
+
+class Figures : public ::testing::Test {
+ protected:
+  static const core::InferenceTiming& timing(core::Strategy s) {
+    static const auto log = nn::build_kernel_log(nn::vit_base());
+    static std::map<int, core::InferenceTiming> cache;
+    const auto it = cache.find(static_cast<int>(s));
+    if (it != cache.end()) return it->second;
+    core::StrategyConfig cfg;
+    return cache
+        .emplace(static_cast<int>(s),
+                 core::time_inference(log, s, cfg, kSpec, kCalib))
+        .first->second;
+  }
+  static double speedup(core::Strategy s) {
+    return static_cast<double>(timing(core::Strategy::kTC).total_cycles) /
+           static_cast<double>(timing(s).total_cycles);
+  }
+};
+
+TEST_F(Figures, Section32Anchor) {
+  const auto study = core::run_initial_study({197, 768, 3072, 1}, kSpec,
+                                             kCalib);
+  EXPECT_NEAR(study.ratio_ic(), 7.4, 0.8);     // paper 7.5
+  EXPECT_NEAR(study.ratio_fc(), 7.2, 0.8);     // paper 7.5
+  EXPECT_NEAR(study.ratio_icfc(), 5.7, 0.8);   // paper 6.5
+  EXPECT_NEAR(study.ratio_icfcp(), 3.2, 0.6);  // paper 4.0
+}
+
+TEST_F(Figures, Fig5EndToEnd) {
+  EXPECT_NEAR(speedup(core::Strategy::kTacker), 1.07, 0.04);  // paper 1.06
+  EXPECT_NEAR(speedup(core::Strategy::kTCICFC), 1.06, 0.04);  // paper 1.11
+  EXPECT_NEAR(speedup(core::Strategy::kVitBit), 1.10, 0.05);  // paper 1.22
+  // Shape constraints that must never regress:
+  EXPECT_GT(speedup(core::Strategy::kVitBit),
+            speedup(core::Strategy::kTacker));
+  EXPECT_GT(speedup(core::Strategy::kVitBit),
+            speedup(core::Strategy::kTCICFC));
+}
+
+TEST_F(Figures, Fig7CudaKernelMax) {
+  const auto& ic = timing(core::Strategy::kIC);
+  const auto& vb = timing(core::Strategy::kVitBit);
+  double best = 0;
+  for (std::size_t i = 0; i < ic.kernels.size(); ++i) {
+    if (ic.kernels[i].kind == nn::KernelKind::kGemm) continue;
+    best = std::max(best, static_cast<double>(ic.kernels[i].cycles) /
+                              static_cast<double>(vb.kernels[i].cycles));
+  }
+  EXPECT_NEAR(best, 1.18, 0.07);  // paper max: 1.18
+}
+
+TEST_F(Figures, Fig9InstructionReduction) {
+  const auto& icfc = timing(core::Strategy::kICFC);
+  const auto& vb = timing(core::Strategy::kVitBit);
+  std::uint64_t a = 0, b = 0;
+  for (std::size_t i = 0; i < icfc.kernels.size(); ++i) {
+    if (icfc.kernels[i].kind == nn::KernelKind::kGemm) continue;
+    a += icfc.kernels[i].instructions;
+    b += vb.kernels[i].instructions;
+  }
+  const double reduction = static_cast<double>(a) / static_cast<double>(b);
+  EXPECT_NEAR(reduction, 1.20, 0.12);  // paper: up to 1.5x
+  EXPECT_GT(reduction, 1.0);
+}
+
+TEST_F(Figures, Fig10IpcGain) {
+  const double gain = timing(core::Strategy::kICFC).mean_ipc() /
+                      timing(core::Strategy::kIC).mean_ipc();
+  EXPECT_NEAR(gain, 1.52, 0.18);  // paper ~1.3x
+}
+
+TEST_F(Figures, Fig8DensityOrdering) {
+  static const auto log = nn::build_kernel_log(nn::vit_base());
+  const double tc = timing(core::Strategy::kTC).gemm_ops_per_cycle(log);
+  const double vb = timing(core::Strategy::kVitBit).gemm_ops_per_cycle(log);
+  const double tk = timing(core::Strategy::kTacker).gemm_ops_per_cycle(log);
+  EXPECT_GT(vb / tc, 1.05);
+  EXPECT_GT(vb, tk);
+}
+
+}  // namespace
+}  // namespace vitbit

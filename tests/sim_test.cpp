@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "common/check.h"
+#include "sim/launcher.h"
+#include "sim/sm_sim.h"
+
+namespace vitbit::sim {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration kCalib;
+
+// A warp of `n` independent IMADs (distinct destination registers).
+ProgramPtr independent_imads(int n) {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto w = b.new_reg();
+  for (int i = 0; i < n; ++i) {
+    const auto d = b.new_reg();
+    b.imad(d, a, w, d);
+  }
+  b.exit();
+  return b.build();
+}
+
+// A warp of `n` chained IMADs (each depends on the previous).
+ProgramPtr chained_imads(int n) {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto w = b.new_reg();
+  const auto acc = b.new_reg();
+  for (int i = 0; i < n; ++i) b.imad(acc, a, w, acc);
+  b.exit();
+  return b.build();
+}
+
+ProgramPtr independent_ffmas(int n) {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto w = b.new_reg();
+  for (int i = 0; i < n; ++i) {
+    const auto d = b.new_reg();
+    b.ffma(d, a, w, d);
+  }
+  b.exit();
+  return b.build();
+}
+
+SmStats run_warps(const std::vector<ProgramPtr>& warps) {
+  SmSim sm(kSpec, kCalib);
+  sm.add_block(warps);
+  return sm.run();
+}
+
+TEST(Isa, OpcodeTableSanity) {
+  EXPECT_EQ(op_info(Opcode::kImad).unit, ExecUnit::kIntPipe);
+  EXPECT_EQ(op_info(Opcode::kFfma).unit, ExecUnit::kFpPipe);
+  EXPECT_EQ(op_info(Opcode::kImma).unit, ExecUnit::kTensor);
+  EXPECT_EQ(op_info(Opcode::kLdg).unit, ExecUnit::kLsu);
+  EXPECT_EQ(op_info(Opcode::kImad).issue_cycles, 2)
+      << "32-lane warp over a 16-lane pipe";
+  EXPECT_STREQ(opcode_name(Opcode::kImad), "IMAD");
+  EXPECT_STREQ(unit_name(ExecUnit::kTensor), "TC");
+}
+
+TEST(ProgramBuilder, RequiresExit) {
+  ProgramBuilder b;
+  b.iadd(b.new_reg(), kNoReg, kNoReg);
+  EXPECT_THROW(b.build(), CheckError);
+}
+
+TEST(SmSim, SingleWarpImadThroughputIsPipeBound) {
+  // n independent IMADs, one warp: INT pipe accepts one warp-op per 2
+  // cycles, so total ~= 2n.
+  const int n = 1000;
+  const auto stats = run_warps({independent_imads(n)});
+  EXPECT_NEAR(static_cast<double>(stats.cycles), 2.0 * n, 0.05 * n);
+  EXPECT_EQ(stats.issued(Opcode::kImad), static_cast<std::uint64_t>(n));
+}
+
+TEST(SmSim, ChainedImadsAreLatencyBound) {
+  // Each IMAD waits for the previous result: ~latency (5) per instruction.
+  const int n = 500;
+  const auto stats = run_warps({chained_imads(n)});
+  EXPECT_GT(stats.cycles, 4.5 * n);
+  EXPECT_LT(stats.cycles, 6.5 * n);
+}
+
+TEST(SmSim, TwoWarpsHideChainLatency) {
+  // Two chained warps on the same sub-core interleave; the pipe still caps
+  // at 1 op / 2 cycles, but utilization roughly doubles vs one chained warp.
+  const int n = 500;
+  SmSim sm(kSpec, kCalib);
+  // Both warps land on different subcores (round-robin) — use 5 warps so
+  // subcore 0 gets two of them.
+  const auto one = run_warps({chained_imads(n)});
+  const auto two = run_warps(
+      {chained_imads(n), independent_imads(1), independent_imads(1),
+       independent_imads(1), chained_imads(n)});
+  // Warps 0 and 4 share sub-core 0: same INT pipe, interleaved chains.
+  EXPECT_LT(two.cycles, one.cycles * 1.25)
+      << "two chains should overlap, not serialize";
+}
+
+TEST(SmSim, IntAndFpPipesRunConcurrently) {
+  // The Ampere property VitBit leans on: an INT warp and an FP warp on the
+  // same sub-core sustain both pipes at once.
+  const int n = 2000;
+  const auto int_only = run_warps({independent_imads(n)});
+  const auto fp_only = run_warps({independent_ffmas(n)});
+  // 5 warps: warps 0 and 4 share sub-core 0.
+  const auto both = run_warps(
+      {independent_imads(n), independent_imads(1), independent_imads(1),
+       independent_imads(1), independent_ffmas(n)});
+  EXPECT_NEAR(static_cast<double>(both.cycles),
+              static_cast<double>(std::max(int_only.cycles, fp_only.cycles)),
+              0.1 * static_cast<double>(int_only.cycles))
+      << "INT+FP should overlap almost completely";
+}
+
+TEST(SmSim, SamePipeWarpsSerialize) {
+  const int n = 2000;
+  const auto one = run_warps({independent_imads(n)});
+  const auto two = run_warps(
+      {independent_imads(n), independent_imads(1), independent_imads(1),
+       independent_imads(1), independent_imads(n)});
+  EXPECT_GT(two.cycles, 1.8 * one.cycles)
+      << "two INT warps on one sub-core contend for the same pipe";
+}
+
+TEST(SmSim, IssuePortLimitsOneInstructionPerCycle) {
+  // Three warps of cheap branch-unit NOPs on one sub-core: the scheduler
+  // issues at most one per cycle regardless of unit availability.
+  ProgramBuilder b;
+  for (int i = 0; i < 100; ++i) b.emit(Opcode::kNop, kNoReg);
+  b.exit();
+  const auto p = b.build();
+  SmSim sm(kSpec, kCalib);
+  sm.add_block({p});  // one warp on subcore 0
+  const auto one = sm.run();
+  SmSim sm3(kSpec, kCalib);
+  sm3.add_block({p, independent_imads(0), independent_imads(0),
+                 independent_imads(0), p, independent_imads(0),
+                 independent_imads(0), independent_imads(0), p});
+  const auto three = sm3.run();  // warps 0,4,8 all on subcore 0
+  EXPECT_GE(three.cycles, 3u * 100u - 10u);
+  (void)one;
+}
+
+TEST(SmSim, TensorCoreOccupancy) {
+  // n IMMAs: each holds the tensor core for the calibrated occupancy.
+  ProgramBuilder b;
+  const auto fa = b.new_reg();
+  const auto fb = b.new_reg();
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const auto acc = b.new_reg();
+    b.imma(acc, fa, fb);
+  }
+  b.exit();
+  const auto stats = run_warps({b.build()});
+  const double occ = kCalib.imma_occupancy_cycles;
+  EXPECT_NEAR(static_cast<double>(stats.cycles), occ * n, 0.1 * occ * n);
+  EXPECT_EQ(stats.busy(ExecUnit::kTensor),
+            static_cast<std::uint64_t>(occ * n));
+}
+
+TEST(SmSim, DramBandwidthBindsLargeTransfers) {
+  // Many 128B loads from one warp: at ~11.25 B/cycle/SM the stream is
+  // bandwidth-bound: cycles ~= total_bytes / bpc.
+  ProgramBuilder b;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto d = b.new_reg();
+    b.ldg(d, 128);
+  }
+  b.exit();
+  const auto stats = run_warps({b.build()});
+  const double expect = n * 128.0 / kSpec.dram_bytes_per_cycle_per_sm();
+  EXPECT_NEAR(static_cast<double>(stats.cycles), expect, 0.15 * expect);
+}
+
+TEST(SmSim, DramLatencyBindsSingleLoad) {
+  ProgramBuilder b;
+  const auto d = b.new_reg();
+  b.ldg(d, 128);
+  const auto e = b.new_reg();
+  b.iadd(e, d, d);  // depends on the load
+  b.exit();
+  const auto stats = run_warps({b.build()});
+  EXPECT_GE(stats.cycles,
+            static_cast<std::uint64_t>(kCalib.dram_latency_cycles));
+  EXPECT_LT(stats.cycles,
+            static_cast<std::uint64_t>(kCalib.dram_latency_cycles) + 50);
+}
+
+TEST(SmSim, SharedMemoryLatency) {
+  ProgramBuilder b;
+  const auto d = b.new_reg();
+  b.lds(d, 128);
+  const auto e = b.new_reg();
+  b.iadd(e, d, d);
+  b.exit();
+  const auto stats = run_warps({b.build()});
+  EXPECT_GE(stats.cycles,
+            static_cast<std::uint64_t>(kCalib.smem_latency_cycles));
+  EXPECT_LT(stats.cycles,
+            static_cast<std::uint64_t>(kCalib.smem_latency_cycles) + 30);
+}
+
+TEST(SmSim, BarrierSynchronizesBlock) {
+  // Warp 0 does long work before BAR; warp 1 reaches BAR immediately and
+  // must wait; both then run an IMAD. Total >= warp0's pre-barrier work.
+  ProgramBuilder b0;
+  {
+    const auto a = b0.new_reg();
+    const auto w = b0.new_reg();
+    const auto acc = b0.new_reg();
+    for (int i = 0; i < 200; ++i) b0.imad(acc, a, w, acc);
+    b0.bar();
+    b0.imad(acc, a, w, acc);
+    b0.exit();
+  }
+  ProgramBuilder b1;
+  {
+    const auto a = b1.new_reg();
+    const auto w = b1.new_reg();
+    const auto acc = b1.new_reg();
+    b1.bar();
+    b1.imad(acc, a, w, acc);
+    b1.exit();
+  }
+  const auto stats = run_warps({b0.build(), b1.build()});
+  EXPECT_GT(stats.cycles, 200u * 5u)
+      << "warp 1 must wait for warp 0's 200 chained IMADs";
+}
+
+TEST(SmSim, BarrierMismatchDetectedAsDeadlock) {
+  // Warp 1 exits without reaching the barrier warp 0 waits on.
+  ProgramBuilder b0;
+  b0.bar();
+  b0.exit();
+  ProgramBuilder b1;
+  b1.exit();
+  SmSim sm(kSpec, kCalib);
+  sm.add_block({b0.build(), b1.build()});
+  EXPECT_THROW(sm.run(), CheckError);
+}
+
+TEST(SmSim, IndependentBlocksHaveIndependentBarriers) {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto w = b.new_reg();
+  const auto acc = b.new_reg();
+  for (int i = 0; i < 50; ++i) b.imad(acc, a, w, acc);
+  b.bar();
+  b.exit();
+  const auto p = b.build();
+  SmSim sm(kSpec, kCalib);
+  sm.add_block({p, p});
+  sm.add_block({p, p});
+  EXPECT_NO_THROW(sm.run());
+}
+
+TEST(SmSim, StatsConservation) {
+  const int n = 300;
+  const auto stats = run_warps({independent_imads(n), independent_ffmas(n)});
+  // Every instruction is counted exactly once.
+  std::uint64_t by_op = 0;
+  for (const auto c : stats.issued_by_opcode) by_op += c;
+  EXPECT_EQ(by_op, stats.instructions_issued);
+  EXPECT_EQ(stats.instructions_issued,
+            static_cast<std::uint64_t>(2 * n + 2));  // + 2 EXITs
+  // Unit busy cycles never exceed instances * cycles.
+  EXPECT_LE(stats.busy(ExecUnit::kIntPipe),
+            stats.cycles * static_cast<std::uint64_t>(kSpec.subcores_per_sm));
+  EXPECT_LE(stats.busy(ExecUnit::kLsu), stats.cycles);
+}
+
+TEST(SmSim, IpcReflectsDualIssueAcrossPipes) {
+  const int n = 3000;
+  const auto int_only = run_warps({independent_imads(n)});
+  const auto mixed = run_warps(
+      {independent_imads(n), independent_imads(1), independent_imads(1),
+       independent_imads(1), independent_ffmas(n)});
+  EXPECT_GT(mixed.ipc(), 1.6 * int_only.ipc())
+      << "using both pipes should raise IPC substantially (paper Fig. 10)";
+}
+
+TEST(Launcher, OccupancyLimits) {
+  KernelSpec k;
+  k.block_warps = {independent_imads(1), independent_imads(1),
+                   independent_imads(1), independent_imads(1),
+                   independent_imads(1), independent_imads(1),
+                   independent_imads(1), independent_imads(1)};  // 8 warps
+  k.regs_per_thread = 64;
+  k.smem_bytes = 48 * 1024;
+  // warp limit: 48/8 = 6; smem: 164K/48K = 3; regs: 65536/(64*32*8) = 4.
+  EXPECT_EQ(occupancy_blocks_per_sm(k, kSpec), 3);
+  k.smem_bytes = 16 * 1024;
+  EXPECT_EQ(occupancy_blocks_per_sm(k, kSpec), 4);
+  k.regs_per_thread = 32;
+  EXPECT_EQ(occupancy_blocks_per_sm(k, kSpec), 6);
+}
+
+TEST(Launcher, ImpossibleKernelThrows) {
+  KernelSpec k;
+  k.block_warps = {independent_imads(1)};
+  k.smem_bytes = 200 * 1024;  // exceeds the SM
+  EXPECT_THROW(occupancy_blocks_per_sm(k, kSpec), CheckError);
+}
+
+TEST(Launcher, WavesScaleTotalCycles) {
+  KernelSpec k;
+  k.block_warps = {independent_imads(400)};
+  k.smem_bytes = 164 * 1024;  // force 1 block per SM
+  k.grid_blocks = kSpec.num_sms;  // exactly one wave
+  const auto one_wave = launch_kernel(k, kSpec, kCalib);
+  EXPECT_EQ(one_wave.waves, 1);
+  k.grid_blocks = kSpec.num_sms * 3;
+  const auto three_waves = launch_kernel(k, kSpec, kCalib);
+  EXPECT_EQ(three_waves.waves, 3);
+  // SM cycles triple; the fixed launch overhead is paid once per kernel.
+  const auto overhead =
+      static_cast<std::uint64_t>(kCalib.kernel_launch_overhead_cycles);
+  EXPECT_EQ(three_waves.total_cycles - overhead,
+            3 * (one_wave.total_cycles - overhead));
+  EXPECT_EQ(three_waves.grid_instructions, 3 * one_wave.grid_instructions);
+}
+
+TEST(Launcher, PartialWaveAddsTail) {
+  KernelSpec k;
+  k.block_warps = {independent_imads(400)};
+  k.smem_bytes = 164 * 1024;
+  k.grid_blocks = kSpec.num_sms + 1;  // one full wave + a 1-block tail
+  const auto r = launch_kernel(k, kSpec, kCalib);
+  EXPECT_EQ(r.waves, 2);
+  k.grid_blocks = kSpec.num_sms;
+  const auto full = launch_kernel(k, kSpec, kCalib);
+  EXPECT_GT(r.total_cycles, full.total_cycles);
+  EXPECT_LT(r.total_cycles, 2 * full.total_cycles + 10);
+}
+
+TEST(Launcher, MillisecondsConversion) {
+  LaunchResult r;
+  r.total_cycles = static_cast<std::uint64_t>(kSpec.clock_ghz * 1e6);
+  EXPECT_NEAR(r.milliseconds(kSpec), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vitbit::sim

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "swar/layout.h"
+
+namespace vitbit::swar {
+namespace {
+
+TEST(PaperPolicy, MatchesFigure3) {
+  // Figure 3: >=9 bits -> zero-masking (1 value); 6-8 bits -> 2 values;
+  // 5 bits -> 3 values; <=4 bits -> 4 values.
+  EXPECT_EQ(packing_factor(16), 1);
+  EXPECT_EQ(packing_factor(9), 1);
+  EXPECT_EQ(packing_factor(8), 2);
+  EXPECT_EQ(packing_factor(7), 2);
+  EXPECT_EQ(packing_factor(6), 2);
+  EXPECT_EQ(packing_factor(5), 3);
+  EXPECT_EQ(packing_factor(4), 4);
+  EXPECT_EQ(packing_factor(3), 4);
+  EXPECT_EQ(packing_factor(2), 4);
+}
+
+TEST(PaperPolicy, FieldWidths) {
+  EXPECT_EQ(paper_policy_layout(8).field_bits, 16);
+  EXPECT_EQ(paper_policy_layout(5).field_bits, 10);
+  EXPECT_EQ(paper_policy_layout(4).field_bits, 8);
+  EXPECT_EQ(paper_policy_layout(12).field_bits, 32);
+}
+
+TEST(PaperPolicy, TopFieldAbsorbsLeftoverBits) {
+  // 3 lanes x 10 bits: the top lane owns 32 - 20 = 12 bits.
+  const auto l = paper_policy_layout(5);
+  EXPECT_EQ(l.top_field_bits(), 12);
+  const auto l2 = paper_policy_layout(8);
+  EXPECT_EQ(l2.top_field_bits(), 16);
+}
+
+TEST(PaperPolicy, AllLayoutsValid) {
+  for (int w = 2; w <= 16; ++w) {
+    for (const auto mode :
+         {LaneMode::kUnsigned, LaneMode::kOffset, LaneMode::kTopSigned}) {
+      const auto l = paper_policy_layout(w, mode);
+      EXPECT_TRUE(l.valid()) << "w=" << w << " " << l.to_string();
+      EXPECT_GE(l.worst_case_period(), 1) << l.to_string();
+    }
+  }
+}
+
+TEST(Layout, ZeroPoints) {
+  auto l = paper_policy_layout(8, LaneMode::kUnsigned);
+  EXPECT_EQ(l.zero_point(), 0);
+  EXPECT_EQ(l.scalar_zero_point(), 0);
+  l = paper_policy_layout(8, LaneMode::kOffset);
+  EXPECT_EQ(l.zero_point(), 128);
+  EXPECT_EQ(l.scalar_zero_point(), 128);
+  l = paper_policy_layout(8, LaneMode::kTopSigned);
+  EXPECT_EQ(l.zero_point(), 128);
+  EXPECT_EQ(l.scalar_zero_point(), 0);  // scalar stays raw signed
+}
+
+TEST(Layout, ValueRanges) {
+  const auto u = paper_policy_layout(8, LaneMode::kUnsigned);
+  EXPECT_EQ(u.value_min(), 0);
+  EXPECT_EQ(u.value_max(), 255);
+  const auto s = paper_policy_layout(8, LaneMode::kTopSigned);
+  EXPECT_EQ(s.value_min(), -128);
+  EXPECT_EQ(s.value_max(), 127);
+}
+
+TEST(Layout, BudgetMatchesHandDerivation) {
+  // w=8, 2 lanes, 16-bit fields, top-signed mode: the binding constraint is
+  // the lower (offset) lane, |sum| < 2^15 with encoded values up to 255:
+  // budget = floor((2^15 - 1) / 255) = 128.
+  const auto l = paper_policy_layout(8, LaneMode::kTopSigned);
+  EXPECT_EQ(l.scalar_abs_budget(), 128);
+  // Worst-case period: budget / max|scalar| = 128 / 128 = 1 — exactly the
+  // "one full-range product fills the field" phenomenon the DESIGN.md
+  // exactness analysis describes.
+  EXPECT_EQ(l.worst_case_period(), 1);
+}
+
+TEST(Layout, UnsignedFullRangePeriodIsOne) {
+  // w=8 unsigned: (2^16-1) / (255*255) = 1.
+  const auto l = paper_policy_layout(8, LaneMode::kUnsigned);
+  EXPECT_EQ(l.worst_case_period(), 1);
+}
+
+TEST(Layout, NarrowFormatsEarnGuardBits) {
+  // w=6, 2 lanes of 16: offset products <= 63*63, so P = 65535/3969 = 16.
+  const auto l6 = paper_policy_layout(6, LaneMode::kOffset);
+  EXPECT_EQ(l6.worst_case_period(), 16 * 63 / 63);  // 16
+  // w=4, 4 lanes of 8: (2^8-1)/(15*15) = 1.
+  const auto l4 = paper_policy_layout(4, LaneMode::kOffset);
+  EXPECT_EQ(l4.worst_case_period(), 1);
+  // w=4 with only 2 lanes (16-bit fields) instead: huge periods.
+  const auto g = guaranteed_layout(4, 64, LaneMode::kOffset);
+  EXPECT_GE(g.worst_case_period(), 64);
+  EXPECT_GE(g.num_lanes, 2);
+}
+
+TEST(Layout, GuaranteedLayoutFallsBackToOneLane) {
+  // w=8 two-lane layouts have period 1; requiring a large period forces the
+  // zero-masking (single-lane) layout, whose period is 2^31 / 128 / 128.
+  const auto g = guaranteed_layout(8, 1 << 16, LaneMode::kTopSigned);
+  EXPECT_EQ(g.num_lanes, 1);
+  EXPECT_GE(g.worst_case_period(), 1 << 16);
+  // An impossible request still returns the single-lane layout.
+  const auto g2 = guaranteed_layout(8, std::int64_t{1} << 40,
+                                    LaneMode::kTopSigned);
+  EXPECT_EQ(g2.num_lanes, 1);
+}
+
+TEST(Layout, GuaranteedLayoutPrefersDensity) {
+  // 2-bit values: 4 lanes of 8-bit fields give period (2^7-1)/ (3*2)... in
+  // top-signed mode encoded lower lanes <= 3, scalar <= 2: ample period.
+  const auto g = guaranteed_layout(2, 8, LaneMode::kTopSigned);
+  EXPECT_EQ(g.num_lanes, 4);
+}
+
+TEST(Layout, InvalidConfigurationsRejected) {
+  LaneLayout l;
+  l.value_bits = 8;
+  l.scalar_bits = 8;
+  l.num_lanes = 4;
+  l.field_bits = 16;  // 4*16 > 32
+  EXPECT_FALSE(l.valid());
+  l.num_lanes = 2;
+  l.field_bits = 4;  // field narrower than values
+  EXPECT_FALSE(l.valid());
+}
+
+TEST(Layout, ToStringMentionsKeyFields) {
+  const auto s = paper_policy_layout(8).to_string();
+  EXPECT_NE(s.find("lanes=2"), std::string::npos);
+  EXPECT_NE(s.find("field=16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vitbit::swar

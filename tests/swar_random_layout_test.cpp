@@ -1,0 +1,114 @@
+// Property tests over randomly generated lane layouts — not just the
+// paper's Fig. 3 policy points: any internally-consistent (lanes, field,
+// bitwidths, mode) combination must round-trip and produce exact GEMMs
+// with adaptive tiles.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "swar/packed_gemm.h"
+#include "tensor/gemm_ref.h"
+
+namespace vitbit::swar {
+namespace {
+
+// Draws a random valid layout (resamples until valid()).
+LaneLayout random_layout(Rng& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    LaneLayout l;
+    l.num_lanes = static_cast<int>(rng.range(1, 4));
+    l.field_bits = static_cast<int>(rng.range(4, 32 / l.num_lanes));
+    l.value_bits = static_cast<int>(rng.range(2, std::min(10, l.field_bits)));
+    l.scalar_bits = static_cast<int>(rng.range(2, 10));
+    const int mode = static_cast<int>(rng.range(0, 2));
+    l.mode = mode == 0 ? LaneMode::kUnsigned
+                       : (mode == 1 ? LaneMode::kOffset : LaneMode::kTopSigned);
+    if (l.valid()) return l;
+  }
+  ADD_FAILURE() << "could not draw a valid layout";
+  return paper_policy_layout(8);
+}
+
+TEST(RandomLayouts, PackUnpackRoundTrip) {
+  Rng rng(101);
+  std::vector<std::int32_t> vals, out;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto l = random_layout(rng);
+    vals.assign(static_cast<std::size_t>(l.num_lanes), 0);
+    out.assign(static_cast<std::size_t>(l.num_lanes), 0);
+    for (auto& v : vals)
+      v = static_cast<std::int32_t>(rng.range(l.value_min(), l.value_max()));
+    unpack_lanes(pack_lanes(vals, l), l, out);
+    ASSERT_EQ(vals, out) << l.to_string();
+  }
+}
+
+TEST(RandomLayouts, AdaptiveGemmAlwaysExact) {
+  Rng rng(202);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto l = random_layout(rng);
+    const int m = static_cast<int>(rng.range(1, 5));
+    const int k = static_cast<int>(rng.range(1, 48));
+    const int n = static_cast<int>(rng.range(1, 7));
+    MatrixI32 a(m, k), b(k, n);
+    fill_uniform(a, rng, l.scalar_min(), l.scalar_max());
+    fill_uniform(b, rng, l.value_min(), l.value_max());
+    PackedGemmStats stats;
+    const auto c = gemm_packed(a, b, l, {}, &stats);
+    ASSERT_EQ(max_abs_diff(c, gemm_ref_int(a, b)), 0)
+        << l.to_string() << " m=" << m << " k=" << k << " n=" << n;
+    ASSERT_EQ(stats.overflow_tiles, 0) << l.to_string();
+  }
+}
+
+TEST(RandomLayouts, BudgetIsTightestLaneConstraint) {
+  // For every random layout, simulate a worst-case tile exactly at the
+  // budget: lane sums must fit; one step beyond may overflow (we only
+  // assert the safe side, which is the guarantee the library makes).
+  Rng rng(303);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto l = random_layout(rng);
+    const std::int64_t budget = l.scalar_abs_budget();
+    if (budget > 4096) continue;  // keep the functional check small
+    // All-extreme operands with total scalar weight exactly <= budget.
+    const std::int64_t w = l.scalar_tile_weight(l.scalar_max());
+    if (w <= 0) continue;
+    const int k = static_cast<int>(budget / w);
+    if (k < 1) continue;
+    MatrixI32 a(1, k), b(k, l.num_lanes);
+    for (auto& v : a.flat()) v = static_cast<std::int32_t>(l.scalar_max());
+    for (auto& v : b.flat()) v = static_cast<std::int32_t>(l.value_min());
+    PackedGemmOptions opt;
+    opt.tile.mode = TileMode::kFixedPeriod;
+    opt.tile.fixed_period = k;  // a single tile of exactly budget weight
+    PackedGemmStats stats;
+    const auto c = gemm_packed(a, PackedMatrix(b, l), opt, &stats);
+    ASSERT_EQ(max_abs_diff(c, gemm_ref_int(a, b)), 0) << l.to_string();
+    ASSERT_EQ(stats.overflow_tiles, 0)
+        << "a tile within budget must never overflow: " << l.to_string();
+  }
+}
+
+TEST(RandomLayouts, WorstCasePeriodIsSafe) {
+  // Fixed tiles of exactly worst_case_period() steps never overflow, for
+  // any data the layout admits.
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto l = random_layout(rng);
+    const std::int64_t period = l.worst_case_period();
+    if (period < 1 || period > 256) continue;
+    const int k = static_cast<int>(period) * 3;
+    MatrixI32 a(2, k), b(k, l.num_lanes);
+    fill_uniform(a, rng, l.scalar_min(), l.scalar_max());
+    fill_uniform(b, rng, l.value_min(), l.value_max());
+    PackedGemmOptions opt;
+    opt.tile.mode = TileMode::kFixedPeriod;
+    opt.tile.fixed_period = static_cast<int>(period);
+    PackedGemmStats stats;
+    const auto c = gemm_packed(a, PackedMatrix(b, l), opt, &stats);
+    ASSERT_EQ(stats.overflow_tiles, 0) << l.to_string();
+    ASSERT_EQ(max_abs_diff(c, gemm_ref_int(a, b)), 0) << l.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace vitbit::swar

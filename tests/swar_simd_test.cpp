@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "swar/pack.h"
+#include "swar/packed_simd.h"
+
+namespace vitbit::swar {
+namespace {
+
+const LaneLayout kU8 = paper_policy_layout(8, LaneMode::kUnsigned);
+const LaneLayout kU4 = paper_policy_layout(4, LaneMode::kUnsigned);
+
+std::uint32_t pack2(std::int32_t a, std::int32_t b) {
+  const std::array<std::int32_t, 2> v = {a, b};
+  return pack_lanes(v, kU8);
+}
+
+TEST(SwarAdd, LaneWise) {
+  const auto r = swar_add(pack2(10, 200), pack2(5, 50), kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 15);
+  EXPECT_EQ(out[1], 250);
+}
+
+TEST(SwarAdd, NoCarryBetweenLanes) {
+  // Lane 0 at field max minus 1 plus 1: stays inside its 16-bit field.
+  const auto a = pack_lanes(std::array<std::int32_t, 2>{255, 0}, kU8);
+  const auto b = pack_lanes(std::array<std::int32_t, 2>{255, 0}, kU8);
+  const auto r = swar_add(a, b, kU8);  // lane0 = 510 < 2^16: fine
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  // Raw field readback: 510 is representable in the field even though it
+  // exceeds the 8-bit value range (headroom usage is the caller's business).
+  EXPECT_EQ(r & 0xFFFFu, 510u);
+  EXPECT_EQ(out[1], 0);
+}
+
+#ifndef NDEBUG
+TEST(SwarAdd, DebugChecksLaneOverflow) {
+  // 4-bit lanes in 8-bit fields: 200 + 100 overflows a field.
+  const std::uint32_t a = 200;  // lane 0 field value
+  const std::uint32_t b = 100;
+  EXPECT_THROW(swar_add(a, b, kU4), CheckError);
+}
+
+TEST(SwarSub, DebugChecksBorrow) {
+  EXPECT_THROW(swar_sub(pack2(1, 0), pack2(2, 0), kU8), CheckError);
+}
+
+TEST(SwarScalarMul, DebugChecksOverflow) {
+  EXPECT_THROW(swar_scalar_mul(pack2(255, 255), 300, kU8), CheckError);
+}
+#endif
+
+TEST(SwarSub, LaneWise) {
+  const auto r = swar_sub(pack2(20, 200), pack2(5, 199), kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 15);
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST(SwarScalarMul, LaneWise) {
+  const auto r = swar_scalar_mul(pack2(3, 7), 9, kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 27);
+  EXPECT_EQ(out[1], 63);
+}
+
+TEST(SwarShiftRight, DropsBitsWithinLane) {
+  const auto r = swar_shift_right(pack2(0xFF, 0x81), 4, kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 0xF);
+  EXPECT_EQ(out[1], 0x8);
+}
+
+TEST(SwarShiftRight, NoLeakAcrossLanes) {
+  // Set only lane 1; after the shift lane 0 must remain zero.
+  const auto a = pack_lanes(std::array<std::int32_t, 2>{0, 0xFF}, kU8);
+  const auto r = swar_shift_right(a, 3, kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0xFF >> 3);
+}
+
+TEST(SwarMaskLow, LaneLocal) {
+  const auto r = swar_mask_low(pack2(0xAB, 0xCD), 4, kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 0xB);
+  EXPECT_EQ(out[1], 0xD);
+}
+
+TEST(SwarMinConst, Clamps) {
+  const auto r = swar_min_const(pack2(3, 200), 100, kU8);
+  std::array<std::int32_t, 2> out{};
+  unpack_lanes(r, kU8, out);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(out[1], 100);
+}
+
+TEST(SwarLaneSum, SumsAllLanes) {
+  EXPECT_EQ(swar_lane_sum(pack2(10, 20), kU8), 30u);
+  const auto a4 =
+      pack_lanes(std::array<std::int32_t, 4>{1, 2, 3, 4}, kU4);
+  EXPECT_EQ(swar_lane_sum(a4, kU4), 10u);
+}
+
+TEST(SwarLanesWithin, Checks) {
+  EXPECT_TRUE(swar_lanes_within(pack2(5, 6), 6, kU8));
+  EXPECT_FALSE(swar_lanes_within(pack2(5, 7), 6, kU8));
+}
+
+TEST(SwarOps, RejectTopSignedLayouts) {
+  const auto l = paper_policy_layout(8, LaneMode::kTopSigned);
+  EXPECT_THROW(swar_add(0, 0, l), CheckError);
+}
+
+TEST(SwarShiftRight, FourLaneProperty) {
+  Rng rng(13);
+  std::array<std::int32_t, 4> vals{}, out{};
+  for (int trial = 0; trial < 100; ++trial) {
+    for (auto& v : vals) v = static_cast<std::int32_t>(rng.range(0, 15));
+    const int s = static_cast<int>(rng.range(0, 3));
+    unpack_lanes(swar_shift_right(pack_lanes(vals, kU4), s, kU4), kU4, out);
+    for (int lane = 0; lane < 4; ++lane)
+      EXPECT_EQ(out[static_cast<std::size_t>(lane)],
+                vals[static_cast<std::size_t>(lane)] >> s);
+  }
+}
+
+}  // namespace
+}  // namespace vitbit::swar

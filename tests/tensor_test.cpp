@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/gemm_ref.h"
+#include "tensor/matrix.h"
+
+namespace vitbit {
+namespace {
+
+TEST(Matrix, ShapeAndAccess) {
+  MatrixI32 m(2, 3, 5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m.at(1, 2), 5);
+  m.at(1, 2) = -7;
+  EXPECT_EQ(m(1, 2), -7);
+}
+
+TEST(Matrix, RowSpan) {
+  MatrixI32 m(2, 3);
+  m.at(1, 0) = 10;
+  m.at(1, 2) = 30;
+  auto r = m.row(1);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 10);
+  EXPECT_EQ(r[2], 30);
+}
+
+TEST(Matrix, Convert) {
+  MatrixI8 a(1, 3);
+  a.at(0, 0) = -5;
+  a.at(0, 2) = 100;
+  const auto f = convert<float>(a);
+  EXPECT_FLOAT_EQ(f.at(0, 0), -5.0f);
+  EXPECT_FLOAT_EQ(f.at(0, 2), 100.0f);
+}
+
+TEST(Matrix, SliceCols) {
+  MatrixI32 m(2, 4);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 4; ++c) m.at(r, c) = r * 10 + c;
+  const auto s = slice_cols(m, 1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s.at(0, 0), 1);
+  EXPECT_EQ(s.at(1, 1), 12);
+}
+
+TEST(Matrix, SliceColsBoundsChecked) {
+  MatrixI32 m(2, 4);
+  EXPECT_THROW(slice_cols(m, 3, 5), CheckError);
+  EXPECT_THROW(slice_cols(m, 2, 1), CheckError);
+}
+
+TEST(Matrix, Transpose) {
+  MatrixI32 m(2, 3);
+  m.at(0, 1) = 7;
+  m.at(1, 2) = 9;
+  const auto t = transpose(m);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(1, 0), 7);
+  EXPECT_EQ(t.at(2, 1), 9);
+}
+
+TEST(Matrix, FillUniformRespectsBounds) {
+  Rng rng(3);
+  MatrixI8 m(20, 20);
+  fill_uniform(m, rng, -128, 127);
+  int lo = 0, hi = 0;
+  for (auto v : m.flat()) {
+    lo = std::min<int>(lo, v);
+    hi = std::max<int>(hi, v);
+  }
+  EXPECT_GE(lo, -128);
+  EXPECT_LE(hi, 127);
+  EXPECT_LT(lo, -50) << "400 samples should reach well below -50";
+  EXPECT_GT(hi, 50);
+}
+
+TEST(Matrix, FillGaussianClipped) {
+  Rng rng(4);
+  MatrixI8 m(50, 50);
+  fill_gaussian_clipped(m, rng, 20.0, -128, 127);
+  double sum = 0;
+  for (auto v : m.flat()) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(m.size()), 0.0, 2.0);
+}
+
+TEST(GemmRef, KnownSmallProduct) {
+  MatrixI32 a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  int v = 1;
+  for (auto& x : a.flat()) x = v++;
+  for (auto& x : b.flat()) x = v++;
+  const auto c = gemm_ref_int(a, b);
+  EXPECT_EQ(c.at(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ(c.at(0, 1), 1 * 8 + 2 * 10 + 3 * 12);
+  EXPECT_EQ(c.at(1, 0), 4 * 7 + 5 * 9 + 6 * 11);
+  EXPECT_EQ(c.at(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(GemmRef, ShapeMismatchThrows) {
+  MatrixI32 a(2, 3), b(4, 2);
+  EXPECT_THROW(gemm_ref_int(a, b), CheckError);
+}
+
+TEST(GemmRef, MixedInt8Inputs) {
+  Rng rng(5);
+  MatrixI8 a8(4, 16), b8(16, 4);
+  fill_uniform(a8, rng, -128, 127);
+  fill_uniform(b8, rng, -128, 127);
+  const auto c = gemm_ref_int(a8, b8);
+  // Cross-check one element by hand.
+  std::int64_t acc = 0;
+  for (int k = 0; k < 16; ++k) acc += std::int64_t{a8.at(2, k)} * b8.at(k, 3);
+  EXPECT_EQ(c.at(2, 3), acc);
+}
+
+TEST(GemmRef, Float32MatchesDoubleAccumulation) {
+  Rng rng(6);
+  MatrixF32 a(3, 8), b(8, 3);
+  for (auto& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.flat()) v = static_cast<float>(rng.normal());
+  const auto c = gemm_ref_f32(a, b);
+  double acc = 0;
+  for (int k = 0; k < 8; ++k)
+    acc += static_cast<double>(a.at(1, k)) * b.at(k, 2);
+  EXPECT_NEAR(c.at(1, 2), acc, 1e-5);
+}
+
+TEST(GemmRef, MaxAbsDiff) {
+  MatrixI32 a(1, 2), b(1, 2);
+  a.at(0, 0) = 5;
+  b.at(0, 0) = 3;
+  a.at(0, 1) = -4;
+  b.at(0, 1) = 4;
+  EXPECT_EQ(max_abs_diff(a, b), 8);
+}
+
+}  // namespace
+}  // namespace vitbit

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/int_math.h"
+#include "sim/launcher.h"
+#include "trace/elementwise_traces.h"
+#include "trace/gemm_traces.h"
+
+namespace vitbit::trace {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration& kCalib = arch::default_calibration();
+
+std::uint64_t issued(const sim::LaunchResult& r, sim::Opcode op) {
+  return r.sm.issued(op);
+}
+
+sim::LaunchResult run(const GemmShape& shape, const GemmBlockPlan& plan) {
+  return sim::launch_kernel(build_gemm_kernel(shape, plan, kSpec, kCalib),
+                            kSpec, kCalib);
+}
+
+TEST(GemmPlans, Table3Configurations) {
+  EXPECT_GT(plan_tc(kCalib).tc_cols, 0);
+  EXPECT_EQ(plan_tc(kCalib).int_cols, 0);
+  EXPECT_EQ(plan_ic(kCalib).tc_cols, 0);
+  EXPECT_GT(plan_ic(kCalib).int_cols, 0);
+  EXPECT_TRUE(plan_fc(kCalib).fp_runtime_convert);
+  const auto icfc = plan_ic_fc(kCalib);
+  EXPECT_GT(icfc.int_cols, 0);
+  EXPECT_GT(icfc.fp_cols, 0);
+  EXPECT_FALSE(icfc.pack_int);
+  const auto icfcp = plan_ic_fc_packed(kCalib);
+  EXPECT_TRUE(icfcp.pack_int);
+  EXPECT_FALSE(icfcp.fp_runtime_convert) << "packing implies preprocessing";
+  // Eq. 1: int columns ~= 2x fp columns at pack factor 2.
+  EXPECT_NEAR(static_cast<double>(icfcp.int_cols) / icfcp.fp_cols, 2.0, 0.6);
+  const auto vb = plan_vitbit(kCalib, 12);
+  EXPECT_GT(vb.tc_cols, 0);
+  EXPECT_TRUE(vb.pack_int);
+  EXPECT_EQ(vb.int_cols + vb.fp_cols, 12);
+}
+
+TEST(GemmKernel, GridCoversOutput) {
+  const GemmShape shape{197, 768, 768, 1};
+  const auto plan = plan_tc(kCalib);
+  const auto kernel = build_gemm_kernel(shape, plan, kSpec, kCalib);
+  // Output tiling: ceil(197/128) * ceil(768/64) = 24 blocks; split-K then
+  // multiplies the grid toward the 8-SM-loads target, capped so each block
+  // keeps at least 6 K-panels (24 panels -> split of at most 4).
+  EXPECT_EQ(kernel.grid_blocks % 24, 0);
+  EXPECT_EQ(kernel.grid_blocks, 24 * 4);
+  EXPECT_EQ(static_cast<int>(kernel.block_warps.size()), 8);
+}
+
+TEST(GemmKernel, SplitKSkippedForLargeGrids) {
+  // A grid already past the target is not split.
+  const GemmShape shape{2048, 768, 4096, 1};
+  const auto kernel = build_gemm_kernel(shape, plan_tc(kCalib), kSpec, kCalib);
+  EXPECT_EQ(kernel.grid_blocks, ceil_div(2048, 128) * ceil_div(4096, 64));
+}
+
+TEST(GemmKernel, BatchMultipliesGrid) {
+  const GemmShape shape{197, 64, 197, 12};
+  const auto k1 = build_gemm_kernel({197, 64, 197, 1}, plan_tc(kCalib), kSpec,
+                                    kCalib);
+  const auto k12 = build_gemm_kernel(shape, plan_tc(kCalib), kSpec, kCalib);
+  EXPECT_EQ(k12.grid_blocks, 12 * k1.grid_blocks);
+}
+
+TEST(GemmKernel, PackingReducesImadCount) {
+  const GemmShape shape{128, 256, 64, 1};
+  GemmBlockPlan packed = plan_ic(kCalib);
+  packed.pack_int = true;
+  packed.pack_factor = 2;
+  packed.pack_k_tile = kCalib.packed_k_tile;
+  packed.pack_spill_ops = kCalib.packed_spill_ops;
+  const auto plain = run(shape, plan_ic(kCalib));
+  const auto r_packed = run(shape, packed);
+  const auto plain_imads = issued(plain, sim::Opcode::kImad);
+  const auto packed_imads = issued(r_packed, sim::Opcode::kImad);
+  EXPECT_LT(static_cast<double>(packed_imads),
+            0.62 * static_cast<double>(plain_imads))
+      << "packing factor 2 should nearly halve IMAD count";
+  EXPECT_LT(r_packed.total_cycles, plain.total_cycles);
+}
+
+TEST(GemmKernel, RuntimeConversionCostsIntPipeOps) {
+  const GemmShape shape{128, 256, 64, 1};
+  const auto convert = run(shape, plan_fc(kCalib));
+  GemmBlockPlan pre = plan_fc(kCalib);
+  pre.fp_runtime_convert = false;
+  const auto preprocessed = run(shape, pre);
+  EXPECT_GT(issued(convert, sim::Opcode::kI2f), 0u);
+  EXPECT_EQ(issued(preprocessed, sim::Opcode::kI2f), 0u);
+  EXPECT_GT(issued(convert, sim::Opcode::kFfma), 0u);
+}
+
+TEST(GemmKernel, TensorWarpsUseImma) {
+  const GemmShape shape{128, 128, 64, 1};
+  const auto r = run(shape, plan_tc(kCalib));
+  EXPECT_GT(issued(r, sim::Opcode::kImma), 0u);
+  EXPECT_EQ(issued(r, sim::Opcode::kImad), 0u);
+  EXPECT_EQ(issued(r, sim::Opcode::kFfma), 0u);
+}
+
+TEST(GemmKernel, FusedKernelUsesAllThreeUnits) {
+  const GemmShape shape{197, 768, 768, 1};
+  const auto r = run(shape, plan_vitbit(kCalib, 12));
+  EXPECT_GT(issued(r, sim::Opcode::kImma), 0u);
+  EXPECT_GT(issued(r, sim::Opcode::kImad), 0u);
+  EXPECT_GT(issued(r, sim::Opcode::kFfma), 0u);
+  EXPECT_GT(r.sm.utilization(sim::ExecUnit::kTensor, 4), 0.1);
+  EXPECT_GT(r.sm.utilization(sim::ExecUnit::kIntPipe, 4), 0.05);
+  EXPECT_GT(r.sm.utilization(sim::ExecUnit::kFpPipe, 4), 0.05);
+}
+
+TEST(GemmKernel, VitBitBeatsTcPerColumn) {
+  // The fused kernel covers more columns per block in comparable time.
+  const GemmShape shape{197, 768, 3072, 1};
+  const auto tc = run(shape, plan_tc(kCalib));
+  const auto vb = run(shape, plan_vitbit(kCalib, 12));
+  EXPECT_LT(vb.total_cycles, tc.total_cycles);
+}
+
+TEST(GemmKernel, EmptyPlanRejected) {
+  GemmBlockPlan p;
+  EXPECT_THROW(build_gemm_kernel({8, 8, 8, 1}, p, kSpec, kCalib), CheckError);
+}
+
+TEST(ElementwisePlan, PerKernelCosts) {
+  const auto gelu = elementwise_plan(nn::KernelKind::kGelu, 1000, kCalib);
+  EXPECT_EQ(gelu.int_ops_per_elem, kCalib.gelu_int_ops);
+  const auto soft = elementwise_plan(nn::KernelKind::kSoftmax, 1000, kCalib);
+  EXPECT_EQ(soft.int_ops_per_elem, kCalib.softmax_int_ops);
+  const auto drop = elementwise_plan(nn::KernelKind::kDropout, 1000, kCalib);
+  EXPECT_LT(drop.int_ops_per_elem, gelu.int_ops_per_elem);
+  EXPECT_THROW(elementwise_plan(nn::KernelKind::kGemm, 1, kCalib), CheckError);
+}
+
+sim::LaunchResult run_ew(const ElementwisePlan& plan) {
+  return sim::launch_kernel(build_elementwise_kernel(plan, kSpec, kCalib),
+                            kSpec, kCalib);
+}
+
+TEST(ElementwiseKernel, IcFcSplitsAcrossPipes) {
+  auto plan = elementwise_plan(nn::KernelKind::kGelu, 197 * 3072, kCalib);
+  const auto ic = run_ew(plan);
+  plan.fp_fraction = 0.5;
+  const auto icfc = run_ew(plan);
+  EXPECT_EQ(ic.sm.issued(sim::Opcode::kFfma), 0u);
+  EXPECT_GT(icfc.sm.issued(sim::Opcode::kFfma), 0u);
+  EXPECT_LT(icfc.total_cycles, ic.total_cycles);
+}
+
+TEST(ElementwiseKernel, PackingReducesIntOps) {
+  auto plan = elementwise_plan(nn::KernelKind::kGelu, 197 * 3072, kCalib);
+  const auto plain = run_ew(plan);
+  plan.pack_int = true;
+  const auto packed = run_ew(plan);
+  EXPECT_LT(packed.total_cycles, plain.total_cycles);
+}
+
+TEST(ElementwiseKernel, VitBitOrderingOnCudaKernels) {
+  // Figure 7 ordering: IC > IC+FC > VitBit in time, each at its tuned
+  // pipe split (the pipeline tunes fp_fraction the same way).
+  auto base = elementwise_plan(nn::KernelKind::kSoftmax, 12 * 197 * 197, kCalib);
+  auto best = [&](bool packed) {
+    std::uint64_t best_cycles = UINT64_MAX;
+    for (const double f : {0.25, 1.0 / 3.0, 0.4, 0.5, 0.6}) {
+      auto p = base;
+      p.fp_fraction = f;
+      p.pack_int = packed;
+      best_cycles = std::min(best_cycles, run_ew(p).total_cycles);
+    }
+    return best_cycles;
+  };
+  const auto t_ic = run_ew(base).total_cycles;
+  const auto t_icfc = best(false);
+  const auto t_vb = best(true);
+  EXPECT_LT(t_icfc, t_ic);
+  EXPECT_LE(t_vb, t_icfc)
+      << "packing must not hurt at the tuned split";
+}
+
+TEST(ElementwiseKernel, GridScalesWithElems) {
+  auto small = elementwise_plan(nn::KernelKind::kDropout, 5000, kCalib);
+  auto large = elementwise_plan(nn::KernelKind::kDropout, 500000, kCalib);
+  const auto ks = build_elementwise_kernel(small, kSpec, kCalib);
+  const auto kl = build_elementwise_kernel(large, kSpec, kCalib);
+  EXPECT_GT(kl.grid_blocks, 50 * ks.grid_blocks);
+}
+
+}  // namespace
+}  // namespace vitbit::trace

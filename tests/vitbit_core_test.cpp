@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/vit_model.h"
+#include "tensor/gemm_ref.h"
+#include "vitbit/executors.h"
+#include "vitbit/fused_gemm.h"
+#include "vitbit/pipeline.h"
+#include "vitbit/preprocess.h"
+#include "vitbit/tuner.h"
+
+namespace vitbit::core {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration& kCalib = arch::default_calibration();
+
+MatrixI32 random_i8(Rng& rng, int r, int c, double sigma = 14.0) {
+  MatrixI32 m(r, c);
+  fill_gaussian_clipped(m, rng, sigma, -127, 127);
+  return m;
+}
+
+TEST(SplitWidths, MatchesAlgorithm1) {
+  // N=100, m=4, n=2: N3 = 100*4/5 = 80; cuda = 20; N1 = 20*2/3 = 13 -> 12
+  // (rounded to a packing group); N2 = 8.
+  const auto w = split_widths(100, 4, 2);
+  EXPECT_EQ(w.n3, 80);
+  EXPECT_EQ(w.n1, 12);
+  EXPECT_EQ(w.n2, 8);
+  EXPECT_EQ(w.n1 % 2, 0);
+}
+
+TEST(SplitWidths, NoFpSliceGivesAllCudaToInt) {
+  const auto w = split_widths(100, 4, 1, /*fp_slice=*/false);
+  EXPECT_EQ(w.n3, 80);
+  EXPECT_EQ(w.n1, 20);
+  EXPECT_EQ(w.n2, 0);
+}
+
+TEST(SplitWidths, ZeroMRatioDisablesTensorSlice) {
+  const auto w = split_widths(60, 0, 2);
+  EXPECT_EQ(w.n3, 0);
+  EXPECT_EQ(w.n1 + w.n2, 60);
+  EXPECT_GT(w.n1, w.n2) << "Eq. 1: packed INT takes n of n+1 columns";
+}
+
+TEST(Preprocess, SlicesRoundTrip) {
+  Rng rng(1);
+  const auto b = random_i8(rng, 16, 50);
+  const auto layout = swar::paper_policy_layout(8, swar::LaneMode::kTopSigned);
+  const auto pre = input_preprocessing(b, 4, 2, layout);
+  // B1 unpacks to the first n1 columns.
+  const auto b1 = pre.b1.unpack();
+  for (int r = 0; r < b.rows(); ++r) {
+    for (int c = 0; c < pre.widths.n1; ++c)
+      EXPECT_EQ(b1.at(r, c), b.at(r, c));
+    for (int c = 0; c < pre.widths.n2; ++c)
+      EXPECT_FLOAT_EQ(pre.b2.at(r, c),
+                      static_cast<float>(b.at(r, pre.widths.n1 + c)));
+    for (int c = 0; c < pre.widths.n3; ++c)
+      EXPECT_EQ(pre.b3.at(r, c), b.at(r, pre.widths.n1 + pre.widths.n2 + c));
+  }
+}
+
+TEST(Preprocess, WeightDuplication) {
+  Rng rng(2);
+  const auto a = random_i8(rng, 4, 6);
+  const auto w = weight_preprocessing(a);
+  EXPECT_EQ(w.a1, a);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(w.a2.flat()[i], static_cast<float>(a.flat()[i]));
+}
+
+TEST(FusedGemm, MatchesReferenceExactly) {
+  Rng rng(3);
+  const auto a = random_i8(rng, 8, 96);
+  const auto b = random_i8(rng, 96, 40, 25.0);
+  const auto layout = swar::paper_policy_layout(8, swar::LaneMode::kTopSigned);
+  const auto weights = weight_preprocessing(a);
+  const auto input = input_preprocessing(b, 4, 2, layout);
+  FusedGemmStats stats;
+  const auto c = vitbit_gemm(weights, input, {}, &stats);
+  EXPECT_EQ(max_abs_diff(c, gemm_ref_int(a, b)), 0)
+      << "fused execution must not change the result (accuracy claim)";
+  EXPECT_GT(stats.packed.mac_instructions, 0);
+  EXPECT_GT(stats.fp_macs, 0);
+  EXPECT_GT(stats.tensor_macs, 0);
+}
+
+TEST(FusedGemm, FpSliceExactnessGuard) {
+  // K * max|a| * max|b| beyond 2^24 must be refused, not silently wrong.
+  MatrixI32 a(1, 2048, 127);
+  MatrixI32 b(2048, 6, 127);
+  const auto layout = swar::paper_policy_layout(8, swar::LaneMode::kTopSigned);
+  const auto weights = weight_preprocessing(a);
+  const auto input = input_preprocessing(b, 0, 2, layout);
+  EXPECT_THROW(vitbit_gemm(weights, input), CheckError);
+}
+
+class ExecutorEquivalence : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(ExecutorEquivalence, AllStrategiesProduceIdenticalResults) {
+  const Strategy s = GetParam();
+  Rng rng(4 + static_cast<int>(s));
+  const auto a = random_i8(rng, 12, 64);
+  const auto b = random_i8(rng, 64, 33, 30.0);
+  const auto baseline = gemm_ref_int(a, b);
+  const auto fn = make_gemm_executor(s);
+  EXPECT_EQ(max_abs_diff(fn(a, b), baseline), 0) << strategy_name(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ExecutorEquivalence,
+                         ::testing::ValuesIn(all_strategies()),
+                         [](const auto& info) {
+                           std::string s = strategy_name(info.param);
+                           for (auto& ch : s)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return s;
+                         });
+
+TEST(Strategy, Table3Properties) {
+  EXPECT_TRUE(uses_tensor_cores(Strategy::kTC));
+  EXPECT_FALSE(uses_tensor_cores(Strategy::kICFC));
+  EXPECT_TRUE(uses_packing(Strategy::kVitBit));
+  EXPECT_FALSE(uses_packing(Strategy::kTCICFC));
+  EXPECT_TRUE(uses_fp_cuda_cores(Strategy::kFC));
+  EXPECT_FALSE(uses_fp_cuda_cores(Strategy::kTacker));
+  EXPECT_EQ(all_strategies().size(), 7u);
+  EXPECT_EQ(figure5_strategies().front(), Strategy::kTC);
+  EXPECT_EQ(figure5_strategies().back(), Strategy::kVitBit);
+}
+
+TEST(Tuner, InitialStudyOrdering) {
+  // The Section 3.2 ordering: TC < IC+FC+P < IC+FC < FC <= IC (approx).
+  const trace::GemmShape shape{197, 768, 3072, 1};
+  const auto study = run_initial_study(shape, kSpec, kCalib);
+  EXPECT_LT(study.tc_cycles, study.icfcp_cycles);
+  EXPECT_LT(study.icfcp_cycles, study.icfc_cycles);
+  EXPECT_LT(study.icfc_cycles, study.ic_cycles);
+  // Paper band: IC ~7.5x, IC+FC+P ~4x (we accept +-35%).
+  EXPECT_NEAR(study.ratio_ic(), 7.5, 2.6);
+  EXPECT_NEAR(study.ratio_icfcp(), 4.0, 1.4);
+}
+
+TEST(Tuner, DerivedMRatioNearPaper) {
+  const trace::GemmShape shape{197, 768, 3072, 1};
+  const auto study = run_initial_study(shape, kSpec, kCalib);
+  const int m = derive_m_ratio(study);
+  EXPECT_GE(m, 3);
+  EXPECT_LE(m, 5);  // paper: 4
+}
+
+TEST(Tuner, FusedColsAreEq1Aligned) {
+  const trace::GemmShape shape{197, 768, 768, 1};
+  const int cols = tune_fused_cuda_cols(shape, 2, kSpec, kCalib);
+  EXPECT_GT(cols, 0);
+  EXPECT_EQ(cols % 3, 0);  // multiples of pack_factor+1
+}
+
+TEST(Pipeline, VitBitBeatsBaselinesOnViT) {
+  // The headline orderings of Figure 5 on the full ViT-Base kernel log.
+  const auto log = nn::build_kernel_log(nn::vit_base());
+  StrategyConfig cfg;
+  cfg.m_ratio = 4;
+  cfg.fused_cuda_cols = 12;
+  const auto tc = time_inference(log, Strategy::kTC, cfg, kSpec, kCalib);
+  const auto tacker = time_inference(log, Strategy::kTacker, cfg, kSpec, kCalib);
+  const auto tcicfc = time_inference(log, Strategy::kTCICFC, cfg, kSpec, kCalib);
+  const auto vitbit = time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
+  EXPECT_LT(vitbit.total_cycles, tcicfc.total_cycles);
+  EXPECT_LT(tcicfc.total_cycles, tc.total_cycles);
+  EXPECT_LT(tacker.total_cycles, tc.total_cycles);
+  // Paper Figure 5: VitBit 1.22x over TC; accept a generous band.
+  const double speedup = static_cast<double>(tc.total_cycles) /
+                         static_cast<double>(vitbit.total_cycles);
+  EXPECT_GT(speedup, 1.10);
+  EXPECT_LT(speedup, 1.60);
+}
+
+TEST(Pipeline, InstructionCountDropsWithPacking) {
+  // Figure 9: VitBit's packed kernels issue fewer instructions than IC+FC.
+  const auto log = nn::build_kernel_log(nn::vit_base());
+  StrategyConfig cfg;
+  const auto icfc = time_inference(log, Strategy::kICFC, cfg, kSpec, kCalib);
+  const auto vitbit = time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
+  EXPECT_LT(vitbit.total_instructions, icfc.total_instructions);
+}
+
+TEST(Pipeline, DualPipeRaisesIpc) {
+  // Figure 10: IC+FC IPC > IC IPC on the CUDA-core path.
+  const auto log = nn::build_kernel_log(nn::vit_base());
+  StrategyConfig cfg;
+  const auto ic = time_inference(log, Strategy::kIC, cfg, kSpec, kCalib);
+  const auto icfc = time_inference(log, Strategy::kICFC, cfg, kSpec, kCalib);
+  EXPECT_GT(icfc.mean_ipc(), 1.15 * ic.mean_ipc());
+}
+
+TEST(Pipeline, KernelClassAccounting) {
+  const auto log = nn::build_kernel_log(nn::vit_tiny());
+  StrategyConfig cfg;
+  const auto t = time_inference(log, Strategy::kTC, cfg, kSpec, kCalib);
+  EXPECT_EQ(t.kernels.size(), log.calls().size());
+  EXPECT_EQ(t.total_cycles, t.gemm_cycles + t.cuda_cycles);
+  EXPECT_GT(t.gemm_cycles, 0u);
+  EXPECT_GT(t.cuda_cycles, 0u);
+}
+
+TEST(Pipeline, CachedKernelsAreConsistent) {
+  // 12 identical layers: every layerN.fc1 must time identically.
+  const auto log = nn::build_kernel_log(nn::vit_base());
+  StrategyConfig cfg;
+  const auto t = time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
+  std::uint64_t fc1 = 0;
+  for (const auto& k : t.kernels) {
+    if (k.name.find(".fc1") == std::string::npos) continue;
+    if (fc1 == 0)
+      fc1 = k.cycles;
+    else
+      EXPECT_EQ(k.cycles, fc1) << k.name;
+  }
+  EXPECT_GT(fc1, 0u);
+}
+
+}  // namespace
+}  // namespace vitbit::core
