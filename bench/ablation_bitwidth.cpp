@@ -36,7 +36,8 @@ int run(int argc, char** argv) {
           .total_cycles);
 
   for (const int w : {2, 3, 4, 5, 6, 7, 8, 9}) {
-    const auto layout = swar::paper_policy_layout(w, swar::LaneMode::kTopSigned);
+    const auto layout =
+        swar::paper_policy_layout(w, swar::LaneMode::kTopSigned);
     // Functional check on Gaussian data at this bitwidth.
     Rng rng(100 + w);
     MatrixI32 a(16, k), b(k, 16);

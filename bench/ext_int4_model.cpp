@@ -28,8 +28,10 @@ int run(int argc, char** argv) {
   t.header({"config", "pack factor", "time (ms)", "speedup vs TC",
             "CUDA-kernel speedup"});
   core::StrategyConfig cfg;
-  const auto tc = core::time_inference(log, core::Strategy::kTC, cfg, spec, calib);
-  const auto ic = core::time_inference(log, core::Strategy::kIC, cfg, spec, calib);
+  const auto tc =
+      core::time_inference(log, core::Strategy::kTC, cfg, spec, calib);
+  const auto ic =
+      core::time_inference(log, core::Strategy::kIC, cfg, spec, calib);
 
   for (const int pf : {2, 3, 4}) {
     cfg.pack_factor = pf;

@@ -47,8 +47,16 @@ int run(int argc, char** argv) {
       shift.add(quant::int_exp_neg(p, fb) / static_cast<double>(one), want);
       poly.add(quant::int_exp_poly(p, fb) / static_cast<double>(one), want);
     }
-    t.row().cell("exp(x), x in [-8,0]").cell("shift (I-ViT)").cell(shift.max, 4).cell(shift.avg(), 4);
-    t.row().cell("").cell("poly (I-BERT)").cell(poly.max, 4).cell(poly.avg(), 4);
+    t.row()
+        .cell("exp(x), x in [-8,0]")
+        .cell("shift (I-ViT)")
+        .cell(shift.max, 4)
+        .cell(shift.avg(), 4);
+    t.row()
+        .cell("")
+        .cell("poly (I-BERT)")
+        .cell(poly.max, 4)
+        .cell(poly.avg(), 4);
   }
 
   // GELU on [-4, 4].
@@ -68,8 +76,16 @@ int run(int argc, char** argv) {
       shift.add(got_s.flat()[i] / static_cast<double>(one), want.flat()[i]);
       poly.add(got_p.flat()[i] / static_cast<double>(one), want.flat()[i]);
     }
-    t.row().cell("GELU(x), x in [-4,4]").cell("shift (I-ViT)").cell(shift.max, 4).cell(shift.avg(), 4);
-    t.row().cell("").cell("poly (I-BERT)").cell(poly.max, 4).cell(poly.avg(), 4);
+    t.row()
+        .cell("GELU(x), x in [-4,4]")
+        .cell("shift (I-ViT)")
+        .cell(shift.max, 4)
+        .cell(shift.avg(), 4);
+    t.row()
+        .cell("")
+        .cell("poly (I-BERT)")
+        .cell(poly.max, 4)
+        .cell(poly.avg(), 4);
   }
 
   // softmax rows (ViT-like logits).
@@ -90,8 +106,16 @@ int run(int argc, char** argv) {
       shift.add(got_s.flat()[i] / 16384.0, want.flat()[i]);
       poly.add(got_p.flat()[i] / 16384.0, want.flat()[i]);
     }
-    t.row().cell("softmax (N=64 rows)").cell("shift (I-ViT)").cell(shift.max, 4).cell(shift.avg(), 4);
-    t.row().cell("").cell("poly (I-BERT)").cell(poly.max, 4).cell(poly.avg(), 4);
+    t.row()
+        .cell("softmax (N=64 rows)")
+        .cell("shift (I-ViT)")
+        .cell(shift.max, 4)
+        .cell(shift.avg(), 4);
+    t.row()
+        .cell("")
+        .cell("poly (I-BERT)")
+        .cell(poly.max, 4)
+        .cell(poly.avg(), 4);
   }
 
   bench::emit(t, cli);

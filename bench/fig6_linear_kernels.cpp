@@ -21,7 +21,8 @@ int run(int argc, char** argv) {
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
 
-  const auto tc = core::time_inference(log, core::Strategy::kTC, cfg, spec, calib);
+  const auto tc =
+      core::time_inference(log, core::Strategy::kTC, cfg, spec, calib);
   const auto vb =
       core::time_inference(log, core::Strategy::kVitBit, cfg, spec, calib);
 

@@ -20,8 +20,10 @@ int run(int argc, char** argv) {
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
 
-  const auto ic = core::time_inference(log, core::Strategy::kIC, cfg, spec, calib);
-  const auto fc = core::time_inference(log, core::Strategy::kFC, cfg, spec, calib);
+  const auto ic =
+      core::time_inference(log, core::Strategy::kIC, cfg, spec, calib);
+  const auto fc =
+      core::time_inference(log, core::Strategy::kFC, cfg, spec, calib);
   const auto icfc =
       core::time_inference(log, core::Strategy::kICFC, cfg, spec, calib);
   const auto vb =

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
         .cell(name)
         .cell(r.total_cycles)
         .cell(r.sm.utilization(sim::ExecUnit::kTensor, spec.subcores_per_sm), 2)
-        .cell(r.sm.utilization(sim::ExecUnit::kIntPipe, spec.subcores_per_sm), 2)
+        .cell(r.sm.utilization(sim::ExecUnit::kIntPipe, spec.subcores_per_sm),
+              2)
         .cell(r.sm.utilization(sim::ExecUnit::kFpPipe, spec.subcores_per_sm), 2)
         .cell(r.sm.utilization(sim::ExecUnit::kLsu, 1), 2)
         .cell(r.sm.ipc(), 2);

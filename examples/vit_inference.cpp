@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   core::StrategyConfig cfg;
 
   Table t("ViT-Base inference on simulated Jetson AGX Orin");
-  t.header({"method", "time (ms)", "speedup", "Linear (ms)", "CUDA kernels (ms)"});
+  t.header(
+      {"method", "time (ms)", "speedup", "Linear (ms)", "CUDA kernels (ms)"});
   double tc = 0;
   for (const auto s : core::figure5_strategies()) {
     const auto r = core::time_inference(log, s, cfg, spec, calib);

@@ -4,14 +4,19 @@
 //   vitbit_cli tune   [--m=197 --k=768 --n=3072]     derive m / fused slice
 //   vitbit_cli infer  [--model=vit|cnn] [--strategy=VitBit] [--pack=2]
 //   vitbit_cli layout [--bits=8]                     packing policy details
+//   vitbit_cli report --json=out.json                machine-readable report
 #include <iostream>
 #include <string>
 
+#include "common/check.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "nn/cnn.h"
 #include "nn/vit_model.h"
+#include "report/run_report.h"
+#include "sim/gpu_sim.h"
 #include "swar/layout.h"
+#include "trace/gemm_traces.h"
 #include "vitbit/config_io.h"
 #include "vitbit/pipeline.h"
 #include "vitbit/timeline.h"
@@ -92,6 +97,84 @@ int cmd_infer(const Cli& cli) {
   return 0;
 }
 
+// Times every strategy and writes the result as a schema-versioned JSON
+// run report (report/run_report.h) — the machine-readable counterpart of
+// `infer`, consumed by tools/check_regression and external dashboards.
+int cmd_report(const Cli& cli) {
+  const auto& calib = arch::default_calibration();
+  const std::string model = cli.get("model", "vit");
+  auto vit_cfg = nn::vit_base();
+  vit_cfg.num_layers =
+      static_cast<int>(cli.get_int("layers", vit_cfg.num_layers));
+  const auto log = model == "cnn" ? nn::build_cnn_kernel_log(nn::cnn_edge())
+                                  : nn::build_kernel_log(vit_cfg);
+  core::StrategyConfig cfg;
+  cfg.pack_factor = static_cast<int>(cli.get_int("pack", cfg.pack_factor));
+  const std::string want = cli.get("strategy", "");
+  if (!want.empty()) {
+    bool known = false;
+    for (const auto s : core::all_strategies())
+      known = known || want == core::strategy_name(s);
+    VITBIT_CHECK_MSG(known, "unknown strategy: " << want);
+  }
+
+  report::RunReport rep;
+  rep.tool = "vitbit_cli";
+  rep.meta = report::build_metadata();
+  rep.meta["model"] = model;
+  if (model != "cnn")
+    rep.meta["layers"] = std::to_string(vit_cfg.num_layers);
+  rep.meta["pack_factor"] = std::to_string(cfg.pack_factor);
+  for (const auto s : core::all_strategies()) {
+    if (!want.empty() && want != core::strategy_name(s)) continue;
+    const auto r = core::time_inference(log, s, cfg, kSpec, calib);
+    rep.strategies.push_back(report::make_strategy_report(r, kSpec));
+  }
+  if (cli.get_bool("l2", false)) {
+    // One addressed multi-SM L2 run per GEMM plan family, over a reduced
+    // shape so the section stays cheap.
+    const trace::GemmShape shape{197, 768,
+                                 static_cast<int>(cli.get_int("l2-n", 256)),
+                                 1};
+    const struct {
+      const char* name;
+      trace::GemmBlockPlan plan;
+    } rows[] = {{"tc", trace::plan_tc(calib)},
+                {"vitbit", trace::plan_vitbit(calib, 12)}};
+    for (const auto& row : rows) {
+      const auto kernel =
+          trace::build_gemm_kernel(shape, row.plan, kSpec, calib);
+      const auto geom = trace::gemm_grid_geom(shape, row.plan, kSpec);
+      sim::GpuSim gpu(kSpec, calib);
+      const auto g = gpu.run(kernel, geom,
+                             sim::occupancy_blocks_per_sm(kernel, kSpec));
+      rep.l2_runs.push_back(report::make_l2_report(
+          std::string("gemm_") + std::to_string(shape.m) + "x" +
+              std::to_string(shape.k) + "x" + std::to_string(shape.n) + "_" +
+              row.name,
+          g));
+    }
+  }
+
+  const std::string out = cli.json_path();
+  if (out.empty()) {
+    // No path: print the document to stdout (pipe-friendly).
+    report::to_json(rep).write(std::cout, 2);
+    std::cout << "\n";
+    return 0;
+  }
+  report::save_report_file(out, rep);
+  // Self-check: the emitted artifact must round-trip through the reader
+  // bit-identically before anything downstream trusts it.
+  const auto back = report::load_report_file(out);
+  VITBIT_CHECK_MSG(report::to_json(back) == report::to_json(rep),
+                   "report round-trip mismatch: " << out);
+  std::cout << "wrote " << out << " (schema v" << rep.schema_version << ", "
+            << rep.strategies.size() << " strategies, " << rep.l2_runs.size()
+            << " L2 runs)\n";
+  return 0;
+}
+
 int cmd_layout(const Cli& cli) {
   const int bits = static_cast<int>(cli.get_int("bits", 8));
   for (const auto mode : {swar::LaneMode::kUnsigned, swar::LaneMode::kOffset,
@@ -102,23 +185,48 @@ int cmd_layout(const Cli& cli) {
   return 0;
 }
 
-int run(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::string cmd =
-      cli.positional().empty() ? "help" : cli.positional()[0];
+int dispatch(const Cli& cli, const std::string& cmd) {
   if (cmd == "study") return cmd_study(cli);
   if (cmd == "tune") return cmd_tune(cli);
   if (cmd == "infer") return cmd_infer(cli);
   if (cmd == "layout") return cmd_layout(cli);
-  std::cout << "usage: vitbit_cli <study|tune|infer|layout> [--flags]\n"
+  if (cmd == "report") return cmd_report(cli);
+  return -1;
+}
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string cmd =
+      cli.positional().empty() ? "help" : cli.positional()[0];
+  const int rc = dispatch(cli, cmd);
+  if (rc >= 0) {
+    // Subcommands query the flags they accept; anything left over is a
+    // typo that would otherwise silently fall back to a default.
+    if (const auto typos = cli.unused(); !typos.empty()) {
+      std::cerr << "vitbit_cli " << cmd << ": unknown flag --" << typos.front()
+                << "\n";
+      return 2;
+    }
+    return rc;
+  }
+  std::cout << "usage: vitbit_cli <study|tune|infer|layout|report> [--flags]\n"
                "  study  --m --k --n        Section 3.2 GEMM ratio study\n"
                "  tune   --m --k --n        derive the VitBit split ratios\n"
                "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
-               "  layout --bits=N           packing policy for a bitwidth\n";
+               "  layout --bits=N           packing policy for a bitwidth\n"
+               "  report --json=PATH --model=vit|cnn --layers=N --l2\n"
+               "         machine-readable run report (see EXPERIMENTS.md)\n";
   return cmd == "help" ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return vitbit::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "vitbit_cli: " << e.what() << "\n";
+    return 2;
+  }
+}

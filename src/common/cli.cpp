@@ -39,8 +39,8 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   if (v.empty()) return def;
   char* end = nullptr;
   const long long parsed = std::strtoll(v.c_str(), &end, 10);
-  VITBIT_CHECK_MSG(end && *end == '\0', "flag --" << name
-                                                  << " is not an integer: " << v);
+  VITBIT_CHECK_MSG(end && *end == '\0',
+                   "flag --" << name << " is not an integer: " << v);
   return parsed;
 }
 

@@ -24,6 +24,12 @@ class Cli {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Path given via --json=<path> (machine-readable output, emitted next to
+  // the --csv console form); empty when the flag is absent. Every bench and
+  // the CLI route their artifacts through this one flag name so CI tooling
+  // can rely on it.
+  std::string json_path() const { return get("json", ""); }
+
   // Returns the set of flags that were provided but never queried; benches
   // call this after parsing all flags to reject typos.
   std::vector<std::string> unused() const;

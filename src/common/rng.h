@@ -36,7 +36,9 @@ class Rng {
     return result;
   }
 
-  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+  std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
 
   // Uniform in [0, n). n must be > 0.
   std::uint64_t below(std::uint64_t n) {

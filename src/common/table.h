@@ -34,6 +34,12 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  // Raw access for machine-readable exporters (report/run_report.h turns a
+  // table into a JSON array of row objects).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header_cols() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

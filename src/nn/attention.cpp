@@ -56,7 +56,8 @@ quant::QTensor AttentionLayer::forward(const quant::QTensor& x,
     log->add({KernelKind::kGemm, name + ".scores", seq, hd, seq, num_heads, 0});
     log->add({KernelKind::kSoftmax, name + ".softmax", 0, 0, 0, 1,
               static_cast<std::int64_t>(num_heads) * seq * seq});
-    log->add({KernelKind::kGemm, name + ".context", seq, seq, hd, num_heads, 0});
+    log->add(
+        {KernelKind::kGemm, name + ".context", seq, seq, hd, num_heads, 0});
   }
 
   // Requantize context accumulators (kProbBits + frac_bits) back to the

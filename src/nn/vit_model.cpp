@@ -71,7 +71,8 @@ MatrixF32 VitModel::forward_f32(const MatrixF32& patches) const {
     MatrixF32 y = gemm_ref_f32(x, l.weight_f32());
     const auto b = l.bias_f32(act_frac_bits);
     for (int r = 0; r < y.rows(); ++r)
-      for (int c = 0; c < y.cols(); ++c) y.at(r, c) += b[static_cast<std::size_t>(c)];
+      for (int c = 0; c < y.cols(); ++c)
+        y.at(r, c) += b[static_cast<std::size_t>(c)];
     return y;
   };
 
@@ -93,7 +94,8 @@ MatrixF32 VitModel::forward_f32(const MatrixF32& patches) const {
     const MatrixF32 qkv = linear_f32(ln1, layer.attn.qkv);
     MatrixF32 context(cfg.seq_len(), cfg.hidden_dim);
     for (int h = 0; h < cfg.num_heads; ++h) {
-      MatrixF32 q(cfg.seq_len(), hd), k(cfg.seq_len(), hd), v(cfg.seq_len(), hd);
+      MatrixF32 q(cfg.seq_len(), hd), k(cfg.seq_len(), hd),
+          v(cfg.seq_len(), hd);
       for (int r = 0; r < cfg.seq_len(); ++r)
         for (int c = 0; c < hd; ++c) {
           q.at(r, c) = qkv.at(r, 0 * cfg.hidden_dim + h * hd + c);
@@ -197,7 +199,8 @@ KernelLog build_kernel_log(const VitConfig& cfg, int batch) {
   for (int i = 0; i < cfg.num_layers; ++i) {
     const std::string p = "layer" + std::to_string(i);
     log.add({KernelKind::kLayerNorm, p + ".ln1", 0, 0, 0, 1, tokens});
-    log.add({KernelKind::kGemm, p + ".attn.qkv", seq, hidden, 3 * hidden, 1, 0});
+    log.add(
+        {KernelKind::kGemm, p + ".attn.qkv", seq, hidden, 3 * hidden, 1, 0});
     log.add({KernelKind::kGemm, p + ".attn.scores", cfg.seq_len(),
              cfg.head_dim(), cfg.seq_len(), cfg.num_heads * batch, 0});
     log.add({KernelKind::kSoftmax, p + ".attn.softmax", 0, 0, 0, 1,

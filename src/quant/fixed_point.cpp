@@ -49,7 +49,8 @@ std::int64_t isqrt(std::int64_t x) {
   if (x < 2) return x;
   // Newton's method from a power-of-two seed >= sqrt(x); monotonically
   // decreasing, converges in <= ~40 iterations for 63-bit inputs.
-  std::int64_t guess = std::int64_t{1} << ((ilog2(static_cast<std::uint64_t>(x)) / 2) + 1);
+  std::int64_t guess = std::int64_t{1}
+                       << ((ilog2(static_cast<std::uint64_t>(x)) / 2) + 1);
   while (true) {
     const std::int64_t next = (guess + x / guess) >> 1;
     if (next >= guess) break;

@@ -15,7 +15,8 @@ struct Dyadic {
   int shift = 0;  // value = mult / 2^shift
 
   double to_double() const {
-    return static_cast<double>(mult) / static_cast<double>(std::int64_t{1} << shift);
+    return static_cast<double>(mult) /
+           static_cast<double>(std::int64_t{1} << shift);
   }
 };
 

@@ -39,7 +39,8 @@ MatrixI32 ilayernorm(const MatrixI32& x, int out_fb) {
   VITBIT_CHECK(out_fb >= 0 && out_fb <= 20);
   VITBIT_CHECK(x.cols() >= 1);
   MatrixI32 out(x.rows(), x.cols());
-  for (int r = 0; r < x.rows(); ++r) normalize_row(x.row(r), out.row(r), out_fb);
+  for (int r = 0; r < x.rows(); ++r)
+    normalize_row(x.row(r), out.row(r), out_fb);
   return out;
 }
 

@@ -45,7 +45,8 @@ MatrixF32 softmax_ref(const MatrixF32& logits) {
     const float mx = *std::max_element(row.begin(), row.end());
     double sum = 0.0;
     for (int c = 0; c < logits.cols(); ++c)
-      sum += std::exp(static_cast<double>(row[static_cast<std::size_t>(c)]) - mx);
+      sum +=
+          std::exp(static_cast<double>(row[static_cast<std::size_t>(c)]) - mx);
     for (int c = 0; c < logits.cols(); ++c)
       out.at(r, c) = static_cast<float>(
           std::exp(static_cast<double>(row[static_cast<std::size_t>(c)]) - mx) /

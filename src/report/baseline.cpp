@@ -1,0 +1,199 @@
+#include "report/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/table.h"
+
+namespace vitbit::report {
+
+namespace {
+
+// Meta keys that describe the toolchain, not the workload: recorded for
+// humans, never gated on (the simulator is deterministic across them).
+bool informational_meta(const std::string& key) {
+  return key == "compiler" || key == "build" || key == "tool" ||
+         key == "generated_by";
+}
+
+std::string fmt_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void compare_metric(std::vector<MetricDelta>& out, const std::string& metric,
+                    double baseline, double fresh, double tolerance) {
+  MetricDelta d;
+  d.metric = metric;
+  d.baseline = baseline;
+  d.fresh = fresh;
+  d.rel_delta = relative_delta(baseline, fresh);
+  d.tolerance = tolerance;
+  // Strictly greater: a delta exactly at the tolerance passes.
+  d.violated = d.rel_delta > tolerance;
+  out.push_back(std::move(d));
+}
+
+void add_missing(std::vector<MetricDelta>& out, const std::string& metric) {
+  MetricDelta d;
+  d.metric = metric;
+  d.violated = true;
+  d.note = "missing from fresh report";
+  out.push_back(std::move(d));
+}
+
+void add_new(std::vector<MetricDelta>& out, const std::string& metric,
+             bool allow_new) {
+  MetricDelta d;
+  d.metric = metric;
+  d.violated = !allow_new;
+  d.note = "new metric (absent from baseline)";
+  out.push_back(std::move(d));
+}
+
+void compare_strategy(std::vector<MetricDelta>& out,
+                      const StrategyReport& base, const StrategyReport& fresh,
+                      const ToleranceSpec& tol) {
+  const std::string p = base.strategy + ".";
+  compare_metric(out, p + "total_cycles",
+                 static_cast<double>(base.total_cycles),
+                 static_cast<double>(fresh.total_cycles), tol.cycles);
+  compare_metric(out, p + "gemm_cycles", static_cast<double>(base.gemm_cycles),
+                 static_cast<double>(fresh.gemm_cycles), tol.cycles);
+  compare_metric(out, p + "cuda_cycles", static_cast<double>(base.cuda_cycles),
+                 static_cast<double>(fresh.cuda_cycles), tol.cycles);
+  compare_metric(out, p + "total_instructions",
+                 static_cast<double>(base.total_instructions),
+                 static_cast<double>(fresh.total_instructions),
+                 tol.instructions);
+  compare_metric(out, p + "total_energy_mj", base.total_energy_mj,
+                 fresh.total_energy_mj, tol.energy);
+  compare_metric(out, p + "mean_ipc", base.mean_ipc, fresh.mean_ipc, tol.ipc);
+  if (!tol.check_kernels) return;
+  std::set<std::string> base_names;
+  for (const auto& bk : base.kernels) {
+    base_names.insert(bk.name);
+    const KernelReport* fk = nullptr;
+    for (const auto& k : fresh.kernels)
+      if (k.name == bk.name) {
+        fk = &k;
+        break;
+      }
+    const std::string kp = p + "kernel." + bk.name + ".";
+    if (fk == nullptr) {
+      add_missing(out, kp + "cycles");
+      continue;
+    }
+    compare_metric(out, kp + "cycles", static_cast<double>(bk.cycles),
+                   static_cast<double>(fk->cycles), tol.cycles);
+    compare_metric(out, kp + "ipc", bk.ipc, fk->ipc, tol.ipc);
+  }
+  for (const auto& k : fresh.kernels)
+    if (!base_names.count(k.name))
+      add_new(out, p + "kernel." + k.name + ".cycles", tol.allow_new_metrics);
+}
+
+}  // namespace
+
+double relative_delta(double baseline, double fresh) {
+  const double diff = std::fabs(fresh - baseline);
+  if (diff == 0.0) return 0.0;
+  const double denom = std::max(std::fabs(baseline), 1e-12);
+  return diff / denom;
+}
+
+bool BaselineCheckResult::ok() const {
+  for (const auto& d : deltas)
+    if (d.violated) return false;
+  return true;
+}
+
+std::vector<MetricDelta> BaselineCheckResult::violations() const {
+  std::vector<MetricDelta> out;
+  for (const auto& d : deltas)
+    if (d.violated) out.push_back(d);
+  return out;
+}
+
+std::string BaselineCheckResult::first_violation() const {
+  for (const auto& d : deltas)
+    if (d.violated) return d.metric;
+  return "";
+}
+
+void BaselineCheckResult::render(std::ostream& os,
+                                 bool violations_only) const {
+  Table t(violations_only ? "baseline violations" : "baseline deltas");
+  t.header({"metric", "baseline", "fresh", "delta %", "tol %", "status"});
+  for (const auto& d : deltas) {
+    if (violations_only && !d.violated) continue;
+    t.row()
+        .cell(d.metric)
+        .cell(fmt_value(d.baseline))
+        .cell(fmt_value(d.fresh))
+        .cell(d.rel_delta * 100.0, 3)
+        .cell(d.tolerance * 100.0, 3)
+        .cell(d.violated ? ("FAIL " + d.note) : (d.note.empty() ? "ok"
+                                                                : d.note));
+  }
+  t.print(os);
+}
+
+BaselineCheckResult check_against_baseline(const RunReport& fresh,
+                                           const RunReport& baseline,
+                                           const ToleranceSpec& tol) {
+  BaselineCheckResult result;
+  auto& out = result.deltas;
+
+  // Workload metadata must match exactly; toolchain keys are informational.
+  for (const auto& [k, v] : baseline.meta) {
+    if (informational_meta(k)) continue;
+    const auto it = fresh.meta.find(k);
+    if (it == fresh.meta.end()) {
+      add_missing(out, "meta." + k);
+    } else if (it->second != v) {
+      MetricDelta d;
+      d.metric = "meta." + k;
+      d.violated = true;
+      d.note = "baseline '" + v + "' != fresh '" + it->second + "'";
+      out.push_back(std::move(d));
+    }
+  }
+
+  for (const auto& base : baseline.strategies) {
+    const StrategyReport* f = fresh.find_strategy(base.strategy);
+    if (f == nullptr) {
+      add_missing(out, base.strategy + ".total_cycles");
+      continue;
+    }
+    compare_strategy(out, base, *f, tol);
+  }
+  for (const auto& s : fresh.strategies)
+    if (baseline.find_strategy(s.strategy) == nullptr)
+      add_new(out, s.strategy + ".total_cycles", tol.allow_new_metrics);
+
+  for (const auto& base : baseline.l2_runs) {
+    const L2Report* f = nullptr;
+    for (const auto& g : fresh.l2_runs)
+      if (g.name == base.name) {
+        f = &g;
+        break;
+      }
+    const std::string p = "l2." + base.name + ".";
+    if (f == nullptr) {
+      add_missing(out, p + "cycles");
+      continue;
+    }
+    compare_metric(out, p + "cycles", static_cast<double>(base.cycles),
+                   static_cast<double>(f->cycles), tol.cycles);
+    compare_metric(out, p + "hit_rate", base.l2_hit_rate, f->l2_hit_rate,
+                   tol.l2_hit_rate);
+  }
+
+  return result;
+}
+
+}  // namespace vitbit::report

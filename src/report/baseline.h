@@ -1,0 +1,65 @@
+// Tolerance-based regression gate over run reports.
+//
+// A fresh RunReport is diffed against a checked-in baseline report; each
+// compared metric yields a MetricDelta, and any relative drift strictly
+// beyond its tolerance is a violation. Drift is flagged in *both*
+// directions: an improvement also trips the gate so baselines get
+// regenerated and the perf trajectory stays recorded (ROADMAP north star).
+// tools/check_regression turns the result into a CI exit code.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "report/run_report.h"
+
+namespace vitbit::report {
+
+// Relative tolerances per metric family (0.02 == ±2%).
+struct ToleranceSpec {
+  double cycles = 0.02;
+  double ipc = 0.01;
+  double instructions = 0.0;  // instruction counts are deterministic
+  double energy = 0.05;
+  double l2_hit_rate = 0.01;
+  // Check per-kernel cycles too (off: only strategy aggregates).
+  bool check_kernels = true;
+  // A kernel/strategy present in the fresh report but absent from the
+  // baseline is recorded as a note, not a violation (new code paths must
+  // not fail CI before their baseline lands). The reverse — baseline
+  // metric missing from the fresh report — is always a violation.
+  bool allow_new_metrics = true;
+};
+
+struct MetricDelta {
+  // Dotted path naming the metric, e.g. "VitBit.total_cycles" or
+  // "VitBit.kernel.layer0.attn.qkv.cycles".
+  std::string metric;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double rel_delta = 0.0;  // |fresh-baseline| / max(|baseline|, eps)
+  double tolerance = 0.0;
+  bool violated = false;
+  std::string note;  // "missing from fresh report", "new metric", ...
+};
+
+struct BaselineCheckResult {
+  std::vector<MetricDelta> deltas;
+
+  bool ok() const;
+  std::vector<MetricDelta> violations() const;
+  // Names of violated metrics, for terse CI logs / exit messages.
+  std::string first_violation() const;
+  // Human-readable delta table (all deltas, violations marked).
+  void render(std::ostream& os, bool violations_only = false) const;
+};
+
+// Relative delta with a guard against zero baselines.
+double relative_delta(double baseline, double fresh);
+
+BaselineCheckResult check_against_baseline(const RunReport& fresh,
+                                           const RunReport& baseline,
+                                           const ToleranceSpec& tol);
+
+}  // namespace vitbit::report

@@ -1,0 +1,96 @@
+// Minimal dependency-free JSON value with a writer and a strict parser —
+// the substrate of the machine-readable run reports (report/run_report.h).
+// Integers round-trip exactly (cycle counts exceed float precision needs);
+// doubles round-trip through max_digits10. Object key order is preserved
+// so emitted reports are diff-stable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vitbit::report {
+
+// A JSON value. Errors (type confusion, missing keys, parse failures)
+// throw CheckError like the rest of the library.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v)
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+  Json(const char* v) : Json(std::string(v)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Checked accessors.
+  bool as_bool() const;
+  std::int64_t as_int() const;      // kInt only
+  std::uint64_t as_uint() const;    // kInt, must be non-negative
+  double as_double() const;         // kInt or kDouble
+  const std::string& as_string() const;
+
+  // Array interface.
+  Json& push_back(Json v);
+  std::size_t size() const;  // array or object entry count
+  const Json& operator[](std::size_t i) const;
+
+  // Object interface. Keys keep insertion order; set() replaces in place.
+  Json& set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  const Json* find(const std::string& key) const;  // nullptr when absent
+  const Json& at(const std::string& key) const;    // throws when absent
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  // Convenience: at(key) narrowed, with the key named in any error.
+  std::int64_t int_at(const std::string& key) const;
+  std::uint64_t uint_at(const std::string& key) const;
+  double double_at(const std::string& key) const;
+  const std::string& string_at(const std::string& key) const;
+
+  // Serialization. `indent` > 0 pretty-prints with that many spaces per
+  // nesting level; 0 emits the compact single-line form.
+  void write(std::ostream& os, int indent = 2) const;
+  std::string dump(int indent = 2) const;
+
+  // Strict parser (no trailing garbage, no comments, no trailing commas).
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void write_indented(std::ostream& os, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// File round-trip; both throw CheckError on I/O or parse failure.
+Json load_json_file(const std::string& path);
+void save_json_file(const std::string& path, const Json& value);
+
+}  // namespace vitbit::report

@@ -1,0 +1,290 @@
+#include "report/run_report.h"
+
+#include "common/check.h"
+#include "sim/isa.h"
+#include "vitbit/strategy.h"
+
+namespace vitbit::report {
+
+namespace {
+
+// "7.5.0" from __VERSION__-style strings is overkill; the macro text is
+// already exactly what we want recorded.
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_mode() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+Json counters_to_json(const std::map<std::string, std::uint64_t>& m) {
+  Json obj = Json::object();
+  for (const auto& [k, v] : m) obj.set(k, Json(v));
+  return obj;
+}
+
+std::map<std::string, std::uint64_t> counters_from_json(const Json& j) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [k, v] : j.items()) out[k] = v.as_uint();
+  return out;
+}
+
+}  // namespace
+
+const StrategyReport* RunReport::find_strategy(
+    const std::string& strategy) const {
+  for (const auto& s : strategies)
+    if (s.strategy == strategy) return &s;
+  return nullptr;
+}
+
+SmStatsReport make_sm_stats_report(const sim::SmStats& sm) {
+  SmStatsReport r;
+  r.cycles = sm.cycles;
+  r.instructions_issued = sm.instructions_issued;
+  r.dram_bytes = sm.dram_bytes;
+  r.ipc = sm.ipc();
+  for (int i = 0; i < sim::kNumOpcodes; ++i) {
+    if (sm.issued_by_opcode[i] == 0) continue;
+    r.issued_by_opcode[sim::opcode_name(static_cast<sim::Opcode>(i))] =
+        sm.issued_by_opcode[i];
+  }
+  for (int i = 0; i < sim::kNumUnits; ++i) {
+    if (sm.unit_busy_cycles[i] == 0) continue;
+    r.unit_busy_cycles[sim::unit_name(static_cast<sim::ExecUnit>(i))] =
+        sm.unit_busy_cycles[i];
+  }
+  return r;
+}
+
+KernelReport make_kernel_report(const core::KernelTiming& timing) {
+  KernelReport r;
+  r.name = timing.name;
+  r.kind = nn::kernel_kind_name(timing.kind);
+  r.cycles = timing.cycles;
+  r.instructions = timing.instructions;
+  r.ipc = timing.ipc;
+  r.int_util = timing.int_util;
+  r.fp_util = timing.fp_util;
+  r.tc_util = timing.tc_util;
+  r.energy_mj = timing.energy_mj;
+  r.sm = make_sm_stats_report(timing.sm);
+  return r;
+}
+
+StrategyReport make_strategy_report(const core::InferenceTiming& timing,
+                                    const arch::OrinSpec& spec) {
+  StrategyReport r;
+  r.strategy = core::strategy_name(timing.strategy);
+  r.total_cycles = timing.total_cycles;
+  r.gemm_cycles = timing.gemm_cycles;
+  r.cuda_cycles = timing.cuda_cycles;
+  r.total_instructions = timing.total_instructions;
+  r.total_ms = timing.total_ms(spec);
+  r.total_energy_mj = timing.total_energy_mj;
+  r.mean_ipc = timing.mean_ipc();
+  for (const auto& k : timing.kernels)
+    r.kernels.push_back(make_kernel_report(k));
+  return r;
+}
+
+L2Report make_l2_report(const std::string& name, const sim::GpuRunResult& g) {
+  L2Report r;
+  r.name = name;
+  r.cycles = g.cycles;
+  r.l2_hits = g.l2_hits;
+  r.l2_misses = g.l2_misses;
+  r.l2_hit_rate = g.l2_hit_rate;
+  r.total = make_sm_stats_report(g.total);
+  return r;
+}
+
+std::map<std::string, std::string> build_metadata() {
+  return {{"compiler", compiler_id()}, {"build", build_mode()}};
+}
+
+Json to_json(const SmStatsReport& r) {
+  Json j = Json::object();
+  j.set("cycles", Json(r.cycles));
+  j.set("instructions_issued", Json(r.instructions_issued));
+  j.set("dram_bytes", Json(r.dram_bytes));
+  j.set("ipc", Json(r.ipc));
+  j.set("issued_by_opcode", counters_to_json(r.issued_by_opcode));
+  j.set("unit_busy_cycles", counters_to_json(r.unit_busy_cycles));
+  return j;
+}
+
+Json to_json(const KernelReport& r) {
+  Json j = Json::object();
+  j.set("name", Json(r.name));
+  j.set("kind", Json(r.kind));
+  j.set("cycles", Json(r.cycles));
+  j.set("instructions", Json(r.instructions));
+  j.set("ipc", Json(r.ipc));
+  j.set("int_util", Json(r.int_util));
+  j.set("fp_util", Json(r.fp_util));
+  j.set("tc_util", Json(r.tc_util));
+  j.set("energy_mj", Json(r.energy_mj));
+  j.set("sm", to_json(r.sm));
+  return j;
+}
+
+Json to_json(const StrategyReport& r) {
+  Json j = Json::object();
+  j.set("strategy", Json(r.strategy));
+  j.set("total_cycles", Json(r.total_cycles));
+  j.set("gemm_cycles", Json(r.gemm_cycles));
+  j.set("cuda_cycles", Json(r.cuda_cycles));
+  j.set("total_instructions", Json(r.total_instructions));
+  j.set("total_ms", Json(r.total_ms));
+  j.set("total_energy_mj", Json(r.total_energy_mj));
+  j.set("mean_ipc", Json(r.mean_ipc));
+  Json kernels = Json::array();
+  for (const auto& k : r.kernels) kernels.push_back(to_json(k));
+  j.set("kernels", std::move(kernels));
+  return j;
+}
+
+Json to_json(const L2Report& r) {
+  Json j = Json::object();
+  j.set("name", Json(r.name));
+  j.set("cycles", Json(r.cycles));
+  j.set("l2_hits", Json(r.l2_hits));
+  j.set("l2_misses", Json(r.l2_misses));
+  j.set("l2_hit_rate", Json(r.l2_hit_rate));
+  j.set("total", to_json(r.total));
+  return j;
+}
+
+Json to_json(const RunReport& r) {
+  Json j = Json::object();
+  j.set("schema_version", Json(static_cast<std::int64_t>(r.schema_version)));
+  j.set("tool", Json(r.tool));
+  Json meta = Json::object();
+  for (const auto& [k, v] : r.meta) meta.set(k, Json(v));
+  j.set("meta", std::move(meta));
+  Json strategies = Json::array();
+  for (const auto& s : r.strategies) strategies.push_back(to_json(s));
+  j.set("strategies", std::move(strategies));
+  Json l2 = Json::array();
+  for (const auto& g : r.l2_runs) l2.push_back(to_json(g));
+  j.set("l2_runs", std::move(l2));
+  return j;
+}
+
+namespace {
+
+SmStatsReport sm_stats_from_json(const Json& j) {
+  SmStatsReport r;
+  r.cycles = j.uint_at("cycles");
+  r.instructions_issued = j.uint_at("instructions_issued");
+  r.dram_bytes = j.uint_at("dram_bytes");
+  r.ipc = j.double_at("ipc");
+  r.issued_by_opcode = counters_from_json(j.at("issued_by_opcode"));
+  r.unit_busy_cycles = counters_from_json(j.at("unit_busy_cycles"));
+  return r;
+}
+
+KernelReport kernel_from_json(const Json& j) {
+  KernelReport r;
+  r.name = j.string_at("name");
+  r.kind = j.string_at("kind");
+  r.cycles = j.uint_at("cycles");
+  r.instructions = j.uint_at("instructions");
+  r.ipc = j.double_at("ipc");
+  r.int_util = j.double_at("int_util");
+  r.fp_util = j.double_at("fp_util");
+  r.tc_util = j.double_at("tc_util");
+  r.energy_mj = j.double_at("energy_mj");
+  r.sm = sm_stats_from_json(j.at("sm"));
+  return r;
+}
+
+StrategyReport strategy_from_json(const Json& j) {
+  StrategyReport r;
+  r.strategy = j.string_at("strategy");
+  r.total_cycles = j.uint_at("total_cycles");
+  r.gemm_cycles = j.uint_at("gemm_cycles");
+  r.cuda_cycles = j.uint_at("cuda_cycles");
+  r.total_instructions = j.uint_at("total_instructions");
+  r.total_ms = j.double_at("total_ms");
+  r.total_energy_mj = j.double_at("total_energy_mj");
+  r.mean_ipc = j.double_at("mean_ipc");
+  const Json& kernels = j.at("kernels");
+  for (std::size_t i = 0; i < kernels.size(); ++i)
+    r.kernels.push_back(kernel_from_json(kernels[i]));
+  return r;
+}
+
+L2Report l2_from_json(const Json& j) {
+  L2Report r;
+  r.name = j.string_at("name");
+  r.cycles = j.uint_at("cycles");
+  r.l2_hits = j.uint_at("l2_hits");
+  r.l2_misses = j.uint_at("l2_misses");
+  r.l2_hit_rate = j.double_at("l2_hit_rate");
+  r.total = sm_stats_from_json(j.at("total"));
+  return r;
+}
+
+}  // namespace
+
+RunReport run_report_from_json(const Json& j) {
+  RunReport r;
+  r.schema_version = static_cast<int>(j.int_at("schema_version"));
+  VITBIT_CHECK_MSG(r.schema_version == kSchemaVersion,
+                   "report schema version " << r.schema_version
+                                            << " != expected "
+                                            << kSchemaVersion);
+  r.tool = j.string_at("tool");
+  for (const auto& [k, v] : j.at("meta").items()) r.meta[k] = v.as_string();
+  const Json& strategies = j.at("strategies");
+  for (std::size_t i = 0; i < strategies.size(); ++i)
+    r.strategies.push_back(strategy_from_json(strategies[i]));
+  const Json& l2 = j.at("l2_runs");
+  for (std::size_t i = 0; i < l2.size(); ++i)
+    r.l2_runs.push_back(l2_from_json(l2[i]));
+  return r;
+}
+
+RunReport load_report_file(const std::string& path) {
+  return run_report_from_json(load_json_file(path));
+}
+
+void save_report_file(const std::string& path, const RunReport& report) {
+  save_json_file(path, to_json(report));
+}
+
+Json table_to_json(const Table& table) {
+  Json j = Json::object();
+  j.set("title", Json(table.title()));
+  Json columns = Json::array();
+  for (const auto& c : table.header_cols()) columns.push_back(Json(c));
+  j.set("columns", std::move(columns));
+  Json rows = Json::array();
+  for (const auto& row : table.rows()) {
+    Json obj = Json::object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::string key = i < table.header_cols().size()
+                                  ? table.header_cols()[i]
+                                  : "col" + std::to_string(i);
+      obj.set(key, Json(row[i]));
+    }
+    rows.push_back(std::move(obj));
+  }
+  j.set("rows", std::move(rows));
+  return j;
+}
+
+}  // namespace vitbit::report

@@ -1,0 +1,119 @@
+// Schema-versioned machine-readable run reports.
+//
+// A RunReport captures everything one simulated run produced — per-strategy
+// inference timings (core::InferenceTiming), per-kernel SM statistics
+// (sim::SmStats: opcode issue counts, unit busy cycles, DRAM bytes), and
+// optional whole-GPU L2 results (sim::GpuRunResult) — plus build/config
+// metadata, as one JSON document. CI diffs these against checked-in
+// baselines (report/baseline.h) instead of scraping console tables.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/orin_spec.h"
+#include "common/table.h"
+#include "report/json.h"
+#include "sim/gpu_sim.h"
+#include "sim/stats.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit::report {
+
+// Bumped whenever the report layout changes incompatibly; the reader
+// rejects documents with a different major version.
+inline constexpr int kSchemaVersion = 1;
+
+// sim::SmStats with names instead of enum indices (only nonzero counters
+// are kept, so reports stay small and resilient to ISA growth).
+struct SmStatsReport {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions_issued = 0;
+  std::uint64_t dram_bytes = 0;
+  double ipc = 0.0;
+  std::map<std::string, std::uint64_t> issued_by_opcode;
+  std::map<std::string, std::uint64_t> unit_busy_cycles;
+};
+
+// One core::KernelTiming.
+struct KernelReport {
+  std::string name;
+  std::string kind;  // nn::kernel_kind_name
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+  double int_util = 0.0;
+  double fp_util = 0.0;
+  double tc_util = 0.0;
+  double energy_mj = 0.0;
+  SmStatsReport sm;
+};
+
+// One core::InferenceTiming under a named strategy.
+struct StrategyReport {
+  std::string strategy;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t gemm_cycles = 0;
+  std::uint64_t cuda_cycles = 0;
+  std::uint64_t total_instructions = 0;
+  double total_ms = 0.0;
+  double total_energy_mj = 0.0;
+  double mean_ipc = 0.0;
+  std::vector<KernelReport> kernels;
+};
+
+// One sim::GpuRunResult (multi-SM L2 validation run).
+struct L2Report {
+  std::string name;  // what was run, e.g. "gemm_197x768x3072_tc"
+  std::uint64_t cycles = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  double l2_hit_rate = 0.0;
+  SmStatsReport total;
+};
+
+struct RunReport {
+  int schema_version = kSchemaVersion;
+  std::string tool;  // producing binary, e.g. "vitbit_cli" / "check_regression"
+  // Free-form run context: model, layers, pack factor, build type, compiler.
+  // Baseline checking requires these to match exactly.
+  std::map<std::string, std::string> meta;
+  std::vector<StrategyReport> strategies;
+  std::vector<L2Report> l2_runs;
+
+  // nullptr when the report has no entry for `strategy`.
+  const StrategyReport* find_strategy(const std::string& strategy) const;
+};
+
+// ---- Builders from live simulator results ----
+
+SmStatsReport make_sm_stats_report(const sim::SmStats& sm);
+KernelReport make_kernel_report(const core::KernelTiming& timing);
+StrategyReport make_strategy_report(const core::InferenceTiming& timing,
+                                    const arch::OrinSpec& spec);
+L2Report make_l2_report(const std::string& name, const sim::GpuRunResult& r);
+
+// Compiler/build-mode/schema identification stamped into every report.
+std::map<std::string, std::string> build_metadata();
+
+// ---- JSON round-trip ----
+
+Json to_json(const SmStatsReport& r);
+Json to_json(const KernelReport& r);
+Json to_json(const StrategyReport& r);
+Json to_json(const L2Report& r);
+Json to_json(const RunReport& r);
+
+// Throw CheckError on schema-version or shape mismatch.
+RunReport run_report_from_json(const Json& j);
+
+RunReport load_report_file(const std::string& path);
+void save_report_file(const std::string& path, const RunReport& report);
+
+// A console Table as a JSON document ({"title", "columns", "rows": [...]},
+// rows keyed by column name) — the --json form of every bench table.
+Json table_to_json(const Table& table);
+
+}  // namespace vitbit::report

@@ -109,9 +109,11 @@ LaunchResult launch_kernel_l2(const KernelSpec& kernel, const GridGeom& geom,
   const auto r = gpu.run(kernel, geom, bps);
   LaunchResult out;
   out.total_cycles =
-      r.cycles + static_cast<std::uint64_t>(calib.kernel_launch_overhead_cycles);
+      r.cycles +
+      static_cast<std::uint64_t>(calib.kernel_launch_overhead_cycles);
   out.blocks_per_sm = bps;
-  out.resident_blocks = std::min(bps, ceil_div(kernel.grid_blocks, spec.num_sms));
+  out.resident_blocks =
+      std::min(bps, ceil_div(kernel.grid_blocks, spec.num_sms));
   out.grid_blocks = kernel.grid_blocks;
   out.waves = ceil_div(ceil_div(kernel.grid_blocks, spec.num_sms), bps);
   out.sm = r.total;

@@ -9,10 +9,12 @@ L2Cache::L2Cache(std::uint64_t capacity_bytes, int line_bytes, int ways)
   VITBIT_CHECK(line_bytes >= 32 && std::has_single_bit(
                                        static_cast<unsigned>(line_bytes)));
   VITBIT_CHECK(ways >= 1);
-  const std::uint64_t lines = capacity_bytes / static_cast<std::uint64_t>(line_bytes);
+  const std::uint64_t lines =
+      capacity_bytes / static_cast<std::uint64_t>(line_bytes);
   VITBIT_CHECK_MSG(lines >= static_cast<std::uint64_t>(ways),
                    "cache smaller than one set");
-  num_sets_ = static_cast<std::size_t>(lines / static_cast<std::uint64_t>(ways));
+  num_sets_ =
+      static_cast<std::size_t>(lines / static_cast<std::uint64_t>(ways));
   sets_.assign(num_sets_ * static_cast<std::size_t>(ways_), Way{});
 }
 

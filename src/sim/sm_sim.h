@@ -94,7 +94,8 @@ class SmSim {
   std::vector<Subcore> subcores_;
   std::vector<Block> blocks_;
   std::uint64_t lsu_busy_until_ = 0;
-  double dram_free_ = 0.0;  // next cycle the DRAM channel is free (per-SM share)
+  // Next cycle the DRAM channel is free (per-SM share).
+  double dram_free_ = 0.0;
   int done_warps_ = 0;
   SmStats stats_;
 };

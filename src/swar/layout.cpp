@@ -67,9 +67,10 @@ std::int64_t LaneLayout::scalar_abs_budget() const {
         top_signed_sum = true;
         break;
     }
-    const std::int64_t cap = top_signed_sum
-                                 ? (tf >= 63 ? INT64_MAX : (std::int64_t{1} << (tf - 1)) - 1)
-                                 : (tf >= 63 ? INT64_MAX : (std::int64_t{1} << tf) - 1);
+    const std::int64_t cap =
+        top_signed_sum
+            ? (tf >= 63 ? INT64_MAX : (std::int64_t{1} << (tf - 1)) - 1)
+            : (tf >= 63 ? INT64_MAX : (std::int64_t{1} << tf) - 1);
     tighten(cap, enc_top);
   }
   return budget;
@@ -79,8 +80,9 @@ std::int64_t LaneLayout::worst_case_period() const {
   const std::int64_t max_scalar =
       mode == LaneMode::kUnsigned
           ? unsigned_max(scalar_bits)
-          : (mode == LaneMode::kOffset ? unsigned_max(scalar_bits)
-                                       : (std::int64_t{1} << (scalar_bits - 1)));
+          : (mode == LaneMode::kOffset
+                 ? unsigned_max(scalar_bits)
+                 : (std::int64_t{1} << (scalar_bits - 1)));
   if (max_scalar == 0) return INT64_MAX;
   return scalar_abs_budget() / max_scalar;
 }

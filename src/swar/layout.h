@@ -50,10 +50,12 @@ struct LaneLayout {
 
   // Zero-point added to offset-encoded lanes (2^(w-1)); 0 in unsigned mode.
   std::int64_t zero_point() const {
-    return mode == LaneMode::kUnsigned ? 0 : (std::int64_t{1} << (value_bits - 1));
+    return mode == LaneMode::kUnsigned ? 0
+                                       : (std::int64_t{1} << (value_bits - 1));
   }
   std::int64_t scalar_zero_point() const {
-    return mode == LaneMode::kOffset ? (std::int64_t{1} << (scalar_bits - 1)) : 0;
+    return mode == LaneMode::kOffset ? (std::int64_t{1} << (scalar_bits - 1))
+                                     : 0;
   }
 
   // Inclusive value range a lane may hold (pre-encoding).

@@ -83,7 +83,8 @@ PackedMatrix::PackedMatrix(const MatrixI32& b, const LaneLayout& layout)
     for (int pc = 0; pc < pc_count; ++pc) {
       for (int lane = 0; lane < L; ++lane) {
         const int col = pc * L + lane;
-        lanes[static_cast<std::size_t>(lane)] = col < b.cols() ? b.at(k, col) : 0;
+        lanes[static_cast<std::size_t>(lane)] =
+            col < b.cols() ? b.at(k, col) : 0;
       }
       words_.at(k, pc) = pack_lanes(lanes, layout);
     }

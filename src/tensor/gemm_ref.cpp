@@ -15,7 +15,8 @@ MatrixF32 gemm_ref_f32(const MatrixF32& a, const MatrixF32& b) {
     for (int n = 0; n < b.cols(); ++n) {
       double acc = 0.0;
       for (int k = 0; k < a.cols(); ++k)
-        acc += static_cast<double>(a.at(m, k)) * static_cast<double>(b.at(k, n));
+        acc +=
+            static_cast<double>(a.at(m, k)) * static_cast<double>(b.at(k, n));
       c.at(m, n) = static_cast<float>(acc);
     }
   }

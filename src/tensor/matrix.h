@@ -16,7 +16,9 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(int rows, int cols, T init = T{})
-      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, init) {
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, init) {
     VITBIT_CHECK(rows >= 0 && cols >= 0);
   }
 

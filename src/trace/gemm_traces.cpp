@@ -28,12 +28,14 @@ struct StagePlan {
   std::uint8_t operand = sim::kNoOperand;
   std::uint32_t chunk_offset = 0;  // where this stage's data begins in a panel
   std::uint32_t warp_bytes = 0;    // bytes one warp stages per panel
-  std::uint32_t panel_stride = 0;  // operand bytes consumed per panel (whole block)
+  // Operand bytes consumed per panel (whole block).
+  std::uint32_t panel_stride = 0;
   int slot = 0;                    // this warp's index among the sharers
 };
 
 StagePlan stage_share(double operand_bytes, int sharing_warps, double derate,
-                      bool to_smem = true, std::uint8_t operand = sim::kNoOperand,
+                      bool to_smem = true,
+                      std::uint8_t operand = sim::kNoOperand,
                       std::uint32_t chunk_offset = 0,
                       std::uint32_t panel_stride = 0) {
   StagePlan s;
@@ -140,9 +142,10 @@ ProgramPtr build_warp(const WarpParams& p, int panels, int tile_k) {
         // Loads and address arithmetic are vectorized over pairs of k-steps
         // (128-bit LDS, unrolled addressing) to conserve issue slots — the
         // sub-core scheduler issues only one instruction per cycle.
-        const auto frag_cur = frags[static_cast<std::size_t>(step % kFragDepth)];
-        const auto frag_next =
-            frags[static_cast<std::size_t>((step + kFragDepth - 1) % kFragDepth)];
+        const auto frag_cur =
+            frags[static_cast<std::size_t>(step % kFragDepth)];
+        const auto frag_next = frags[static_cast<std::size_t>(
+            (step + kFragDepth - 1) % kFragDepth)];
         if (step % 2 == 0) {
           for (int l = 0; l < p.lds_per_step; ++l)
             b.lds(frag_next, std::min<std::uint32_t>(128, lds_bytes * 2));
@@ -245,9 +248,10 @@ GemmDerived derive_gemm(const GemmShape& shape, const GemmBlockPlan& plan,
   auto rounded = [&](std::uint32_t bytes, int warps) -> std::uint32_t {
     if (bytes == 0 || warps <= 0) return 0;
     return static_cast<std::uint32_t>(warps) *
-           ceil_div<std::uint32_t>(ceil_div<std::uint32_t>(
-                                       bytes, static_cast<std::uint32_t>(warps)),
-                                   128) *
+           ceil_div<std::uint32_t>(
+               ceil_div<std::uint32_t>(bytes,
+                                       static_cast<std::uint32_t>(warps)),
+               128) *
            128;
   };
   d.a_panel = rounded(static_cast<std::uint32_t>(plan.tile_m) * tk,

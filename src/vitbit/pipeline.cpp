@@ -203,8 +203,11 @@ InferenceTiming time_inference(const nn::KernelLog& log, Strategy strategy,
       t.energy_mj = (dyn_nj + stat_nj) * 1e-6;
     }
     t.ipc = r.sm.ipc();
-    t.int_util = r.sm.utilization(sim::ExecUnit::kIntPipe, spec.subcores_per_sm);
-    t.fp_util = r.sm.utilization(sim::ExecUnit::kFpPipe, spec.subcores_per_sm);
+    t.sm = r.sm;
+    t.int_util =
+        r.sm.utilization(sim::ExecUnit::kIntPipe, spec.subcores_per_sm);
+    t.fp_util =
+        r.sm.utilization(sim::ExecUnit::kFpPipe, spec.subcores_per_sm);
     t.tc_util = r.sm.utilization(sim::ExecUnit::kTensor, spec.subcores_per_sm);
     out.total_cycles += t.cycles;
     out.total_instructions += t.instructions;

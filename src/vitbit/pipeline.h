@@ -41,6 +41,9 @@ struct KernelTiming {
   double fp_util = 0.0;
   double tc_util = 0.0;
   double energy_mj = 0.0;          // dynamic + static energy of this kernel
+  // Stats of one simulated SM over one wave (opcode mix, unit busy cycles,
+  // DRAM traffic) — serialized verbatim into run reports (report/).
+  sim::SmStats sm;
 };
 
 struct InferenceTiming {

@@ -12,7 +12,8 @@ double time_plan(const trace::GemmShape& shape,
                  const trace::GemmBlockPlan& plan, const arch::OrinSpec& spec,
                  const arch::Calibration& calib) {
   const auto kernel = trace::build_gemm_kernel(shape, plan, spec, calib);
-  return static_cast<double>(sim::launch_kernel(kernel, spec, calib).total_cycles);
+  return static_cast<double>(
+      sim::launch_kernel(kernel, spec, calib).total_cycles);
 }
 }  // namespace
 

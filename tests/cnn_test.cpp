@@ -81,7 +81,8 @@ TEST(Im2col, ConvViaGemmMatchesDirectConvolution) {
               acc += std::int64_t{img.at(c * size + iy, ix)} *
                      w.at((c * k + ky) * k + kx, oc);
             }
-        ASSERT_EQ(y.at(oy * size + ox, oc), acc) << oy << "," << ox << "," << oc;
+        ASSERT_EQ(y.at(oy * size + ox, oc), acc)
+            << oy << "," << ox << "," << oc;
       }
 }
 

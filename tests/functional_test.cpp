@@ -121,7 +121,8 @@ TEST(FunctionalWarp, PackedMacMatchesSwarLibrary) {
   // library's packed-GEMM arithmetic exactly.
   const auto layout = swar::paper_policy_layout(8, swar::LaneMode::kUnsigned);
   Rng rng(42);
-  const int k_steps = 4;  // within the unsigned worst-case budget at small values
+  // Within the unsigned worst-case budget at small values.
+  const int k_steps = 4;
   std::vector<std::int32_t> a(k_steps), b0(k_steps), b1(k_steps);
   for (int i = 0; i < k_steps; ++i) {
     a[i] = static_cast<std::int32_t>(rng.range(0, 15));

@@ -61,9 +61,13 @@ void check_plan(const GemmShape& shape, const GemmBlockPlan& plan) {
   }
 }
 
-TEST(GeomConsistency, TcPlan) { check_plan({197, 768, 3072, 1}, plan_tc(kCalib)); }
+TEST(GeomConsistency, TcPlan) {
+  check_plan({197, 768, 3072, 1}, plan_tc(kCalib));
+}
 
-TEST(GeomConsistency, IcPlan) { check_plan({197, 768, 768, 1}, plan_ic(kCalib)); }
+TEST(GeomConsistency, IcPlan) {
+  check_plan({197, 768, 768, 1}, plan_ic(kCalib));
+}
 
 TEST(GeomConsistency, PackedPlan) {
   check_plan({197, 768, 768, 1}, plan_ic_fc_packed(kCalib));

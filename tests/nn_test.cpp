@@ -184,7 +184,8 @@ TEST(VitModel, IntegerPathTracksFloatReference) {
   const int top_i = static_cast<int>(
       std::max_element(row_i.begin(), row_i.end()) - row_i.begin());
   std::vector<int> order(static_cast<std::size_t>(cfg.num_classes));
-  for (int i = 0; i < cfg.num_classes; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < cfg.num_classes; ++i)
+    order[static_cast<std::size_t>(i)] = i;
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return qf.at(0, a) > qf.at(0, b);
   });
@@ -249,8 +250,8 @@ TEST(ExtractPatches, LaysOutPatchesRowMajor) {
   EXPECT_EQ(patches.cols(), cfg.patch_dim());
   // Spot-check: patch (1,2), pixel (3,4), channel 1.
   const int grid = cfg.image_size / cfg.patch_size;
-  const float want =
-      img.at(1 * cfg.image_size + 1 * cfg.patch_size + 3, 2 * cfg.patch_size + 4);
+  const float want = img.at(1 * cfg.image_size + 1 * cfg.patch_size + 3,
+                            2 * cfg.patch_size + 4);
   EXPECT_FLOAT_EQ(
       patches.at(1 * grid + 2, (3 * cfg.patch_size + 4) * cfg.channels + 1),
       want);

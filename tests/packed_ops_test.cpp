@@ -11,7 +11,8 @@ namespace {
 class PackedOps : public ::testing::TestWithParam<std::tuple<int, LaneMode>> {
  protected:
   LaneLayout layout() const {
-    return paper_policy_layout(std::get<0>(GetParam()), std::get<1>(GetParam()));
+    return paper_policy_layout(std::get<0>(GetParam()),
+                               std::get<1>(GetParam()));
   }
 };
 

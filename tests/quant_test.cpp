@@ -143,7 +143,8 @@ TEST(Shiftmax, CloseToFloatSoftmax) {
   for (auto& v : xf.flat()) v = static_cast<float>(rng.normal(0.0, 2.0));
   MatrixI32 xi(4, 32);
   for (std::size_t i = 0; i < xf.size(); ++i)
-    xi.flat()[i] = static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
+    xi.flat()[i] =
+        static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
   const auto got = shiftmax(xi, fb, 14);
   const auto want = softmax_ref(xf);
   for (std::size_t i = 0; i < want.size(); ++i)
@@ -167,7 +168,8 @@ TEST(ShiftGelu, CloseToSigmoidReference) {
   for (auto& v : xf.flat()) v = static_cast<float>(rng.uniform(-4.0, 4.0));
   MatrixI32 xi(8, 32);
   for (std::size_t i = 0; i < xf.size(); ++i)
-    xi.flat()[i] = static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
+    xi.flat()[i] =
+        static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
   const auto got = shift_gelu(xi, fb);
   const auto want = gelu_sigmoid_ref(xf);
   for (std::size_t i = 0; i < want.size(); ++i)
@@ -179,10 +181,12 @@ TEST(ShiftGelu, CloseToErfGelu) {
   // Looser bound versus the exact GELU (the sigmoid form itself differs).
   const int fb = 12;
   MatrixF32 xf(1, 81);
-  for (int i = 0; i <= 80; ++i) xf.at(0, i) = static_cast<float>(-4.0 + 0.1 * i);
+  for (int i = 0; i <= 80; ++i)
+    xf.at(0, i) = static_cast<float>(-4.0 + 0.1 * i);
   MatrixI32 xi(1, 81);
   for (std::size_t i = 0; i < xf.size(); ++i)
-    xi.flat()[i] = static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
+    xi.flat()[i] =
+        static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
   const auto got = shift_gelu(xi, fb);
   const auto want = gelu_erf_ref(xf);
   for (std::size_t i = 0; i < want.size(); ++i)
@@ -226,7 +230,8 @@ TEST(ILayerNorm, MatchesFloatReference) {
   const int fb = 8;
   MatrixI32 xi(3, 64);
   for (std::size_t i = 0; i < xf.size(); ++i)
-    xi.flat()[i] = static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
+    xi.flat()[i] =
+        static_cast<std::int32_t>(std::lround(xf.flat()[i] * (1 << fb)));
   const auto got = ilayernorm(xi, fb);
   const auto want = layernorm_ref(xf);
   for (std::size_t i = 0; i < want.size(); ++i)

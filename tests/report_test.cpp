@@ -1,0 +1,350 @@
+// Tests for the observability subsystem (report/): JSON round-trip,
+// run-report serialization, and the tolerance-based baseline gate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "nn/vit_model.h"
+#include "report/baseline.h"
+#include "report/json.h"
+#include "report/run_report.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit::report {
+namespace {
+
+// ---- Json ----
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("null"), Json());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersStayExactBeyondDoublePrecision) {
+  // 2^53 + 1 is not representable as a double; cycle counters must not
+  // silently lose bits through the writer or the parser.
+  const std::int64_t big = (std::int64_t{1} << 53) + 1;
+  const Json v(big);
+  EXPECT_EQ(Json::parse(v.dump()).as_int(), big);
+}
+
+TEST(Json, DoubleRoundTripsThroughMaxDigits) {
+  const double v = 0.37213076923076921;
+  EXPECT_DOUBLE_EQ(Json::parse(Json(v).dump()).as_double(), v);
+  // A double that happens to be integral must parse back as a double.
+  EXPECT_EQ(Json::parse(Json(3.0).dump()).type(), Json::Type::kDouble);
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  EXPECT_EQ(Json::parse(Json(raw).dump()).as_string(), raw);
+}
+
+TEST(Json, NestedDocumentRoundTrip) {
+  Json doc = Json::object();
+  doc.set("name", Json("run"));
+  doc.set("ok", Json(true));
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(Json(std::int64_t{1}));
+  arr.push_back(Json(2.5));
+  Json inner = Json::object();
+  inner.set("k", Json("v"));
+  arr.push_back(std::move(inner));
+  doc.set("items", std::move(arr));
+  for (const int indent : {0, 2, 4})
+    EXPECT_EQ(Json::parse(doc.dump(indent)), doc);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", Json(1));
+  doc.set("alpha", Json(2));
+  EXPECT_EQ(doc.items()[0].first, "zebra");
+  EXPECT_EQ(doc.items()[1].first, "alpha");
+  // set() on an existing key replaces in place, keeping the position.
+  doc.set("zebra", Json(3));
+  EXPECT_EQ(doc.items()[0].first, "zebra");
+  EXPECT_EQ(doc.int_at("zebra"), 3);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), CheckError);
+  EXPECT_THROW(Json::parse("{"), CheckError);
+  EXPECT_THROW(Json::parse("tru"), CheckError);
+  EXPECT_THROW(Json::parse("1 2"), CheckError);          // trailing garbage
+  EXPECT_THROW(Json::parse("[1,]"), CheckError);         // trailing comma
+  EXPECT_THROW(Json::parse("\"unterminated"), CheckError);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), CheckError);  // dup key
+  EXPECT_THROW(Json::parse("01x"), CheckError);
+}
+
+TEST(Json, TypeConfusionThrows) {
+  EXPECT_THROW(Json(1.5).as_int(), CheckError);
+  EXPECT_THROW(Json("s").as_double(), CheckError);
+  EXPECT_THROW(Json(std::int64_t{-1}).as_uint(), CheckError);
+  EXPECT_THROW(Json::object().push_back(Json()), CheckError);
+  EXPECT_THROW(Json::array().at("k"), CheckError);
+  EXPECT_THROW(Json::object().at("absent"), CheckError);
+}
+
+TEST(Json, TableToJson) {
+  Table t("demo");
+  t.header({"name", "cycles"});
+  t.row().cell("k1").cell(std::uint64_t{123});
+  t.row().cell("k2").cell(std::uint64_t{456});
+  const Json j = table_to_json(t);
+  EXPECT_EQ(j.string_at("title"), "demo");
+  EXPECT_EQ(j.at("columns").size(), 2u);
+  ASSERT_EQ(j.at("rows").size(), 2u);
+  EXPECT_EQ(j.at("rows")[0].string_at("name"), "k1");
+  EXPECT_EQ(j.at("rows")[1].string_at("cycles"), "456");
+}
+
+// ---- RunReport ----
+
+// A small fully-populated report for round-trip and baseline tests.
+RunReport sample_report() {
+  RunReport rep;
+  rep.tool = "report_test";
+  rep.meta = {{"model", "vit"}, {"layers", "2"}, {"compiler", "testc 1.0"}};
+  StrategyReport s;
+  s.strategy = "VitBit";
+  s.total_cycles = 1000;
+  s.gemm_cycles = 700;
+  s.cuda_cycles = 300;
+  s.total_instructions = 5000;
+  s.total_ms = 0.5;
+  s.total_energy_mj = 1.25;
+  s.mean_ipc = 2.0;
+  KernelReport k;
+  k.name = "layer0.fc1";
+  k.kind = "gemm";
+  k.cycles = 700;
+  k.instructions = 4000;
+  k.ipc = 2.5;
+  k.int_util = 0.5;
+  k.fp_util = 0.25;
+  k.tc_util = 0.9;
+  k.energy_mj = 1.0;
+  k.sm.cycles = 700;
+  k.sm.instructions_issued = 1750;
+  k.sm.dram_bytes = 4096;
+  k.sm.ipc = 2.5;
+  k.sm.issued_by_opcode = {{"IMAD", 1000}, {"IMMA", 500}, {"LDS", 250}};
+  k.sm.unit_busy_cycles = {{"int", 400}, {"tensor", 600}};
+  s.kernels.push_back(std::move(k));
+  rep.strategies.push_back(std::move(s));
+  L2Report g;
+  g.name = "gemm_tc";
+  g.cycles = 2000;
+  g.l2_hits = 900;
+  g.l2_misses = 100;
+  g.l2_hit_rate = 0.9;
+  g.total.cycles = 2000;
+  g.total.instructions_issued = 3000;
+  g.total.ipc = 1.5;
+  rep.l2_runs.push_back(std::move(g));
+  return rep;
+}
+
+TEST(RunReport, JsonRoundTrip) {
+  const RunReport rep = sample_report();
+  const Json j = to_json(rep);
+  EXPECT_EQ(j.int_at("schema_version"), kSchemaVersion);
+  const RunReport back = run_report_from_json(Json::parse(j.dump()));
+  // Equality via re-serialization: the document is the contract.
+  EXPECT_EQ(to_json(back), j);
+  ASSERT_NE(back.find_strategy("VitBit"), nullptr);
+  EXPECT_EQ(back.find_strategy("VitBit")->kernels[0].sm.issued_by_opcode.at(
+                "IMMA"),
+            500u);
+  EXPECT_EQ(back.find_strategy("absent"), nullptr);
+}
+
+TEST(RunReport, FileRoundTrip) {
+  const RunReport rep = sample_report();
+  const std::string path = ::testing::TempDir() + "report_roundtrip.json";
+  save_report_file(path, rep);
+  EXPECT_EQ(to_json(load_report_file(path)), to_json(rep));
+}
+
+TEST(RunReport, SchemaVersionMismatchRejected) {
+  Json j = to_json(sample_report());
+  j.set("schema_version", Json(kSchemaVersion + 1));
+  EXPECT_THROW(run_report_from_json(j), CheckError);
+}
+
+TEST(RunReport, FromLiveSimulation) {
+  // A real (tiny) pipeline run must serialize losslessly, with the opcode
+  // counters present for a GEMM kernel.
+  const arch::OrinSpec spec;
+  const auto log = nn::build_kernel_log(nn::vit_tiny());
+  const auto timing =
+      core::time_inference(log, core::Strategy::kTC, core::StrategyConfig{},
+                           spec, arch::default_calibration());
+  const StrategyReport s = make_strategy_report(timing, spec);
+  EXPECT_EQ(s.strategy, "TC");
+  EXPECT_GT(s.total_cycles, 0u);
+  ASSERT_FALSE(s.kernels.empty());
+  EXPECT_FALSE(s.kernels[0].sm.issued_by_opcode.empty());
+  RunReport rep;
+  rep.tool = "report_test";
+  rep.strategies.push_back(s);
+  const RunReport back = run_report_from_json(to_json(rep));
+  EXPECT_EQ(to_json(back), to_json(rep));
+}
+
+// ---- Baseline gate ----
+
+TEST(Baseline, IdenticalReportsPass) {
+  const RunReport rep = sample_report();
+  const auto result = check_against_baseline(rep, rep, ToleranceSpec{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.violations().empty());
+  EXPECT_EQ(result.first_violation(), "");
+  EXPECT_FALSE(result.deltas.empty());
+}
+
+TEST(Baseline, ExactlyAtThresholdPasses) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  // 2% of 1000 = 20: rel delta == tolerance, which must NOT violate.
+  fresh.strategies[0].total_cycles = 1020;
+  ToleranceSpec tol;
+  tol.cycles = 0.02;
+  const auto result = check_against_baseline(fresh, base, tol);
+  for (const auto& d : result.deltas)
+    if (d.metric == "VitBit.total_cycles") {
+      EXPECT_DOUBLE_EQ(d.rel_delta, 0.02);
+      EXPECT_FALSE(d.violated);
+    }
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(Baseline, JustOverThresholdFails) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.strategies[0].total_cycles = 1021;  // 2.1% > 2%
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.first_violation(), "VitBit.total_cycles");
+}
+
+TEST(Baseline, ImprovementAlsoTripsTheGate) {
+  // Faster-than-baseline drift flags too, so baselines get re-anchored and
+  // the perf trajectory stays recorded.
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.strategies[0].total_cycles = 900;
+  EXPECT_FALSE(check_against_baseline(fresh, base, ToleranceSpec{}).ok());
+}
+
+TEST(Baseline, IpcToleranceIsTighter) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.strategies[0].mean_ipc = 2.0 * 1.015;  // 1.5% > 1%
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.first_violation(), "VitBit.mean_ipc");
+}
+
+TEST(Baseline, MissingStrategyIsViolation) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.strategies.clear();
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  const auto v = result.violations();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].metric, "VitBit.total_cycles");
+  EXPECT_EQ(v[0].note, "missing from fresh report");
+}
+
+TEST(Baseline, MissingKernelIsViolation) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.strategies[0].kernels[0].name = "layer0.renamed";
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.first_violation(), "VitBit.kernel.layer0.fc1.cycles");
+}
+
+TEST(Baseline, NewKernelNameIsNotedNotFailed) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  KernelReport extra = base.strategies[0].kernels[0];
+  extra.name = "layer0.new_fused";
+  fresh.strategies[0].kernels.push_back(std::move(extra));
+  ToleranceSpec tol;
+  const auto result = check_against_baseline(fresh, base, tol);
+  EXPECT_TRUE(result.ok());
+  bool noted = false;
+  for (const auto& d : result.deltas)
+    if (d.metric == "VitBit.kernel.layer0.new_fused.cycles") {
+      EXPECT_FALSE(d.violated);
+      EXPECT_FALSE(d.note.empty());
+      noted = true;
+    }
+  EXPECT_TRUE(noted);
+  // Strict mode: new metrics fail until their baseline lands.
+  tol.allow_new_metrics = false;
+  EXPECT_FALSE(check_against_baseline(fresh, base, tol).ok());
+}
+
+TEST(Baseline, WorkloadMetaMismatchFails) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.meta["layers"] = "12";
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.first_violation(), "meta.layers");
+}
+
+TEST(Baseline, ToolchainMetaIsInformational) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.meta["compiler"] = "otherc 2.0";  // must not gate
+  EXPECT_TRUE(check_against_baseline(fresh, base, ToleranceSpec{}).ok());
+}
+
+TEST(Baseline, L2MetricsAreChecked) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.l2_runs[0].l2_hit_rate = 0.8;  // 11% drift > 1%
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.first_violation(), "l2.gemm_tc.hit_rate");
+}
+
+TEST(Baseline, RenderNamesTheOffendingMetric) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.strategies[0].total_cycles = 2000;
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  std::ostringstream os;
+  result.render(os, /*violations_only=*/true);
+  EXPECT_NE(os.str().find("VitBit.total_cycles"), std::string::npos);
+  EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+  // The full table includes passing rows too.
+  std::ostringstream all;
+  result.render(all, /*violations_only=*/false);
+  EXPECT_NE(all.str().find("ok"), std::string::npos);
+}
+
+TEST(Baseline, RelativeDeltaGuardsZeroBaseline) {
+  EXPECT_EQ(relative_delta(0.0, 0.0), 0.0);
+  EXPECT_GT(relative_delta(0.0, 1.0), 1.0);  // huge, trips any tolerance
+  EXPECT_DOUBLE_EQ(relative_delta(100.0, 110.0), 0.1);
+}
+
+}  // namespace
+}  // namespace vitbit::report

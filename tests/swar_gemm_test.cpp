@@ -217,7 +217,8 @@ TEST(TilePolicy, AdaptiveBoundariesRespectBudget) {
   int prev = 0;
   for (const int b : bounds) {
     std::int64_t sum = 0;
-    for (int k = prev; k < b; ++k) sum += std::abs(row[static_cast<std::size_t>(k)]);
+    for (int k = prev; k < b; ++k)
+      sum += std::abs(row[static_cast<std::size_t>(k)]);
     EXPECT_LE(sum, budget);
     prev = b;
   }

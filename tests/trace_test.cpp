@@ -165,7 +165,8 @@ TEST(ElementwiseKernel, PackingReducesIntOps) {
 TEST(ElementwiseKernel, VitBitOrderingOnCudaKernels) {
   // Figure 7 ordering: IC > IC+FC > VitBit in time, each at its tuned
   // pipe split (the pipeline tunes fp_fraction the same way).
-  auto base = elementwise_plan(nn::KernelKind::kSoftmax, 12 * 197 * 197, kCalib);
+  auto base =
+      elementwise_plan(nn::KernelKind::kSoftmax, 12 * 197 * 197, kCalib);
   auto best = [&](bool packed) {
     std::uint64_t best_cycles = UINT64_MAX;
     for (const double f : {0.25, 1.0 / 3.0, 0.4, 0.5, 0.6}) {

@@ -166,9 +166,12 @@ TEST(Pipeline, VitBitBeatsBaselinesOnViT) {
   cfg.m_ratio = 4;
   cfg.fused_cuda_cols = 12;
   const auto tc = time_inference(log, Strategy::kTC, cfg, kSpec, kCalib);
-  const auto tacker = time_inference(log, Strategy::kTacker, cfg, kSpec, kCalib);
-  const auto tcicfc = time_inference(log, Strategy::kTCICFC, cfg, kSpec, kCalib);
-  const auto vitbit = time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
+  const auto tacker =
+      time_inference(log, Strategy::kTacker, cfg, kSpec, kCalib);
+  const auto tcicfc =
+      time_inference(log, Strategy::kTCICFC, cfg, kSpec, kCalib);
+  const auto vitbit =
+      time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
   EXPECT_LT(vitbit.total_cycles, tcicfc.total_cycles);
   EXPECT_LT(tcicfc.total_cycles, tc.total_cycles);
   EXPECT_LT(tacker.total_cycles, tc.total_cycles);
@@ -184,7 +187,8 @@ TEST(Pipeline, InstructionCountDropsWithPacking) {
   const auto log = nn::build_kernel_log(nn::vit_base());
   StrategyConfig cfg;
   const auto icfc = time_inference(log, Strategy::kICFC, cfg, kSpec, kCalib);
-  const auto vitbit = time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
+  const auto vitbit =
+      time_inference(log, Strategy::kVitBit, cfg, kSpec, kCalib);
   EXPECT_LT(vitbit.total_instructions, icfc.total_instructions);
 }
 

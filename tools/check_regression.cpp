@@ -1,0 +1,163 @@
+// check_regression — the CI perf gate.
+//
+// Runs the fig5 (end-to-end inference) and fig10 (IPC) pipelines on a
+// reduced-layer ViT-Base, emits schema-versioned run reports, and diffs
+// them against the checked-in baselines. Exit 0 when every metric is
+// within tolerance; exit 1 naming the first offending metric otherwise.
+//
+//   check_regression [--baselines=baselines] [--layers=2]
+//                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--json=PATH]
+//   check_regression --update          regenerate the baseline files
+//
+// Calibration overrides (for injecting drift in tests, and for asking
+// "would this calibration change trip the gate?"):
+//   --tc-macs=N           override Calibration::tc_macs_per_cycle
+//   --launch-overhead=N   override kernel_launch_overhead_cycles
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "nn/vit_model.h"
+#include "report/baseline.h"
+#include "report/run_report.h"
+#include "sim/gpu_sim.h"
+#include "trace/gemm_traces.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit {
+namespace {
+
+struct Figure {
+  std::string name;  // baseline file stem, e.g. "fig5_inference"
+  std::vector<core::Strategy> strategies;
+  bool with_l2 = false;
+};
+
+report::RunReport build_report(const Figure& fig, const nn::KernelLog& log,
+                               int layers, const core::StrategyConfig& cfg,
+                               const arch::OrinSpec& spec,
+                               const arch::Calibration& calib) {
+  report::RunReport rep;
+  rep.tool = "check_regression";
+  rep.meta = report::build_metadata();
+  rep.meta["figure"] = fig.name;
+  rep.meta["model"] = "vit";
+  rep.meta["layers"] = std::to_string(layers);
+  for (const auto s : fig.strategies) {
+    const auto r = core::time_inference(log, s, cfg, spec, calib);
+    rep.strategies.push_back(report::make_strategy_report(r, spec));
+  }
+  if (fig.with_l2) {
+    // One addressed multi-SM run so L2 hit/miss behaviour is gated too.
+    const trace::GemmShape shape{197, 768, 256, 1};
+    const std::vector<std::pair<const char*, trace::GemmBlockPlan>> plans = {
+        {"tc", trace::plan_tc(calib)},
+        {"vitbit", trace::plan_vitbit(calib, 12)}};
+    for (const auto& [name, plan] : plans) {
+      const auto kernel = trace::build_gemm_kernel(shape, plan, spec, calib);
+      const auto geom = trace::gemm_grid_geom(shape, plan, spec);
+      sim::GpuSim gpu(spec, calib);
+      const auto g =
+          gpu.run(kernel, geom, sim::occupancy_blocks_per_sm(kernel, spec));
+      rep.l2_runs.push_back(
+          report::make_l2_report(std::string("gemm_197x768x256_") + name, g));
+    }
+  }
+  return rep;
+}
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const arch::OrinSpec spec;
+  arch::Calibration calib = arch::default_calibration();
+  if (cli.has("tc-macs")) {
+    calib.tc_macs_per_cycle = static_cast<int>(cli.get_int("tc-macs", 0));
+    // One IMMA is 4096 MACs; keep the derived occupancy consistent.
+    calib.imma_occupancy_cycles =
+        (4096 + calib.tc_macs_per_cycle - 1) / calib.tc_macs_per_cycle;
+  }
+  if (cli.has("launch-overhead"))
+    calib.kernel_launch_overhead_cycles =
+        static_cast<int>(cli.get_int("launch-overhead", 0));
+
+  const std::string dir = cli.get("baselines", "baselines");
+  const int layers = static_cast<int>(cli.get_int("layers", 2));
+  const bool update = cli.get_bool("update", false);
+
+  report::ToleranceSpec tol;
+  tol.cycles = cli.get_double("cycles-tol", tol.cycles);
+  tol.ipc = cli.get_double("ipc-tol", tol.ipc);
+  tol.check_kernels = !cli.get_bool("no-kernels", false);
+
+  auto vit_cfg = nn::vit_base();
+  vit_cfg.num_layers = layers;
+  const auto log = nn::build_kernel_log(vit_cfg);
+  const core::StrategyConfig cfg;
+
+  const std::vector<Figure> figures = {
+      {"fig5_inference", core::figure5_strategies(), /*with_l2=*/true},
+      {"fig10_ipc", core::figure7_strategies(), /*with_l2=*/false},
+  };
+
+  const std::string json_out = cli.json_path();
+
+  // A typo'd flag silently reverting to its default would make the gate
+  // pass vacuously; fail loud instead.
+  if (const auto typos = cli.unused(); !typos.empty()) {
+    std::cerr << "check_regression: unknown flag --" << typos.front() << "\n";
+    return 2;
+  }
+
+  report::Json combined = report::Json::object();
+  bool all_ok = true;
+  std::string offending;
+  for (const auto& fig : figures) {
+    const auto fresh = build_report(fig, log, layers, cfg, spec, calib);
+    const std::string path = dir + "/" + fig.name + ".json";
+    if (!json_out.empty())
+      combined.set(fig.name, report::to_json(fresh));
+    if (update) {
+      report::save_report_file(path, fresh);
+      std::cout << "regenerated " << path << "\n";
+      continue;
+    }
+    const auto baseline = report::load_report_file(path);
+    const auto result = report::check_against_baseline(fresh, baseline, tol);
+    std::cout << "== " << fig.name << " vs " << path << " ==\n";
+    if (result.ok()) {
+      std::cout << "all " << result.deltas.size()
+                << " metrics within tolerance (cycles ±" << tol.cycles * 100
+                << "%, IPC ±" << tol.ipc * 100 << "%)\n\n";
+    } else {
+      result.render(std::cout, /*violations_only=*/true);
+      std::cout << "\n";
+      all_ok = false;
+      if (offending.empty()) offending = result.first_violation();
+    }
+  }
+  if (!json_out.empty()) {
+    report::save_json_file(json_out, combined);
+    std::cout << "wrote " << json_out << "\n";
+  }
+  if (update || all_ok) {
+    if (!update) std::cout << "check_regression: OK\n";
+    return 0;
+  }
+  std::cerr << "check_regression: REGRESSION in metric '" << offending
+            << "' (see delta table above). If the change is intended,\n"
+               "regenerate with: tools/check_regression --update\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace vitbit
+
+int main(int argc, char** argv) {
+  try {
+    return vitbit::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "check_regression: " << e.what() << "\n";
+    return 2;
+  }
+}
