@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include <algorithm>
+#include <iterator>
 
 #include "bench/bench_util.h"
 #include "common/cli.h"
@@ -26,6 +27,7 @@ double cycles(const trace::GemmShape& shape, const trace::GemmBlockPlan& plan,
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const trace::GemmShape shape = bench::study_shape();
 
   Table t("Ablation E — GPU configuration sweep (GEMM " +
@@ -44,27 +46,39 @@ int run(int argc, char** argv) {
       {"AGX Orin (paper)", 14, 204.8}, {"AGX, double BW", 14, 409.6},
       {"scaled-up part", 28, 409.6},
   };
-  for (const auto& hw : configs) {
-    arch::OrinSpec spec;
-    spec.num_sms = hw.sms;
-    spec.dram_bandwidth_gbps = hw.gbps;
-    const double tc = cycles(shape, trace::plan_tc(calib), spec, calib);
-    const double ic = cycles(shape, trace::plan_ic(calib), spec, calib);
-    const double vb_fixed =
-        cycles(shape, trace::plan_vitbit(calib, 12), spec, calib);
-    // Per-device tuning, as VitBit's setup phase does (0 = fall back to TC).
-    double vb_best = tc;
-    for (const int cols : {3, 6, 9, 12, 15, 18})
-      vb_best = std::min(
-          vb_best, cycles(shape, trace::plan_vitbit(calib, cols), spec, calib));
+  struct Swept {
+    double tc, ic, vb_fixed, vb_best;
+  };
+  // One task per GPU configuration; each runs its own nine launches.
+  const auto swept =
+      parallel_map(&pool, std::size(configs), [&](std::size_t i) {
+        arch::OrinSpec spec;
+        spec.num_sms = configs[i].sms;
+        spec.dram_bandwidth_gbps = configs[i].gbps;
+        Swept out{};
+        out.tc = cycles(shape, trace::plan_tc(calib), spec, calib);
+        out.ic = cycles(shape, trace::plan_ic(calib), spec, calib);
+        out.vb_fixed = cycles(shape, trace::plan_vitbit(calib, 12), spec,
+                              calib);
+        // Per-device tuning, as VitBit's setup phase does (0 = fall back to
+        // TC).
+        out.vb_best = out.tc;
+        for (const int cols : {3, 6, 9, 12, 15, 18})
+          out.vb_best = std::min(
+              out.vb_best,
+              cycles(shape, trace::plan_vitbit(calib, cols), spec, calib));
+        return out;
+      });
+  for (std::size_t i = 0; i < std::size(configs); ++i) {
+    const auto& s = swept[i];
     t.row()
-        .cell(hw.name)
-        .cell(std::int64_t{hw.sms})
-        .cell(hw.gbps, 1)
-        .cell(static_cast<std::int64_t>(tc))
-        .cell(tc / vb_fixed, 2)
-        .cell(tc / vb_best, 2)
-        .cell(ic / tc, 1);
+        .cell(configs[i].name)
+        .cell(std::int64_t{configs[i].sms})
+        .cell(configs[i].gbps, 1)
+        .cell(static_cast<std::int64_t>(s.tc))
+        .cell(s.tc / s.vb_fixed, 2)
+        .cell(s.tc / s.vb_best, 2)
+        .cell(s.ic / s.tc, 1);
   }
   bench::emit(t, cli);
   std::cout << "\nNarrow memory pushes the tensor-core baseline toward the\n"
@@ -78,4 +92,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

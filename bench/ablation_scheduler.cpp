@@ -16,7 +16,7 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
+  auto pool = bench::make_pool(cli);
   const arch::OrinSpec spec;
   arch::Calibration lrr = arch::default_calibration();
   lrr.greedy_scheduler = false;
@@ -40,13 +40,20 @@ int run(int argc, char** argv) {
           std::to_string(shape.n) + ")");
   t.header({"kernel", "round-robin (cycles)", "greedy (cycles)",
             "greedy/rr"});
-  for (const auto& row : rows) {
-    const auto a = sim::launch_kernel(
-        trace::build_gemm_kernel(shape, row.plan, spec, lrr), spec, lrr);
-    const auto b = sim::launch_kernel(
-        trace::build_gemm_kernel(shape, row.plan, spec, gto), spec, gto);
+  // Flatten (kernel, policy) into one task list: even index = round-robin,
+  // odd = greedy.
+  const auto launched =
+      parallel_map(&pool, rows.size() * 2, [&](std::size_t i) {
+        const auto& c = i % 2 == 0 ? lrr : gto;
+        return sim::launch_kernel(
+            trace::build_gemm_kernel(shape, rows[i / 2].plan, spec, c), spec,
+            c);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& a = launched[2 * i];
+    const auto& b = launched[2 * i + 1];
     t.row()
-        .cell(row.name)
+        .cell(rows[i].name)
         .cell(a.total_cycles)
         .cell(b.total_cycles)
         .cell(static_cast<double>(b.total_cycles) /
@@ -63,4 +70,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -21,6 +21,7 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const int k = static_cast<int>(cli.get_int("k", 768));
   const auto layout = swar::paper_policy_layout(8, swar::LaneMode::kTopSigned);
 
@@ -42,33 +43,45 @@ int run(int argc, char** argv) {
   Table t("Ablation C — packed INT8 accumulation-tile length");
   t.header({"K_tile", "overflow% (gauss)", "overflow% (uniform)",
             "spill ops/MAC", "sim speedup vs IC"});
-  for (const int period : {2, 4, 8, 16, 32, 64, 128}) {
+  const std::vector<int> periods = {2, 4, 8, 16, 32, 64, 128};
+  struct Swept {
+    swar::PackedGemmStats real, adversarial;
+    double cycles = 0.0;
+  };
+  const auto swept = parallel_map(&pool, periods.size(), [&](std::size_t i) {
+    const int period = periods[i];
     swar::PackedGemmOptions opt;
     opt.tile.mode = swar::TileMode::kFixedPeriod;
     opt.tile.fixed_period = period;
-    swar::PackedGemmStats sr, sa;
-    swar::gemm_packed(a_real, swar::PackedMatrix(b_real, layout), opt, &sr);
-    swar::gemm_packed(a_adv, swar::PackedMatrix(b_adv, layout), opt, &sa);
+    Swept out;
+    swar::gemm_packed(a_real, swar::PackedMatrix(b_real, layout), opt,
+                      &out.real);
+    swar::gemm_packed(a_adv, swar::PackedMatrix(b_adv, layout), opt,
+                      &out.adversarial);
 
     auto plan = trace::plan_ic(calib);
     plan.pack_int = true;
     plan.pack_factor = 2;
     plan.pack_k_tile = period;
     plan.pack_spill_ops = calib.packed_spill_ops;
-    const double cycles = static_cast<double>(
+    out.cycles = static_cast<double>(
         sim::launch_kernel(trace::build_gemm_kernel(shape, plan, spec, calib),
                            spec, calib)
             .total_cycles);
+    return out;
+  });
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& s = swept[i];
     t.row()
-        .cell(std::int64_t{period})
-        .cell(100.0 * static_cast<double>(sr.overflow_tiles) /
-                  static_cast<double>(sr.total_tiles),
+        .cell(std::int64_t{periods[i]})
+        .cell(100.0 * static_cast<double>(s.real.overflow_tiles) /
+                  static_cast<double>(s.real.total_tiles),
               2)
-        .cell(100.0 * static_cast<double>(sa.overflow_tiles) /
-                  static_cast<double>(sa.total_tiles),
+        .cell(100.0 * static_cast<double>(s.adversarial.overflow_tiles) /
+                  static_cast<double>(s.adversarial.total_tiles),
               2)
-        .cell(static_cast<double>(calib.packed_spill_ops) / period, 3)
-        .cell(ic_cycles / cycles, 2);
+        .cell(static_cast<double>(calib.packed_spill_ops) / periods[i], 3)
+        .cell(ic_cycles / s.cycles, 2);
   }
   bench::emit(t, cli);
 
@@ -85,4 +98,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -14,20 +14,27 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const core::StrategyConfig cfg;
 
   Table t("Extension — batch-size sweep, ViT-Base");
   t.header({"batch", "TC (ms)", "VitBit (ms)", "VitBit speedup",
             "TC img/s", "VitBit img/s"});
-  for (const int batch : {1, 2, 4, 8}) {
-    const auto log = nn::build_kernel_log(nn::vit_base(), batch);
-    const auto tc = core::time_inference(log, core::Strategy::kTC, cfg, spec,
-                                         calib);
-    const auto vb = core::time_inference(log, core::Strategy::kVitBit, cfg,
-                                         spec, calib);
+  const std::vector<int> batches = {1, 2, 4, 8};
+  // Flatten (batch, strategy): even index = TC, odd = VitBit.
+  const auto timings =
+      parallel_map(&pool, batches.size() * 2, [&](std::size_t i) {
+        const auto log = nn::build_kernel_log(nn::vit_base(), batches[i / 2]);
+        const auto s =
+            i % 2 == 0 ? core::Strategy::kTC : core::Strategy::kVitBit;
+        return core::time_inference(log, s, cfg, spec, calib, &pool);
+      });
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const int batch = batches[i];
+    const auto& tc = timings[2 * i];
+    const auto& vb = timings[2 * i + 1];
     const double tc_ms = tc.total_ms(spec);
     const double vb_ms = vb.total_ms(spec);
     t.row()
@@ -50,4 +57,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

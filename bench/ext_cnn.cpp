@@ -14,21 +14,25 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_cnn_kernel_log(nn::cnn_edge());
   const core::StrategyConfig cfg;
+
+  const auto strategies = core::figure5_strategies();
+  const auto results = parallel_map(&pool, strategies.size(), [&](auto i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
 
   Table t("Extension — edge-CNN inference (224x224 input, 8 convs)");
   t.header({"method", "time (ms)", "speedup vs TC", "conv GEMM (ms)",
             "elementwise (ms)"});
-  double tc = 0;
-  for (const auto s : core::figure5_strategies()) {
-    const auto r = core::time_inference(log, s, cfg, spec, calib);
-    if (tc == 0) tc = static_cast<double>(r.total_cycles);
+  const double tc = static_cast<double>(results[0].total_cycles);
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const auto& r = results[i];
     t.row()
-        .cell(core::strategy_name(s))
+        .cell(core::strategy_name(strategies[i]))
         .cell(r.total_ms(spec), 3)
         .cell(tc / static_cast<double>(r.total_cycles), 2)
         .cell(static_cast<double>(r.gemm_cycles) / (spec.clock_ghz * 1e6), 3)
@@ -44,4 +48,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -16,23 +16,27 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
+
+  const auto strategies = core::figure5_strategies();
+  const auto results = parallel_map(&pool, strategies.size(), [&](auto i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
 
   Table t("Extension — energy per ViT-Base inference");
   t.header({"method", "time (ms)", "energy (mJ)", "avg power (W)",
             "EDP (mJ*ms)", "energy vs TC"});
-  double base_energy = 0.0;
-  for (const auto s : core::figure5_strategies()) {
-    const auto r = core::time_inference(log, s, cfg, spec, calib);
+  const double base_energy = results[0].total_energy_mj;
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const auto& r = results[i];
     const double ms = r.total_ms(spec);
     const double mj = r.total_energy_mj;
-    if (base_energy == 0.0) base_energy = mj;
     t.row()
-        .cell(core::strategy_name(s))
+        .cell(core::strategy_name(strategies[i]))
         .cell(ms, 3)
         .cell(mj, 2)
         .cell(mj / ms, 2)
@@ -54,4 +58,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -19,24 +19,29 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
 
   Table t("Extension — packing factor (INT8 vs INT4 policies) on ViT-Base");
   t.header({"config", "pack factor", "time (ms)", "speedup vs TC",
             "CUDA-kernel speedup"});
-  core::StrategyConfig cfg;
-  const auto tc =
-      core::time_inference(log, core::Strategy::kTC, cfg, spec, calib);
-  const auto ic =
-      core::time_inference(log, core::Strategy::kIC, cfg, spec, calib);
-
+  // Tasks: [TC, IC, VitBit@pf=2, VitBit@pf=3, VitBit@pf=4].
+  const auto timings = parallel_map(&pool, 5, [&](std::size_t i) {
+    core::StrategyConfig cfg;
+    if (i < 2)
+      return core::time_inference(
+          log, i == 0 ? core::Strategy::kTC : core::Strategy::kIC, cfg, spec,
+          calib, &pool);
+    cfg.pack_factor = static_cast<int>(i);
+    return core::time_inference(log, core::Strategy::kVitBit, cfg, spec,
+                                calib, &pool);
+  });
+  const auto& tc = timings[0];
+  const auto& ic = timings[1];
   for (const int pf : {2, 3, 4}) {
-    cfg.pack_factor = pf;
-    const auto r =
-        core::time_inference(log, core::Strategy::kVitBit, cfg, spec, calib);
+    const auto& r = timings[pf];
     t.row()
         .cell(pf == 2 ? "VitBit INT8 (Fig. 3b)"
                       : (pf == 3 ? "VitBit INT5 (Fig. 3c)"
@@ -60,4 +65,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

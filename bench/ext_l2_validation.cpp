@@ -19,6 +19,7 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   trace::GemmShape shape{197, 768, 3072, 1};
   shape.n = static_cast<int>(cli.get_int("n", shape.n));
 
@@ -38,22 +39,36 @@ int run(int argc, char** argv) {
           std::to_string(shape.n) + ")");
   t.header({"kernel", "derate model (cyc)", "L2 model (cyc)", "L2/derate",
             "L2 hit rate"});
-  for (const auto& row : rows) {
-    const auto kernel = trace::build_gemm_kernel(shape, row.plan, spec, calib);
-    const auto geom = trace::gemm_grid_geom(shape, row.plan, spec);
-    const auto a = sim::launch_kernel(kernel, spec, calib);
-    const auto b = sim::launch_kernel_l2(kernel, geom, spec, calib);
+  struct Swept {
+    std::uint64_t derate_cycles = 0, l2_cycles = 0;
+    double l2_hit_rate = 0.0;
+  };
+  // Each row runs the derate model, the L2-derate launcher, and a full
+  // multi-SM simulation — all independent across rows.
+  const auto swept = parallel_map(&pool, rows.size(), [&](std::size_t i) {
+    const auto kernel =
+        trace::build_gemm_kernel(shape, rows[i].plan, spec, calib);
+    const auto geom = trace::gemm_grid_geom(shape, rows[i].plan, spec);
+    Swept out;
+    out.derate_cycles = sim::launch_kernel(kernel, spec, calib).total_cycles;
+    out.l2_cycles =
+        sim::launch_kernel_l2(kernel, geom, spec, calib).total_cycles;
     sim::GpuSim gpu(spec, calib);
-    const auto g =
-        gpu.run(kernel, geom, sim::occupancy_blocks_per_sm(kernel, spec));
+    out.l2_hit_rate =
+        gpu.run(kernel, geom, sim::occupancy_blocks_per_sm(kernel, spec))
+            .l2_hit_rate;
+    return out;
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& s = swept[i];
     t.row()
-        .cell(row.name)
-        .cell(a.total_cycles)
-        .cell(b.total_cycles)
-        .cell(static_cast<double>(b.total_cycles) /
-                  static_cast<double>(a.total_cycles),
+        .cell(rows[i].name)
+        .cell(s.derate_cycles)
+        .cell(s.l2_cycles)
+        .cell(static_cast<double>(s.l2_cycles) /
+                  static_cast<double>(s.derate_cycles),
               2)
-        .cell(g.l2_hit_rate, 3);
+        .cell(s.l2_hit_rate, 3);
   }
   bench::emit(t, cli);
   std::cout << "\nBoth models must order the kernels identically; the"
@@ -68,4 +83,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

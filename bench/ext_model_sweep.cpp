@@ -1,6 +1,8 @@
 // Extension bench: does VitBit's advantage scale with model size? Sweeps
 // ViT-Small / Base / Large (the paper evaluates Base only).
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/cli.h"
@@ -15,32 +17,41 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const core::StrategyConfig cfg;
+
+  const std::vector<std::pair<const char*, nn::KernelLog>> models = {
+      {"ViT-Small", nn::build_kernel_log(nn::vit_small())},
+      {"ViT-Base", nn::build_kernel_log(nn::vit_base())},
+      {"ViT-Large", nn::build_kernel_log(nn::vit_large())},
+      {"MLP-Mixer-S", nn::build_mixer_kernel_log(nn::mixer_small())},
+      {"edge CNN", nn::build_cnn_kernel_log(nn::cnn_edge())},
+  };
+  // Flatten (model, strategy) so the pool sees all 2N replays at once.
+  const auto timings =
+      parallel_map(&pool, models.size() * 2, [&](std::size_t i) {
+        const auto s =
+            i % 2 == 0 ? core::Strategy::kTC : core::Strategy::kVitBit;
+        return core::time_inference(models[i / 2].second, s, cfg, spec, calib,
+                                    &pool);
+      });
 
   Table t("Extension — workload sweep (VitBit vs TC)");
   t.header({"model", "GMACs", "TC (ms)", "VitBit (ms)", "speedup"});
-  auto report = [&](const char* name, const nn::KernelLog& log) {
-    const auto tc = core::time_inference(log, core::Strategy::kTC, cfg, spec,
-                                         calib);
-    const auto vb = core::time_inference(log, core::Strategy::kVitBit, cfg,
-                                         spec, calib);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const auto& tc = timings[2 * i];
+    const auto& vb = timings[2 * i + 1];
     t.row()
-        .cell(name)
-        .cell(static_cast<double>(log.total_macs()) / 1e9, 1)
+        .cell(models[i].first)
+        .cell(static_cast<double>(models[i].second.total_macs()) / 1e9, 1)
         .cell(tc.total_ms(spec), 3)
         .cell(vb.total_ms(spec), 3)
         .cell(static_cast<double>(tc.total_cycles) /
                   static_cast<double>(vb.total_cycles),
               2);
-  };
-  report("ViT-Small", nn::build_kernel_log(nn::vit_small()));
-  report("ViT-Base", nn::build_kernel_log(nn::vit_base()));
-  report("ViT-Large", nn::build_kernel_log(nn::vit_large()));
-  report("MLP-Mixer-S", nn::build_mixer_kernel_log(nn::mixer_small()));
-  report("edge CNN", nn::build_cnn_kernel_log(nn::cnn_edge()));
+  }
   bench::emit(t, cli);
   std::cout << "\nLarger and GEMM-denser models spend more of their time in\n"
                "wide GEMMs, where the fused kernel's gain is highest.\n";
@@ -50,4 +61,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -32,6 +32,10 @@ struct Err {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
+  // Host-side functional bench (no simulator runs); the pool still
+  // validates --threads so the flag behaves uniformly across binaries.
+  const auto pool = bench::make_pool(cli);
+  (void)pool;
   const int fb = static_cast<int>(cli.get_int("fb", 10));
   const std::int32_t one = 1 << fb;
 
@@ -129,4 +133,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

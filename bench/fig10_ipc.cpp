@@ -27,11 +27,16 @@ double cuda_kernel_ipc(const core::InferenceTiming& t) {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
+
+  const auto strategies = core::figure7_strategies();
+  const auto results = parallel_map(&pool, strategies.size(), [&](auto i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
 
   // The paper's Figure 10 measures average IPC over whole-layer execution
   // per method: a single-pipe method (IC or FC) is capped by one pipe's
@@ -39,12 +44,12 @@ int run(int argc, char** argv) {
   Table t("Figure 10 — average IPC while inferring ViT-Base");
   t.header({"method", "overall IPC", "CUDA-kernel IPC", "vs IC (overall)"});
   double base = 0.0;
-  for (const auto s : core::figure7_strategies()) {
-    const auto r = core::time_inference(log, s, cfg, spec, calib);
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const auto& r = results[i];
     const double ipc = r.mean_ipc();
     if (base == 0.0) base = ipc;
     t.row()
-        .cell(core::strategy_name(s))
+        .cell(core::strategy_name(strategies[i]))
         .cell(ipc, 2)
         .cell(cuda_kernel_ipc(r), 2)
         .cell(ipc / base, 2);
@@ -58,4 +63,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

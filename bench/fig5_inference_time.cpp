@@ -16,23 +16,27 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   core::StrategyConfig cfg;
   cfg.m_ratio = static_cast<int>(cli.get_int("m", cfg.m_ratio));
 
+  const auto strategies = core::figure5_strategies();
+  const auto results = parallel_map(&pool, strategies.size(), [&](auto i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
+
   const double paper[] = {1.00, 1.06, 1.11, 1.22};
   Table t("Figure 5 — ViT-Base inference time (normalized to TC)");
   t.header({"method", "time (ms)", "model speedup", "paper speedup"});
-  double tc_cycles = 0.0;
-  int i = 0;
-  for (const auto s : core::figure5_strategies()) {
-    const auto r = core::time_inference(log, s, cfg, spec, calib);
-    if (tc_cycles == 0.0) tc_cycles = static_cast<double>(r.total_cycles);
+  const double tc_cycles = static_cast<double>(results[0].total_cycles);
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const auto& r = results[i];
     t.row()
-        .cell(core::strategy_name(s))
+        .cell(core::strategy_name(strategies[i]))
         .cell(r.total_ms(spec), 3)
         .cell(tc_cycles / static_cast<double>(r.total_cycles), 2)
-        .cell(paper[i++], 2);
+        .cell(paper[i], 2);
   }
   bench::emit(t, cli);
   std::cout << "\nWorkload: integer-only quantized ViT-Base (197x768, 12\n"
@@ -43,4 +47,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -15,16 +15,19 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
 
-  const auto tc =
-      core::time_inference(log, core::Strategy::kTC, cfg, spec, calib);
-  const auto vb =
-      core::time_inference(log, core::Strategy::kVitBit, cfg, spec, calib);
+  const core::Strategy strategies[] = {core::Strategy::kTC,
+                                       core::Strategy::kVitBit};
+  const auto timings = parallel_map(&pool, 2, [&](std::size_t i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
+  const auto& tc = timings[0];
+  const auto& vb = timings[1];
 
   // One row per distinct layer-0 GEMM kernel (all layers are identical).
   Table t("Figure 6 — Linear (GEMM) kernel speedup, VitBit vs TC");
@@ -58,4 +61,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

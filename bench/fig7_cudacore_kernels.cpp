@@ -14,20 +14,22 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
 
-  const auto ic =
-      core::time_inference(log, core::Strategy::kIC, cfg, spec, calib);
-  const auto fc =
-      core::time_inference(log, core::Strategy::kFC, cfg, spec, calib);
-  const auto icfc =
-      core::time_inference(log, core::Strategy::kICFC, cfg, spec, calib);
-  const auto vb =
-      core::time_inference(log, core::Strategy::kVitBit, cfg, spec, calib);
+  const core::Strategy strategies[] = {
+      core::Strategy::kIC, core::Strategy::kFC, core::Strategy::kICFC,
+      core::Strategy::kVitBit};
+  const auto timings = parallel_map(&pool, 4, [&](std::size_t i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
+  const auto& ic = timings[0];
+  const auto& fc = timings[1];
+  const auto& icfc = timings[2];
+  const auto& vb = timings[3];
 
   Table t("Figure 7 — CUDA-core kernel speedup vs IC");
   t.header({"kernel", "IC cycles", "FC", "IC+FC", "VitBit"});
@@ -63,4 +65,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -17,31 +17,34 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const arch::AreaModel area;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
+
+  const auto strategies = core::figure5_strategies();
+  const auto results = parallel_map(&pool, strategies.size(), [&](auto i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
 
   const double paper[] = {1.00, 1.11, 1.17, 1.28};
   Table t("Figure 8 — arithmetic density during ViT-Base inference");
   t.header({"method", "GEMM ops/cycle", "TOPS/mm^2", "model norm",
             "paper norm"});
   double base_density = 0.0;
-  int i = 0;
-  for (const auto s : core::figure5_strategies()) {
-    const auto r = core::time_inference(log, s, cfg, spec, calib);
-    const double ops_per_cycle = r.gemm_ops_per_cycle(log);
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const double ops_per_cycle = results[i].gemm_ops_per_cycle(log);
     const double ops_per_sec = ops_per_cycle * spec.clock_ghz * 1e9;
     const double density = arch::arithmetic_density(spec, area, ops_per_sec);
     if (base_density == 0.0) base_density = density;
     t.row()
-        .cell(core::strategy_name(s))
+        .cell(core::strategy_name(strategies[i]))
         .cell(ops_per_cycle, 1)
         .cell(density, 3)
         .cell(density / base_density, 2)
-        .cell(paper[i++], 2);
+        .cell(paper[i], 2);
   }
   bench::emit(t, cli);
   std::cout << "\nDie area model: " << format_fixed(area.gpu_total_mm2(spec), 1)
@@ -52,4 +55,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -15,16 +15,19 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   const auto log = nn::build_kernel_log(nn::vit_base());
   const core::StrategyConfig cfg;
 
-  const auto icfc =
-      core::time_inference(log, core::Strategy::kICFC, cfg, spec, calib);
-  const auto vb =
-      core::time_inference(log, core::Strategy::kVitBit, cfg, spec, calib);
+  const core::Strategy strategies[] = {core::Strategy::kICFC,
+                                       core::Strategy::kVitBit};
+  const auto timings = parallel_map(&pool, 2, [&](std::size_t i) {
+    return core::time_inference(log, strategies[i], cfg, spec, calib, &pool);
+  });
+  const auto& icfc = timings[0];
+  const auto& vb = timings[1];
 
   Table t("Figure 9 — CUDA-core instruction count per kernel (layer 0)");
   t.header({"kernel", "IC+FC instrs", "VitBit instrs", "reduction"});
@@ -56,4 +59,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

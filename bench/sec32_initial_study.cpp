@@ -19,6 +19,7 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const arch::OrinSpec spec;
   const auto& calib = arch::default_calibration();
+  auto pool = bench::make_pool(cli);
   trace::GemmShape shape = bench::study_shape();
   shape.m = static_cast<int>(cli.get_int("m", shape.m));
   shape.k = static_cast<int>(cli.get_int("k", shape.k));
@@ -37,20 +38,27 @@ int run(int argc, char** argv) {
       {"IC+FC+P", trace::plan_ic_fc_packed(calib), 4.0},
   };
 
-  double tc_cycles = 0.0;
   Table t("Section 3.2 initial study — GEMM " + std::to_string(shape.m) +
           "x" + std::to_string(shape.k) + "x" + std::to_string(shape.n));
   t.header({"method", "cycles", "time(ms)", "model ratio", "paper ratio"});
-  std::vector<double> cycles;
   const bool debug = cli.get_bool("debug", false);
-  for (const auto& row : rows) {
-    const auto kernel = trace::build_gemm_kernel(shape, row.plan, spec, calib);
-    const auto r = sim::launch_kernel(kernel, spec, calib);
+  struct Launched {
+    sim::KernelSpec kernel;
+    sim::LaunchResult result;
+  };
+  const auto launched = parallel_map(&pool, rows.size(), [&](std::size_t i) {
+    auto kernel = trace::build_gemm_kernel(shape, rows[i].plan, spec, calib);
+    auto result = sim::launch_kernel(kernel, spec, calib);
+    return Launched{std::move(kernel), std::move(result)};
+  });
+  std::vector<double> cycles;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = launched[i].result;
     cycles.push_back(static_cast<double>(r.total_cycles));
-    if (tc_cycles == 0.0) tc_cycles = cycles.back();
     if (debug) {
-      std::cout << row.name << ": blocks/SM=" << r.blocks_per_sm
-                << " waves=" << r.waves << " grid=" << kernel.grid_blocks
+      std::cout << rows[i].name << ": blocks/SM=" << r.blocks_per_sm
+                << " waves=" << r.waves
+                << " grid=" << launched[i].kernel.grid_blocks
                 << " sm_cycles=" << r.sm.cycles << " ipc=" << r.sm.ipc()
                 << "\n  util INT="
                 << r.sm.utilization(sim::ExecUnit::kIntPipe, 4)
@@ -60,6 +68,7 @@ int run(int argc, char** argv) {
                 << " SFU=" << r.sm.utilization(sim::ExecUnit::kSfu, 4) << "\n";
     }
   }
+  const double tc_cycles = cycles[0];
   for (std::size_t i = 0; i < rows.size(); ++i) {
     t.row()
         .cell(rows[i].name)
@@ -78,4 +87,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

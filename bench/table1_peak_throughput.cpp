@@ -14,7 +14,10 @@ namespace {
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
-  (void)cli;
+  // Closed-form table (no simulator runs); the pool still validates
+  // --threads so the flag behaves uniformly across binaries.
+  const auto pool = bench::make_pool(cli);
+  (void)pool;
   const arch::OrinSpec spec;
 
   Table t("Table 1 — peak throughput per numeric format");
@@ -45,4 +48,6 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace vitbit
 
-int main(int argc, char** argv) { return vitbit::run(argc, argv); }
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

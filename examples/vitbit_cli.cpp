@@ -5,12 +5,19 @@
 //   vitbit_cli infer  [--model=vit|cnn] [--strategy=VitBit] [--pack=2]
 //   vitbit_cli layout [--bits=8]                     packing policy details
 //   vitbit_cli report --json=out.json                machine-readable report
+//
+// Every subcommand accepts --threads=N (default: hardware_concurrency,
+// 1 = serial). Simulated results are identical for every N.
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "nn/cnn.h"
 #include "nn/vit_model.h"
 #include "report/run_report.h"
@@ -27,12 +34,12 @@ namespace {
 
 const arch::OrinSpec kSpec;
 
-int cmd_study(const Cli& cli) {
+int cmd_study(const Cli& cli, ThreadPool& pool) {
   const auto& calib = arch::default_calibration();
   trace::GemmShape shape{static_cast<int>(cli.get_int("m", 197)),
                          static_cast<int>(cli.get_int("k", 768)),
                          static_cast<int>(cli.get_int("n", 3072)), 1};
-  const auto s = core::run_initial_study(shape, kSpec, calib);
+  const auto s = core::run_initial_study(shape, kSpec, calib, &pool);
   Table t("initial study (normalized to TC)");
   t.header({"TC", "IC", "FC", "IC+FC", "IC+FC+P"});
   t.row()
@@ -45,12 +52,12 @@ int cmd_study(const Cli& cli) {
   return 0;
 }
 
-int cmd_tune(const Cli& cli) {
+int cmd_tune(const Cli& cli, ThreadPool& pool) {
   const auto& calib = arch::default_calibration();
   trace::GemmShape shape{static_cast<int>(cli.get_int("m", 197)),
                          static_cast<int>(cli.get_int("k", 768)),
                          static_cast<int>(cli.get_int("n", 3072)), 1};
-  const auto cfg = core::tune_strategy_config(shape, kSpec, calib);
+  const auto cfg = core::tune_strategy_config(shape, kSpec, calib, &pool);
   std::cout << "derived Tensor:CUDA ratio m = " << cfg.m_ratio
             << "\nfused CUDA column slice   = " << cfg.fused_cuda_cols
             << "\npacking factor            = " << cfg.pack_factor << "\n";
@@ -62,7 +69,7 @@ int cmd_tune(const Cli& cli) {
   return 0;
 }
 
-int cmd_infer(const Cli& cli) {
+int cmd_infer(const Cli& cli, ThreadPool& pool) {
   const auto& calib = arch::default_calibration();
   const std::string model = cli.get("model", "vit");
   const auto log = model == "cnn" ? nn::build_cnn_kernel_log(nn::cnn_edge())
@@ -72,20 +79,23 @@ int cmd_infer(const Cli& cli) {
   if (!cfg_path.empty()) cfg = core::load_config_file(cfg_path);
   cfg.pack_factor = static_cast<int>(cli.get_int("pack", cfg.pack_factor));
   const std::string want = cli.get("strategy", "");
-  std::vector<core::InferenceTiming> results;
+  std::vector<core::Strategy> selected;
+  for (const auto s : core::all_strategies())
+    if (want.empty() || want == core::strategy_name(s)) selected.push_back(s);
+  auto results = parallel_map(&pool, selected.size(), [&](std::size_t i) {
+    return core::time_inference(log, selected[i], cfg, kSpec, calib, &pool);
+  });
 
   Table t("inference timing — " + (model == "cnn" ? std::string("edge CNN")
                                                   : std::string("ViT-Base")));
   t.header({"method", "time (ms)", "energy (mJ)", "instructions"});
-  for (const auto s : core::all_strategies()) {
-    if (!want.empty() && want != core::strategy_name(s)) continue;
-    auto r = core::time_inference(log, s, cfg, kSpec, calib);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const auto& r = results[i];
     t.row()
-        .cell(core::strategy_name(s))
+        .cell(core::strategy_name(selected[i]))
         .cell(r.total_ms(kSpec), 3)
         .cell(r.total_energy_mj, 2)
         .cell(r.total_instructions);
-    results.push_back(std::move(r));
   }
   t.print(std::cout);
   if (cli.get_bool("timeline", false) && !results.empty()) {
@@ -100,7 +110,8 @@ int cmd_infer(const Cli& cli) {
 // Times every strategy and writes the result as a schema-versioned JSON
 // run report (report/run_report.h) — the machine-readable counterpart of
 // `infer`, consumed by tools/check_regression and external dashboards.
-int cmd_report(const Cli& cli) {
+int cmd_report(const Cli& cli, ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
   const auto& calib = arch::default_calibration();
   const std::string model = cli.get("model", "vit");
   auto vit_cfg = nn::vit_base();
@@ -125,36 +136,41 @@ int cmd_report(const Cli& cli) {
   if (model != "cnn")
     rep.meta["layers"] = std::to_string(vit_cfg.num_layers);
   rep.meta["pack_factor"] = std::to_string(cfg.pack_factor);
-  for (const auto s : core::all_strategies()) {
-    if (!want.empty() && want != core::strategy_name(s)) continue;
-    const auto r = core::time_inference(log, s, cfg, kSpec, calib);
-    rep.strategies.push_back(report::make_strategy_report(r, kSpec));
-  }
+  rep.threads = pool.size();
+  std::vector<core::Strategy> selected;
+  for (const auto s : core::all_strategies())
+    if (want.empty() || want == core::strategy_name(s)) selected.push_back(s);
+  rep.strategies = parallel_map(&pool, selected.size(), [&](std::size_t i) {
+    const auto r =
+        core::time_inference(log, selected[i], cfg, kSpec, calib, &pool);
+    return report::make_strategy_report(r, kSpec);
+  });
   if (cli.get_bool("l2", false)) {
     // One addressed multi-SM L2 run per GEMM plan family, over a reduced
     // shape so the section stays cheap.
     const trace::GemmShape shape{197, 768,
                                  static_cast<int>(cli.get_int("l2-n", 256)),
                                  1};
-    const struct {
-      const char* name;
-      trace::GemmBlockPlan plan;
-    } rows[] = {{"tc", trace::plan_tc(calib)},
-                {"vitbit", trace::plan_vitbit(calib, 12)}};
-    for (const auto& row : rows) {
+    const std::vector<std::pair<const char*, trace::GemmBlockPlan>> rows = {
+        {"tc", trace::plan_tc(calib)},
+        {"vitbit", trace::plan_vitbit(calib, 12)}};
+    rep.l2_runs = parallel_map(&pool, rows.size(), [&](std::size_t i) {
       const auto kernel =
-          trace::build_gemm_kernel(shape, row.plan, kSpec, calib);
-      const auto geom = trace::gemm_grid_geom(shape, row.plan, kSpec);
+          trace::build_gemm_kernel(shape, rows[i].second, kSpec, calib);
+      const auto geom = trace::gemm_grid_geom(shape, rows[i].second, kSpec);
       sim::GpuSim gpu(kSpec, calib);
       const auto g = gpu.run(kernel, geom,
                              sim::occupancy_blocks_per_sm(kernel, kSpec));
-      rep.l2_runs.push_back(report::make_l2_report(
+      return report::make_l2_report(
           std::string("gemm_") + std::to_string(shape.m) + "x" +
               std::to_string(shape.k) + "x" + std::to_string(shape.n) + "_" +
-              row.name,
-          g));
-    }
+              rows[i].first,
+          g);
+    });
   }
+  rep.host_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
   const std::string out = cli.json_path();
   if (out.empty()) {
@@ -185,12 +201,12 @@ int cmd_layout(const Cli& cli) {
   return 0;
 }
 
-int dispatch(const Cli& cli, const std::string& cmd) {
-  if (cmd == "study") return cmd_study(cli);
-  if (cmd == "tune") return cmd_tune(cli);
-  if (cmd == "infer") return cmd_infer(cli);
+int dispatch(const Cli& cli, const std::string& cmd, ThreadPool& pool) {
+  if (cmd == "study") return cmd_study(cli, pool);
+  if (cmd == "tune") return cmd_tune(cli, pool);
+  if (cmd == "infer") return cmd_infer(cli, pool);
   if (cmd == "layout") return cmd_layout(cli);
-  if (cmd == "report") return cmd_report(cli);
+  if (cmd == "report") return cmd_report(cli, pool);
   return -1;
 }
 
@@ -198,7 +214,8 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string cmd =
       cli.positional().empty() ? "help" : cli.positional()[0];
-  const int rc = dispatch(cli, cmd);
+  ThreadPool pool(cli.threads());
+  const int rc = dispatch(cli, cmd, pool);
   if (rc >= 0) {
     // Subcommands query the flags they accept; anything left over is a
     // typo that would otherwise silently fall back to a default.
@@ -215,7 +232,10 @@ int run(int argc, char** argv) {
                "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
                "  layout --bits=N           packing policy for a bitwidth\n"
                "  report --json=PATH --model=vit|cnn --layers=N --l2\n"
-               "         machine-readable run report (see EXPERIMENTS.md)\n";
+               "         machine-readable run report (see EXPERIMENTS.md)\n"
+               "  all subcommands: --threads=N  host threads for the\n"
+               "         simulation fan-out (default: all cores, 1=serial;\n"
+               "         simulated results are identical for every N)\n";
   return cmd == "help" ? 0 : 1;
 }
 

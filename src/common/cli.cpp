@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace vitbit {
 
@@ -61,6 +62,13 @@ bool Cli::get_bool(const std::string& name, bool def) const {
   if (v == "false" || v == "0" || v == "no") return false;
   VITBIT_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << v);
   return def;
+}
+
+int Cli::threads() const {
+  const std::int64_t v = get_int("threads", ThreadPool::default_threads());
+  VITBIT_CHECK_MSG(v >= 1, "flag --threads must be a positive integer, got "
+                               << v << " (use --threads=1 for serial runs)");
+  return static_cast<int>(v);
 }
 
 std::vector<std::string> Cli::unused() const {

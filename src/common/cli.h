@@ -30,6 +30,12 @@ class Cli {
   // can rely on it.
   std::string json_path() const { return get("json", ""); }
 
+  // Host thread count given via --threads=N, defaulting to
+  // ThreadPool::default_threads() (hardware_concurrency). Throws CheckError
+  // on zero, negative, or non-numeric values — every binary shares the one
+  // strict parse so `--threads=0` cannot silently serialize a sweep.
+  int threads() const;
+
   // Returns the set of flags that were provided but never queried; benches
   // call this after parsing all flags to reject typos.
   std::vector<std::string> unused() const;

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace vitbit {
+
+namespace {
+
+// Set while the current thread executes a pool task; a nested run() on the
+// same pool (or any pool) then executes inline instead of queueing, which
+// keeps fan-out composable without a re-entrant scheduler.
+thread_local bool t_in_pool_task = false;
+
+struct InTaskScope {
+  InTaskScope() { t_in_pool_task = true; }
+  ~InTaskScope() { t_in_pool_task = false; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : size_(threads) {
+  VITBIT_CHECK_MSG(threads >= 1,
+                   "thread pool size must be >= 1, got " << threads);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::default_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || t_in_pool_task) {
+    // Serial fallback: pool of 1, or nested fan-out from inside a task.
+    // Index order doubles as the exception order of the parallel path.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.fn = &fn;
+    job_.n = n;
+    job_.next = 0;
+    job_.completed = 0;
+    errors_.clear();
+  }
+  work_cv_.notify_all();
+  execute_tasks();  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return job_.completed == job_.n; });
+  job_.fn = nullptr;
+  if (!errors_.empty()) {
+    const auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::exception_ptr err = first->second;
+    errors_.clear();
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::execute_tasks() {
+  for (;;) {
+    std::size_t index = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_.fn == nullptr || job_.next >= job_.n) return;
+      index = job_.next++;
+      fn = job_.fn;
+    }
+    try {
+      InTaskScope scope;
+      (*fn)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_.emplace_back(index, std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++job_.completed == job_.n) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (job_.fn != nullptr && job_.next < job_.n);
+      });
+      if (stop_) return;
+    }
+    execute_tasks();
+  }
+}
+
+}  // namespace vitbit

@@ -170,7 +170,11 @@ Json to_json(const L2Report& r) {
 Json to_json(const RunReport& r) {
   Json j = Json::object();
   j.set("schema_version", Json(static_cast<std::int64_t>(r.schema_version)));
+  j.set("schema_minor_version",
+        Json(static_cast<std::int64_t>(r.schema_minor_version)));
   j.set("tool", Json(r.tool));
+  j.set("host_wall_seconds", Json(r.host_wall_seconds));
+  j.set("threads", Json(static_cast<std::int64_t>(r.threads)));
   Json meta = Json::object();
   for (const auto& [k, v] : r.meta) meta.set(k, Json(v));
   j.set("meta", std::move(meta));
@@ -247,7 +251,16 @@ RunReport run_report_from_json(const Json& j) {
                    "report schema version " << r.schema_version
                                             << " != expected "
                                             << kSchemaVersion);
+  // Minor-version additions are optional on read: pre-bump documents (the
+  // checked-in baselines) default them instead of failing.
+  r.schema_minor_version =
+      j.contains("schema_minor_version")
+          ? static_cast<int>(j.int_at("schema_minor_version"))
+          : 0;
   r.tool = j.string_at("tool");
+  r.host_wall_seconds =
+      j.contains("host_wall_seconds") ? j.double_at("host_wall_seconds") : 0.0;
+  r.threads = j.contains("threads") ? static_cast<int>(j.int_at("threads")) : 0;
   for (const auto& [k, v] : j.at("meta").items()) r.meta[k] = v.as_string();
   const Json& strategies = j.at("strategies");
   for (std::size_t i = 0; i < strategies.size(); ++i)

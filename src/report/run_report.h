@@ -25,6 +25,11 @@ namespace vitbit::report {
 // Bumped whenever the report layout changes incompatibly; the reader
 // rejects documents with a different major version.
 inline constexpr int kSchemaVersion = 1;
+// Bumped on compatible additions. Readers accept any minor version:
+// documents written before a minor bump simply lack the added fields
+// (which all carry neutral defaults), so old baselines keep loading.
+//   minor 1: host_wall_seconds + threads (host-side perf trajectory).
+inline constexpr int kSchemaMinorVersion = 1;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -76,10 +81,18 @@ struct L2Report {
 
 struct RunReport {
   int schema_version = kSchemaVersion;
+  int schema_minor_version = kSchemaMinorVersion;
   std::string tool;  // producing binary, e.g. "vitbit_cli" / "check_regression"
   // Free-form run context: model, layers, pack factor, build type, compiler.
   // Baseline checking requires these to match exactly.
   std::map<std::string, std::string> meta;
+  // Host-side performance of the run that produced this report: wall-clock
+  // seconds spent simulating and the --threads count used. Machine-
+  // dependent by nature, so the baseline gate never compares them; they
+  // make the simulator's own perf trajectory machine-readable alongside
+  // the simulated metrics. 0 when the producer did not record them.
+  double host_wall_seconds = 0.0;
+  int threads = 0;
   std::vector<StrategyReport> strategies;
   std::vector<L2Report> l2_runs;
 

@@ -53,19 +53,24 @@ GpuRunResult GpuSim::run(const KernelSpec& kernel, const GridGeom& geom,
   GpuRunResult result;
   int next_block = 0;
   std::uint64_t clock = 0;
+  // SM instances are constructed once and reset() between rounds, reusing
+  // the warp/subcore vectors' capacity instead of reallocating per round.
+  std::vector<SmSim> sms;
+  sms.reserve(static_cast<std::size_t>(spec_.num_sms));
   // Rounds of co-resident blocks (the L2 stays warm across rounds, which
   // is exactly the behaviour wave extrapolation cannot capture).
   while (next_block < kernel.grid_blocks) {
-    std::vector<std::unique_ptr<SmSim>> sms;
+    std::size_t used = 0;
     for (int s = 0; s < spec_.num_sms && next_block < kernel.grid_blocks;
          ++s) {
-      auto sm = std::make_unique<SmSim>(spec_, calib_, this);
+      if (used == sms.size()) sms.emplace_back(spec_, calib_, this);
+      SmSim& sm = sms[used++];
+      sm.reset();
       for (int b = 0; b < blocks_per_sm && next_block < kernel.grid_blocks;
            ++b) {
-        sm->add_block(kernel.block_warps, geom.block_bases(next_block));
+        sm.add_block(kernel.block_warps, geom.block_bases(next_block));
         ++next_block;
       }
-      sms.push_back(std::move(sm));
     }
     std::uint64_t cycle = clock;
     const std::uint64_t guard = clock + 400'000'000ull;
@@ -73,10 +78,11 @@ GpuRunResult GpuSim::run(const KernelSpec& kernel, const GridGeom& geom,
       bool all_done = true;
       bool issued_any = false;
       std::uint64_t next_wake = UINT64_MAX;
-      for (auto& sm : sms) {
-        if (sm->done()) continue;
+      for (std::size_t s = 0; s < used; ++s) {
+        SmSim& sm = sms[s];
+        if (sm.done()) continue;
         all_done = false;
-        if (sm->step(cycle, next_wake)) issued_any = true;
+        if (sm.step(cycle, next_wake)) issued_any = true;
       }
       if (all_done) break;
       VITBIT_CHECK_MSG(cycle < guard, "GPU simulation exceeded cycle guard");
@@ -88,7 +94,8 @@ GpuRunResult GpuSim::run(const KernelSpec& kernel, const GridGeom& geom,
         cycle = std::max(cycle + 1, next_wake);
       }
     }
-    for (auto& sm : sms) result.total += sm->finish(cycle - clock);
+    for (std::size_t s = 0; s < used; ++s)
+      result.total += sms[s].finish(cycle - clock);
     clock = cycle;
   }
   result.cycles = clock;

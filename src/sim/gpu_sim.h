@@ -7,7 +7,6 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "arch/calibration.h"

@@ -25,6 +25,23 @@ SmSim::SmSim(const arch::OrinSpec& spec, const arch::Calibration& calib,
   subcores_.resize(static_cast<std::size_t>(spec.subcores_per_sm));
 }
 
+void SmSim::reset() {
+  for (auto& sc : subcores_) {
+    sc.warp_ids.clear();
+    sc.rr_cursor = 0;
+    sc.int_busy_until = 0;
+    sc.fp_busy_until = 0;
+    sc.sfu_busy_until = 0;
+    sc.tc_busy_until = 0;
+  }
+  warps_.clear();
+  blocks_.clear();
+  lsu_busy_until_ = 0;
+  dram_free_ = 0.0;
+  done_warps_ = 0;
+  stats_ = SmStats{};
+}
+
 void SmSim::add_block(const std::vector<ProgramPtr>& block_warps,
                       const std::array<std::uint64_t, 4>& operand_bases) {
   VITBIT_CHECK(!block_warps.empty());

@@ -47,6 +47,11 @@ class SmSim {
   int resident_warps() const { return static_cast<int>(warps_.size()); }
   bool done() const { return done_warps_ >= static_cast<int>(warps_.size()); }
 
+  // Returns the SM to its just-constructed state while keeping the warp /
+  // subcore vectors' capacity, so multi-round drivers (GpuSim::run) can
+  // reuse one instance per SM slot instead of reallocating every round.
+  void reset();
+
   // Lockstep interface for multi-SM simulation: attempts one issue per
   // sub-core at `cycle`; returns true if anything issued and lowers
   // `next_wake` to the earliest cycle a blocked candidate could go.

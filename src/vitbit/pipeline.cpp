@@ -1,9 +1,11 @@
 #include "vitbit/pipeline.h"
 
-#include <sstream>
+#include <functional>
+#include <unordered_map>
 
 #include "arch/energy_model.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "trace/elementwise_traces.h"
 #include "trace/gemm_traces.h"
 
@@ -63,15 +65,114 @@ trace::ElementwisePlan elementwise_plan_for(Strategy s,
   return plan;
 }
 
-std::string cache_key(Strategy s, const nn::KernelCall& call) {
-  std::ostringstream os;
-  os << static_cast<int>(s) << '|' << static_cast<int>(call.kind) << '|'
-     << call.m << 'x' << call.k << 'x' << call.n << 'b' << call.batch << 'e'
-     << call.elems;
-  return os.str();
+CallKey make_key(Strategy s, const nn::KernelCall& call) {
+  return CallKey{s,      call.kind, call.m,    call.k,
+                 call.n, call.batch, call.elems};
+}
+
+// One simulation task for a cache miss; exactly one of the plans is live,
+// selected by the miss's kernel kind.
+struct Candidate {
+  trace::GemmBlockPlan gemm;
+  trace::ElementwisePlan elementwise;
+};
+
+// Auto-tune candidates for a fused GEMM, in the serial sweep order (paper
+// Section 3.2: the assignment ratio comes from measured execution time).
+// Candidate 0 is the pure tensor-core block; the rest try CUDA slices,
+// warp splits, conversion sourcing, and the two block geometries ("extend"
+// appends CUDA columns to the full tensor-core tile; "shift" reassigns
+// part of the tile's own columns, Algorithm 1's N3 = N*m/(1+m)).
+std::vector<trace::GemmBlockPlan> fused_gemm_candidates(
+    Strategy strategy, const StrategyConfig& config,
+    const arch::Calibration& calib) {
+  std::vector<trace::GemmBlockPlan> plans;
+  for (const int cols : {0, 3, 6, 9, 12, 15, 18, 21, 24}) {
+    for (const int cuda_warps : {1, 2, 4}) {
+      if (cols == 0 && cuda_warps != 1) continue;
+      // TC+IC+FC may source its FP slice either preprocessed or via
+      // in-kernel casts (Table 3 leaves this open); try both.
+      for (const bool convert : {false, true}) {
+        for (const bool shift : {false, true}) {
+          StrategyConfig c = config;
+          c.fused_cuda_cols = cols;
+          auto plan = cols == 0 ? trace::plan_tc(calib)
+                                : gemm_plan_for(strategy, c, calib);
+          if (plan.fp_cols > 0 && strategy == Strategy::kTCICFC)
+            plan.fp_runtime_convert = convert;
+          else if (convert)
+            continue;  // other strategies: one variant only
+          if (cols > 0) {
+            if (shift) {
+              if (plan.tc_cols <= cols) continue;
+              plan.tc_cols -= cols;
+            }
+            if (plan.int_cols > 0) plan.int_warps = cuda_warps;
+            if (plan.fp_cols > 0) plan.fp_warps = cuda_warps;
+          } else if (shift) {
+            continue;
+          }
+          plans.push_back(plan);
+        }
+      }
+    }
+  }
+  return plans;
+}
+
+// Candidates for one cache miss, in the order the serial sweep tried them
+// (the reduction tie-breaks on this order, so it must be stable).
+std::vector<Candidate> candidates_for(Strategy strategy,
+                                      const nn::KernelCall& call,
+                                      const StrategyConfig& config,
+                                      const arch::Calibration& calib) {
+  std::vector<Candidate> out;
+  if (call.kind == nn::KernelKind::kGemm) {
+    const bool fused = strategy == Strategy::kTacker ||
+                       strategy == Strategy::kTCICFC ||
+                       strategy == Strategy::kVitBit;
+    if (fused && config.auto_tune_fused_cols) {
+      for (auto& plan : fused_gemm_candidates(strategy, config, calib))
+        out.push_back({plan, {}});
+    } else {
+      out.push_back({gemm_plan_for(strategy, config, calib), {}});
+    }
+    return out;
+  }
+  const bool tunable =
+      strategy == Strategy::kICFC || strategy == Strategy::kVitBit;
+  if (tunable && config.auto_tune_fused_cols) {
+    // Balance the element split between the pipes by measurement, exactly
+    // like the GEMM ratio (Section 3.2 methodology).
+    for (const double f : {0.25, 1.0 / 3.0, 0.4, 0.5, 0.6}) {
+      auto plan = elementwise_plan_for(strategy, call, config, calib);
+      plan.fp_fraction = f;
+      out.push_back({{}, plan});
+    }
+  } else {
+    out.push_back({{}, elementwise_plan_for(strategy, call, config, calib)});
+  }
+  return out;
 }
 
 }  // namespace
+
+std::size_t CallKeyHash::operator()(const CallKey& key) const {
+  // FNV-1a over the key fields; the key count is small, so quality only
+  // has to beat the ostringstream keys this replaced.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(key.strategy));
+  mix(static_cast<std::uint64_t>(key.kind));
+  mix(static_cast<std::uint64_t>(key.m));
+  mix(static_cast<std::uint64_t>(key.k));
+  mix(static_cast<std::uint64_t>(key.n));
+  mix(static_cast<std::uint64_t>(key.batch));
+  mix(static_cast<std::uint64_t>(key.elems));
+  return static_cast<std::size_t>(h);
+}
 
 double InferenceTiming::mean_ipc() const {
   double weighted = 0.0;
@@ -92,99 +193,66 @@ double InferenceTiming::gemm_ops_per_cycle(const nn::KernelLog& log) const {
 InferenceTiming time_inference(const nn::KernelLog& log, Strategy strategy,
                                const StrategyConfig& config,
                                const arch::OrinSpec& spec,
-                               const arch::Calibration& calib) {
+                               const arch::Calibration& calib,
+                               ThreadPool* pool) {
   InferenceTiming out;
   out.strategy = strategy;
-  std::map<std::string, sim::LaunchResult> cache;
 
-  const bool fused = strategy == Strategy::kTacker ||
-                     strategy == Strategy::kTCICFC ||
-                     strategy == Strategy::kVitBit;
+  // Phase 1: collect the distinct cache keys, in first-appearance order.
+  std::unordered_map<CallKey, std::size_t, CallKeyHash> cache;
+  std::vector<const nn::KernelCall*> misses;
   for (const auto& call : log.calls()) {
-    const std::string key = cache_key(strategy, call);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      sim::LaunchResult result;
-      if (call.kind == nn::KernelKind::kGemm) {
-        const trace::GemmShape shape{call.m, call.k, call.n, call.batch};
-        if (fused && config.auto_tune_fused_cols) {
-          // Paper Section 3.2: the assignment ratio comes from measured
-          // execution time. Try candidate CUDA slices (0 = pure TC block)
-          // and warp splits, and keep the fastest for this shape.
-          bool first = true;
-          for (const int cols : {0, 3, 6, 9, 12, 15, 18, 21, 24}) {
-            for (const int cuda_warps : {1, 2, 4}) {
-              if (cols == 0 && cuda_warps != 1) continue;
-              // TC+IC+FC may source its FP slice either preprocessed or via
-              // in-kernel casts (Table 3 leaves this open); try both.
-              for (const bool convert : {false, true}) {
-                // Two block geometries: "extend" keeps the full tensor-core
-                // tile and appends CUDA columns (fewer blocks), "shift"
-                // reassigns part of the tile's own columns to CUDA cores
-                // (Algorithm 1's N3 = N*m/(1+m) of the same N; every block
-                // gets faster, independent of grid granularity).
-                for (const bool shift : {false, true}) {
-                  StrategyConfig c = config;
-                  c.fused_cuda_cols = cols;
-                  auto plan = cols == 0 ? trace::plan_tc(calib)
-                                        : gemm_plan_for(strategy, c, calib);
-                  if (plan.fp_cols > 0 && strategy == Strategy::kTCICFC)
-                    plan.fp_runtime_convert = convert;
-                  else if (convert)
-                    continue;  // other strategies: one variant only
-                  if (cols > 0) {
-                    if (shift) {
-                      if (plan.tc_cols <= cols) continue;
-                      plan.tc_cols -= cols;
-                    }
-                    if (plan.int_cols > 0) plan.int_warps = cuda_warps;
-                    if (plan.fp_cols > 0) plan.fp_warps = cuda_warps;
-                  } else if (shift) {
-                    continue;
-                  }
-                  const auto r = sim::launch_kernel(
-                      trace::build_gemm_kernel(shape, plan, spec, calib),
-                      spec, calib);
-                  if (first || r.total_cycles < result.total_cycles)
-                    result = r;
-                  first = false;
-                }
-              }
-            }
-          }
-        } else {
-          result = sim::launch_kernel(
-              trace::build_gemm_kernel(
-                  shape, gemm_plan_for(strategy, config, calib), spec, calib),
+    if (cache.emplace(make_key(strategy, call), misses.size()).second)
+      misses.push_back(&call);
+  }
+
+  // Phase 2: simulate every miss. The (miss, candidate) pairs are
+  // flattened into one task list so a log with few distinct shapes still
+  // saturates the pool, then each miss reduces over its candidate range
+  // with a (cycles, candidate-order) tie-break — bit-identical to the
+  // serial sweep for any pool size.
+  struct Task {
+    std::size_t miss = 0;
+    Candidate candidate;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::size_t> task_begin(misses.size() + 1, 0);
+  for (std::size_t mi = 0; mi < misses.size(); ++mi) {
+    task_begin[mi] = tasks.size();
+    for (auto& c : candidates_for(strategy, *misses[mi], config, calib))
+      tasks.push_back({mi, std::move(c)});
+  }
+  task_begin[misses.size()] = tasks.size();
+
+  const std::vector<sim::LaunchResult> simulated =
+      parallel_map(pool, tasks.size(), [&](std::size_t t) {
+        const Task& task = tasks[t];
+        const nn::KernelCall& call = *misses[task.miss];
+        if (call.kind == nn::KernelKind::kGemm) {
+          const trace::GemmShape shape{call.m, call.k, call.n, call.batch};
+          return sim::launch_kernel(
+              trace::build_gemm_kernel(shape, task.candidate.gemm, spec,
+                                       calib),
               spec, calib);
         }
-      } else {
-        const bool tunable = strategy == Strategy::kICFC ||
-                             strategy == Strategy::kVitBit;
-        if (tunable && config.auto_tune_fused_cols) {
-          // Balance the element split between the pipes by measurement,
-          // exactly like the GEMM ratio (Section 3.2 methodology).
-          bool first = true;
-          for (const double f : {0.25, 1.0 / 3.0, 0.4, 0.5, 0.6}) {
-            auto plan = elementwise_plan_for(strategy, call, config, calib);
-            plan.fp_fraction = f;
-            const auto r = sim::launch_kernel(
-                trace::build_elementwise_kernel(plan, spec, calib), spec,
-                calib);
-            if (first || r.total_cycles < result.total_cycles) result = r;
-            first = false;
-          }
-        } else {
-          result = sim::launch_kernel(
-              trace::build_elementwise_kernel(
-                  elementwise_plan_for(strategy, call, config, calib), spec,
-                  calib),
-              spec, calib);
-        }
-      }
-      it = cache.emplace(key, result).first;
-    }
-    const sim::LaunchResult& r = it->second;
+        return sim::launch_kernel(
+            trace::build_elementwise_kernel(task.candidate.elementwise, spec,
+                                            calib),
+            spec, calib);
+      });
+
+  std::vector<sim::LaunchResult> best(misses.size());
+  for (std::size_t mi = 0; mi < misses.size(); ++mi) {
+    VITBIT_CHECK(task_begin[mi] < task_begin[mi + 1]);
+    best[mi] = simulated[task_begin[mi]];
+    for (std::size_t t = task_begin[mi] + 1; t < task_begin[mi + 1]; ++t)
+      if (simulated[t].total_cycles < best[mi].total_cycles)
+        best[mi] = simulated[t];
+  }
+
+  // Phase 3: assemble per-kernel timings in log order.
+  for (const auto& call : log.calls()) {
+    const sim::LaunchResult& r = best[cache.at(make_key(strategy, call))];
     KernelTiming t;
     t.name = call.name;
     t.kind = call.kind;

@@ -3,7 +3,8 @@
 // per-kernel and aggregate quantities behind the paper's Figures 5-10.
 #pragma once
 
-#include <map>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,10 @@
 #include "nn/kernel_log.h"
 #include "sim/launcher.h"
 #include "vitbit/strategy.h"
+
+namespace vitbit {
+class ThreadPool;
+}
 
 namespace vitbit::core {
 
@@ -66,12 +71,37 @@ struct InferenceTiming {
   double gemm_ops_per_cycle(const nn::KernelLog& log) const;
 };
 
+// Simulation-cache key: one distinct (strategy, kernel-shape) pair. The
+// timing of a kernel depends on nothing else, so identical calls (the 12
+// identical ViT layers) cost one simulation each.
+struct CallKey {
+  Strategy strategy = Strategy::kTC;
+  nn::KernelKind kind = nn::KernelKind::kGemm;
+  int m = 0, k = 0, n = 0;
+  int batch = 1;
+  std::int64_t elems = 0;
+
+  bool operator==(const CallKey&) const = default;
+};
+
+struct CallKeyHash {
+  std::size_t operator()(const CallKey& key) const;
+};
+
 // Times every kernel of `log` under `strategy`. Results for identical
 // (strategy, kernel-shape) pairs are cached internally, so the 12 identical
 // ViT layers cost one simulation each.
+//
+// Runs in two phases: the distinct CallKeys of the log are collected first,
+// then every cache miss (and every auto-tune candidate within a miss) is
+// simulated via `pool`, and per-kernel timings are assembled in log order.
+// Candidate selection tie-breaks on (cycles, then candidate order), so the
+// result is bit-identical for every pool size, including `pool == nullptr`
+// (serial, the default).
 InferenceTiming time_inference(const nn::KernelLog& log, Strategy strategy,
                                const StrategyConfig& config,
                                const arch::OrinSpec& spec,
-                               const arch::Calibration& calib);
+                               const arch::Calibration& calib,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace vitbit::core

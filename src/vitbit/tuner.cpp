@@ -1,8 +1,10 @@
 #include "vitbit/tuner.h"
 
 #include <cmath>
+#include <iterator>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "sim/launcher.h"
 
 namespace vitbit::core {
@@ -19,14 +21,21 @@ double time_plan(const trace::GemmShape& shape,
 
 RatioStudy run_initial_study(const trace::GemmShape& shape,
                              const arch::OrinSpec& spec,
-                             const arch::Calibration& calib) {
+                             const arch::Calibration& calib,
+                             ThreadPool* pool) {
+  const trace::GemmBlockPlan plans[] = {
+      trace::plan_tc(calib),         trace::plan_ic(calib),
+      trace::plan_fc(calib),         trace::plan_ic_fc(calib),
+      trace::plan_ic_fc_packed(calib)};
+  const auto cycles = parallel_map(pool, std::size(plans), [&](std::size_t i) {
+    return time_plan(shape, plans[i], spec, calib);
+  });
   RatioStudy s;
-  s.tc_cycles = time_plan(shape, trace::plan_tc(calib), spec, calib);
-  s.ic_cycles = time_plan(shape, trace::plan_ic(calib), spec, calib);
-  s.fc_cycles = time_plan(shape, trace::plan_fc(calib), spec, calib);
-  s.icfc_cycles = time_plan(shape, trace::plan_ic_fc(calib), spec, calib);
-  s.icfcp_cycles =
-      time_plan(shape, trace::plan_ic_fc_packed(calib), spec, calib);
+  s.tc_cycles = cycles[0];
+  s.ic_cycles = cycles[1];
+  s.fc_cycles = cycles[2];
+  s.icfc_cycles = cycles[3];
+  s.icfcp_cycles = cycles[4];
   return s;
 }
 
@@ -38,17 +47,22 @@ int derive_m_ratio(const RatioStudy& study) {
 
 int tune_fused_cuda_cols(const trace::GemmShape& shape, int pack_factor,
                          const arch::OrinSpec& spec,
-                         const arch::Calibration& calib) {
+                         const arch::Calibration& calib, ThreadPool* pool) {
   const int step = pack_factor + 1;  // Eq. 1 splits candidates evenly
+  std::vector<int> candidates;
+  for (int cols = step; cols <= 8 * step; cols += step)
+    candidates.push_back(cols);
+  const auto per_col =
+      parallel_map(pool, candidates.size(), [&](std::size_t i) {
+        const auto plan = trace::plan_vitbit(calib, candidates[i], pack_factor);
+        return time_plan(shape, plan, spec, calib) / plan.total_cols();
+      });
   int best_cols = step;
   double best_per_col = 1e300;
-  for (int cols = step; cols <= 8 * step; cols += step) {
-    const auto plan = trace::plan_vitbit(calib, cols, pack_factor);
-    const double cycles = time_plan(shape, plan, spec, calib);
-    const double per_col = cycles / plan.total_cols();
-    if (per_col < best_per_col) {
-      best_per_col = per_col;
-      best_cols = cols;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (per_col[i] < best_per_col) {  // strict: earliest candidate wins ties
+      best_per_col = per_col[i];
+      best_cols = candidates[i];
     }
   }
   return best_cols;
@@ -56,12 +70,13 @@ int tune_fused_cuda_cols(const trace::GemmShape& shape, int pack_factor,
 
 StrategyConfig tune_strategy_config(const trace::GemmShape& shape,
                                     const arch::OrinSpec& spec,
-                                    const arch::Calibration& calib) {
+                                    const arch::Calibration& calib,
+                                    ThreadPool* pool) {
   StrategyConfig cfg;
-  const auto study = run_initial_study(shape, spec, calib);
+  const auto study = run_initial_study(shape, spec, calib, pool);
   cfg.m_ratio = derive_m_ratio(study);
   cfg.fused_cuda_cols =
-      tune_fused_cuda_cols(shape, cfg.pack_factor, spec, calib);
+      tune_fused_cuda_cols(shape, cfg.pack_factor, spec, calib, pool);
   return cfg;
 }
 

@@ -23,10 +23,13 @@ struct RatioStudy {
   double ratio_icfcp() const { return icfcp_cycles / tc_cycles; }
 };
 
-// Times the five Section-3.2 cases for `shape`.
+// Times the five Section-3.2 cases for `shape`. The cases are independent
+// simulations; `pool` (optional) runs them concurrently with results
+// assigned to their fixed slots, so the study is identical for any pool.
 RatioStudy run_initial_study(const trace::GemmShape& shape,
                              const arch::OrinSpec& spec,
-                             const arch::Calibration& calib);
+                             const arch::Calibration& calib,
+                             ThreadPool* pool = nullptr);
 
 // m = round(IC+FC+P / TC): the packed CUDA path is m times slower than the
 // Tensor path, so Tensor cores take m of every m+1 columns (paper: m = 4).
@@ -34,15 +37,19 @@ int derive_m_ratio(const RatioStudy& study);
 
 // Searches the fused-kernel CUDA column slice that minimizes VitBit's
 // per-column GEMM time on `shape` (candidates are multiples of
-// pack_factor + 1 so Eq. 1 splits evenly).
+// pack_factor + 1 so Eq. 1 splits evenly). Candidates run across `pool`;
+// the winner tie-breaks on (per-column time, then candidate order),
+// matching the serial search exactly.
 int tune_fused_cuda_cols(const trace::GemmShape& shape, int pack_factor,
                          const arch::OrinSpec& spec,
-                         const arch::Calibration& calib);
+                         const arch::Calibration& calib,
+                         ThreadPool* pool = nullptr);
 
 // Full configuration derived from the study (what VitBit's setup phase
 // computes once per deployment).
 StrategyConfig tune_strategy_config(const trace::GemmShape& shape,
                                     const arch::OrinSpec& spec,
-                                    const arch::Calibration& calib);
+                                    const arch::Calibration& calib,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace vitbit::core

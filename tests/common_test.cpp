@@ -188,5 +188,32 @@ TEST(Cli, TracksUnusedFlags) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Cli, ThreadsFlagParsesPositiveValues) {
+  const char* argv[] = {"prog", "--threads=3"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.threads(), 3);
+}
+
+TEST(Cli, ThreadsFlagDefaultsToAtLeastOne) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_GE(cli.threads(), 1);
+}
+
+TEST(Cli, ThreadsFlagRejectsZeroNegativeAndNonNumeric) {
+  {
+    const char* argv[] = {"prog", "--threads=0"};
+    EXPECT_THROW(Cli(2, argv).threads(), CheckError);
+  }
+  {
+    const char* argv[] = {"prog", "--threads=-2"};
+    EXPECT_THROW(Cli(2, argv).threads(), CheckError);
+  }
+  {
+    const char* argv[] = {"prog", "--threads=two"};
+    EXPECT_THROW(Cli(2, argv).threads(), CheckError);
+  }
+}
+
 }  // namespace
 }  // namespace vitbit

@@ -1,0 +1,81 @@
+// Tier-1 determinism gate for the parallel execution engine: time_inference
+// over every strategy must serialize to byte-identical run reports whether
+// it runs serially, on a pool of 1, or on a pool of 4. This is the contract
+// that lets check_regression compare any-thread-count runs against the
+// checked-in baselines bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/vit_model.h"
+#include "report/run_report.h"
+#include "vitbit/pipeline.h"
+#include "vitbit/tuner.h"
+
+namespace vitbit {
+namespace {
+
+// ViT-Tiny: every kernel kind (GEMM + the elementwise family) appears, at a
+// fraction of the full-model simulation cost, so the fused auto-tune and
+// fp-fraction sweeps all execute under the pool.
+nn::KernelLog tiny_log() { return nn::build_kernel_log(nn::vit_tiny()); }
+
+// Serializes the full timing result — every per-kernel counter included —
+// so any divergence shows up, not just headline cycles.
+std::string report_string(const std::vector<core::InferenceTiming>& timings,
+                          const arch::OrinSpec& spec) {
+  report::RunReport rep;
+  rep.tool = "determinism_test";
+  for (const auto& t : timings)
+    rep.strategies.push_back(report::make_strategy_report(t, spec));
+  return report::to_json(rep).dump();
+}
+
+std::vector<core::InferenceTiming> run_all(const nn::KernelLog& log,
+                                           const arch::OrinSpec& spec,
+                                           ThreadPool* pool) {
+  const auto& calib = arch::default_calibration();
+  const core::StrategyConfig cfg;
+  std::vector<core::InferenceTiming> out;
+  for (const auto s : core::all_strategies())
+    out.push_back(core::time_inference(log, s, cfg, spec, calib, pool));
+  return out;
+}
+
+TEST(Determinism, TimeInferenceIdenticalAcrossThreadCounts) {
+  const arch::OrinSpec spec;
+  const auto log = tiny_log();
+
+  const auto serial = report_string(run_all(log, spec, nullptr), spec);
+  ThreadPool one(1);
+  EXPECT_EQ(serial, report_string(run_all(log, spec, &one), spec));
+  ThreadPool four(4);
+  EXPECT_EQ(serial, report_string(run_all(log, spec, &four), spec));
+}
+
+TEST(Determinism, RepeatedParallelRunsAreStable) {
+  const arch::OrinSpec spec;
+  const auto log = tiny_log();
+  ThreadPool pool(4);
+  const auto first = report_string(run_all(log, spec, &pool), spec);
+  const auto second = report_string(run_all(log, spec, &pool), spec);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, TunerIdenticalAcrossThreadCounts) {
+  const arch::OrinSpec spec;
+  const auto& calib = arch::default_calibration();
+  const trace::GemmShape shape{197, 768, 3072, 1};
+
+  const auto serial = core::tune_strategy_config(shape, spec, calib, nullptr);
+  ThreadPool four(4);
+  const auto pooled = core::tune_strategy_config(shape, spec, calib, &four);
+  EXPECT_EQ(serial.m_ratio, pooled.m_ratio);
+  EXPECT_EQ(serial.fused_cuda_cols, pooled.fused_cuda_cols);
+  EXPECT_EQ(serial.pack_factor, pooled.pack_factor);
+}
+
+}  // namespace
+}  // namespace vitbit

@@ -116,6 +116,8 @@ RunReport sample_report() {
   RunReport rep;
   rep.tool = "report_test";
   rep.meta = {{"model", "vit"}, {"layers", "2"}, {"compiler", "testc 1.0"}};
+  rep.host_wall_seconds = 1.2345678901234567;
+  rep.threads = 4;
   StrategyReport s;
   s.strategy = "VitBit";
   s.total_cycles = 1000;
@@ -175,6 +177,33 @@ TEST(RunReport, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "report_roundtrip.json";
   save_report_file(path, rep);
   EXPECT_EQ(to_json(load_report_file(path)), to_json(rep));
+}
+
+TEST(RunReport, HostPerfFieldsRoundTrip) {
+  const RunReport rep = sample_report();
+  const Json j = to_json(rep);
+  EXPECT_EQ(j.int_at("schema_minor_version"), kSchemaMinorVersion);
+  const RunReport back = run_report_from_json(Json::parse(j.dump()));
+  EXPECT_DOUBLE_EQ(back.host_wall_seconds, rep.host_wall_seconds);
+  EXPECT_EQ(back.threads, 4);
+  EXPECT_EQ(back.schema_minor_version, kSchemaMinorVersion);
+}
+
+TEST(RunReport, PreMinorBumpDocumentsStillLoad) {
+  // The checked-in baselines were written before schema minor 1; a reader
+  // must default the added fields instead of rejecting the document.
+  const Json full = to_json(sample_report());
+  Json j = Json::object();
+  for (const auto& [key, value] : full.items()) {
+    if (key == "schema_minor_version" || key == "host_wall_seconds" ||
+        key == "threads")
+      continue;
+    j.set(key, value);
+  }
+  const RunReport back = run_report_from_json(j);
+  EXPECT_EQ(back.schema_minor_version, 0);
+  EXPECT_DOUBLE_EQ(back.host_wall_seconds, 0.0);
+  EXPECT_EQ(back.threads, 0);
 }
 
 TEST(RunReport, SchemaVersionMismatchRejected) {
@@ -307,6 +336,16 @@ TEST(Baseline, WorkloadMetaMismatchFails) {
   const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.first_violation(), "meta.layers");
+}
+
+TEST(Baseline, HostPerfFieldsNeverGate) {
+  // host_wall_seconds / threads are machine-dependent; wildly different
+  // values must not trip the gate (only simulated metrics are compared).
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.host_wall_seconds = 1000.0 * base.host_wall_seconds + 7.0;
+  fresh.threads = 64;
+  EXPECT_TRUE(check_against_baseline(fresh, base, ToleranceSpec{}).ok());
 }
 
 TEST(Baseline, ToolchainMetaIsInformational) {

@@ -1,0 +1,132 @@
+// Unit tests for the deterministic fork-join pool (common/thread_pool.h):
+// order preservation, exception propagation, the pool-of-1 serial fallback,
+// and nested run() composability — the properties the parallel pipeline and
+// tuner sweeps rely on for bit-identical results at any thread count.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace vitbit {
+namespace {
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+}
+
+TEST(ThreadPool, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(ThreadPool(0), CheckError);
+  EXPECT_THROW(ThreadPool(-3), CheckError);
+}
+
+TEST(ThreadPool, SizeReportsConfiguredThreads) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPool, RunExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      pool.parallel_map(257, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(ThreadPool, PoolOfOneRunsOnCallerThread) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  pool.run(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(pool.parallel_map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.run(100, [](std::size_t i) {
+      if (i % 10 == 7) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+}
+
+TEST(ThreadPool, DrainsRemainingTasksAfterException) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  EXPECT_THROW(pool.run(kN,
+                        [&](std::size_t i) {
+                          hits[i].fetch_add(1);
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The batch completes (no task is silently dropped) before the rethrow.
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::vector<int> inner_sums(8, 0);
+  pool.run(inner_sums.size(), [&](std::size_t outer) {
+    // A nested fan-out must not deadlock waiting for pool workers that are
+    // all busy running outer tasks; it executes inline instead.
+    int sum = 0;
+    pool.run(10, [&](std::size_t inner) { sum += static_cast<int>(inner); });
+    inner_sums[outer] = sum;
+  });
+  for (const int s : inner_sums) EXPECT_EQ(s, 45);
+}
+
+TEST(ThreadPool, FreeParallelMapSerialFallback) {
+  // pool == nullptr runs serially and must match the pooled result exactly.
+  const auto serial =
+      parallel_map(nullptr, 33, [](std::size_t i) { return i * i; });
+  ThreadPool pool(3);
+  const auto pooled =
+      parallel_map(&pool, 33, [](std::size_t i) { return i * i; });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    const auto out = pool.parallel_map(17, [round](std::size_t i) {
+      return round * 100 + static_cast<int>(i);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], round * 100 + static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace vitbit

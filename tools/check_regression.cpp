@@ -7,17 +7,25 @@
 //
 //   check_regression [--baselines=baselines] [--layers=2]
 //                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--json=PATH]
+//                    [--threads=N]
 //   check_regression --update          regenerate the baseline files
+//
+// --threads=N fans the strategy replays and candidate sweeps over a host
+// thread pool (default: hardware_concurrency; 1 restores the serial
+// behavior). Simulated metrics are bit-identical for every N — only the
+// host wall-clock recorded in the reports changes.
 //
 // Calibration overrides (for injecting drift in tests, and for asking
 // "would this calibration change trip the gate?"):
 //   --tc-macs=N           override Calibration::tc_macs_per_cycle
 //   --launch-overhead=N   override kernel_launch_overhead_cycles
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/thread_pool.h"
 #include "nn/vit_model.h"
 #include "report/baseline.h"
 #include "report/run_report.h"
@@ -37,33 +45,45 @@ struct Figure {
 report::RunReport build_report(const Figure& fig, const nn::KernelLog& log,
                                int layers, const core::StrategyConfig& cfg,
                                const arch::OrinSpec& spec,
-                               const arch::Calibration& calib) {
+                               const arch::Calibration& calib,
+                               ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
   report::RunReport rep;
   rep.tool = "check_regression";
   rep.meta = report::build_metadata();
   rep.meta["figure"] = fig.name;
   rep.meta["model"] = "vit";
   rep.meta["layers"] = std::to_string(layers);
-  for (const auto s : fig.strategies) {
-    const auto r = core::time_inference(log, s, cfg, spec, calib);
-    rep.strategies.push_back(report::make_strategy_report(r, spec));
-  }
+  rep.threads = pool.size();
+  // Strategy replays are independent; fan them out (each replay fans its
+  // own candidate sweeps out too when it runs on an idle pool).
+  rep.strategies = parallel_map(
+      &pool, fig.strategies.size(), [&](std::size_t i) {
+        const auto r =
+            core::time_inference(log, fig.strategies[i], cfg, spec, calib,
+                                 &pool);
+        return report::make_strategy_report(r, spec);
+      });
   if (fig.with_l2) {
     // One addressed multi-SM run so L2 hit/miss behaviour is gated too.
     const trace::GemmShape shape{197, 768, 256, 1};
     const std::vector<std::pair<const char*, trace::GemmBlockPlan>> plans = {
         {"tc", trace::plan_tc(calib)},
         {"vitbit", trace::plan_vitbit(calib, 12)}};
-    for (const auto& [name, plan] : plans) {
-      const auto kernel = trace::build_gemm_kernel(shape, plan, spec, calib);
-      const auto geom = trace::gemm_grid_geom(shape, plan, spec);
+    rep.l2_runs = parallel_map(&pool, plans.size(), [&](std::size_t i) {
+      const auto kernel =
+          trace::build_gemm_kernel(shape, plans[i].second, spec, calib);
+      const auto geom = trace::gemm_grid_geom(shape, plans[i].second, spec);
       sim::GpuSim gpu(spec, calib);
       const auto g =
           gpu.run(kernel, geom, sim::occupancy_blocks_per_sm(kernel, spec));
-      rep.l2_runs.push_back(
-          report::make_l2_report(std::string("gemm_197x768x256_") + name, g));
-    }
+      return report::make_l2_report(
+          std::string("gemm_197x768x256_") + plans[i].first, g);
+    });
   }
+  rep.host_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return rep;
 }
 
@@ -101,6 +121,7 @@ int run(int argc, char** argv) {
   };
 
   const std::string json_out = cli.json_path();
+  ThreadPool pool(cli.threads());
 
   // A typo'd flag silently reverting to its default would make the gate
   // pass vacuously; fail loud instead.
@@ -109,16 +130,23 @@ int run(int argc, char** argv) {
     return 2;
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   report::Json combined = report::Json::object();
   bool all_ok = true;
   std::string offending;
   for (const auto& fig : figures) {
-    const auto fresh = build_report(fig, log, layers, cfg, spec, calib);
+    const auto fresh =
+        build_report(fig, log, layers, cfg, spec, calib, pool);
     const std::string path = dir + "/" + fig.name + ".json";
     if (!json_out.empty())
       combined.set(fig.name, report::to_json(fresh));
     if (update) {
-      report::save_report_file(path, fresh);
+      // Baselines are shared across machines: strip the host-dependent
+      // fields so regeneration diffs only when simulated metrics move.
+      auto stable = fresh;
+      stable.host_wall_seconds = 0.0;
+      stable.threads = 0;
+      report::save_report_file(path, stable);
       std::cout << "regenerated " << path << "\n";
       continue;
     }
@@ -140,6 +168,11 @@ int run(int argc, char** argv) {
     report::save_json_file(json_out, combined);
     std::cout << "wrote " << json_out << "\n";
   }
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  std::cout << "host wall-clock: " << wall_s << " s with " << pool.size()
+            << " thread(s)\n";
   if (update || all_ok) {
     if (!update) std::cout << "check_regression: OK\n";
     return 0;
