@@ -22,7 +22,7 @@ int run(int argc, char** argv) {
   Table t("Extension — batch-size sweep, ViT-Base");
   t.header({"batch", "TC (ms)", "VitBit (ms)", "VitBit speedup",
             "TC img/s", "VitBit img/s"});
-  const std::vector<int> batches = {1, 2, 4, 8};
+  const std::vector<int> batches = {1, 2, 4, 8, 16, 32};
   // Flatten (batch, strategy): even index = TC, odd = VitBit.
   const auto timings =
       parallel_map(&pool, batches.size() * 2, [&](std::size_t i) {

@@ -5,6 +5,7 @@
 //   vitbit_cli infer  [--model=vit|cnn] [--strategy=VitBit] [--pack=2]
 //   vitbit_cli layout [--bits=8]                     packing policy details
 //   vitbit_cli report --json=out.json                machine-readable report
+//   vitbit_cli serve  [--rates=... --policy=timeout] serving rate sweep
 //
 // Every subcommand accepts --threads=N (default: hardware_concurrency,
 // 1 = serial). Simulated results are identical for every N.
@@ -21,6 +22,7 @@
 #include "nn/cnn.h"
 #include "nn/vit_model.h"
 #include "report/run_report.h"
+#include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "swar/layout.h"
 #include "trace/gemm_traces.h"
@@ -191,6 +193,58 @@ int cmd_report(const Cli& cli, ThreadPool& pool) {
   return 0;
 }
 
+// Serving-simulator rate sweep (serve/server.h): open-loop arrivals into
+// the dynamic batcher, TC vs VitBit goodput and tail latency per rate.
+// --json writes the schema-versioned serve_points report.
+int cmd_serve(const Cli& cli, ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& calib = arch::default_calibration();
+  serve::SweepConfig cfg;
+  cfg.model = nn::vit_base();
+  cfg.model.num_layers =
+      static_cast<int>(cli.get_int("layers", cfg.model.num_layers));
+  cfg.rates_rps =
+      cli.has("rate")
+          ? std::vector<double>{cli.get_double("rate", 0.0)}
+          : serve::parse_rate_list(cli.get("rates", "100,200,300,400,500"));
+  cfg.workload.kind =
+      serve::arrival_kind_from_name(cli.get("arrival", "poisson"));
+  cfg.workload.duration_s = cli.get_double("duration-s", 2.0);
+  cfg.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.server.policy = cli.get("policy", "timeout");
+  cfg.server.batcher.max_batch_size =
+      static_cast<int>(cli.get_int("max-batch", 8));
+  cfg.server.batcher.batch_timeout_us =
+      static_cast<std::uint64_t>(cli.get_int("batch-timeout-us", 2000));
+  cfg.server.batcher.queue_capacity =
+      static_cast<int>(cli.get_int("queue-capacity", 64));
+  cfg.server.num_gpus = static_cast<int>(cli.get_int("num-gpus", 1));
+  cfg.server.slo_us =
+      static_cast<std::uint64_t>(cli.get_int("slo-us", 50000));
+  cfg.server.validate();
+
+  const auto points = serve::run_rate_sweep(cfg, kSpec, calib, &pool);
+  serve::sweep_table(cfg, points).print(std::cout);
+
+  const std::string out = cli.json_path();
+  if (!out.empty()) {
+    auto rep = serve::make_serve_report(cfg, points, "vitbit_cli",
+                                        pool.size());
+    rep.host_wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    report::save_report_file(out, rep);
+    // Same self-check as `report`: the artifact must round-trip before
+    // anything downstream trusts it.
+    const auto back = report::load_report_file(out);
+    VITBIT_CHECK_MSG(report::to_json(back) == report::to_json(rep),
+                     "serve report round-trip mismatch: " << out);
+    std::cout << "wrote " << out << " (" << rep.serve_points.size()
+              << " sweep points)\n";
+  }
+  return 0;
+}
+
 int cmd_layout(const Cli& cli) {
   const int bits = static_cast<int>(cli.get_int("bits", 8));
   for (const auto mode : {swar::LaneMode::kUnsigned, swar::LaneMode::kOffset,
@@ -207,6 +261,7 @@ int dispatch(const Cli& cli, const std::string& cmd, ThreadPool& pool) {
   if (cmd == "infer") return cmd_infer(cli, pool);
   if (cmd == "layout") return cmd_layout(cli);
   if (cmd == "report") return cmd_report(cli, pool);
+  if (cmd == "serve") return cmd_serve(cli, pool);
   return -1;
 }
 
@@ -226,13 +281,19 @@ int run(int argc, char** argv) {
     }
     return rc;
   }
-  std::cout << "usage: vitbit_cli <study|tune|infer|layout|report> [--flags]\n"
+  std::cout << "usage: vitbit_cli <study|tune|infer|layout|report|serve>"
+               " [--flags]\n"
                "  study  --m --k --n        Section 3.2 GEMM ratio study\n"
                "  tune   --m --k --n        derive the VitBit split ratios\n"
                "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
                "  layout --bits=N           packing policy for a bitwidth\n"
                "  report --json=PATH --model=vit|cnn --layers=N --l2\n"
                "         machine-readable run report (see EXPERIMENTS.md)\n"
+               "  serve  --rates=CSV --arrival=poisson|uniform|bursty\n"
+               "         --policy=timeout|greedy --max-batch=N\n"
+               "         --batch-timeout-us=N --queue-capacity=N --num-gpus=N\n"
+               "         --slo-us=N --duration-s=S --seed=N [--json=PATH]\n"
+               "         serving rate sweep: TC vs VitBit goodput and p99\n"
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"
                "         simulated results are identical for every N)\n";

@@ -87,6 +87,16 @@ class Rng {
 
   double normal(double mean, double stddev) { return mean + stddev * normal(); }
 
+  // Exponential sample with the given rate (mean 1/rate), via inverse-CDF
+  // on uniform(): -ln(1 - u) / rate. log1p keeps the argument exact near
+  // u = 0 and uniform() < 1 keeps it finite, so the sequence is a pure
+  // function of the seed — the substrate of Poisson arrival processes
+  // (serve/workload.h) and pinned by common_test across seeds.
+  double exp_double(double rate) {
+    VITBIT_DCHECK(rate > 0.0);
+    return -std::log1p(-uniform()) / rate;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -96,6 +96,32 @@ void compare_strategy(std::vector<MetricDelta>& out,
       add_new(out, p + "kernel." + k.name + ".cycles", tol.allow_new_metrics);
 }
 
+void compare_serve_point(std::vector<MetricDelta>& out,
+                         const ServePointReport& base,
+                         const ServePointReport& fresh,
+                         const ToleranceSpec& tol) {
+  const std::string p = "serve." + base.key() + ".";
+  // offered/dropped count arrivals of the seeded workload — exact by
+  // construction; completed and everything downstream inherit latency
+  // drift through the queue dynamics.
+  compare_metric(out, p + "offered", static_cast<double>(base.offered),
+                 static_cast<double>(fresh.offered), tol.instructions);
+  compare_metric(out, p + "completed", static_cast<double>(base.completed),
+                 static_cast<double>(fresh.completed), tol.serve);
+  compare_metric(out, p + "drop_rate", base.drop_rate, fresh.drop_rate,
+                 tol.serve);
+  compare_metric(out, p + "throughput_rps", base.throughput_rps,
+                 fresh.throughput_rps, tol.serve);
+  compare_metric(out, p + "goodput_rps", base.goodput_rps, fresh.goodput_rps,
+                 tol.serve);
+  compare_metric(out, p + "utilization", base.utilization, fresh.utilization,
+                 tol.serve);
+  compare_metric(out, p + "p50_us", static_cast<double>(base.p50_us),
+                 static_cast<double>(fresh.p50_us), tol.serve);
+  compare_metric(out, p + "p99_us", static_cast<double>(base.p99_us),
+                 static_cast<double>(fresh.p99_us), tol.serve);
+}
+
 }  // namespace
 
 double relative_delta(double baseline, double fresh) {
@@ -192,6 +218,19 @@ BaselineCheckResult check_against_baseline(const RunReport& fresh,
     compare_metric(out, p + "hit_rate", base.l2_hit_rate, f->l2_hit_rate,
                    tol.l2_hit_rate);
   }
+
+  for (const auto& base : baseline.serve_points) {
+    const ServePointReport* f = fresh.find_serve_point(base.key());
+    if (f == nullptr) {
+      add_missing(out, "serve." + base.key() + ".goodput_rps");
+      continue;
+    }
+    compare_serve_point(out, base, *f, tol);
+  }
+  for (const auto& p : fresh.serve_points)
+    if (baseline.find_serve_point(p.key()) == nullptr)
+      add_new(out, "serve." + p.key() + ".goodput_rps",
+              tol.allow_new_metrics);
 
   return result;
 }

@@ -1,5 +1,7 @@
 #include "report/run_report.h"
 
+#include <cstdio>
+
 #include "common/check.h"
 #include "sim/isa.h"
 #include "vitbit/strategy.h"
@@ -46,6 +48,19 @@ const StrategyReport* RunReport::find_strategy(
     const std::string& strategy) const {
   for (const auto& s : strategies)
     if (s.strategy == strategy) return &s;
+  return nullptr;
+}
+
+std::string ServePointReport::key() const {
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%g", rate_rps);
+  return strategy + "." + policy + "." + arrival + "@" + rate;
+}
+
+const ServePointReport* RunReport::find_serve_point(
+    const std::string& key) const {
+  for (const auto& p : serve_points)
+    if (p.key() == key) return &p;
   return nullptr;
 }
 
@@ -167,6 +182,30 @@ Json to_json(const L2Report& r) {
   return j;
 }
 
+Json to_json(const ServePointReport& r) {
+  Json j = Json::object();
+  j.set("strategy", Json(r.strategy));
+  j.set("policy", Json(r.policy));
+  j.set("arrival", Json(r.arrival));
+  j.set("rate_rps", Json(r.rate_rps));
+  j.set("offered", Json(r.offered));
+  j.set("completed", Json(r.completed));
+  j.set("dropped", Json(r.dropped));
+  j.set("batches", Json(r.batches));
+  j.set("mean_batch_size", Json(r.mean_batch_size));
+  j.set("drop_rate", Json(r.drop_rate));
+  j.set("throughput_rps", Json(r.throughput_rps));
+  j.set("goodput_rps", Json(r.goodput_rps));
+  j.set("utilization", Json(r.utilization));
+  j.set("mean_queue_depth", Json(r.mean_queue_depth));
+  j.set("max_queue_depth", Json(r.max_queue_depth));
+  j.set("p50_us", Json(r.p50_us));
+  j.set("p90_us", Json(r.p90_us));
+  j.set("p95_us", Json(r.p95_us));
+  j.set("p99_us", Json(r.p99_us));
+  return j;
+}
+
 Json to_json(const RunReport& r) {
   Json j = Json::object();
   j.set("schema_version", Json(static_cast<std::int64_t>(r.schema_version)));
@@ -184,6 +223,9 @@ Json to_json(const RunReport& r) {
   Json l2 = Json::array();
   for (const auto& g : r.l2_runs) l2.push_back(to_json(g));
   j.set("l2_runs", std::move(l2));
+  Json serve = Json::array();
+  for (const auto& p : r.serve_points) serve.push_back(to_json(p));
+  j.set("serve_points", std::move(serve));
   return j;
 }
 
@@ -231,6 +273,30 @@ StrategyReport strategy_from_json(const Json& j) {
   return r;
 }
 
+ServePointReport serve_point_from_json(const Json& j) {
+  ServePointReport r;
+  r.strategy = j.string_at("strategy");
+  r.policy = j.string_at("policy");
+  r.arrival = j.string_at("arrival");
+  r.rate_rps = j.double_at("rate_rps");
+  r.offered = j.uint_at("offered");
+  r.completed = j.uint_at("completed");
+  r.dropped = j.uint_at("dropped");
+  r.batches = j.uint_at("batches");
+  r.mean_batch_size = j.double_at("mean_batch_size");
+  r.drop_rate = j.double_at("drop_rate");
+  r.throughput_rps = j.double_at("throughput_rps");
+  r.goodput_rps = j.double_at("goodput_rps");
+  r.utilization = j.double_at("utilization");
+  r.mean_queue_depth = j.double_at("mean_queue_depth");
+  r.max_queue_depth = j.uint_at("max_queue_depth");
+  r.p50_us = j.uint_at("p50_us");
+  r.p90_us = j.uint_at("p90_us");
+  r.p95_us = j.uint_at("p95_us");
+  r.p99_us = j.uint_at("p99_us");
+  return r;
+}
+
 L2Report l2_from_json(const Json& j) {
   L2Report r;
   r.name = j.string_at("name");
@@ -268,6 +334,10 @@ RunReport run_report_from_json(const Json& j) {
   const Json& l2 = j.at("l2_runs");
   for (std::size_t i = 0; i < l2.size(); ++i)
     r.l2_runs.push_back(l2_from_json(l2[i]));
+  // Minor-2 addition: absent in older documents.
+  if (const Json* serve = j.find("serve_points"); serve != nullptr)
+    for (std::size_t i = 0; i < serve->size(); ++i)
+      r.serve_points.push_back(serve_point_from_json((*serve)[i]));
   return r;
 }
 

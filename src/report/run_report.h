@@ -29,7 +29,8 @@ inline constexpr int kSchemaVersion = 1;
 // documents written before a minor bump simply lack the added fields
 // (which all carry neutral defaults), so old baselines keep loading.
 //   minor 1: host_wall_seconds + threads (host-side perf trajectory).
-inline constexpr int kSchemaMinorVersion = 1;
+//   minor 2: serve_points (serving-simulator rate sweeps, src/serve).
+inline constexpr int kSchemaMinorVersion = 2;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -79,6 +80,35 @@ struct L2Report {
   SmStatsReport total;
 };
 
+// One (strategy, arrival-rate) point of a serving-simulator rate sweep
+// (serve/server.h). Latencies are virtual microseconds; rates are
+// requests per virtual second. Identified for baseline matching by
+// (strategy, policy, arrival, rate_rps) — see key().
+struct ServePointReport {
+  std::string strategy;
+  std::string policy;
+  std::string arrival;
+  double rate_rps = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double drop_rate = 0.0;
+  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;
+  double utilization = 0.0;
+  double mean_queue_depth = 0.0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+
+  // Stable identity within a report, e.g. "VitBit.timeout.poisson@200".
+  std::string key() const;
+};
+
 struct RunReport {
   int schema_version = kSchemaVersion;
   int schema_minor_version = kSchemaMinorVersion;
@@ -95,9 +125,14 @@ struct RunReport {
   int threads = 0;
   std::vector<StrategyReport> strategies;
   std::vector<L2Report> l2_runs;
+  // Serving-simulator sweep points (schema minor 2; empty for reports
+  // that ran no serving simulation, and for pre-bump documents).
+  std::vector<ServePointReport> serve_points;
 
   // nullptr when the report has no entry for `strategy`.
   const StrategyReport* find_strategy(const std::string& strategy) const;
+  // nullptr when the report has no serve point with this key().
+  const ServePointReport* find_serve_point(const std::string& key) const;
 };
 
 // ---- Builders from live simulator results ----
@@ -117,6 +152,7 @@ Json to_json(const SmStatsReport& r);
 Json to_json(const KernelReport& r);
 Json to_json(const StrategyReport& r);
 Json to_json(const L2Report& r);
+Json to_json(const ServePointReport& r);
 Json to_json(const RunReport& r);
 
 // Throw CheckError on schema-version or shape mismatch.

@@ -1,0 +1,80 @@
+#include "serve/batcher.h"
+
+#include "common/check.h"
+
+namespace vitbit::serve {
+
+void BatcherConfig::validate() const {
+  VITBIT_CHECK_MSG(max_batch_size >= 1, "max_batch_size must be >= 1");
+  VITBIT_CHECK_MSG(queue_capacity >= 1, "queue_capacity must be >= 1");
+  VITBIT_CHECK_MSG(batch_timeout_us >= 1, "batch_timeout_us must be >= 1");
+}
+
+namespace {
+
+class GreedyPolicy : public BatchPolicy {
+ public:
+  std::string name() const override { return "greedy"; }
+  FlushDecision decide(std::uint64_t, std::size_t, std::uint64_t,
+                       const BatcherConfig&) const override {
+    return {true, 0};
+  }
+};
+
+class TimeoutPolicy : public BatchPolicy {
+ public:
+  std::string name() const override { return "timeout"; }
+  FlushDecision decide(std::uint64_t now_us, std::size_t queue_depth,
+                       std::uint64_t oldest_arrival_us,
+                       const BatcherConfig& cfg) const override {
+    if (queue_depth >= static_cast<std::size_t>(cfg.max_batch_size))
+      return {true, 0};
+    const std::uint64_t deadline = oldest_arrival_us + cfg.batch_timeout_us;
+    if (now_us >= deadline) return {true, 0};
+    return {false, deadline};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<BatchPolicy> make_policy(const std::string& name) {
+  if (name == "greedy") return std::make_unique<GreedyPolicy>();
+  if (name == "timeout") return std::make_unique<TimeoutPolicy>();
+  VITBIT_CHECK_MSG(false,
+                   "unknown batching policy: " << name
+                                               << " (want greedy|timeout)");
+  return nullptr;
+}
+
+AdmissionQueue::AdmissionQueue(int capacity)
+    : capacity_(static_cast<std::size_t>(capacity)) {
+  VITBIT_CHECK_MSG(capacity >= 1, "queue capacity must be >= 1");
+}
+
+bool AdmissionQueue::offer(const Request& r) {
+  if (q_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  q_.push_back(r);
+  return true;
+}
+
+std::vector<Request> AdmissionQueue::pop_batch(std::size_t max_size) {
+  VITBIT_CHECK(max_size >= 1);
+  std::vector<Request> out;
+  const std::size_t n = std::min(max_size, q_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(q_.front());
+    q_.pop_front();
+  }
+  return out;
+}
+
+const Request& AdmissionQueue::front() const {
+  VITBIT_CHECK_MSG(!q_.empty(), "front() on an empty admission queue");
+  return q_.front();
+}
+
+}  // namespace vitbit::serve

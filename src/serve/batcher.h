@@ -1,0 +1,77 @@
+// Dynamic batching for the serving simulator: a bounded FIFO admission
+// queue (arrivals beyond queue_capacity are dropped, the load-shedding
+// behavior of a real serving frontend) plus a pluggable flush policy that
+// decides, whenever a replica is idle and requests are pending, between
+// dispatching a batch now and waiting for more arrivals.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/workload.h"
+
+namespace vitbit::serve {
+
+struct BatcherConfig {
+  int max_batch_size = 8;
+  // Timeout-flush knob: dispatch a partial batch once the oldest pending
+  // request has waited this long.
+  std::uint64_t batch_timeout_us = 2000;
+  // Admission bound; an arrival finding the queue full is dropped.
+  int queue_capacity = 64;
+
+  void validate() const;
+};
+
+struct FlushDecision {
+  bool dispatch = false;
+  // When !dispatch: the virtual time at which the policy wants to be
+  // re-evaluated (strictly in the future, or the server loop would spin).
+  std::uint64_t wake_us = 0;
+};
+
+// Policy interface. Called only when queue_depth > 0 and a replica is
+// idle; implementations must be pure functions of their arguments so the
+// simulation stays deterministic.
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual FlushDecision decide(std::uint64_t now_us, std::size_t queue_depth,
+                               std::uint64_t oldest_arrival_us,
+                               const BatcherConfig& cfg) const = 0;
+};
+
+// "greedy": size-capped greedy — dispatch immediately whenever a replica
+//           is idle, with whatever is queued (min(depth, max_batch_size)).
+// "timeout": flush on a full batch, or when the oldest pending request has
+//            waited batch_timeout_us; otherwise wait (larger batches at
+//            the cost of bounded extra queueing delay).
+// Throws CheckError on any other name.
+std::unique_ptr<BatchPolicy> make_policy(const std::string& name);
+
+// Bounded FIFO queue with drop-on-full accounting.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(int capacity);
+
+  // False when the queue is full; the request is counted as dropped.
+  bool offer(const Request& r);
+  // Pops up to max_size requests in arrival order. max_size >= 1.
+  std::vector<Request> pop_batch(std::size_t max_size);
+
+  std::size_t depth() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  const Request& front() const;
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::deque<Request> q_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace vitbit::serve

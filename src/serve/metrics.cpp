@@ -1,0 +1,87 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vitbit::serve {
+
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
+                                      double p) {
+  VITBIT_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  // ceil(p/100 * N), clamped to [1, N]; p = 0 maps to rank 1 (the minimum).
+  const auto n = static_cast<double>(samples.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::max<std::size_t>(rank, 1);
+  rank = std::min(rank, samples.size());
+  return samples[rank - 1];
+}
+
+void MetricsSink::on_queue_depth(std::uint64_t now_us, std::size_t depth) {
+  VITBIT_CHECK_MSG(now_us >= last_depth_change_us_,
+                   "queue-depth samples must be time-ordered");
+  depth_integral_ += static_cast<std::uint64_t>(last_depth_) *
+                     (now_us - last_depth_change_us_);
+  last_depth_change_us_ = now_us;
+  last_depth_ = depth;
+  max_depth_ = std::max(max_depth_, static_cast<std::uint64_t>(depth));
+}
+
+void MetricsSink::on_batch(std::size_t size, std::uint64_t busy_us) {
+  ++batches_;
+  batched_requests_ += size;
+  busy_us_ += busy_us;
+}
+
+void MetricsSink::on_completion(std::uint64_t arrival_us,
+                                std::uint64_t done_us) {
+  VITBIT_CHECK_MSG(done_us >= arrival_us, "completion precedes arrival");
+  latencies_us_.push_back(done_us - arrival_us);
+}
+
+ServeMetrics MetricsSink::finalize(int num_replicas, std::uint64_t end_us,
+                                   std::uint64_t slo_us) const {
+  VITBIT_CHECK(num_replicas >= 1);
+  ServeMetrics m;
+  m.offered = offered_;
+  m.completed = latencies_us_.size();
+  m.dropped = dropped_;
+  m.batches = batches_;
+  m.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_requests_) /
+                          static_cast<double>(batches_);
+  m.duration_s = static_cast<double>(end_us) / 1e6;
+  m.drop_rate = offered_ == 0 ? 0.0
+                              : static_cast<double>(dropped_) /
+                                    static_cast<double>(offered_);
+  m.max_queue_depth = max_depth_;
+  if (end_us > 0) {
+    // The tail after the last depth change counts at that depth.
+    const std::uint64_t integral =
+        depth_integral_ +
+        static_cast<std::uint64_t>(last_depth_) *
+            (end_us - std::min(last_depth_change_us_, end_us));
+    m.mean_queue_depth =
+        static_cast<double>(integral) / static_cast<double>(end_us);
+    m.throughput_rps = static_cast<double>(m.completed) / m.duration_s;
+    std::uint64_t within_slo = 0;
+    for (const auto lat : latencies_us_)
+      if (lat <= slo_us) ++within_slo;
+    m.goodput_rps = static_cast<double>(within_slo) / m.duration_s;
+    m.utilization = static_cast<double>(busy_us_) /
+                    (static_cast<double>(num_replicas) *
+                     static_cast<double>(end_us));
+  }
+  m.p50_us = percentile_nearest_rank(latencies_us_, 50.0);
+  m.p90_us = percentile_nearest_rank(latencies_us_, 90.0);
+  m.p95_us = percentile_nearest_rank(latencies_us_, 95.0);
+  m.p99_us = percentile_nearest_rank(latencies_us_, 99.0);
+  m.max_us = percentile_nearest_rank(latencies_us_, 100.0);
+  return m;
+}
+
+}  // namespace vitbit::serve

@@ -1,0 +1,71 @@
+// Metrics sink for the serving simulator: raw events from the event loop
+// (admissions, drops, batch dispatches, completions, queue-depth changes)
+// accumulate here and finalize into throughput, goodput, utilization,
+// drop rate, time-weighted queue depth, and nearest-rank latency
+// percentiles. Everything derives from integer virtual-microsecond
+// timestamps, so the numbers are bit-identical across hosts and threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vitbit::serve {
+
+// Nearest-rank percentile: the ceil(p/100 * N)-th smallest sample
+// (1-indexed); p = 0 selects the minimum. Empty samples yield 0 — the
+// caller-visible convention for "no data", pinned by serve_metrics_test.
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
+                                      double p);
+
+struct ServeMetrics {
+  std::uint64_t offered = 0;    // arrivals presented to the admission queue
+  std::uint64_t completed = 0;  // requests that finished a batch
+  std::uint64_t dropped = 0;    // rejected at a full queue
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double duration_s = 0.0;       // virtual makespan: t = 0 to the last event
+  double throughput_rps = 0.0;   // completed / duration
+  double goodput_rps = 0.0;      // completed within the SLO / duration
+  double drop_rate = 0.0;        // dropped / offered
+  double utilization = 0.0;      // busy replica-time / (replicas * duration)
+  double mean_queue_depth = 0.0;  // time-weighted over the makespan
+  std::uint64_t max_queue_depth = 0;
+  // Nearest-rank percentiles of completed-request latency (arrival to
+  // batch completion), virtual microseconds.
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+class MetricsSink {
+ public:
+  void on_offered() { ++offered_; }
+  void on_drop() { ++dropped_; }
+  // Queue depth changed at `now_us` (admission or batch formation).
+  void on_queue_depth(std::uint64_t now_us, std::size_t depth);
+  void on_batch(std::size_t size, std::uint64_t busy_us);
+  void on_completion(std::uint64_t arrival_us, std::uint64_t done_us);
+
+  // `end_us` is the simulation makespan; `slo_us` the goodput latency
+  // target. Zero-duration runs finalize to all-zero rates.
+  ServeMetrics finalize(int num_replicas, std::uint64_t end_us,
+                        std::uint64_t slo_us) const;
+
+ private:
+  std::uint64_t offered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::uint64_t busy_us_ = 0;
+  std::vector<std::uint64_t> latencies_us_;
+  // Time-weighted queue-depth integral (depth * microseconds).
+  std::uint64_t depth_integral_ = 0;
+  std::uint64_t last_depth_change_us_ = 0;
+  std::size_t last_depth_ = 0;
+  std::uint64_t max_depth_ = 0;
+};
+
+}  // namespace vitbit::serve

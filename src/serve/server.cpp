@@ -1,0 +1,292 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "nn/vit_model.h"
+
+namespace vitbit::serve {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+std::string fmt_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", rate);
+  return buf;
+}
+
+// One memoization entry: simulate a `batch`-image inference under
+// `strategy` and convert cycles to integer virtual microseconds at the
+// spec clock (clock_ghz cycles per nanosecond).
+std::uint64_t simulate_batch_latency_us(const nn::VitConfig& model,
+                                        core::Strategy strategy,
+                                        const core::StrategyConfig& cfg,
+                                        const arch::OrinSpec& spec,
+                                        const arch::Calibration& calib,
+                                        int batch, ThreadPool* pool) {
+  const auto log = nn::build_kernel_log(model, batch);
+  const auto t = core::time_inference(log, strategy, cfg, spec, calib, pool);
+  return static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(t.total_cycles) / (spec.clock_ghz * 1e3)));
+}
+
+}  // namespace
+
+std::uint64_t LatencyTable::latency_us(std::size_t batch) const {
+  VITBIT_CHECK_MSG(batch >= 1 && batch < batch_latency_us.size(),
+                   "batch size " << batch << " outside latency table [1, "
+                                 << max_batch() << "]");
+  return batch_latency_us[batch];
+}
+
+LatencyTable build_latency_table(const nn::VitConfig& model,
+                                 core::Strategy strategy,
+                                 const core::StrategyConfig& cfg,
+                                 const arch::OrinSpec& spec,
+                                 const arch::Calibration& calib, int max_batch,
+                                 ThreadPool* pool) {
+  VITBIT_CHECK_MSG(max_batch >= 1, "max_batch must be >= 1");
+  LatencyTable table;
+  table.strategy = strategy;
+  table.batch_latency_us.resize(static_cast<std::size_t>(max_batch) + 1, 0);
+  const auto latencies =
+      parallel_map(pool, static_cast<std::size_t>(max_batch),
+                   [&](std::size_t i) {
+                     return simulate_batch_latency_us(
+                         model, strategy, cfg, spec, calib,
+                         static_cast<int>(i) + 1, pool);
+                   });
+  for (int b = 1; b <= max_batch; ++b) {
+    VITBIT_CHECK_MSG(latencies[b - 1] >= 1,
+                     "batch " << b << " latency rounds to zero microseconds");
+    table.batch_latency_us[b] = latencies[b - 1];
+  }
+  return table;
+}
+
+void ServerConfig::validate() const {
+  batcher.validate();
+  VITBIT_CHECK_MSG(num_gpus >= 1, "num_gpus must be >= 1");
+  VITBIT_CHECK_MSG(slo_us >= 1, "slo_us must be >= 1");
+  make_policy(policy);  // throws on an unknown name
+}
+
+ServeMetrics simulate_server(const std::vector<Request>& workload,
+                             const LatencyTable& latency,
+                             const ServerConfig& cfg) {
+  cfg.validate();
+  VITBIT_CHECK_MSG(latency.max_batch() >= cfg.batcher.max_batch_size,
+                   "latency table covers batches up to "
+                       << latency.max_batch() << ", batcher needs "
+                       << cfg.batcher.max_batch_size);
+  const auto policy = make_policy(cfg.policy);
+  AdmissionQueue queue(cfg.batcher.queue_capacity);
+  MetricsSink sink;
+  std::vector<std::uint64_t> replica_free_us(
+      static_cast<std::size_t>(cfg.num_gpus), 0);
+
+  std::size_t next_arrival = 0;
+  std::uint64_t now = 0;
+  std::uint64_t end = 0;
+  while (true) {
+    // 1. Admissions due at `now` (ties: arrivals land before dispatch
+    // decisions at the same timestamp).
+    while (next_arrival < workload.size() &&
+           workload[next_arrival].arrival_us <= now) {
+      sink.on_offered();
+      if (queue.offer(workload[next_arrival]))
+        sink.on_queue_depth(now, queue.depth());
+      else
+        sink.on_drop();
+      ++next_arrival;
+    }
+
+    // 2. Dispatch onto idle replicas (lowest index first) while the
+    // policy agrees; its wake time bounds the idle stretch otherwise.
+    std::uint64_t policy_wake = kNever;
+    while (!queue.empty()) {
+      int idle = -1;
+      for (std::size_t g = 0; g < replica_free_us.size(); ++g)
+        if (replica_free_us[g] <= now) {
+          idle = static_cast<int>(g);
+          break;
+        }
+      if (idle < 0) break;
+      const auto decision = policy->decide(now, queue.depth(),
+                                           queue.front().arrival_us,
+                                           cfg.batcher);
+      if (!decision.dispatch) {
+        VITBIT_CHECK_MSG(decision.wake_us > now,
+                         "policy wait must wake strictly in the future");
+        policy_wake = decision.wake_us;
+        break;
+      }
+      const auto batch = queue.pop_batch(
+          static_cast<std::size_t>(cfg.batcher.max_batch_size));
+      sink.on_queue_depth(now, queue.depth());
+      const std::uint64_t busy = latency.latency_us(batch.size());
+      replica_free_us[static_cast<std::size_t>(idle)] = now + busy;
+      end = std::max(end, now + busy);
+      sink.on_batch(batch.size(), busy);
+      for (const auto& r : batch) sink.on_completion(r.arrival_us, now + busy);
+    }
+
+    // 3. Advance to the next event: an arrival, a replica completion, or
+    // the policy's wake-up.
+    std::uint64_t t_next = policy_wake;
+    if (next_arrival < workload.size())
+      t_next = std::min(t_next, workload[next_arrival].arrival_us);
+    for (const auto free_us : replica_free_us)
+      if (free_us > now) t_next = std::min(t_next, free_us);
+    if (t_next == kNever) break;  // drained: no arrivals, queue empty, idle
+    VITBIT_CHECK_MSG(t_next > now, "event loop failed to advance");
+    now = t_next;
+    end = std::max(end, now);
+  }
+  return sink.finalize(cfg.num_gpus, end, cfg.slo_us);
+}
+
+std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
+                                       const arch::OrinSpec& spec,
+                                       const arch::Calibration& calib,
+                                       ThreadPool* pool) {
+  VITBIT_CHECK_MSG(!cfg.strategies.empty(), "sweep needs >= 1 strategy");
+  VITBIT_CHECK_MSG(!cfg.rates_rps.empty(), "sweep needs >= 1 rate");
+  cfg.server.validate();
+
+  // Phase 1: memoized latency tables — one kernel-log simulation per
+  // distinct (strategy, batch size), flattened over the pool.
+  const auto n_strategies = cfg.strategies.size();
+  const auto mb = static_cast<std::size_t>(cfg.server.batcher.max_batch_size);
+  const auto flat = parallel_map(pool, n_strategies * mb, [&](std::size_t i) {
+    return simulate_batch_latency_us(cfg.model, cfg.strategies[i / mb],
+                                     cfg.strategy_cfg, spec, calib,
+                                     static_cast<int>(i % mb) + 1, pool);
+  });
+  std::vector<LatencyTable> tables(n_strategies);
+  for (std::size_t s = 0; s < n_strategies; ++s) {
+    tables[s].strategy = cfg.strategies[s];
+    tables[s].batch_latency_us.assign(mb + 1, 0);
+    for (std::size_t b = 1; b <= mb; ++b)
+      tables[s].batch_latency_us[b] = flat[s * mb + (b - 1)];
+  }
+
+  // Phase 2: the event loop per (strategy, rate) point. Workloads are
+  // regenerated per point from the shared seed, so both strategies at one
+  // rate face identical request streams.
+  const auto n_rates = cfg.rates_rps.size();
+  return parallel_map(pool, n_strategies * n_rates, [&](std::size_t i) {
+    const std::size_t s = i / n_rates;
+    const std::size_t r = i % n_rates;
+    WorkloadConfig w = cfg.workload;
+    w.rate_rps = cfg.rates_rps[r];
+    SweepPoint point;
+    point.strategy = cfg.strategies[s];
+    point.rate_rps = cfg.rates_rps[r];
+    point.metrics =
+        simulate_server(generate_workload(w), tables[s], cfg.server);
+    return point;
+  });
+}
+
+Table sweep_table(const SweepConfig& cfg,
+                  const std::vector<SweepPoint>& points) {
+  Table t("serving simulation — " + std::string("rate sweep, ") +
+          arrival_kind_name(cfg.workload.kind) + " arrivals, policy=" +
+          cfg.server.policy);
+  std::vector<std::string> header = {"rate (req/s)"};
+  for (const auto s : cfg.strategies) {
+    const std::string name = core::strategy_name(s);
+    header.push_back(name + " goodput");
+    header.push_back(name + " p99 (ms)");
+    header.push_back(name + " drop %");
+  }
+  t.header(std::move(header));
+  const auto n_rates = cfg.rates_rps.size();
+  for (std::size_t r = 0; r < n_rates; ++r) {
+    auto& row = t.row();
+    row.cell(cfg.rates_rps[r], 1);
+    for (std::size_t s = 0; s < cfg.strategies.size(); ++s) {
+      const auto& m = points[s * n_rates + r].metrics;
+      row.cell(m.goodput_rps, 1)
+          .cell(static_cast<double>(m.p99_us) / 1e3, 3)
+          .cell(m.drop_rate * 100.0, 2);
+    }
+  }
+  return t;
+}
+
+std::vector<double> parse_rate_list(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    VITBIT_CHECK_MSG(!item.empty(), "empty entry in rate list: " << spec);
+    char* end = nullptr;
+    const double rate = std::strtod(item.c_str(), &end);
+    VITBIT_CHECK_MSG(end != nullptr && *end == '\0' && rate > 0.0,
+                     "rate-list entry is not a positive number: " << item);
+    out.push_back(rate);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+report::RunReport make_serve_report(const SweepConfig& cfg,
+                                    const std::vector<SweepPoint>& points,
+                                    const std::string& tool, int threads) {
+  report::RunReport rep;
+  rep.tool = tool;
+  rep.meta = report::build_metadata();
+  rep.meta["model"] = "vit";
+  rep.meta["layers"] = std::to_string(cfg.model.num_layers);
+  rep.meta["arrival"] = arrival_kind_name(cfg.workload.kind);
+  rep.meta["duration_s"] = fmt_rate(cfg.workload.duration_s);
+  rep.meta["seed"] = std::to_string(cfg.workload.seed);
+  rep.meta["policy"] = cfg.server.policy;
+  rep.meta["max_batch_size"] =
+      std::to_string(cfg.server.batcher.max_batch_size);
+  rep.meta["batch_timeout_us"] =
+      std::to_string(cfg.server.batcher.batch_timeout_us);
+  rep.meta["queue_capacity"] =
+      std::to_string(cfg.server.batcher.queue_capacity);
+  rep.meta["num_gpus"] = std::to_string(cfg.server.num_gpus);
+  rep.meta["slo_us"] = std::to_string(cfg.server.slo_us);
+  rep.threads = threads;
+  for (const auto& p : points) {
+    report::ServePointReport sp;
+    sp.strategy = core::strategy_name(p.strategy);
+    sp.policy = cfg.server.policy;
+    sp.arrival = arrival_kind_name(cfg.workload.kind);
+    sp.rate_rps = p.rate_rps;
+    sp.offered = p.metrics.offered;
+    sp.completed = p.metrics.completed;
+    sp.dropped = p.metrics.dropped;
+    sp.batches = p.metrics.batches;
+    sp.mean_batch_size = p.metrics.mean_batch_size;
+    sp.drop_rate = p.metrics.drop_rate;
+    sp.throughput_rps = p.metrics.throughput_rps;
+    sp.goodput_rps = p.metrics.goodput_rps;
+    sp.utilization = p.metrics.utilization;
+    sp.mean_queue_depth = p.metrics.mean_queue_depth;
+    sp.max_queue_depth = p.metrics.max_queue_depth;
+    sp.p50_us = p.metrics.p50_us;
+    sp.p90_us = p.metrics.p90_us;
+    sp.p95_us = p.metrics.p95_us;
+    sp.p99_us = p.metrics.p99_us;
+    rep.serve_points.push_back(std::move(sp));
+  }
+  return rep;
+}
+
+}  // namespace vitbit::serve

@@ -1,0 +1,120 @@
+// Event-driven serving simulator on top of the timing pipeline: virtual
+// time advances between request arrivals, batch dispatches, and batch
+// completions; each dispatched batch charges the simulated GPU latency of
+// `core::time_inference` over `nn::build_kernel_log(cfg, batch)`, memoized
+// per batch size in a LatencyTable. This is where VitBit's kernel-level
+// speedup turns into goodput and tail-latency wins under load.
+//
+// Determinism contract (the same one the timing pipeline upholds): all
+// virtual time is integer microseconds, event ties resolve in a fixed
+// order (admissions, then dispatches in replica-index order), and the
+// sweep fans out over ThreadPool::parallel_map, so a rate sweep serializes
+// to byte-identical reports at every --threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "common/table.h"
+#include "nn/vit_config.h"
+#include "report/run_report.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/workload.h"
+#include "vitbit/pipeline.h"
+
+namespace vitbit {
+class ThreadPool;
+}
+
+namespace vitbit::serve {
+
+// Simulated GPU latency of one inference batch per batch size, in integer
+// virtual microseconds. Index == batch size; [0] is unused.
+struct LatencyTable {
+  core::Strategy strategy = core::Strategy::kTC;
+  std::vector<std::uint64_t> batch_latency_us;
+
+  // Checked lookup; batch must be in [1, max_batch].
+  std::uint64_t latency_us(std::size_t batch) const;
+  int max_batch() const {
+    return static_cast<int>(batch_latency_us.size()) - 1;
+  }
+};
+
+// One `time_inference` per batch size in [1, max_batch] (fanned out over
+// `pool`), each converted from cycles to microseconds at the spec clock.
+LatencyTable build_latency_table(const nn::VitConfig& model,
+                                 core::Strategy strategy,
+                                 const core::StrategyConfig& cfg,
+                                 const arch::OrinSpec& spec,
+                                 const arch::Calibration& calib, int max_batch,
+                                 ThreadPool* pool = nullptr);
+
+struct ServerConfig {
+  BatcherConfig batcher;
+  std::string policy = "timeout";  // see serve/batcher.h
+  // Identical GPU replicas the batcher multiplexes over.
+  int num_gpus = 1;
+  // Goodput latency target: a completed request counts toward goodput only
+  // when arrival-to-completion stays within this bound.
+  std::uint64_t slo_us = 50000;
+
+  void validate() const;
+};
+
+// Runs the discrete-event loop over one request stream. The latency table
+// must cover batcher.max_batch_size.
+ServeMetrics simulate_server(const std::vector<Request>& workload,
+                             const LatencyTable& latency,
+                             const ServerConfig& cfg);
+
+// A (strategy x arrival-rate) sweep over one model and server config.
+struct SweepConfig {
+  nn::VitConfig model;
+  core::StrategyConfig strategy_cfg;
+  std::vector<core::Strategy> strategies = {core::Strategy::kTC,
+                                            core::Strategy::kVitBit};
+  std::vector<double> rates_rps = {100, 200, 300, 400, 500};
+  // rate_rps is overridden per sweep point; kind/duration/seed are shared
+  // so both strategies face byte-identical request streams.
+  WorkloadConfig workload;
+  ServerConfig server;
+};
+
+struct SweepPoint {
+  core::Strategy strategy = core::Strategy::kTC;
+  double rate_rps = 0.0;
+  ServeMetrics metrics;
+};
+
+// Phase 1 memoizes the latency tables (one simulation per distinct
+// (strategy, batch-size) pair); phase 2 runs the event loop per
+// (strategy, rate) point. Both phases fan out over `pool` and assemble in
+// index order, so results are bit-identical for every pool size.
+std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
+                                       const arch::OrinSpec& spec,
+                                       const arch::Calibration& calib,
+                                       ThreadPool* pool = nullptr);
+
+// Console rendering: one row per rate, TC and VitBit goodput / p99 / drop
+// columns side by side (column pairs follow cfg.strategies order).
+Table sweep_table(const SweepConfig& cfg,
+                  const std::vector<SweepPoint>& points);
+
+// "100,200,400" -> {100, 200, 400}; every entry must be a positive
+// number (throws CheckError otherwise) — the --rates flag of serve_sim
+// and `vitbit_cli serve`.
+std::vector<double> parse_rate_list(const std::string& spec);
+
+// Schema-versioned run report carrying one ServePointReport per sweep
+// point plus the sweep's full knob set in meta (the baseline gate requires
+// meta to match exactly). host_wall_seconds is left 0 for the caller.
+report::RunReport make_serve_report(const SweepConfig& cfg,
+                                    const std::vector<SweepPoint>& points,
+                                    const std::string& tool, int threads);
+
+}  // namespace vitbit::serve

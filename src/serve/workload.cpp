@@ -1,0 +1,102 @@
+#include "serve/workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vitbit::serve {
+
+namespace {
+
+std::uint64_t to_us(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kUniform:
+      return "uniform";
+    case ArrivalKind::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+ArrivalKind arrival_kind_from_name(const std::string& name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "uniform") return ArrivalKind::kUniform;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  VITBIT_CHECK_MSG(false, "unknown arrival kind: " << name
+                                                   << " (want poisson|uniform|"
+                                                      "bursty)");
+  return ArrivalKind::kPoisson;
+}
+
+std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
+  VITBIT_CHECK_MSG(cfg.rate_rps > 0.0, "workload rate must be > 0");
+  VITBIT_CHECK_MSG(cfg.duration_s > 0.0, "workload duration must be > 0");
+  Rng rng(cfg.seed);
+  std::vector<Request> out;
+  auto emit = [&](double t) {
+    out.push_back({static_cast<std::uint64_t>(out.size()), to_us(t)});
+  };
+
+  switch (cfg.kind) {
+    case ArrivalKind::kPoisson: {
+      double t = rng.exp_double(cfg.rate_rps);
+      while (t < cfg.duration_s) {
+        emit(t);
+        t += rng.exp_double(cfg.rate_rps);
+      }
+      break;
+    }
+    case ArrivalKind::kUniform: {
+      const double mean = 1.0 / cfg.rate_rps;
+      double t = rng.uniform(0.5 * mean, 1.5 * mean);
+      while (t < cfg.duration_s) {
+        emit(t);
+        t += rng.uniform(0.5 * mean, 1.5 * mean);
+      }
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      VITBIT_CHECK_MSG(cfg.burst_on_s > 0.0 && cfg.burst_off_s > 0.0,
+                       "bursty phase means must be > 0");
+      // Scale the on-phase rate so the duty-cycled average is rate_rps.
+      const double on_rate = cfg.rate_rps *
+                             (cfg.burst_on_s + cfg.burst_off_s) /
+                             cfg.burst_on_s;
+      double now = 0.0;
+      bool on = true;
+      double phase_end = rng.exp_double(1.0 / cfg.burst_on_s);
+      while (now < cfg.duration_s) {
+        if (!on) {
+          now = phase_end;
+          on = true;
+          phase_end = now + rng.exp_double(1.0 / cfg.burst_on_s);
+          continue;
+        }
+        const double dt = rng.exp_double(on_rate);
+        // The candidate past the phase boundary is discarded, which is
+        // exact for exponential inter-arrivals (memorylessness).
+        if (now + dt > phase_end) {
+          now = phase_end;
+          on = false;
+          phase_end = now + rng.exp_double(1.0 / cfg.burst_off_s);
+          continue;
+        }
+        now += dt;
+        if (now < cfg.duration_s) emit(now);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vitbit::serve

@@ -1,0 +1,46 @@
+// Reproducible request streams for the serving simulator. A workload is a
+// sorted vector of arrival timestamps in integer virtual microseconds,
+// generated from common/rng.h alone (no <random>), so the same
+// (kind, rate, duration, seed) tuple produces the same bytes on every
+// host and at every --threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vitbit::serve {
+
+// The three arrival processes:
+//   kPoisson  memoryless inter-arrivals at rate_rps (the classic open-loop
+//             serving assumption)
+//   kUniform  jittered-uniform inter-arrivals in [0.5, 1.5) / rate_rps —
+//             same mean rate, bounded burstiness
+//   kBursty   on/off-modulated Poisson: exponential on/off phases with
+//             means burst_on_s / burst_off_s; the on-phase rate is scaled
+//             so the long-run average stays rate_rps
+enum class ArrivalKind { kPoisson, kUniform, kBursty };
+
+const char* arrival_kind_name(ArrivalKind kind);
+// Accepts "poisson" | "uniform" | "bursty"; throws CheckError otherwise.
+ArrivalKind arrival_kind_from_name(const std::string& name);
+
+struct WorkloadConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 200.0;  // long-run mean arrival rate, requests/s
+  double duration_s = 1.0;  // stream length in virtual seconds
+  std::uint64_t seed = 1;
+  // Bursty-process phase means (ignored by the other kinds).
+  double burst_on_s = 0.02;
+  double burst_off_s = 0.08;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_us = 0;
+};
+
+// Arrival times are nondecreasing; ids are sequential from 0.
+std::vector<Request> generate_workload(const WorkloadConfig& cfg);
+
+}  // namespace vitbit::serve

@@ -121,6 +121,35 @@ TEST(Rng, UniformInUnitInterval) {
   }
 }
 
+// Pinned inverse-CDF sequences: exp_double feeds the serving workload
+// generator (serve/workload.h), whose byte-identical streams are part of
+// the determinism contract — any change to the sampler must show up here.
+TEST(Rng, ExpDoublePinnedSequences) {
+  Rng a(123);
+  EXPECT_DOUBLE_EQ(a.exp_double(2.0), 0.10951000251220847);
+  EXPECT_DOUBLE_EQ(a.exp_double(2.0), 1.7462008273785776);
+  EXPECT_DOUBLE_EQ(a.exp_double(2.0), 0.31503015967615655);
+  EXPECT_DOUBLE_EQ(a.exp_double(2.0), 0.067900581912737595);
+  Rng b(2024);
+  EXPECT_DOUBLE_EQ(b.exp_double(2.0), 0.028704869885801284);
+  EXPECT_DOUBLE_EQ(b.exp_double(2.0), 0.76186817592610356);
+  EXPECT_DOUBLE_EQ(b.exp_double(2.0), 0.037391375301269035);
+  EXPECT_DOUBLE_EQ(b.exp_double(2.0), 0.087007597220361541);
+}
+
+TEST(Rng, ExpDoubleMomentsAndPositivity) {
+  Rng rng(5);
+  const double rate = 4.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exp_double(rate);
+    ASSERT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
 TEST(Rng, NormalMoments) {
   Rng rng(11);
   double sum = 0, sq = 0;

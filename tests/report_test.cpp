@@ -155,6 +155,27 @@ RunReport sample_report() {
   g.total.instructions_issued = 3000;
   g.total.ipc = 1.5;
   rep.l2_runs.push_back(std::move(g));
+  ServePointReport sp;
+  sp.strategy = "VitBit";
+  sp.policy = "timeout";
+  sp.arrival = "poisson";
+  sp.rate_rps = 400;
+  sp.offered = 800;
+  sp.completed = 780;
+  sp.dropped = 20;
+  sp.batches = 100;
+  sp.mean_batch_size = 7.8;
+  sp.drop_rate = 0.025;
+  sp.throughput_rps = 390.0;
+  sp.goodput_rps = 380.0;
+  sp.utilization = 0.85;
+  sp.mean_queue_depth = 3.5;
+  sp.max_queue_depth = 12;
+  sp.p50_us = 9000;
+  sp.p90_us = 15000;
+  sp.p95_us = 18000;
+  sp.p99_us = 24000;
+  rep.serve_points.push_back(std::move(sp));
   return rep;
 }
 
@@ -377,6 +398,57 @@ TEST(Baseline, RenderNamesTheOffendingMetric) {
   std::ostringstream all;
   result.render(all, /*violations_only=*/false);
   EXPECT_NE(all.str().find("ok"), std::string::npos);
+}
+
+TEST(RunReport, ServePointsRoundTripAndLookup) {
+  const RunReport rep = sample_report();
+  const RunReport back = run_report_from_json(to_json(rep));
+  EXPECT_EQ(to_json(back), to_json(rep));
+  const auto* p = back.find_serve_point("VitBit.timeout.poisson@400");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->completed, 780u);
+  EXPECT_EQ(p->p99_us, 24000u);
+  EXPECT_EQ(back.find_serve_point("TC.timeout.poisson@400"), nullptr);
+}
+
+TEST(RunReport, DocumentsWithoutServePointsStillLoad) {
+  // Pre-minor-2 documents (the original fig5/fig10 baselines) carry no
+  // serve_points key; the reader must default to an empty section.
+  const Json full = to_json(sample_report());
+  Json j = Json::object();
+  for (const auto& [key, value] : full.items())
+    if (key != "serve_points") j.set(key, value);
+  EXPECT_TRUE(run_report_from_json(j).serve_points.empty());
+}
+
+TEST(Baseline, ServeGoodputDriftTrips) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.serve_points[0].goodput_rps = 380.0 * 1.06;  // 6% > 5%
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.first_violation(),
+            "serve.VitBit.timeout.poisson@400.goodput_rps");
+}
+
+TEST(Baseline, ServeOfferedCountIsExact) {
+  // The offered count is the seeded workload's length — deterministic by
+  // construction, so any drift at all is a violation.
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.serve_points[0].offered += 1;
+  EXPECT_FALSE(check_against_baseline(fresh, base, ToleranceSpec{}).ok());
+}
+
+TEST(Baseline, MissingServePointIsViolation) {
+  const RunReport base = sample_report();
+  RunReport fresh = base;
+  fresh.serve_points.clear();
+  const auto result = check_against_baseline(fresh, base, ToleranceSpec{});
+  EXPECT_FALSE(result.ok());
+  const auto v = result.violations();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].note, "missing from fresh report");
 }
 
 TEST(Baseline, RelativeDeltaGuardsZeroBaseline) {

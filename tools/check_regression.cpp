@@ -1,13 +1,14 @@
 // check_regression — the CI perf gate.
 //
 // Runs the fig5 (end-to-end inference) and fig10 (IPC) pipelines on a
-// reduced-layer ViT-Base, emits schema-versioned run reports, and diffs
-// them against the checked-in baselines. Exit 0 when every metric is
-// within tolerance; exit 1 naming the first offending metric otherwise.
+// reduced-layer ViT-Base plus a reduced serving-simulator rate sweep
+// (serve/server.h), emits schema-versioned run reports, and diffs them
+// against the checked-in baselines. Exit 0 when every metric is within
+// tolerance; exit 1 naming the first offending metric otherwise.
 //
 //   check_regression [--baselines=baselines] [--layers=2]
-//                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--json=PATH]
-//                    [--threads=N]
+//                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--serve-tol=0.05]
+//                    [--json=PATH] [--threads=N]
 //   check_regression --update          regenerate the baseline files
 //
 // --threads=N fans the strategy replays and candidate sweeps over a host
@@ -29,6 +30,7 @@
 #include "nn/vit_model.h"
 #include "report/baseline.h"
 #include "report/run_report.h"
+#include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "trace/gemm_traces.h"
 #include "vitbit/pipeline.h"
@@ -108,6 +110,7 @@ int run(int argc, char** argv) {
   report::ToleranceSpec tol;
   tol.cycles = cli.get_double("cycles-tol", tol.cycles);
   tol.ipc = cli.get_double("ipc-tol", tol.ipc);
+  tol.serve = cli.get_double("serve-tol", tol.serve);
   tol.check_kernels = !cli.get_bool("no-kernels", false);
 
   auto vit_cfg = nn::vit_base();
@@ -134,12 +137,11 @@ int run(int argc, char** argv) {
   report::Json combined = report::Json::object();
   bool all_ok = true;
   std::string offending;
-  for (const auto& fig : figures) {
-    const auto fresh =
-        build_report(fig, log, layers, cfg, spec, calib, pool);
-    const std::string path = dir + "/" + fig.name + ".json";
-    if (!json_out.empty())
-      combined.set(fig.name, report::to_json(fresh));
+  // Shared update-or-check flow for every gated report (figures + serve).
+  const auto gate = [&](const std::string& name,
+                        const report::RunReport& fresh) {
+    const std::string path = dir + "/" + name + ".json";
+    if (!json_out.empty()) combined.set(name, report::to_json(fresh));
     if (update) {
       // Baselines are shared across machines: strip the host-dependent
       // fields so regeneration diffs only when simulated metrics move.
@@ -148,21 +150,47 @@ int run(int argc, char** argv) {
       stable.threads = 0;
       report::save_report_file(path, stable);
       std::cout << "regenerated " << path << "\n";
-      continue;
+      return;
     }
     const auto baseline = report::load_report_file(path);
     const auto result = report::check_against_baseline(fresh, baseline, tol);
-    std::cout << "== " << fig.name << " vs " << path << " ==\n";
+    std::cout << "== " << name << " vs " << path << " ==\n";
     if (result.ok()) {
       std::cout << "all " << result.deltas.size()
                 << " metrics within tolerance (cycles ±" << tol.cycles * 100
-                << "%, IPC ±" << tol.ipc * 100 << "%)\n\n";
+                << "%, IPC ±" << tol.ipc * 100 << "%, serve ±"
+                << tol.serve * 100 << "%)\n\n";
     } else {
       result.render(std::cout, /*violations_only=*/true);
       std::cout << "\n";
       all_ok = false;
       if (offending.empty()) offending = result.first_violation();
     }
+  };
+  for (const auto& fig : figures)
+    gate(fig.name, build_report(fig, log, layers, cfg, spec, calib, pool));
+  // Serving gate: a reduced rate sweep (1-layer model, small batches, one
+  // unsaturated and one saturated rate) so queueing behaviour — goodput,
+  // drops, tails — is regression-gated, not just kernel cycles.
+  {
+    serve::SweepConfig scfg;
+    scfg.model = nn::vit_base();
+    scfg.model.num_layers = 1;
+    scfg.rates_rps = {1000, 8000};
+    scfg.workload.duration_s = 0.25;
+    scfg.workload.seed = 7;
+    scfg.server.batcher.max_batch_size = 4;
+    scfg.server.batcher.queue_capacity = 32;
+    const auto serve_start = std::chrono::steady_clock::now();
+    const auto points = serve::run_rate_sweep(scfg, spec, calib, &pool);
+    auto fresh =
+        serve::make_serve_report(scfg, points, "check_regression",
+                                 pool.size());
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      serve_start)
+            .count();
+    gate("serve_sweep", fresh);
   }
   if (!json_out.empty()) {
     report::save_json_file(json_out, combined);
