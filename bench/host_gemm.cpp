@@ -1,0 +1,137 @@
+// Host GEMM engine bench: times the blocked, panel-packed engine
+// (tensor/gemm_blocked.h) against the reference triple loop on the linear
+// GEMM shapes of a ViT-Base encoder layer, for both the int32 accumulator
+// path and f32. Every row also verifies bit-identity (max|diff| must be 0
+// — the blocked engine is a faster spelling of the same arithmetic, not an
+// approximation).
+//
+//   host_gemm [--shapes=fc1,fc2,...] [--repeats=5] [--seed=42]
+//             [--threads=N] [--csv] [--json=PATH]
+//
+// --json writes a schema-versioned run report (gemm_points section,
+// schema minor 3). GFLOP/s and speedup are machine-dependent; everything
+// else in the report is deterministic for a given seed, at every thread
+// count — which is what lets CI byte-diff stripped reports across
+// --threads values.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "common/cli.h"
+#include "tensor/gemm_blocked.h"
+#include "tensor/gemm_timing.h"
+
+namespace vitbit {
+namespace {
+
+std::vector<GemmShapeSpec> select_shapes(const Cli& cli) {
+  std::vector<GemmShapeSpec> all;
+  for (const auto& [name, s] : bench::vit_gemm_shapes(nn::vit_base()))
+    all.push_back({name, s.m, s.k, s.n});
+  const std::string filter = cli.get("shapes", "");
+  if (filter.empty()) return all;
+  std::vector<GemmShapeSpec> out;
+  for (const auto& s : all)
+    if (("," + filter + ",").find("," + s.name + ",") != std::string::npos)
+      out.push_back(s);
+  VITBIT_CHECK_MSG(!out.empty(),
+                   "--shapes=" << filter << " matched no ViT-Base GEMM");
+  return out;
+}
+
+report::GemmPointReport make_point(const GemmShapeSpec& shape,
+                                   const std::string& dtype, int repeats,
+                                   const GemmMeasurement& m) {
+  report::GemmPointReport p;
+  p.name = shape.name;
+  p.dtype = dtype;
+  p.engine = "blocked";
+  p.m = shape.m;
+  p.k = shape.k;
+  p.n = shape.n;
+  p.repeats = repeats;
+  p.gflops = m.blocked_gflops;
+  p.ref_gflops = m.ref_gflops;
+  p.speedup = m.speedup;
+  p.max_abs_diff = m.max_abs_diff;
+  return p;
+}
+
+int run(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  const Cli cli(argc, argv);
+  auto pool = bench::make_pool(cli);
+  const auto shapes = select_shapes(cli);
+  const int repeats = static_cast<int>(cli.get_int("repeats", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string json = cli.json_path();
+  const bool csv = cli.get_bool("csv", false);
+  if (const auto typos = cli.unused(); !typos.empty()) {
+    std::cerr << "host_gemm: unknown flag --" << typos.front() << "\n";
+    return 2;
+  }
+
+  Table t("host GEMM: blocked " + std::to_string(kGemmMr) + "x" +
+          std::to_string(kGemmNr) + " engine vs reference (best of " +
+          std::to_string(repeats) + ", " + std::to_string(pool.size()) +
+          " thread(s))");
+  t.header({"shape", "dtype", "M", "K", "N", "ref GFLOP/s", "blk GFLOP/s",
+            "speedup", "max|diff|"});
+  std::vector<report::GemmPointReport> points;
+  for (const auto& shape : shapes) {
+    const auto mi = measure_gemm_int(shape, repeats, seed, &pool);
+    const auto mf = measure_gemm_f32(shape, repeats, seed, &pool);
+    for (const auto& [dtype, m] :
+         {std::pair<const char*, const GemmMeasurement&>{"int32", mi},
+          {"f32", mf}}) {
+      t.row()
+          .cell(shape.name)
+          .cell(dtype)
+          .cell(shape.m)
+          .cell(shape.k)
+          .cell(shape.n)
+          .cell(m.ref_gflops, 2)
+          .cell(m.blocked_gflops, 2)
+          .cell(m.speedup, 2)
+          .cell(m.max_abs_diff, 0);
+      points.push_back(make_point(shape, dtype, repeats, m));
+    }
+  }
+  if (csv)
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+
+  // Every row must show max|diff| = 0: the blocked engine's contract is
+  // bit-identity with the reference, not "close enough". Fail the bench
+  // loudly if timing ever races ahead of correctness.
+  for (const auto& p : points)
+    VITBIT_CHECK_MSG(p.max_abs_diff == 0.0,
+                     "blocked engine diverged from reference on "
+                         << p.key() << ": max|diff|=" << p.max_abs_diff);
+
+  if (!json.empty()) {
+    report::RunReport rep;
+    rep.tool = "host_gemm";
+    rep.meta = report::build_metadata();
+    rep.meta["model"] = "vit";
+    rep.meta["seed"] = std::to_string(seed);
+    rep.threads = pool.size();
+    rep.gemm_points = std::move(points);
+    rep.host_wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    report::save_report_file(json, rep);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vitbit
+
+int main(int argc, char** argv) {
+  return vitbit::bench::guarded_main(argc, argv, vitbit::run);
+}

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "nn/vit_model.h"
+#include "tensor/gemm_ref.h"
 #include "vitbit/executors.h"
 #include "vitbit/pipeline.h"
 

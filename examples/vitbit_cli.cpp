@@ -8,7 +8,9 @@
 //   vitbit_cli serve  [--rates=... --policy=timeout] serving rate sweep
 //
 // Every subcommand accepts --threads=N (default: hardware_concurrency,
-// 1 = serial). Simulated results are identical for every N.
+// 1 = serial) and --gemm=ref|blocked to pick the host GEMM engine (same
+// override as the VITBIT_GEMM env var; both engines are bit-identical).
+// Simulated results are identical for every N.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -25,6 +27,7 @@
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "swar/layout.h"
+#include "tensor/gemm_dispatch.h"
 #include "trace/gemm_traces.h"
 #include "vitbit/config_io.h"
 #include "vitbit/pipeline.h"
@@ -269,6 +272,9 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string cmd =
       cli.positional().empty() ? "help" : cli.positional()[0];
+  // CLI override for the host GEMM engine, same spelling as VITBIT_GEMM.
+  if (cli.has("gemm"))
+    set_default_gemm_engine(gemm_engine_from_string(cli.get("gemm", "")));
   ThreadPool pool(cli.threads());
   const int rc = dispatch(cli, cmd, pool);
   if (rc >= 0) {
@@ -296,7 +302,9 @@ int run(int argc, char** argv) {
                "         serving rate sweep: TC vs VitBit goodput and p99\n"
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"
-               "         simulated results are identical for every N)\n";
+               "         simulated results are identical for every N)\n"
+               "         --gemm=ref|blocked  host GEMM engine (default:\n"
+               "         blocked; same as VITBIT_GEMM; bit-identical)\n";
   return cmd == "help" ? 0 : 1;
 }
 

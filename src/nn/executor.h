@@ -5,7 +5,7 @@
 
 #include <functional>
 
-#include "tensor/gemm_ref.h"
+#include "tensor/gemm_dispatch.h"
 #include "tensor/matrix.h"
 
 namespace vitbit::nn {
@@ -13,10 +13,12 @@ namespace vitbit::nn {
 // C (MxN int32 accumulators) = A (MxK activations) * B (KxN weights).
 using GemmFn = std::function<MatrixI32(const MatrixI32&, const MatrixI32&)>;
 
+// Plain integer MACs through the engine dispatcher: the blocked host
+// engine by default, the gemm_ref_int triple loop under VITBIT_GEMM=ref.
+// Both produce bit-identical accumulators, so this stays the semantic
+// baseline the strategy executors are tested against.
 inline GemmFn reference_gemm() {
-  return [](const MatrixI32& a, const MatrixI32& b) {
-    return gemm_ref_int(a, b);
-  };
+  return [](const MatrixI32& a, const MatrixI32& b) { return gemm_int(a, b); };
 }
 
 }  // namespace vitbit::nn

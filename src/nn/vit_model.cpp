@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/int_math.h"
+#include "tensor/gemm_dispatch.h"
 #include "quant/ilayernorm.h"
 #include "quant/shift_gelu.h"
 #include "quant/shiftmax.h"
@@ -68,7 +69,7 @@ MatrixF32 VitModel::forward_f32(const MatrixF32& patches) const {
   const double act_s = std::ldexp(1.0, -act_frac_bits);
 
   auto linear_f32 = [&](const MatrixF32& x, const QuantLinear& l) {
-    MatrixF32 y = gemm_ref_f32(x, l.weight_f32());
+    MatrixF32 y = gemm_f32(x, l.weight_f32());
     const auto b = l.bias_f32(act_frac_bits);
     for (int r = 0; r < y.rows(); ++r)
       for (int c = 0; c < y.cols(); ++c)
@@ -102,10 +103,10 @@ MatrixF32 VitModel::forward_f32(const MatrixF32& patches) const {
           k.at(r, c) = qkv.at(r, 1 * cfg.hidden_dim + h * hd + c);
           v.at(r, c) = qkv.at(r, 2 * cfg.hidden_dim + h * hd + c);
         }
-      MatrixF32 scores = gemm_ref_f32(q, transpose(k));
+      MatrixF32 scores = gemm_f32(q, transpose(k));
       for (auto& s : scores.flat()) s = static_cast<float>(s * inv_sqrt_d);
       const MatrixF32 probs = quant::softmax_ref(scores);
-      const MatrixF32 ctx = gemm_ref_f32(probs, v);
+      const MatrixF32 ctx = gemm_f32(probs, v);
       for (int r = 0; r < cfg.seq_len(); ++r)
         for (int c = 0; c < hd; ++c) context.at(r, c + h * hd) = ctx.at(r, c);
     }

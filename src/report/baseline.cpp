@@ -122,6 +122,35 @@ void compare_serve_point(std::vector<MetricDelta>& out,
                  static_cast<double>(fresh.p99_us), tol.serve);
 }
 
+void compare_gemm_point(std::vector<MetricDelta>& out,
+                        const GemmPointReport& base,
+                        const GemmPointReport& fresh) {
+  const std::string p = "gemm." + base.key() + ".";
+  // Shape identity and repeat count are exact: a baseline silently
+  // measuring a different problem would make the gate meaningless.
+  compare_metric(out, p + "m", base.m, fresh.m, 0.0);
+  compare_metric(out, p + "k", base.k, fresh.k, 0.0);
+  compare_metric(out, p + "n", base.n, fresh.n, 0.0);
+  compare_metric(out, p + "repeats", base.repeats, fresh.repeats, 0.0);
+  // Bit-identity contract: the blocked engine must match the reference
+  // exactly, on every machine, at every thread count. No tolerance.
+  compare_metric(out, p + "max_abs_diff", base.max_abs_diff,
+                 fresh.max_abs_diff, 0.0);
+  // The measured gflops are machine-dependent and zeroed in baselines, so
+  // they are never diffed; instead the gate is one-sided — the fresh
+  // speedup must clear the floor recorded at --update time.
+  if (base.min_speedup > 0.0) {
+    MetricDelta d;
+    d.metric = p + "speedup";
+    d.baseline = base.min_speedup;
+    d.fresh = fresh.speedup;
+    d.tolerance = 0.0;
+    d.violated = fresh.speedup < base.min_speedup;
+    d.note = d.violated ? "below min_speedup floor" : "one-sided floor";
+    out.push_back(std::move(d));
+  }
+}
+
 }  // namespace
 
 double relative_delta(double baseline, double fresh) {
@@ -230,6 +259,19 @@ BaselineCheckResult check_against_baseline(const RunReport& fresh,
   for (const auto& p : fresh.serve_points)
     if (baseline.find_serve_point(p.key()) == nullptr)
       add_new(out, "serve." + p.key() + ".goodput_rps",
+              tol.allow_new_metrics);
+
+  for (const auto& base : baseline.gemm_points) {
+    const GemmPointReport* f = fresh.find_gemm_point(base.key());
+    if (f == nullptr) {
+      add_missing(out, "gemm." + base.key() + ".max_abs_diff");
+      continue;
+    }
+    compare_gemm_point(out, base, *f);
+  }
+  for (const auto& p : fresh.gemm_points)
+    if (baseline.find_gemm_point(p.key()) == nullptr)
+      add_new(out, "gemm." + p.key() + ".max_abs_diff",
               tol.allow_new_metrics);
 
   return result;

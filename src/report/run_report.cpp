@@ -64,6 +64,15 @@ const ServePointReport* RunReport::find_serve_point(
   return nullptr;
 }
 
+std::string GemmPointReport::key() const { return name + "." + dtype; }
+
+const GemmPointReport* RunReport::find_gemm_point(
+    const std::string& key) const {
+  for (const auto& p : gemm_points)
+    if (p.key() == key) return &p;
+  return nullptr;
+}
+
 SmStatsReport make_sm_stats_report(const sim::SmStats& sm) {
   SmStatsReport r;
   r.cycles = sm.cycles;
@@ -206,6 +215,23 @@ Json to_json(const ServePointReport& r) {
   return j;
 }
 
+Json to_json(const GemmPointReport& r) {
+  Json j = Json::object();
+  j.set("name", Json(r.name));
+  j.set("dtype", Json(r.dtype));
+  j.set("engine", Json(r.engine));
+  j.set("m", Json(static_cast<std::int64_t>(r.m)));
+  j.set("k", Json(static_cast<std::int64_t>(r.k)));
+  j.set("n", Json(static_cast<std::int64_t>(r.n)));
+  j.set("repeats", Json(static_cast<std::int64_t>(r.repeats)));
+  j.set("gflops", Json(r.gflops));
+  j.set("ref_gflops", Json(r.ref_gflops));
+  j.set("speedup", Json(r.speedup));
+  j.set("max_abs_diff", Json(r.max_abs_diff));
+  j.set("min_speedup", Json(r.min_speedup));
+  return j;
+}
+
 Json to_json(const RunReport& r) {
   Json j = Json::object();
   j.set("schema_version", Json(static_cast<std::int64_t>(r.schema_version)));
@@ -226,6 +252,9 @@ Json to_json(const RunReport& r) {
   Json serve = Json::array();
   for (const auto& p : r.serve_points) serve.push_back(to_json(p));
   j.set("serve_points", std::move(serve));
+  Json gemm = Json::array();
+  for (const auto& p : r.gemm_points) gemm.push_back(to_json(p));
+  j.set("gemm_points", std::move(gemm));
   return j;
 }
 
@@ -297,6 +326,23 @@ ServePointReport serve_point_from_json(const Json& j) {
   return r;
 }
 
+GemmPointReport gemm_point_from_json(const Json& j) {
+  GemmPointReport r;
+  r.name = j.string_at("name");
+  r.dtype = j.string_at("dtype");
+  r.engine = j.string_at("engine");
+  r.m = static_cast<int>(j.int_at("m"));
+  r.k = static_cast<int>(j.int_at("k"));
+  r.n = static_cast<int>(j.int_at("n"));
+  r.repeats = static_cast<int>(j.int_at("repeats"));
+  r.gflops = j.double_at("gflops");
+  r.ref_gflops = j.double_at("ref_gflops");
+  r.speedup = j.double_at("speedup");
+  r.max_abs_diff = j.double_at("max_abs_diff");
+  r.min_speedup = j.double_at("min_speedup");
+  return r;
+}
+
 L2Report l2_from_json(const Json& j) {
   L2Report r;
   r.name = j.string_at("name");
@@ -338,6 +384,10 @@ RunReport run_report_from_json(const Json& j) {
   if (const Json* serve = j.find("serve_points"); serve != nullptr)
     for (std::size_t i = 0; i < serve->size(); ++i)
       r.serve_points.push_back(serve_point_from_json((*serve)[i]));
+  // Minor-3 addition: absent in older documents.
+  if (const Json* gemm = j.find("gemm_points"); gemm != nullptr)
+    for (std::size_t i = 0; i < gemm->size(); ++i)
+      r.gemm_points.push_back(gemm_point_from_json((*gemm)[i]));
   return r;
 }
 

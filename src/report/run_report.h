@@ -30,7 +30,8 @@ inline constexpr int kSchemaVersion = 1;
 // (which all carry neutral defaults), so old baselines keep loading.
 //   minor 1: host_wall_seconds + threads (host-side perf trajectory).
 //   minor 2: serve_points (serving-simulator rate sweeps, src/serve).
-inline constexpr int kSchemaMinorVersion = 2;
+//   minor 3: gemm_points (host GEMM engine sweep, tensor/gemm_blocked.h).
+inline constexpr int kSchemaMinorVersion = 3;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -109,6 +110,30 @@ struct ServePointReport {
   std::string key() const;
 };
 
+// One (shape, dtype) point of a host-GEMM engine sweep (bench/host_gemm,
+// tensor/gemm_timing.h): the blocked engine timed against the reference
+// triple loop. gflops/ref_gflops/speedup are machine-dependent and are
+// zeroed in checked-in baselines; the gate instead enforces max_abs_diff
+// == 0 (bit-identity) and fresh speedup >= the baseline's min_speedup
+// floor. Identified for baseline matching by (name, dtype) — see key().
+struct GemmPointReport {
+  std::string name;    // workload label, e.g. "layer0.attn.qkv"
+  std::string dtype;   // "int32" | "f32"
+  std::string engine;  // engine measured against the reference: "blocked"
+  int m = 0;
+  int k = 0;
+  int n = 0;
+  int repeats = 0;
+  double gflops = 0.0;      // best-of-repeats, measured engine
+  double ref_gflops = 0.0;  // best-of-repeats, reference engine
+  double speedup = 0.0;     // gflops / ref_gflops
+  double max_abs_diff = 0.0;  // vs reference output; 0 == bit-identical
+  double min_speedup = 0.0;   // gate floor recorded at --update time
+
+  // Stable identity within a report, e.g. "layer0.attn.qkv.int32".
+  std::string key() const;
+};
+
 struct RunReport {
   int schema_version = kSchemaVersion;
   int schema_minor_version = kSchemaMinorVersion;
@@ -128,11 +153,16 @@ struct RunReport {
   // Serving-simulator sweep points (schema minor 2; empty for reports
   // that ran no serving simulation, and for pre-bump documents).
   std::vector<ServePointReport> serve_points;
+  // Host-GEMM engine sweep points (schema minor 3; empty for reports that
+  // ran no host-GEMM measurement, and for pre-bump documents).
+  std::vector<GemmPointReport> gemm_points;
 
   // nullptr when the report has no entry for `strategy`.
   const StrategyReport* find_strategy(const std::string& strategy) const;
   // nullptr when the report has no serve point with this key().
   const ServePointReport* find_serve_point(const std::string& key) const;
+  // nullptr when the report has no gemm point with this key().
+  const GemmPointReport* find_gemm_point(const std::string& key) const;
 };
 
 // ---- Builders from live simulator results ----
@@ -153,6 +183,7 @@ Json to_json(const KernelReport& r);
 Json to_json(const StrategyReport& r);
 Json to_json(const L2Report& r);
 Json to_json(const ServePointReport& r);
+Json to_json(const GemmPointReport& r);
 Json to_json(const RunReport& r);
 
 // Throw CheckError on schema-version or shape mismatch.

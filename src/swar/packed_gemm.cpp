@@ -1,6 +1,9 @@
 #include "swar/packed_gemm.h"
 
 #include <array>
+#include <vector>
+
+#include "tensor/gemm_dispatch.h"
 
 namespace vitbit::swar {
 
@@ -97,37 +100,73 @@ MatrixI32 gemm_packed(const MatrixI32& a, const PackedMatrix& b,
   std::array<std::int64_t, kMaxLanes> shadow{};  // exact physical sums
   std::array<std::int64_t, kMaxLanes> totals{};  // per-lane logical totals
 
+  const bool validate = options.validate_bounds ||
+                        options.tile.mode == TileMode::kFixedPeriod;
+  // Blocked-engine fast path (tensor/gemm_dispatch.h): hoist the scalar
+  // encoding out of the packed-column loop — each a(m,k) is encoded once
+  // per row instead of once per packed column — and derive per-tile scalar
+  // sums from a prefix array. The wrapping 32-bit MAC stream is unchanged
+  // (uint32 arithmetic is associative), so results are bit-identical;
+  // VITBIT_GEMM=ref keeps the original per-element encoding for A/B runs.
+  const bool hoist_encodings =
+      default_gemm_engine() == GemmEngine::kBlocked && b.packed_cols() > 0;
+  std::vector<std::uint32_t> enc_row;
+  std::vector<std::int64_t> scalar_prefix;
+  if (hoist_encodings) {
+    enc_row.resize(static_cast<std::size_t>(k_dim));
+    scalar_prefix.resize(static_cast<std::size_t>(k_dim) + 1, 0);
+  }
+
   for (int m = 0; m < m_dim; ++m) {
     const auto bounds = tile_boundaries(a.row(m), l, options.tile);
     tile_len_sum += mean_tile_length(bounds);
     ++tile_rows;
+    if (hoist_encodings) {
+      for (int k = 0; k < k_dim; ++k) {
+        const std::int32_t raw_a = a.at(m, k);
+        enc_row[static_cast<std::size_t>(k)] = encode_scalar(raw_a, l);
+        scalar_prefix[static_cast<std::size_t>(k) + 1] =
+            scalar_prefix[static_cast<std::size_t>(k)] + raw_a;
+      }
+    }
     for (int pc = 0; pc < b.packed_cols(); ++pc) {
       totals.fill(0);
       int k0 = 0;
-      const bool validate = options.validate_bounds ||
-                            options.tile.mode == TileMode::kFixedPeriod;
       for (const int k1 : bounds) {
         std::uint32_t acc = 0;
-        shadow.fill(0);
         bool violated = false;
         std::int64_t scalar_sum = 0;  // sum of raw scalars over the tile
-        for (int k = k0; k < k1; ++k) {
-          const std::int32_t raw_a = a.at(m, k);
-          acc += encode_scalar(raw_a, l) * b.word(k, pc);  // the packed IMAD
-          scalar_sum += raw_a;
-          if (!validate) continue;
-          // Exact shadow of each lane's physical sum, for violation checks.
-          const std::int64_t enc_a =
-              l.mode == LaneMode::kOffset ? raw_a + za : raw_a;
-          for (int lane = 0; lane < lanes; ++lane) {
-            const bool top = lane == lanes - 1;
-            const std::int32_t v = b.value(k, pc, lane);
-            const std::int64_t enc_b =
-                (l.mode == LaneMode::kTopSigned && top) ? v : v + z;
-            shadow[static_cast<std::size_t>(lane)] += enc_a * enc_b;
-            if (shadow[static_cast<std::size_t>(lane)] < caps.lo[lane] ||
-                shadow[static_cast<std::size_t>(lane)] > caps.hi[lane])
-              violated = true;
+        if (hoist_encodings && !validate) {
+          // The packed-lane inner product as one tight dot over the
+          // pre-encoded row — the hot loop of every packed GEMM.
+          for (int k = k0; k < k1; ++k)
+            acc += enc_row[static_cast<std::size_t>(k)] * b.word(k, pc);
+          scalar_sum = scalar_prefix[static_cast<std::size_t>(k1)] -
+                       scalar_prefix[static_cast<std::size_t>(k0)];
+        } else {
+          shadow.fill(0);
+          for (int k = k0; k < k1; ++k) {
+            const std::int32_t raw_a = a.at(m, k);
+            const std::uint32_t enc =
+                hoist_encodings ? enc_row[static_cast<std::size_t>(k)]
+                                : encode_scalar(raw_a, l);
+            acc += enc * b.word(k, pc);  // the packed IMAD
+            scalar_sum += raw_a;
+            if (!validate) continue;
+            // Exact shadow of each lane's physical sum, for violation
+            // checks.
+            const std::int64_t enc_a =
+                l.mode == LaneMode::kOffset ? raw_a + za : raw_a;
+            for (int lane = 0; lane < lanes; ++lane) {
+              const bool top = lane == lanes - 1;
+              const std::int32_t v = b.value(k, pc, lane);
+              const std::int64_t enc_b =
+                  (l.mode == LaneMode::kTopSigned && top) ? v : v + z;
+              shadow[static_cast<std::size_t>(lane)] += enc_a * enc_b;
+              if (shadow[static_cast<std::size_t>(lane)] < caps.lo[lane] ||
+                  shadow[static_cast<std::size_t>(lane)] > caps.hi[lane])
+                violated = true;
+            }
           }
         }
         const std::int64_t t_len = k1 - k0;
@@ -178,7 +217,6 @@ MatrixI32 gemm_packed(const MatrixI32& a, const PackedMatrix& b,
   local.mean_tile_length =
       tile_rows > 0 ? tile_len_sum / static_cast<double>(tile_rows) : 0.0;
   if (stats) *stats = local;
-  (void)k_dim;
   return c;
 }
 

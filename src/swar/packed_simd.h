@@ -33,7 +33,7 @@ std::uint32_t swar_shift_right(std::uint32_t a, int s,
 // Per-lane AND with an s-bit low mask (lane-local masking).
 std::uint32_t swar_mask_low(std::uint32_t a, int s, const LaneLayout& layout);
 
-// Per-lane max with an unsigned per-lane constant broadcast (used for the
+// Per-lane min with an unsigned per-lane constant broadcast (used for the
 // clamp step of requantization on unsigned lanes).
 std::uint32_t swar_min_const(std::uint32_t a, std::uint32_t c,
                              const LaneLayout& layout);

@@ -1,0 +1,56 @@
+#include "tensor/gemm_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "tensor/gemm_blocked.h"
+#include "tensor/gemm_ref.h"
+
+namespace vitbit {
+
+namespace {
+
+GemmEngine engine_from_env() {
+  const char* env = std::getenv("VITBIT_GEMM");
+  if (env == nullptr || *env == '\0') return GemmEngine::kBlocked;
+  return gemm_engine_from_string(env);
+}
+
+std::atomic<GemmEngine>& engine_slot() {
+  static std::atomic<GemmEngine> engine{engine_from_env()};
+  return engine;
+}
+
+}  // namespace
+
+const char* gemm_engine_name(GemmEngine engine) {
+  return engine == GemmEngine::kRef ? "ref" : "blocked";
+}
+
+GemmEngine gemm_engine_from_string(const std::string& name) {
+  if (name == "ref") return GemmEngine::kRef;
+  if (name == "blocked") return GemmEngine::kBlocked;
+  VITBIT_CHECK_MSG(false, "unknown GEMM engine '" << name
+                                                  << "' (want ref|blocked)");
+  return GemmEngine::kBlocked;
+}
+
+GemmEngine default_gemm_engine() {
+  return engine_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_gemm_engine(GemmEngine engine) {
+  engine_slot().store(engine, std::memory_order_relaxed);
+}
+
+MatrixI32 gemm_int(const MatrixI32& a, const MatrixI32& b, ThreadPool* pool) {
+  if (default_gemm_engine() == GemmEngine::kRef) return gemm_ref_int(a, b);
+  return gemm_blocked_int(a, b, pool);
+}
+
+MatrixF32 gemm_f32(const MatrixF32& a, const MatrixF32& b, ThreadPool* pool) {
+  if (default_gemm_engine() == GemmEngine::kRef) return gemm_ref_f32(a, b);
+  return gemm_blocked_f32(a, b, pool);
+}
+
+}  // namespace vitbit

@@ -1,0 +1,44 @@
+// Engine dispatch for host matrix products.
+//
+// Every functional matrix product in the library routes through gemm_int /
+// gemm_f32, which select between the reference triple loops (gemm_ref.h,
+// the oracle) and the blocked panel-packed engine (gemm_blocked.h, the
+// default). The two produce bit-identical results; the switch exists for
+// A/B timing and for bisecting, not for accuracy trade-offs.
+//
+// Selection, in precedence order:
+//   1. set_default_gemm_engine() — the --gemm=ref|blocked CLI override.
+//   2. The VITBIT_GEMM environment variable ("ref" or "blocked"), read
+//      once on first use; any other value throws CheckError (fail loud,
+//      like a mistyped flag).
+//   3. Default: blocked.
+#pragma once
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "tensor/matrix.h"
+
+namespace vitbit {
+
+enum class GemmEngine { kRef, kBlocked };
+
+const char* gemm_engine_name(GemmEngine engine);
+// "ref" or "blocked"; anything else throws CheckError.
+GemmEngine gemm_engine_from_string(const std::string& name);
+
+// The process-wide engine used by gemm_int / gemm_f32.
+GemmEngine default_gemm_engine();
+void set_default_gemm_engine(GemmEngine engine);
+
+// C (MxN, int32) = A (MxK) * B (KxN) under the default engine. `pool`
+// parallelizes the blocked engine over disjoint row panels (byte-identical
+// output at any thread count); the reference engine is always serial.
+MatrixI32 gemm_int(const MatrixI32& a, const MatrixI32& b,
+                   ThreadPool* pool = nullptr);
+
+// C (MxN, float) = A (MxK) * B (KxN), double accumulation, same contract.
+MatrixF32 gemm_f32(const MatrixF32& a, const MatrixF32& b,
+                   ThreadPool* pool = nullptr);
+
+}  // namespace vitbit

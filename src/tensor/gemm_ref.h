@@ -3,7 +3,9 @@
 // or within float tolerance (fp paths).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 
 #include "tensor/matrix.h"
 
@@ -12,12 +14,33 @@ namespace vitbit {
 // C (MxN, int32) = A (MxK, int8-like stored in any int type) * B (KxN).
 // Accumulates in int64 internally and checks the result fits int32, so the
 // reference itself can never silently wrap.
+//
+// int64 headroom contract: only the *final* per-element accumulator is
+// range-checked against int32; intermediate partial sums may exceed int32
+// freely, but the caller must guarantee K * max|A| * max|B| <= INT64_MAX
+// or the int64 accumulator itself wraps undetected. Quantized-inference
+// operands (<= 16-bit values, K <= ~10^5) have ~5 orders of magnitude of
+// slack. Debug builds verify the bound; release builds trust it (the scan
+// would double the memory traffic of small GEMMs).
 template <typename TA, typename TB>
 MatrixI32 gemm_ref_int(const Matrix<TA>& a, const Matrix<TB>& b) {
   VITBIT_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: A is "
                                              << a.rows() << "x" << a.cols()
                                              << ", B is " << b.rows() << "x"
                                              << b.cols());
+#ifndef NDEBUG
+  std::int64_t max_a = 0, max_b = 0;
+  for (const auto v : a.flat())
+    max_a = std::max<std::int64_t>(max_a, std::abs(std::int64_t{v}));
+  for (const auto v : b.flat())
+    max_b = std::max<std::int64_t>(max_b, std::abs(std::int64_t{v}));
+  VITBIT_CHECK_MSG(
+      max_a == 0 || max_b == 0 ||
+          std::int64_t{a.cols()} <= INT64_MAX / max_a / max_b,
+      "int64 accumulator headroom exceeded: K=" << a.cols() << " max|A|="
+                                                << max_a << " max|B|="
+                                                << max_b);
+#endif
   MatrixI32 c(a.rows(), b.cols());
   for (int m = 0; m < a.rows(); ++m) {
     for (int n = 0; n < b.cols(); ++n) {

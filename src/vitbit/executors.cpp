@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "tensor/gemm_ref.h"
+#include "tensor/gemm_dispatch.h"
 #include "vitbit/fused_gemm.h"
 #include "vitbit/preprocess.h"
 
@@ -13,10 +13,9 @@ namespace vitbit::core {
 namespace {
 
 // FC: float GEMM over runtime-converted operands; exact under the 2^24
-// bound (see fused_gemm.h).
+// bound (see fused_gemm.h), so the dispatched engine's double accumulation
+// produces the same integers the FFMA chain would.
 MatrixI32 fc_gemm(const MatrixI32& a, const MatrixI32& b) {
-  const auto af = convert<float>(a);
-  const auto bf = convert<float>(b);
   double max_a = 0, max_b = 0;
   for (const auto v : a.flat())
     max_a = std::max(max_a, std::abs(static_cast<double>(v)));
@@ -24,14 +23,10 @@ MatrixI32 fc_gemm(const MatrixI32& a, const MatrixI32& b) {
     max_b = std::max(max_b, std::abs(static_cast<double>(v)));
   VITBIT_CHECK_MSG(max_a * max_b * a.cols() < 16777216.0,
                    "FC path would exceed exact fp32 integer range");
-  MatrixI32 c(a.rows(), b.cols());
-  for (int r = 0; r < a.rows(); ++r)
-    for (int col = 0; col < b.cols(); ++col) {
-      float acc = 0.0f;
-      for (int k = 0; k < a.cols(); ++k)
-        acc = std::fmaf(af.at(r, k), bf.at(k, col), acc);
-      c.at(r, col) = static_cast<std::int32_t>(std::llround(acc));
-    }
+  const MatrixF32 cf = gemm_f32(convert<float>(a), convert<float>(b));
+  MatrixI32 c(cf.rows(), cf.cols());
+  for (std::size_t i = 0; i < cf.size(); ++i)
+    c.flat()[i] = static_cast<std::int32_t>(std::llround(cf.flat()[i]));
   return c;
 }
 
@@ -74,7 +69,7 @@ nn::GemmFn make_gemm_executor(Strategy strategy, const ExecutorConfig& cfg) {
       // Plain integer MACs (tensor-core IMMA and CUDA-core IMAD compute the
       // same zero-masked integer arithmetic).
       return [](const MatrixI32& a, const MatrixI32& b) {
-        return gemm_ref_int(a, b);
+        return gemm_int(a, b);
       };
     case Strategy::kFC:
       return fc_gemm;

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "tensor/gemm_ref.h"
+#include "tensor/gemm_dispatch.h"
 
 namespace vitbit::core {
 
@@ -42,13 +42,14 @@ MatrixI32 vitbit_gemm(const PreprocessedWeights& weights,
     VITBIT_CHECK_MSG(max_a * max_b * k < 16777216.0,
                      "FP slice would exceed exact fp32 integer range: K="
                          << k << " max|a|=" << max_a << " max|b|=" << max_b);
-    // fp32 accumulation, mirroring FFMA order.
+    // Dispatched float GEMM; exact under the bound just checked, so it
+    // yields the same integers the FFMA accumulation chain would.
+    const MatrixF32 c2 =
+        gemm_f32(convert<float>(weights.a2), convert<float>(input.b2));
     for (int r = 0; r < m; ++r) {
       for (int col = 0; col < n2; ++col) {
-        float acc = 0.0f;
-        for (int kk = 0; kk < k; ++kk)
-          acc = std::fmaf(weights.a2.at(r, kk), input.b2.at(kk, col), acc);
-        const auto v = static_cast<std::int64_t>(std::llround(acc));
+        const auto v =
+            static_cast<std::int64_t>(std::llround(c2.at(r, col)));
         VITBIT_CHECK(v >= INT32_MIN && v <= INT32_MAX);
         c.at(r, n1 + col) = static_cast<std::int32_t>(v);
         local.fp_macs += k;
@@ -58,7 +59,7 @@ MatrixI32 vitbit_gemm(const PreprocessedWeights& weights,
 
   // Tensor-core slice: zero-masked integer MMA (TC_GEMM(A1, B3)).
   if (n3 > 0) {
-    const MatrixI32 c3 = gemm_ref_int(a1, input.b3);
+    const MatrixI32 c3 = gemm_int(a1, input.b3);
     for (int r = 0; r < m; ++r)
       for (int col = 0; col < n3; ++col) c.at(r, n1 + n2 + col) = c3.at(r, col);
     local.tensor_macs = static_cast<std::int64_t>(m) * k * n3;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "nn/vit_model.h"
 #include "quant/fixed_point.h"
+#include "tensor/gemm_ref.h"
 #include "swar/packed_gemm.h"
 
 namespace vitbit::nn {

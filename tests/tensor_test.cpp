@@ -139,5 +139,54 @@ TEST(GemmRef, MaxAbsDiff) {
   EXPECT_EQ(max_abs_diff(a, b), 8);
 }
 
+TEST(GemmRef, MaxAbsDiffEmptyMatrices) {
+  // 0xN and Mx0 comparisons have no elements: the diff over an empty set
+  // is 0, not a crash and not a sentinel.
+  MatrixI32 a(0, 4), b(0, 4);
+  EXPECT_EQ(max_abs_diff(a, b), 0);
+  MatrixI32 c(3, 0), d(3, 0);
+  EXPECT_EQ(max_abs_diff(c, d), 0);
+  MatrixF32 e(0, 0), f(0, 0);
+  EXPECT_EQ(max_abs_diff(e, f), 0.0);
+}
+
+TEST(GemmRef, MaxAbsDiffIdenticalAndSingleElement) {
+  MatrixI32 a(2, 3, 41);
+  EXPECT_EQ(max_abs_diff(a, a), 0);
+  MatrixI32 s(1, 1, -9), t(1, 1, 2);
+  EXPECT_EQ(max_abs_diff(s, t), 11);
+  MatrixF32 x(1, 1, 1.5f), y(1, 1, -0.25f);
+  EXPECT_EQ(max_abs_diff(x, y), 1.75);
+}
+
+TEST(GemmRef, MaxAbsDiffShapeMismatchThrows) {
+  MatrixI32 a(2, 3), b(3, 2);
+  EXPECT_THROW(max_abs_diff(a, b), CheckError);
+}
+
+TEST(GemmRef, AccumulatorAtInt32MaxIsExact) {
+  // Regression for the int64-headroom contract: a dot product landing
+  // exactly on INT32_MAX must pass the final range check unclipped.
+  MatrixI32 a(1, 1, 1), b(1, 1, INT32_MAX);
+  const auto c = gemm_ref_int(a, b);
+  EXPECT_EQ(c.at(0, 0), INT32_MAX);
+}
+
+TEST(GemmRef, IntermediateBeyondInt32IsFine) {
+  // Partial sums may exceed int32 as long as the final value fits: the
+  // accumulator is int64 and only the result is range-checked.
+  MatrixI32 a(1, 3), b(3, 1, 1);
+  a.at(0, 0) = INT32_MAX;
+  a.at(0, 1) = INT32_MAX;
+  a.at(0, 2) = -INT32_MAX;  // prefix peaks near 2^32, final is INT32_MAX
+  const auto c = gemm_ref_int(a, b);
+  EXPECT_EQ(c.at(0, 0), INT32_MAX);
+}
+
+TEST(GemmRef, FinalValueBeyondInt32Throws) {
+  MatrixI32 a(1, 2, INT32_MAX), b(2, 1, 1);  // sum = 2^32 - 2
+  EXPECT_THROW(gemm_ref_int(a, b), CheckError);
+}
+
 }  // namespace
 }  // namespace vitbit

@@ -8,8 +8,15 @@
 //
 //   check_regression [--baselines=baselines] [--layers=2]
 //                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--serve-tol=0.05]
-//                    [--json=PATH] [--threads=N]
+//                    [--gemm-speedup-floor=1.5] [--json=PATH] [--threads=N]
 //   check_regression --update          regenerate the baseline files
+//
+// Besides the simulated figures, the gate measures the blocked host GEMM
+// engine (tensor/gemm_blocked.h) against the reference triple loop on one
+// ViT-Base linear shape: bit-identity is enforced exactly, and the
+// measured speedup must clear the floor recorded in the baseline at
+// --update time (--gemm-speedup-floor; raw GFLOP/s are machine-dependent
+// and never diffed).
 //
 // --threads=N fans the strategy replays and candidate sweeps over a host
 // thread pool (default: hardware_concurrency; 1 restores the serial
@@ -32,6 +39,7 @@
 #include "report/run_report.h"
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
+#include "tensor/gemm_timing.h"
 #include "trace/gemm_traces.h"
 #include "vitbit/pipeline.h"
 
@@ -112,6 +120,10 @@ int run(int argc, char** argv) {
   tol.ipc = cli.get_double("ipc-tol", tol.ipc);
   tol.serve = cli.get_double("serve-tol", tol.serve);
   tol.check_kernels = !cli.get_bool("no-kernels", false);
+  // Floor recorded into the host_gemm baseline at --update time; during a
+  // check run the committed baseline's floor is what gates. 3.0 leaves a
+  // 2x margin under the ~6-11x measured on the gated fc1 shape.
+  const double gemm_floor = cli.get_double("gemm-speedup-floor", 3.0);
 
   auto vit_cfg = nn::vit_base();
   vit_cfg.num_layers = layers;
@@ -145,9 +157,16 @@ int run(int argc, char** argv) {
     if (update) {
       // Baselines are shared across machines: strip the host-dependent
       // fields so regeneration diffs only when simulated metrics move.
+      // For GEMM points that means the measured GFLOP/s and speedup; the
+      // min_speedup floor and the bit-identity max_abs_diff stay.
       auto stable = fresh;
       stable.host_wall_seconds = 0.0;
       stable.threads = 0;
+      for (auto& g : stable.gemm_points) {
+        g.gflops = 0.0;
+        g.ref_gflops = 0.0;
+        g.speedup = 0.0;
+      }
       report::save_report_file(path, stable);
       std::cout << "regenerated " << path << "\n";
       return;
@@ -191,6 +210,44 @@ int run(int argc, char** argv) {
                                       serve_start)
             .count();
     gate("serve_sweep", fresh);
+  }
+  // Host-GEMM gate: the compute-heavy ViT-Base linear shape (fc1,
+  // 197x768x3072), int32 and f32 paths. Bit-identity (max_abs_diff == 0)
+  // is exact; the speedup floor guards the blocked engine's reason to
+  // exist without gating machine-dependent absolute GFLOP/s.
+  {
+    const GemmShapeSpec shape{"layer0.fc1", 197, 768, 3072};
+    const int repeats = 2;
+    const auto gemm_start = std::chrono::steady_clock::now();
+    report::RunReport fresh;
+    fresh.tool = "check_regression";
+    fresh.meta = report::build_metadata();
+    fresh.meta["figure"] = "host_gemm";
+    for (const auto& [dtype, m] :
+         {std::pair<const char*, GemmMeasurement>{
+              "int32", measure_gemm_int(shape, repeats, 42, &pool)},
+          {"f32", measure_gemm_f32(shape, repeats, 42, &pool)}}) {
+      report::GemmPointReport p;
+      p.name = shape.name;
+      p.dtype = dtype;
+      p.engine = "blocked";
+      p.m = shape.m;
+      p.k = shape.k;
+      p.n = shape.n;
+      p.repeats = repeats;
+      p.gflops = m.blocked_gflops;
+      p.ref_gflops = m.ref_gflops;
+      p.speedup = m.speedup;
+      p.max_abs_diff = m.max_abs_diff;
+      p.min_speedup = gemm_floor;
+      fresh.gemm_points.push_back(std::move(p));
+    }
+    fresh.threads = pool.size();
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      gemm_start)
+            .count();
+    gate("host_gemm", fresh);
   }
   if (!json_out.empty()) {
     report::save_json_file(json_out, combined);
