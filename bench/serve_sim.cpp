@@ -10,8 +10,15 @@
 //             [--queue-capacity=64] [--num-gpus=1] [--slo-us=50000]
 //             [--layers=12] [--threads=N] [--csv] [--json=PATH]
 //
+// Fault injection (serve/faults.h; every process off by default):
+//             [--fault-seed=1] [--mtbf-s=0] [--mttr-s=0.05]
+//             [--batch-fail-prob=0] [--spike-prob=0] [--spike-mult=4]
+//             [--max-retries=2] [--retry-backoff-us=1000]
+//             [--degrade-below=0] [--fallback=TC]
+//
 // --json writes a schema-versioned run report (serve_points section) —
-// the document CI diffs across thread counts byte-for-byte.
+// the document CI diffs across thread counts byte-for-byte, with and
+// without faults enabled.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -24,11 +31,6 @@
 namespace vitbit {
 namespace {
 
-std::vector<double> parse_rates(const Cli& cli) {
-  if (cli.has("rate")) return {cli.get_double("rate", 0.0)};
-  return serve::parse_rate_list(cli.get("rates", "100,200,300,400,500"));
-}
-
 int run(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   const Cli cli(argc, argv);
@@ -36,25 +38,8 @@ int run(int argc, char** argv) {
   const auto& calib = arch::default_calibration();
   auto pool = bench::make_pool(cli);
 
-  serve::SweepConfig cfg;
-  cfg.model = nn::vit_base();
-  cfg.model.num_layers =
-      static_cast<int>(cli.get_int("layers", cfg.model.num_layers));
-  cfg.rates_rps = parse_rates(cli);
-  cfg.workload.kind =
-      serve::arrival_kind_from_name(cli.get("arrival", "poisson"));
-  cfg.workload.duration_s = cli.get_double("duration-s", 2.0);
-  cfg.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
-  cfg.server.policy = cli.get("policy", "timeout");
-  cfg.server.batcher.max_batch_size =
-      static_cast<int>(cli.get_int("max-batch", 8));
-  cfg.server.batcher.batch_timeout_us =
-      static_cast<std::uint64_t>(cli.get_int("batch-timeout-us", 2000));
-  cfg.server.batcher.queue_capacity =
-      static_cast<int>(cli.get_int("queue-capacity", 64));
-  cfg.server.num_gpus = static_cast<int>(cli.get_int("num-gpus", 1));
-  cfg.server.slo_us =
-      static_cast<std::uint64_t>(cli.get_int("slo-us", 50000));
+  // The one flag set shared with `vitbit_cli serve`, validated on return.
+  const auto cfg = serve::sweep_config_from_cli(cli);
   const bool csv = cli.get_bool("csv", false);
   const std::string json = cli.json_path();
 
@@ -64,7 +49,6 @@ int run(int argc, char** argv) {
     std::cerr << "serve_sim: unknown flag --" << typos.front() << "\n";
     return 2;
   }
-  cfg.server.validate();
 
   const auto points = serve::run_rate_sweep(cfg, spec, calib, &pool);
   const auto t = serve::sweep_table(cfg, points);

@@ -197,34 +197,14 @@ int cmd_report(const Cli& cli, ThreadPool& pool) {
 }
 
 // Serving-simulator rate sweep (serve/server.h): open-loop arrivals into
-// the dynamic batcher, TC vs VitBit goodput and tail latency per rate.
-// --json writes the schema-versioned serve_points report.
+// the dynamic batcher, TC vs VitBit goodput and tail latency per rate,
+// with optional deterministic fault injection (serve/faults.h). --json
+// writes the schema-versioned serve_points report.
 int cmd_serve(const Cli& cli, ThreadPool& pool) {
   const auto start = std::chrono::steady_clock::now();
   const auto& calib = arch::default_calibration();
-  serve::SweepConfig cfg;
-  cfg.model = nn::vit_base();
-  cfg.model.num_layers =
-      static_cast<int>(cli.get_int("layers", cfg.model.num_layers));
-  cfg.rates_rps =
-      cli.has("rate")
-          ? std::vector<double>{cli.get_double("rate", 0.0)}
-          : serve::parse_rate_list(cli.get("rates", "100,200,300,400,500"));
-  cfg.workload.kind =
-      serve::arrival_kind_from_name(cli.get("arrival", "poisson"));
-  cfg.workload.duration_s = cli.get_double("duration-s", 2.0);
-  cfg.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
-  cfg.server.policy = cli.get("policy", "timeout");
-  cfg.server.batcher.max_batch_size =
-      static_cast<int>(cli.get_int("max-batch", 8));
-  cfg.server.batcher.batch_timeout_us =
-      static_cast<std::uint64_t>(cli.get_int("batch-timeout-us", 2000));
-  cfg.server.batcher.queue_capacity =
-      static_cast<int>(cli.get_int("queue-capacity", 64));
-  cfg.server.num_gpus = static_cast<int>(cli.get_int("num-gpus", 1));
-  cfg.server.slo_us =
-      static_cast<std::uint64_t>(cli.get_int("slo-us", 50000));
-  cfg.server.validate();
+  // The one flag set shared with bench/serve_sim, validated on return.
+  const auto cfg = serve::sweep_config_from_cli(cli);
 
   const auto points = serve::run_rate_sweep(cfg, kSpec, calib, &pool);
   serve::sweep_table(cfg, points).print(std::cout);
@@ -299,6 +279,10 @@ int run(int argc, char** argv) {
                "         --policy=timeout|greedy --max-batch=N\n"
                "         --batch-timeout-us=N --queue-capacity=N --num-gpus=N\n"
                "         --slo-us=N --duration-s=S --seed=N [--json=PATH]\n"
+               "         fault injection: --fault-seed=N --mtbf-s=S\n"
+               "         --mttr-s=S --batch-fail-prob=P --spike-prob=P\n"
+               "         --spike-mult=X --max-retries=N --retry-backoff-us=N\n"
+               "         --degrade-below=N --fallback=NAME\n"
                "         serving rate sweep: TC vs VitBit goodput and p99\n"
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"

@@ -19,9 +19,15 @@ constexpr T ceil_div(T a, T b) {
   return (a + b - 1) / b;
 }
 
-// Rounds `a` up to the next multiple of `b`.
+// Rounds `a` up to the next multiple of `b`. The result never exceeds
+// a + b - 1, so guarding the intermediate a + b - 1 in ceil_div also
+// guards the multiply back up.
 template <typename T>
 constexpr T round_up(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  VITBIT_DCHECK(b > 0);
+  VITBIT_DCHECK(a >= 0);
+  VITBIT_DCHECK(a <= std::numeric_limits<T>::max() - (b - 1));
   return ceil_div(a, b) * b;
 }
 

@@ -120,6 +120,22 @@ void compare_serve_point(std::vector<MetricDelta>& out,
                  static_cast<double>(fresh.p50_us), tol.serve);
   compare_metric(out, p + "p99_us", static_cast<double>(base.p99_us),
                  static_cast<double>(fresh.p99_us), tol.serve);
+  // Fault-path accounting (schema minor 4). Pre-bump baselines read these
+  // as zero and fault-free fresh runs report zero, so the added rows stay
+  // rel_delta == 0 on the legacy gate.
+  compare_metric(out, p + "batch_failures",
+                 static_cast<double>(base.batch_failures),
+                 static_cast<double>(fresh.batch_failures), tol.serve);
+  compare_metric(out, p + "retries", static_cast<double>(base.retries),
+                 static_cast<double>(fresh.retries), tol.serve);
+  compare_metric(out, p + "requeued", static_cast<double>(base.requeued),
+                 static_cast<double>(fresh.requeued), tol.serve);
+  compare_metric(out, p + "shed", static_cast<double>(base.shed),
+                 static_cast<double>(fresh.shed), tol.serve);
+  compare_metric(out, p + "failovers", static_cast<double>(base.failovers),
+                 static_cast<double>(fresh.failovers), tol.serve);
+  compare_metric(out, p + "degraded_s", base.degraded_s, fresh.degraded_s,
+                 tol.serve);
 }
 
 void compare_gemm_point(std::vector<MetricDelta>& out,

@@ -200,6 +200,12 @@ Json to_json(const ServePointReport& r) {
   j.set("offered", Json(r.offered));
   j.set("completed", Json(r.completed));
   j.set("dropped", Json(r.dropped));
+  j.set("batch_failures", Json(r.batch_failures));
+  j.set("retries", Json(r.retries));
+  j.set("requeued", Json(r.requeued));
+  j.set("shed", Json(r.shed));
+  j.set("failovers", Json(r.failovers));
+  j.set("degraded_s", Json(r.degraded_s));
   j.set("batches", Json(r.batches));
   j.set("mean_batch_size", Json(r.mean_batch_size));
   j.set("drop_rate", Json(r.drop_rate));
@@ -311,6 +317,15 @@ ServePointReport serve_point_from_json(const Json& j) {
   r.offered = j.uint_at("offered");
   r.completed = j.uint_at("completed");
   r.dropped = j.uint_at("dropped");
+  // Minor-4 additions: absent in pre-fault documents, defaulting to the
+  // fault-free zeros.
+  if (j.contains("batch_failures"))
+    r.batch_failures = j.uint_at("batch_failures");
+  if (j.contains("retries")) r.retries = j.uint_at("retries");
+  if (j.contains("requeued")) r.requeued = j.uint_at("requeued");
+  if (j.contains("shed")) r.shed = j.uint_at("shed");
+  if (j.contains("failovers")) r.failovers = j.uint_at("failovers");
+  if (j.contains("degraded_s")) r.degraded_s = j.double_at("degraded_s");
   r.batches = j.uint_at("batches");
   r.mean_batch_size = j.double_at("mean_batch_size");
   r.drop_rate = j.double_at("drop_rate");

@@ -31,7 +31,8 @@ inline constexpr int kSchemaVersion = 1;
 //   minor 1: host_wall_seconds + threads (host-side perf trajectory).
 //   minor 2: serve_points (serving-simulator rate sweeps, src/serve).
 //   minor 3: gemm_points (host GEMM engine sweep, tensor/gemm_blocked.h).
-inline constexpr int kSchemaMinorVersion = 3;
+//   minor 4: serve fault metrics on serve_points (serve/faults.h).
+inline constexpr int kSchemaMinorVersion = 4;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -93,6 +94,14 @@ struct ServePointReport {
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t dropped = 0;
+  // Fault-injection accounting (schema minor 4; serve/metrics.h). All
+  // zero for fault-free sweeps and for pre-bump documents.
+  std::uint64_t batch_failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failovers = 0;
+  double degraded_s = 0.0;
   std::uint64_t batches = 0;
   double mean_batch_size = 0.0;
   double drop_rate = 0.0;

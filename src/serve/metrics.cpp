@@ -7,17 +7,29 @@
 
 namespace vitbit::serve {
 
-std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
-                                      double p) {
+namespace {
+
+// Rank selection over samples already in ascending order — the shared core
+// of percentile_nearest_rank and finalize (which sorts once and indexes
+// every percentile instead of re-sorting per call).
+std::uint64_t percentile_sorted(const std::vector<std::uint64_t>& sorted,
+                                double p) {
   VITBIT_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
+  if (sorted.empty()) return 0;
   // ceil(p/100 * N), clamped to [1, N]; p = 0 maps to rank 1 (the minimum).
-  const auto n = static_cast<double>(samples.size());
+  const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
   rank = std::max<std::size_t>(rank, 1);
-  rank = std::min(rank, samples.size());
-  return samples[rank - 1];
+  rank = std::min(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
+                                      double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
 }
 
 void MetricsSink::on_queue_depth(std::uint64_t now_us, std::size_t depth) {
@@ -49,6 +61,12 @@ ServeMetrics MetricsSink::finalize(int num_replicas, std::uint64_t end_us,
   m.offered = offered_;
   m.completed = latencies_us_.size();
   m.dropped = dropped_;
+  m.batch_failures = batch_failures_;
+  m.retries = retries_;
+  m.requeued = requeued_;
+  m.shed = shed_;
+  m.failovers = failovers_;
+  m.degraded_s = static_cast<double>(degraded_us_) / 1e6;
   m.batches = batches_;
   m.mean_batch_size =
       batches_ == 0 ? 0.0
@@ -76,11 +94,13 @@ ServeMetrics MetricsSink::finalize(int num_replicas, std::uint64_t end_us,
                     (static_cast<double>(num_replicas) *
                      static_cast<double>(end_us));
   }
-  m.p50_us = percentile_nearest_rank(latencies_us_, 50.0);
-  m.p90_us = percentile_nearest_rank(latencies_us_, 90.0);
-  m.p95_us = percentile_nearest_rank(latencies_us_, 95.0);
-  m.p99_us = percentile_nearest_rank(latencies_us_, 99.0);
-  m.max_us = percentile_nearest_rank(latencies_us_, 100.0);
+  auto sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  m.p50_us = percentile_sorted(sorted, 50.0);
+  m.p90_us = percentile_sorted(sorted, 90.0);
+  m.p95_us = percentile_sorted(sorted, 95.0);
+  m.p99_us = percentile_sorted(sorted, 99.0);
+  m.max_us = percentile_sorted(sorted, 100.0);
   return m;
 }
 

@@ -23,6 +23,15 @@ struct ServeMetrics {
   std::uint64_t completed = 0;  // requests that finished a batch
   std::uint64_t dropped = 0;    // rejected at a full queue
   std::uint64_t batches = 0;
+  // Fault-injection accounting (serve/faults.h); all zero when no fault
+  // process is enabled. offered == completed + dropped + shed at drain.
+  std::uint64_t batch_failures = 0;  // batches failed or aborted mid-flight
+  std::uint64_t retries = 0;         // retry attempts scheduled
+  std::uint64_t requeued = 0;        // retries that re-entered the queue
+  std::uint64_t shed = 0;    // requests abandoned: deadline, budget, or a
+                             // full queue at requeue time
+  std::uint64_t failovers = 0;  // entries into degraded (fallback) mode
+  double degraded_s = 0.0;      // virtual time spent in degraded mode
   double mean_batch_size = 0.0;
   double duration_s = 0.0;       // virtual makespan: t = 0 to the last event
   double throughput_rps = 0.0;   // completed / duration
@@ -48,6 +57,13 @@ class MetricsSink {
   void on_queue_depth(std::uint64_t now_us, std::size_t depth);
   void on_batch(std::size_t size, std::uint64_t busy_us);
   void on_completion(std::uint64_t arrival_us, std::uint64_t done_us);
+  // Fault-path events (serve/faults.h).
+  void on_batch_failure() { ++batch_failures_; }
+  void on_retry() { ++retries_; }
+  void on_requeue() { ++requeued_; }
+  void on_shed() { ++shed_; }
+  void on_failover() { ++failovers_; }
+  void add_degraded_us(std::uint64_t us) { degraded_us_ += us; }
 
   // `end_us` is the simulation makespan; `slo_us` the goodput latency
   // target. Zero-duration runs finalize to all-zero rates.
@@ -57,6 +73,12 @@ class MetricsSink {
  private:
   std::uint64_t offered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t batch_failures_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t requeued_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t degraded_us_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::uint64_t busy_us_ = 0;

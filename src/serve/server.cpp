@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/cli.h"
 #include "common/thread_pool.h"
 #include "nn/vit_model.h"
 
@@ -46,58 +47,183 @@ std::uint64_t LatencyTable::latency_us(std::size_t batch) const {
   return batch_latency_us[batch];
 }
 
+std::vector<LatencyTable> build_latency_tables(
+    const nn::VitConfig& model, const std::vector<core::Strategy>& strategies,
+    const core::StrategyConfig& cfg, const arch::OrinSpec& spec,
+    const arch::Calibration& calib, int max_batch, ThreadPool* pool) {
+  VITBIT_CHECK_MSG(!strategies.empty(), "need >= 1 strategy");
+  VITBIT_CHECK_MSG(max_batch >= 1, "max_batch must be >= 1");
+  // One kernel-log simulation per distinct (strategy, batch size),
+  // flattened over the pool.
+  const auto n = strategies.size();
+  const auto mb = static_cast<std::size_t>(max_batch);
+  const auto flat = parallel_map(pool, n * mb, [&](std::size_t i) {
+    return simulate_batch_latency_us(model, strategies[i / mb], cfg, spec,
+                                     calib, static_cast<int>(i % mb) + 1,
+                                     pool);
+  });
+  std::vector<LatencyTable> tables(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    tables[s].strategy = strategies[s];
+    tables[s].batch_latency_us.assign(mb + 1, 0);
+    for (std::size_t b = 1; b <= mb; ++b) {
+      const auto us = flat[s * mb + (b - 1)];
+      VITBIT_CHECK_MSG(us >= 1,
+                       "batch " << b << " latency rounds to zero microseconds");
+      tables[s].batch_latency_us[b] = us;
+    }
+  }
+  return tables;
+}
+
 LatencyTable build_latency_table(const nn::VitConfig& model,
                                  core::Strategy strategy,
                                  const core::StrategyConfig& cfg,
                                  const arch::OrinSpec& spec,
                                  const arch::Calibration& calib, int max_batch,
                                  ThreadPool* pool) {
-  VITBIT_CHECK_MSG(max_batch >= 1, "max_batch must be >= 1");
-  LatencyTable table;
-  table.strategy = strategy;
-  table.batch_latency_us.resize(static_cast<std::size_t>(max_batch) + 1, 0);
-  const auto latencies =
-      parallel_map(pool, static_cast<std::size_t>(max_batch),
-                   [&](std::size_t i) {
-                     return simulate_batch_latency_us(
-                         model, strategy, cfg, spec, calib,
-                         static_cast<int>(i) + 1, pool);
-                   });
-  for (int b = 1; b <= max_batch; ++b) {
-    VITBIT_CHECK_MSG(latencies[b - 1] >= 1,
-                     "batch " << b << " latency rounds to zero microseconds");
-    table.batch_latency_us[b] = latencies[b - 1];
-  }
-  return table;
+  return build_latency_tables(model, {strategy}, cfg, spec, calib, max_batch,
+                              pool)
+      .front();
 }
 
 void ServerConfig::validate() const {
   batcher.validate();
   VITBIT_CHECK_MSG(num_gpus >= 1, "num_gpus must be >= 1");
   VITBIT_CHECK_MSG(slo_us >= 1, "slo_us must be >= 1");
+  faults.validate();
+  VITBIT_CHECK_MSG(faults.degrade_below_live <= num_gpus,
+                   "degrade_below_live " << faults.degrade_below_live
+                                         << " exceeds num_gpus " << num_gpus);
   make_policy(policy);  // throws on an unknown name
 }
 
+namespace {
+
+// One batch executing on a replica; `fail` is its predrawn transient fate.
+struct InFlight {
+  bool active = false;
+  bool fail = false;
+  std::uint64_t started_us = 0;
+  std::uint64_t done_us = 0;
+  std::vector<Request> batch;
+};
+
+// Requeue scheduled after retry backoff; a min-heap keyed on
+// (ready time, request id) keeps the requeue order deterministic.
+struct RetryEntry {
+  std::uint64_t ready_us = 0;
+  Request req;
+};
+
+struct RetryLater {
+  bool operator()(const RetryEntry& a, const RetryEntry& b) const {
+    if (a.ready_us != b.ready_us) return a.ready_us > b.ready_us;
+    return a.req.id > b.req.id;
+  }
+};
+
+}  // namespace
+
 ServeMetrics simulate_server(const std::vector<Request>& workload,
                              const LatencyTable& latency,
-                             const ServerConfig& cfg) {
+                             const ServerConfig& cfg,
+                             const LatencyTable* fallback) {
   cfg.validate();
   VITBIT_CHECK_MSG(latency.max_batch() >= cfg.batcher.max_batch_size,
                    "latency table covers batches up to "
                        << latency.max_batch() << ", batcher needs "
                        << cfg.batcher.max_batch_size);
+  const bool degrade_on = cfg.faults.degrade_below_live > 0;
+  if (degrade_on) {
+    VITBIT_CHECK_MSG(fallback != nullptr,
+                     "degrade_below_live > 0 requires a fallback table");
+    VITBIT_CHECK_MSG(fallback->max_batch() >= cfg.batcher.max_batch_size,
+                     "fallback table covers batches up to "
+                         << fallback->max_batch() << ", batcher needs "
+                         << cfg.batcher.max_batch_size);
+  }
   const auto policy = make_policy(cfg.policy);
   AdmissionQueue queue(cfg.batcher.queue_capacity);
   MetricsSink sink;
-  std::vector<std::uint64_t> replica_free_us(
-      static_cast<std::size_t>(cfg.num_gpus), 0);
+  FaultModel faults(cfg.faults, cfg.num_gpus);
+  std::vector<InFlight> running(static_cast<std::size_t>(cfg.num_gpus));
+  std::vector<RetryEntry> retries;  // min-heap via push_heap/pop_heap
 
+  // Routes a failed or aborted batch through the retry budget: each
+  // request either schedules its next attempt after exponential backoff
+  // or is shed when the budget or its SLO deadline is exhausted.
+  const auto fail_batch = [&](std::uint64_t t, std::vector<Request>&& batch) {
+    sink.on_batch_failure();
+    for (auto& r : batch) {
+      const int attempt = r.attempt + 1;
+      if (attempt > cfg.faults.max_retries) {
+        sink.on_shed();
+        continue;
+      }
+      const std::uint64_t ready = t + faults.retry_delay_us(attempt);
+      if (ready > r.arrival_us + cfg.slo_us) {
+        sink.on_shed();
+        continue;
+      }
+      sink.on_retry();
+      r.attempt = attempt;
+      retries.push_back({ready, r});
+      std::push_heap(retries.begin(), retries.end(), RetryLater{});
+    }
+  };
+
+  bool degraded = false;
+  std::uint64_t degraded_since = 0;
   std::size_t next_arrival = 0;
   std::uint64_t now = 0;
   std::uint64_t end = 0;
   while (true) {
-    // 1. Admissions due at `now` (ties: arrivals land before dispatch
-    // decisions at the same timestamp).
+    // 1. Replica fault transitions due at `now` (lowest index first). A
+    // replica going down aborts its in-flight batch onto the retry path;
+    // the partial busy time still counts against utilization.
+    for (int g = 0; g < cfg.num_gpus; ++g) {
+      while (faults.next_transition_us(g) <= now) {
+        faults.advance(g);
+        auto& fl = running[static_cast<std::size_t>(g)];
+        if (!faults.up(g) && fl.active) {
+          sink.on_batch(fl.batch.size(), now - fl.started_us);
+          fail_batch(now, std::move(fl.batch));
+          fl = InFlight{};
+        }
+      }
+    }
+    if (degrade_on) {
+      const bool want = faults.live() < cfg.faults.degrade_below_live;
+      if (want && !degraded) {
+        sink.on_failover();
+        degraded = true;
+        degraded_since = now;
+      } else if (!want && degraded) {
+        sink.add_degraded_us(now - degraded_since);
+        degraded = false;
+      }
+    }
+
+    // 2. Batch completions due at `now` (lowest replica index first).
+    // Failed batches requeue; successful ones record per-request latency.
+    for (auto& fl : running) {
+      if (!fl.active || fl.done_us > now) continue;
+      sink.on_batch(fl.batch.size(), fl.done_us - fl.started_us);
+      if (fl.fail) {
+        fail_batch(fl.done_us, std::move(fl.batch));
+      } else {
+        for (const auto& r : fl.batch)
+          sink.on_completion(r.arrival_us, fl.done_us);
+      }
+      fl = InFlight{};
+    }
+
+    // 3. Admissions due at `now`: fresh arrivals first (ties: arrivals
+    // land before dispatch decisions at the same timestamp), then retries
+    // whose backoff has elapsed, in (ready time, request id) order. A
+    // full queue drops fresh arrivals but sheds retries — the request was
+    // already admitted once and now exits the system for good.
     while (next_arrival < workload.size() &&
            workload[next_arrival].arrival_us <= now) {
       sink.on_offered();
@@ -107,15 +233,27 @@ ServeMetrics simulate_server(const std::vector<Request>& workload,
         sink.on_drop();
       ++next_arrival;
     }
+    while (!retries.empty() && retries.front().ready_us <= now) {
+      std::pop_heap(retries.begin(), retries.end(), RetryLater{});
+      const Request r = retries.back().req;
+      retries.pop_back();
+      if (queue.offer(r)) {
+        sink.on_requeue();
+        sink.on_queue_depth(now, queue.depth());
+      } else {
+        sink.on_shed();
+      }
+    }
 
-    // 2. Dispatch onto idle replicas (lowest index first) while the
+    // 4. Dispatch onto idle live replicas (lowest index first) while the
     // policy agrees; its wake time bounds the idle stretch otherwise.
+    // Degraded mode charges new batches to the fallback table.
     std::uint64_t policy_wake = kNever;
     while (!queue.empty()) {
       int idle = -1;
-      for (std::size_t g = 0; g < replica_free_us.size(); ++g)
-        if (replica_free_us[g] <= now) {
-          idle = static_cast<int>(g);
+      for (int g = 0; g < cfg.num_gpus; ++g)
+        if (faults.up(g) && !running[static_cast<std::size_t>(g)].active) {
+          idle = g;
           break;
         }
       if (idle < 0) break;
@@ -128,29 +266,53 @@ ServeMetrics simulate_server(const std::vector<Request>& workload,
         policy_wake = decision.wake_us;
         break;
       }
-      const auto batch = queue.pop_batch(
+      auto batch = queue.pop_batch(
           static_cast<std::size_t>(cfg.batcher.max_batch_size));
       sink.on_queue_depth(now, queue.depth());
-      const std::uint64_t busy = latency.latency_us(batch.size());
-      replica_free_us[static_cast<std::size_t>(idle)] = now + busy;
-      end = std::max(end, now + busy);
-      sink.on_batch(batch.size(), busy);
-      for (const auto& r : batch) sink.on_completion(r.arrival_us, now + busy);
+      const LatencyTable& table = degraded ? *fallback : latency;
+      const auto fate = faults.draw_batch_fate();
+      std::uint64_t busy = table.latency_us(batch.size());
+      if (fate.spike) busy = faults.spiked_latency_us(busy);
+      auto& fl = running[static_cast<std::size_t>(idle)];
+      fl.active = true;
+      fl.fail = fate.fail;
+      fl.started_us = now;
+      fl.done_us = now + busy;
+      fl.batch = std::move(batch);
     }
 
-    // 3. Advance to the next event: an arrival, a replica completion, or
-    // the policy's wake-up.
+    // 5. Advance to the next event: an arrival, a retry coming due, a
+    // batch completion, the policy's wake-up, or a fault transition.
+    // Fault transitions only keep the loop alive while work remains —
+    // the infinite up/down schedule must not outlive the last request.
     std::uint64_t t_next = policy_wake;
     if (next_arrival < workload.size())
       t_next = std::min(t_next, workload[next_arrival].arrival_us);
-    for (const auto free_us : replica_free_us)
-      if (free_us > now) t_next = std::min(t_next, free_us);
-    if (t_next == kNever) break;  // drained: no arrivals, queue empty, idle
-    VITBIT_CHECK_MSG(t_next > now, "event loop failed to advance");
+    if (!retries.empty()) t_next = std::min(t_next, retries.front().ready_us);
+    bool inflight = false;
+    for (const auto& fl : running)
+      if (fl.active) {
+        inflight = true;
+        t_next = std::min(t_next, fl.done_us);
+      }
+    if (next_arrival >= workload.size() && retries.empty() && queue.empty() &&
+        !inflight)
+      break;  // drained
+    for (int g = 0; g < cfg.num_gpus; ++g)
+      t_next = std::min(t_next, faults.next_transition_us(g));
+    VITBIT_CHECK_MSG(t_next != kNever && t_next > now,
+                     "event loop failed to advance");
     now = t_next;
     end = std::max(end, now);
   }
-  return sink.finalize(cfg.num_gpus, end, cfg.slo_us);
+  if (degraded) sink.add_degraded_us(end - degraded_since);
+
+  const auto m = sink.finalize(cfg.num_gpus, end, cfg.slo_us);
+  VITBIT_CHECK_MSG(m.offered == m.completed + m.dropped + m.shed,
+                   "request conservation violated at drain: offered "
+                       << m.offered << " != completed " << m.completed
+                       << " + dropped " << m.dropped << " + shed " << m.shed);
+  return m;
 }
 
 std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
@@ -161,26 +323,28 @@ std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
   VITBIT_CHECK_MSG(!cfg.rates_rps.empty(), "sweep needs >= 1 rate");
   cfg.server.validate();
 
-  // Phase 1: memoized latency tables — one kernel-log simulation per
-  // distinct (strategy, batch size), flattened over the pool.
-  const auto n_strategies = cfg.strategies.size();
-  const auto mb = static_cast<std::size_t>(cfg.server.batcher.max_batch_size);
-  const auto flat = parallel_map(pool, n_strategies * mb, [&](std::size_t i) {
-    return simulate_batch_latency_us(cfg.model, cfg.strategies[i / mb],
-                                     cfg.strategy_cfg, spec, calib,
-                                     static_cast<int>(i % mb) + 1, pool);
-  });
-  std::vector<LatencyTable> tables(n_strategies);
-  for (std::size_t s = 0; s < n_strategies; ++s) {
-    tables[s].strategy = cfg.strategies[s];
-    tables[s].batch_latency_us.assign(mb + 1, 0);
-    for (std::size_t b = 1; b <= mb; ++b)
-      tables[s].batch_latency_us[b] = flat[s * mb + (b - 1)];
+  // Phase 1: memoized latency tables through the shared validated
+  // builder. The fallback strategy rides along only when degraded-mode
+  // failover is enabled and it is not already being swept (the common
+  // TC-next-to-VitBit sweep costs no extra simulations).
+  const bool degrade_on = cfg.server.faults.degrade_below_live > 0;
+  auto to_build = cfg.strategies;
+  std::size_t fallback_idx = 0;
+  if (degrade_on) {
+    const auto it =
+        std::find(to_build.begin(), to_build.end(), cfg.fallback_strategy);
+    fallback_idx = static_cast<std::size_t>(it - to_build.begin());
+    if (it == to_build.end()) to_build.push_back(cfg.fallback_strategy);
   }
+  const auto tables =
+      build_latency_tables(cfg.model, to_build, cfg.strategy_cfg, spec, calib,
+                           cfg.server.batcher.max_batch_size, pool);
+  const LatencyTable* fallback = degrade_on ? &tables[fallback_idx] : nullptr;
 
   // Phase 2: the event loop per (strategy, rate) point. Workloads are
   // regenerated per point from the shared seed, so both strategies at one
   // rate face identical request streams.
+  const auto n_strategies = cfg.strategies.size();
   const auto n_rates = cfg.rates_rps.size();
   return parallel_map(pool, n_strategies * n_rates, [&](std::size_t i) {
     const std::size_t s = i / n_rates;
@@ -190,8 +354,8 @@ std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
     SweepPoint point;
     point.strategy = cfg.strategies[s];
     point.rate_rps = cfg.rates_rps[r];
-    point.metrics =
-        simulate_server(generate_workload(w), tables[s], cfg.server);
+    point.metrics = simulate_server(generate_workload(w), tables[s],
+                                    cfg.server, fallback);
     return point;
   });
 }
@@ -233,13 +397,67 @@ std::vector<double> parse_rate_list(const std::string& spec) {
     VITBIT_CHECK_MSG(!item.empty(), "empty entry in rate list: " << spec);
     char* end = nullptr;
     const double rate = std::strtod(item.c_str(), &end);
-    VITBIT_CHECK_MSG(end != nullptr && *end == '\0' && rate > 0.0,
-                     "rate-list entry is not a positive number: " << item);
+    // strtod happily parses "inf"/"nan" and saturates overflow to HUGE_VAL,
+    // so the finiteness check is load-bearing, not belt-and-braces.
+    VITBIT_CHECK_MSG(end != nullptr && *end == '\0' && std::isfinite(rate) &&
+                         rate > 0.0,
+                     "rate-list entry is not a positive finite number: "
+                         << item);
     out.push_back(rate);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
   return out;
+}
+
+SweepConfig sweep_config_from_cli(const Cli& cli) {
+  SweepConfig cfg;
+  cfg.model = nn::vit_base();
+  cfg.model.num_layers =
+      static_cast<int>(cli.get_int("layers", cfg.model.num_layers));
+
+  if (cli.has("rates"))
+    cfg.rates_rps = parse_rate_list(cli.get("rates", ""));
+  else if (cli.has("rate"))
+    cfg.rates_rps = {cli.get_double("rate", 0.0)};
+  cfg.workload.kind = arrival_kind_from_name(cli.get("arrival", "poisson"));
+  cfg.workload.duration_s = cli.get_double("duration-s", 2.0);
+  cfg.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  cfg.server.policy = cli.get("policy", "timeout");
+  cfg.server.batcher.max_batch_size =
+      static_cast<int>(cli.get_int("max-batch", 8));
+  cfg.server.batcher.batch_timeout_us =
+      static_cast<std::uint64_t>(cli.get_int("batch-timeout-us", 2000));
+  cfg.server.batcher.queue_capacity =
+      static_cast<int>(cli.get_int("queue-capacity", 64));
+  cfg.server.num_gpus = static_cast<int>(cli.get_int("num-gpus", 1));
+  cfg.server.slo_us = static_cast<std::uint64_t>(cli.get_int("slo-us", 50000));
+
+  auto& f = cfg.server.faults;
+  f.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  f.replica_mtbf_s = cli.get_double("mtbf-s", 0.0);
+  f.replica_mttr_s = cli.get_double("mttr-s", 0.05);
+  f.batch_failure_prob = cli.get_double("batch-fail-prob", 0.0);
+  f.latency_spike_prob = cli.get_double("spike-prob", 0.0);
+  f.latency_spike_mult = cli.get_double("spike-mult", 4.0);
+  f.max_retries = static_cast<int>(cli.get_int("max-retries", 2));
+  f.retry_backoff_us =
+      static_cast<std::uint64_t>(cli.get_int("retry-backoff-us", 1000));
+  f.degrade_below_live = static_cast<int>(cli.get_int("degrade-below", 0));
+
+  const std::string fb = cli.get("fallback", "TC");
+  bool found = false;
+  for (const auto s : core::all_strategies())
+    if (fb == core::strategy_name(s)) {
+      cfg.fallback_strategy = s;
+      found = true;
+      break;
+    }
+  VITBIT_CHECK_MSG(found, "unknown fallback strategy: " << fb);
+
+  cfg.server.validate();
+  return cfg;
 }
 
 report::RunReport make_serve_report(const SweepConfig& cfg,
@@ -262,6 +480,17 @@ report::RunReport make_serve_report(const SweepConfig& cfg,
       std::to_string(cfg.server.batcher.queue_capacity);
   rep.meta["num_gpus"] = std::to_string(cfg.server.num_gpus);
   rep.meta["slo_us"] = std::to_string(cfg.server.slo_us);
+  const auto& f = cfg.server.faults;
+  rep.meta["fault_seed"] = std::to_string(f.seed);
+  rep.meta["mtbf_s"] = fmt_rate(f.replica_mtbf_s);
+  rep.meta["mttr_s"] = fmt_rate(f.replica_mttr_s);
+  rep.meta["batch_fail_prob"] = fmt_rate(f.batch_failure_prob);
+  rep.meta["spike_prob"] = fmt_rate(f.latency_spike_prob);
+  rep.meta["spike_mult"] = fmt_rate(f.latency_spike_mult);
+  rep.meta["max_retries"] = std::to_string(f.max_retries);
+  rep.meta["retry_backoff_us"] = std::to_string(f.retry_backoff_us);
+  rep.meta["degrade_below_live"] = std::to_string(f.degrade_below_live);
+  rep.meta["fallback"] = core::strategy_name(cfg.fallback_strategy);
   rep.threads = threads;
   for (const auto& p : points) {
     report::ServePointReport sp;
@@ -272,6 +501,12 @@ report::RunReport make_serve_report(const SweepConfig& cfg,
     sp.offered = p.metrics.offered;
     sp.completed = p.metrics.completed;
     sp.dropped = p.metrics.dropped;
+    sp.batch_failures = p.metrics.batch_failures;
+    sp.retries = p.metrics.retries;
+    sp.requeued = p.metrics.requeued;
+    sp.shed = p.metrics.shed;
+    sp.failovers = p.metrics.failovers;
+    sp.degraded_s = p.metrics.degraded_s;
     sp.batches = p.metrics.batches;
     sp.mean_batch_size = p.metrics.mean_batch_size;
     sp.drop_rate = p.metrics.drop_rate;

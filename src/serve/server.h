@@ -7,9 +7,15 @@
 //
 // Determinism contract (the same one the timing pipeline upholds): all
 // virtual time is integer microseconds, event ties resolve in a fixed
-// order (admissions, then dispatches in replica-index order), and the
-// sweep fans out over ThreadPool::parallel_map, so a rate sweep serializes
-// to byte-identical reports at every --threads value.
+// order (replica fault transitions, batch completions, admissions, then
+// dispatches — each in replica-index / arrival order), and the sweep fans
+// out over ThreadPool::parallel_map, so a rate sweep serializes to
+// byte-identical reports at every --threads value. Fault injection
+// (serve/faults.h) rides the same loop: failures, retries with
+// deadline-aware backoff, load shedding, and degraded-mode failover to a
+// fallback strategy's latency table are all explicit seeded events, and
+// with every fault rate at zero the loop reproduces the fault-free
+// metrics bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +28,13 @@
 #include "nn/vit_config.h"
 #include "report/run_report.h"
 #include "serve/batcher.h"
+#include "serve/faults.h"
 #include "serve/metrics.h"
 #include "serve/workload.h"
 #include "vitbit/pipeline.h"
 
 namespace vitbit {
+class Cli;
 class ThreadPool;
 }
 
@@ -45,8 +53,17 @@ struct LatencyTable {
   }
 };
 
-// One `time_inference` per batch size in [1, max_batch] (fanned out over
-// `pool`), each converted from cycles to microseconds at the spec clock.
+// One table per strategy, each covering batch sizes [1, max_batch]: one
+// `time_inference` per distinct (strategy, batch) pair, flattened over
+// `pool`, converted from cycles to microseconds at the spec clock, and
+// validated to never round to zero. This is the single builder every
+// caller (build_latency_table, run_rate_sweep) goes through.
+std::vector<LatencyTable> build_latency_tables(
+    const nn::VitConfig& model, const std::vector<core::Strategy>& strategies,
+    const core::StrategyConfig& cfg, const arch::OrinSpec& spec,
+    const arch::Calibration& calib, int max_batch, ThreadPool* pool = nullptr);
+
+// Single-strategy convenience wrapper over build_latency_tables.
 LatencyTable build_latency_table(const nn::VitConfig& model,
                                  core::Strategy strategy,
                                  const core::StrategyConfig& cfg,
@@ -60,17 +77,25 @@ struct ServerConfig {
   // Identical GPU replicas the batcher multiplexes over.
   int num_gpus = 1;
   // Goodput latency target: a completed request counts toward goodput only
-  // when arrival-to-completion stays within this bound.
+  // when arrival-to-completion stays within this bound. Also the retry
+  // deadline: a failed request whose backed-off requeue would land past
+  // arrival + slo_us is shed instead of retried.
   std::uint64_t slo_us = 50000;
+  // Fault-injection knobs (all off by default; see serve/faults.h).
+  FaultConfig faults;
 
   void validate() const;
 };
 
 // Runs the discrete-event loop over one request stream. The latency table
-// must cover batcher.max_batch_size.
+// must cover batcher.max_batch_size. `fallback` is the degraded-mode
+// latency table (usually a cheaper strategy); it is required — and must
+// cover the same batch range — when faults.degrade_below_live > 0, and
+// ignored otherwise.
 ServeMetrics simulate_server(const std::vector<Request>& workload,
                              const LatencyTable& latency,
-                             const ServerConfig& cfg);
+                             const ServerConfig& cfg,
+                             const LatencyTable* fallback = nullptr);
 
 // A (strategy x arrival-rate) sweep over one model and server config.
 struct SweepConfig {
@@ -83,6 +108,11 @@ struct SweepConfig {
   // so both strategies face byte-identical request streams.
   WorkloadConfig workload;
   ServerConfig server;
+  // Degraded-mode strategy when server.faults.degrade_below_live > 0: its
+  // latency table is memoized alongside the swept strategies (no extra
+  // simulations when it is already one of them, the common TC-next-to-
+  // VitBit case) and swapped in while live replicas are below threshold.
+  core::Strategy fallback_strategy = core::Strategy::kTC;
 };
 
 struct SweepPoint {
@@ -105,10 +135,20 @@ std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
 Table sweep_table(const SweepConfig& cfg,
                   const std::vector<SweepPoint>& points);
 
-// "100,200,400" -> {100, 200, 400}; every entry must be a positive
-// number (throws CheckError otherwise) — the --rates flag of serve_sim
-// and `vitbit_cli serve`.
+// "100,200,400" -> {100, 200, 400}; every entry must be a positive finite
+// number (throws CheckError otherwise, including on "inf" and entries
+// that overflow double) — the --rates flag of serve_sim and
+// `vitbit_cli serve`.
 std::vector<double> parse_rate_list(const std::string& spec);
+
+// Shared flag set of serve_sim and `vitbit_cli serve`: model/workload/
+// server knobs (--layers, --rates/--rate, --arrival, --duration-s,
+// --seed, --policy, --max-batch, --batch-timeout-us, --queue-capacity,
+// --num-gpus, --slo-us) plus the fault-injection knobs (--fault-seed,
+// --mtbf-s, --mttr-s, --batch-fail-prob, --spike-prob, --spike-mult,
+// --max-retries, --retry-backoff-us, --degrade-below, --fallback).
+// Validates the assembled config before returning.
+SweepConfig sweep_config_from_cli(const Cli& cli);
 
 // Schema-versioned run report carrying one ServePointReport per sweep
 // point plus the sweep's full knob set in meta (the baseline gate requires

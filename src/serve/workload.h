@@ -38,6 +38,9 @@ struct WorkloadConfig {
 struct Request {
   std::uint64_t id = 0;
   std::uint64_t arrival_us = 0;
+  // Completed retry attempts so far; 0 for fresh arrivals, incremented
+  // each time the retry path (serve/faults.h) requeues the request.
+  int attempt = 0;
 };
 
 // Arrival times are nondecreasing; ids are sequential from 0.

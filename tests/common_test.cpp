@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -40,6 +42,23 @@ TEST(IntMath, RoundUp) {
   EXPECT_EQ(round_up(1, 8), 8);
   EXPECT_EQ(round_up(8, 8), 8);
   EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(IntMath, RoundUpBoundaries) {
+  // The largest inputs whose result still fits: an exact multiple at the
+  // type maximum, and the largest non-multiple below it.
+  constexpr std::int32_t max32 = std::numeric_limits<std::int32_t>::max();
+  EXPECT_EQ(round_up(max32 - 7, 8), max32 - 7);  // 2^31 - 8, a multiple of 8
+  EXPECT_EQ(round_up(max32 - 14, 8), max32 - 7);
+  constexpr std::uint64_t maxu = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(round_up(maxu, std::uint64_t{1}), maxu);
+#ifndef NDEBUG
+  // One past the boundary: a + b - 1 would wrap, caught by the DCHECK in
+  // debug builds (silently UB before the guard).
+  EXPECT_THROW(round_up(max32 - 6, 8), CheckError);
+  EXPECT_THROW(round_up(max32, 2), CheckError);
+  EXPECT_THROW(round_up(maxu, std::uint64_t{2}), CheckError);
+#endif
 }
 
 TEST(IntMath, Ilog2) {

@@ -101,6 +101,37 @@ TEST(MetricsSink, GoodputCountsOnlyWithinSlo) {
   EXPECT_DOUBLE_EQ(m.goodput_rps, 2.0);
 }
 
+TEST(MetricsSink, FaultCountersFinalizeVerbatim) {
+  MetricsSink sink;
+  sink.on_batch_failure();
+  sink.on_batch_failure();
+  sink.on_retry();
+  sink.on_retry();
+  sink.on_retry();
+  sink.on_requeue();
+  sink.on_shed();
+  sink.on_failover();
+  sink.add_degraded_us(250'000);
+  sink.add_degraded_us(125'000);  // accumulates across failover episodes
+  const auto m = sink.finalize(1, 1'000'000, 100);
+  EXPECT_EQ(m.batch_failures, 2u);
+  EXPECT_EQ(m.retries, 3u);
+  EXPECT_EQ(m.requeued, 1u);
+  EXPECT_EQ(m.shed, 1u);
+  EXPECT_EQ(m.failovers, 1u);
+  EXPECT_DOUBLE_EQ(m.degraded_s, 0.375);  // microseconds -> seconds
+}
+
+TEST(MetricsSink, FaultCountersDefaultToZero) {
+  const auto m = MetricsSink{}.finalize(1, 1'000'000, 100);
+  EXPECT_EQ(m.batch_failures, 0u);
+  EXPECT_EQ(m.retries, 0u);
+  EXPECT_EQ(m.requeued, 0u);
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_EQ(m.failovers, 0u);
+  EXPECT_DOUBLE_EQ(m.degraded_s, 0.0);
+}
+
 // Synthetic one-replica table: batch 1 -> 100 us, batch 2 -> 150 us. No
 // kernel simulation involved, so the test pins pure queueing behavior.
 LatencyTable tiny_table() {

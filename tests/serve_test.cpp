@@ -60,7 +60,9 @@ TEST(Workload, IdsSequentialAndArrivalsSortedWithinDuration) {
     ASSERT_FALSE(w.empty()) << arrival_kind_name(kind);
     for (std::size_t i = 0; i < w.size(); ++i) {
       EXPECT_EQ(w[i].id, i);
-      if (i > 0) EXPECT_GE(w[i].arrival_us, w[i - 1].arrival_us);
+      if (i > 0) {
+        EXPECT_GE(w[i].arrival_us, w[i - 1].arrival_us);
+      }
       EXPECT_LT(w[i].arrival_us,
                 static_cast<std::uint64_t>(cfg.duration_s * 1e6));
     }
@@ -175,6 +177,12 @@ TEST(Server, ParseRateList) {
   EXPECT_THROW(parse_rate_list("100,fast"), CheckError);
   EXPECT_THROW(parse_rate_list("0"), CheckError);
   EXPECT_THROW(parse_rate_list("-5"), CheckError);
+  // strtod parses these to +inf (or NaN) without tripping the end-pointer
+  // check, so the finiteness rejection carries the test.
+  EXPECT_THROW(parse_rate_list("inf"), CheckError);
+  EXPECT_THROW(parse_rate_list("100,inf"), CheckError);
+  EXPECT_THROW(parse_rate_list("nan"), CheckError);
+  EXPECT_THROW(parse_rate_list("1e999"), CheckError);  // overflows to inf
 }
 
 // Synthetic constant-latency table: queueing behavior only, no kernel

@@ -211,6 +211,40 @@ int run(int argc, char** argv) {
             .count();
     gate("serve_sweep", fresh);
   }
+  // Fault-injection gate: the same reduced sweep with every fault process
+  // enabled — replica failures, transient batch failures, latency spikes,
+  // retries, and degraded-mode failover to TC across two replicas — so
+  // the retry/shed/failover accounting is regression-gated, not just the
+  // fault-free queueing path.
+  {
+    serve::SweepConfig scfg;
+    scfg.model = nn::vit_base();
+    scfg.model.num_layers = 1;
+    scfg.rates_rps = {2000, 6000};
+    scfg.workload.duration_s = 0.25;
+    scfg.workload.seed = 7;
+    scfg.server.batcher.max_batch_size = 4;
+    scfg.server.batcher.queue_capacity = 32;
+    scfg.server.num_gpus = 2;
+    scfg.server.faults.seed = 11;
+    scfg.server.faults.replica_mtbf_s = 0.05;
+    scfg.server.faults.replica_mttr_s = 0.02;
+    scfg.server.faults.batch_failure_prob = 0.05;
+    scfg.server.faults.latency_spike_prob = 0.1;
+    scfg.server.faults.latency_spike_mult = 3.0;
+    scfg.server.faults.degrade_below_live = 2;
+    scfg.fallback_strategy = core::Strategy::kTC;
+    const auto serve_start = std::chrono::steady_clock::now();
+    const auto points = serve::run_rate_sweep(scfg, spec, calib, &pool);
+    auto fresh =
+        serve::make_serve_report(scfg, points, "check_regression",
+                                 pool.size());
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      serve_start)
+            .count();
+    gate("serve_faults", fresh);
+  }
   // Host-GEMM gate: the compute-heavy ViT-Base linear shape (fc1,
   // 197x768x3072), int32 and f32 paths. Bit-identity (max_abs_diff == 0)
   // is exact; the speedup floor guards the blocked engine's reason to
