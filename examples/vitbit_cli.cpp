@@ -24,6 +24,7 @@
 #include "nn/cnn.h"
 #include "nn/vit_model.h"
 #include "report/run_report.h"
+#include "serve/cluster.h"
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "swar/layout.h"
@@ -228,6 +229,37 @@ int cmd_serve(const Cli& cli, ThreadPool& pool) {
   return 0;
 }
 
+// Fleet sweep (serve/cluster.h): the request stream routed across many
+// shards under each balancing policy, with optional per-shard
+// autoscaling. --json writes the schema-versioned fleet_points report.
+int cmd_fleet(const Cli& cli, ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& calib = arch::default_calibration();
+  // The one flag set shared with bench/fleet_sim, validated on return.
+  const auto cfg = serve::fleet_config_from_cli(cli);
+
+  const auto points = serve::run_fleet_sweep(cfg, kSpec, calib, &pool);
+  serve::fleet_table(cfg, points).print(std::cout);
+
+  const std::string out = cli.json_path();
+  if (!out.empty()) {
+    auto rep = serve::make_fleet_report(cfg, points, "vitbit_cli",
+                                        pool.size());
+    rep.host_wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    report::save_report_file(out, rep);
+    // Same self-check as `report`: the artifact must round-trip before
+    // anything downstream trusts it.
+    const auto back = report::load_report_file(out);
+    VITBIT_CHECK_MSG(report::to_json(back) == report::to_json(rep),
+                     "fleet report round-trip mismatch: " << out);
+    std::cout << "wrote " << out << " (" << rep.fleet_points.size()
+              << " sweep points)\n";
+  }
+  return 0;
+}
+
 int cmd_layout(const Cli& cli) {
   const int bits = static_cast<int>(cli.get_int("bits", 8));
   for (const auto mode : {swar::LaneMode::kUnsigned, swar::LaneMode::kOffset,
@@ -245,6 +277,7 @@ int dispatch(const Cli& cli, const std::string& cmd, ThreadPool& pool) {
   if (cmd == "layout") return cmd_layout(cli);
   if (cmd == "report") return cmd_report(cli, pool);
   if (cmd == "serve") return cmd_serve(cli, pool);
+  if (cmd == "fleet") return cmd_fleet(cli, pool);
   return -1;
 }
 
@@ -267,8 +300,8 @@ int run(int argc, char** argv) {
     }
     return rc;
   }
-  std::cout << "usage: vitbit_cli <study|tune|infer|layout|report|serve>"
-               " [--flags]\n"
+  std::cout << "usage: vitbit_cli "
+               "<study|tune|infer|layout|report|serve|fleet> [--flags]\n"
                "  study  --m --k --n        Section 3.2 GEMM ratio study\n"
                "  tune   --m --k --n        derive the VitBit split ratios\n"
                "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
@@ -284,6 +317,14 @@ int run(int argc, char** argv) {
                "         --spike-mult=X --max-retries=N --retry-backoff-us=N\n"
                "         --degrade-below=N --fallback=NAME\n"
                "         serving rate sweep: TC vs VitBit goodput and p99\n"
+               "  fleet  --shards=N --routes=rr,jsq,po2c --route-seed=N\n"
+               "         --strategy=NAME --replicas=N --exact plus the serve\n"
+               "         flags; autoscaling: --min-replicas=N\n"
+               "         --max-replicas=N --scale-interval-us=N\n"
+               "         --scale-up-depth=N --scale-down-depth=N\n"
+               "         --scale-p99-us=N --scale-cooldown-us=N\n"
+               "         sharded fleet sweep: balancing policies compared\n"
+               "         with streaming (P^2) percentiles [--json=PATH]\n"
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"
                "         simulated results are identical for every N)\n"

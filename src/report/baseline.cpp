@@ -138,6 +138,42 @@ void compare_serve_point(std::vector<MetricDelta>& out,
                  tol.serve);
 }
 
+void compare_fleet_point(std::vector<MetricDelta>& out,
+                         const FleetPointReport& base,
+                         const FleetPointReport& fresh,
+                         const ToleranceSpec& tol) {
+  const std::string p = "fleet." + base.key() + ".";
+  // offered counts arrivals of the seeded workload — exact by
+  // construction; the routed queueing metrics inherit latency drift.
+  compare_metric(out, p + "offered", static_cast<double>(base.offered),
+                 static_cast<double>(fresh.offered), tol.instructions);
+  compare_metric(out, p + "completed", static_cast<double>(base.completed),
+                 static_cast<double>(fresh.completed), tol.serve);
+  compare_metric(out, p + "drop_rate", base.drop_rate, fresh.drop_rate,
+                 tol.serve);
+  compare_metric(out, p + "throughput_rps", base.throughput_rps,
+                 fresh.throughput_rps, tol.serve);
+  compare_metric(out, p + "goodput_rps", base.goodput_rps, fresh.goodput_rps,
+                 tol.serve);
+  compare_metric(out, p + "utilization", base.utilization, fresh.utilization,
+                 tol.serve);
+  compare_metric(out, p + "shed", static_cast<double>(base.shed),
+                 static_cast<double>(fresh.shed), tol.serve);
+  compare_metric(out, p + "p50_us", static_cast<double>(base.p50_us),
+                 static_cast<double>(fresh.p50_us), tol.serve);
+  compare_metric(out, p + "p99_us", static_cast<double>(base.p99_us),
+                 static_cast<double>(fresh.p99_us), tol.serve);
+  compare_metric(out, p + "scale_ups", static_cast<double>(base.scale_ups),
+                 static_cast<double>(fresh.scale_ups), tol.serve);
+  compare_metric(out, p + "scale_downs",
+                 static_cast<double>(base.scale_downs),
+                 static_cast<double>(fresh.scale_downs), tol.serve);
+  compare_metric(out, p + "shard_util_min", base.shard_util_min,
+                 fresh.shard_util_min, tol.serve);
+  compare_metric(out, p + "shard_util_max", base.shard_util_max,
+                 fresh.shard_util_max, tol.serve);
+}
+
 void compare_gemm_point(std::vector<MetricDelta>& out,
                         const GemmPointReport& base,
                         const GemmPointReport& fresh) {
@@ -275,6 +311,19 @@ BaselineCheckResult check_against_baseline(const RunReport& fresh,
   for (const auto& p : fresh.serve_points)
     if (baseline.find_serve_point(p.key()) == nullptr)
       add_new(out, "serve." + p.key() + ".goodput_rps",
+              tol.allow_new_metrics);
+
+  for (const auto& base : baseline.fleet_points) {
+    const FleetPointReport* f = fresh.find_fleet_point(base.key());
+    if (f == nullptr) {
+      add_missing(out, "fleet." + base.key() + ".goodput_rps");
+      continue;
+    }
+    compare_fleet_point(out, base, *f, tol);
+  }
+  for (const auto& p : fresh.fleet_points)
+    if (baseline.find_fleet_point(p.key()) == nullptr)
+      add_new(out, "fleet." + p.key() + ".goodput_rps",
               tol.allow_new_metrics);
 
   for (const auto& base : baseline.gemm_points) {

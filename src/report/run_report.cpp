@@ -64,6 +64,19 @@ const ServePointReport* RunReport::find_serve_point(
   return nullptr;
 }
 
+std::string FleetPointReport::key() const {
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%g", rate_rps);
+  return strategy + "." + route + "." + policy + "." + arrival + "@" + rate;
+}
+
+const FleetPointReport* RunReport::find_fleet_point(
+    const std::string& key) const {
+  for (const auto& p : fleet_points)
+    if (p.key() == key) return &p;
+  return nullptr;
+}
+
 std::string GemmPointReport::key() const { return name + "." + dtype; }
 
 const GemmPointReport* RunReport::find_gemm_point(
@@ -221,6 +234,36 @@ Json to_json(const ServePointReport& r) {
   return j;
 }
 
+Json to_json(const FleetPointReport& r) {
+  Json j = Json::object();
+  j.set("strategy", Json(r.strategy));
+  j.set("route", Json(r.route));
+  j.set("policy", Json(r.policy));
+  j.set("arrival", Json(r.arrival));
+  j.set("rate_rps", Json(r.rate_rps));
+  j.set("offered", Json(r.offered));
+  j.set("completed", Json(r.completed));
+  j.set("dropped", Json(r.dropped));
+  j.set("shed", Json(r.shed));
+  j.set("batches", Json(r.batches));
+  j.set("mean_batch_size", Json(r.mean_batch_size));
+  j.set("drop_rate", Json(r.drop_rate));
+  j.set("throughput_rps", Json(r.throughput_rps));
+  j.set("goodput_rps", Json(r.goodput_rps));
+  j.set("utilization", Json(r.utilization));
+  j.set("mean_queue_depth", Json(r.mean_queue_depth));
+  j.set("max_queue_depth", Json(r.max_queue_depth));
+  j.set("p50_us", Json(r.p50_us));
+  j.set("p90_us", Json(r.p90_us));
+  j.set("p95_us", Json(r.p95_us));
+  j.set("p99_us", Json(r.p99_us));
+  j.set("scale_ups", Json(r.scale_ups));
+  j.set("scale_downs", Json(r.scale_downs));
+  j.set("shard_util_min", Json(r.shard_util_min));
+  j.set("shard_util_max", Json(r.shard_util_max));
+  return j;
+}
+
 Json to_json(const GemmPointReport& r) {
   Json j = Json::object();
   j.set("name", Json(r.name));
@@ -261,6 +304,9 @@ Json to_json(const RunReport& r) {
   Json gemm = Json::array();
   for (const auto& p : r.gemm_points) gemm.push_back(to_json(p));
   j.set("gemm_points", std::move(gemm));
+  Json fleet = Json::array();
+  for (const auto& p : r.fleet_points) fleet.push_back(to_json(p));
+  j.set("fleet_points", std::move(fleet));
   return j;
 }
 
@@ -341,6 +387,36 @@ ServePointReport serve_point_from_json(const Json& j) {
   return r;
 }
 
+FleetPointReport fleet_point_from_json(const Json& j) {
+  FleetPointReport r;
+  r.strategy = j.string_at("strategy");
+  r.route = j.string_at("route");
+  r.policy = j.string_at("policy");
+  r.arrival = j.string_at("arrival");
+  r.rate_rps = j.double_at("rate_rps");
+  r.offered = j.uint_at("offered");
+  r.completed = j.uint_at("completed");
+  r.dropped = j.uint_at("dropped");
+  r.shed = j.uint_at("shed");
+  r.batches = j.uint_at("batches");
+  r.mean_batch_size = j.double_at("mean_batch_size");
+  r.drop_rate = j.double_at("drop_rate");
+  r.throughput_rps = j.double_at("throughput_rps");
+  r.goodput_rps = j.double_at("goodput_rps");
+  r.utilization = j.double_at("utilization");
+  r.mean_queue_depth = j.double_at("mean_queue_depth");
+  r.max_queue_depth = j.uint_at("max_queue_depth");
+  r.p50_us = j.uint_at("p50_us");
+  r.p90_us = j.uint_at("p90_us");
+  r.p95_us = j.uint_at("p95_us");
+  r.p99_us = j.uint_at("p99_us");
+  r.scale_ups = j.uint_at("scale_ups");
+  r.scale_downs = j.uint_at("scale_downs");
+  r.shard_util_min = j.double_at("shard_util_min");
+  r.shard_util_max = j.double_at("shard_util_max");
+  return r;
+}
+
 GemmPointReport gemm_point_from_json(const Json& j) {
   GemmPointReport r;
   r.name = j.string_at("name");
@@ -403,6 +479,10 @@ RunReport run_report_from_json(const Json& j) {
   if (const Json* gemm = j.find("gemm_points"); gemm != nullptr)
     for (std::size_t i = 0; i < gemm->size(); ++i)
       r.gemm_points.push_back(gemm_point_from_json((*gemm)[i]));
+  // Minor-5 addition: absent in older documents.
+  if (const Json* fleet = j.find("fleet_points"); fleet != nullptr)
+    for (std::size_t i = 0; i < fleet->size(); ++i)
+      r.fleet_points.push_back(fleet_point_from_json((*fleet)[i]));
   return r;
 }
 

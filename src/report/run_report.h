@@ -32,7 +32,8 @@ inline constexpr int kSchemaVersion = 1;
 //   minor 2: serve_points (serving-simulator rate sweeps, src/serve).
 //   minor 3: gemm_points (host GEMM engine sweep, tensor/gemm_blocked.h).
 //   minor 4: serve fault metrics on serve_points (serve/faults.h).
-inline constexpr int kSchemaMinorVersion = 4;
+//   minor 5: fleet_points (sharded fleet sweeps, serve/cluster.h).
+inline constexpr int kSchemaMinorVersion = 5;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -119,6 +120,43 @@ struct ServePointReport {
   std::string key() const;
 };
 
+// One (route-policy, arrival-rate) point of a fleet sweep
+// (serve/cluster.h). Latency percentiles are P²-sketch estimates unless
+// the sweep ran with exact percentiles. Identified for baseline matching
+// by (strategy, route, policy, arrival, rate_rps) — see key().
+struct FleetPointReport {
+  std::string strategy;
+  std::string route;    // serve::route_policy_name
+  std::string policy;   // batch flush policy
+  std::string arrival;
+  double rate_rps = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double drop_rate = 0.0;
+  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;
+  double utilization = 0.0;
+  double mean_queue_depth = 0.0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  // Fleet-only signals: autoscale actions summed over shards and the
+  // spread of per-shard utilization (balance quality).
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  double shard_util_min = 0.0;
+  double shard_util_max = 0.0;
+
+  // Stable identity within a report, e.g. "VitBit.jsq.timeout.poisson@4000".
+  std::string key() const;
+};
+
 // One (shape, dtype) point of a host-GEMM engine sweep (bench/host_gemm,
 // tensor/gemm_timing.h): the blocked engine timed against the reference
 // triple loop. gflops/ref_gflops/speedup are machine-dependent and are
@@ -165,6 +203,9 @@ struct RunReport {
   // Host-GEMM engine sweep points (schema minor 3; empty for reports that
   // ran no host-GEMM measurement, and for pre-bump documents).
   std::vector<GemmPointReport> gemm_points;
+  // Fleet sweep points (schema minor 5; empty for reports that ran no
+  // fleet simulation, and for pre-bump documents).
+  std::vector<FleetPointReport> fleet_points;
 
   // nullptr when the report has no entry for `strategy`.
   const StrategyReport* find_strategy(const std::string& strategy) const;
@@ -172,6 +213,8 @@ struct RunReport {
   const ServePointReport* find_serve_point(const std::string& key) const;
   // nullptr when the report has no gemm point with this key().
   const GemmPointReport* find_gemm_point(const std::string& key) const;
+  // nullptr when the report has no fleet point with this key().
+  const FleetPointReport* find_fleet_point(const std::string& key) const;
 };
 
 // ---- Builders from live simulator results ----
@@ -193,6 +236,7 @@ Json to_json(const StrategyReport& r);
 Json to_json(const L2Report& r);
 Json to_json(const ServePointReport& r);
 Json to_json(const GemmPointReport& r);
+Json to_json(const FleetPointReport& r);
 Json to_json(const RunReport& r);
 
 // Throw CheckError on schema-version or shape mismatch.

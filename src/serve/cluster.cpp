@@ -1,0 +1,439 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/thread_pool.h"
+#include "nn/vit_model.h"
+
+namespace vitbit::serve {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+std::string fmt_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", rate);
+  return buf;
+}
+
+// Disjoint per-shard fault streams: each shard's FaultModel gets its own
+// seed so shards fail independently (a different stride constant from the
+// per-replica derivation inside FaultModel, so shard and replica streams
+// never alias).
+std::uint64_t shard_fault_seed(std::uint64_t seed, int shard) {
+  return seed + 0xbf58476d1ce4e5b9ull * (static_cast<std::uint64_t>(shard) + 1);
+}
+
+}  // namespace
+
+void FleetConfig::validate() const {
+  VITBIT_CHECK_MSG(num_shards >= 1, "fleet needs >= 1 shard");
+  shard.validate();
+  autoscale.validate();
+  if (autoscale.enabled())
+    VITBIT_CHECK_MSG(shard.faults.degrade_below_live <= autoscale.max_replicas,
+                     "degrade_below_live "
+                         << shard.faults.degrade_below_live
+                         << " exceeds max_replicas "
+                         << autoscale.max_replicas);
+}
+
+ServeMetrics aggregate_shard_metrics(const std::vector<ServeMetrics>& shards,
+                                     std::uint64_t end_us) {
+  ServeMetrics m;
+  std::uint64_t span_sum_us = 0;  // sum of per-shard virtual-time spans
+  for (const auto& s : shards) {
+    m.offered += s.offered;
+    m.completed += s.completed;
+    m.dropped += s.dropped;
+    m.batch_failures += s.batch_failures;
+    m.retries += s.retries;
+    m.requeued += s.requeued;
+    m.shed += s.shed;
+    m.failovers += s.failovers;
+    m.degraded_s += s.degraded_s;
+    m.batches += s.batches;
+    m.within_slo += s.within_slo;
+    m.busy_us += s.busy_us;
+    m.replica_time_us += s.replica_time_us;
+    m.depth_integral_us += s.depth_integral_us;
+    m.batched_requests += s.batched_requests;
+    m.max_queue_depth = std::max(m.max_queue_depth, s.max_queue_depth);
+    span_sum_us += s.end_us;
+  }
+  m.end_us = end_us;
+  m.duration_s = static_cast<double>(end_us) / 1e6;
+  m.mean_batch_size = m.batches == 0
+                          ? 0.0
+                          : static_cast<double>(m.batched_requests) /
+                                static_cast<double>(m.batches);
+  m.drop_rate = m.offered == 0 ? 0.0
+                               : static_cast<double>(m.dropped) /
+                                     static_cast<double>(m.offered);
+  if (end_us > 0) {
+    m.throughput_rps = static_cast<double>(m.completed) / m.duration_s;
+    m.goodput_rps = static_cast<double>(m.within_slo) / m.duration_s;
+  }
+  // Span-weighted ratios: a shard that served twice the replica-time (or
+  // span) contributes twice the weight, instead of a naive average of the
+  // per-shard ratios — fleet_test pins the two-shard unequal-span case.
+  if (m.replica_time_us > 0)
+    m.utilization = static_cast<double>(m.busy_us) /
+                    static_cast<double>(m.replica_time_us);
+  if (span_sum_us > 0)
+    m.mean_queue_depth = static_cast<double>(m.depth_integral_us) /
+                         static_cast<double>(span_sum_us);
+  return m;
+}
+
+FleetMetrics simulate_fleet(const WorkloadConfig& workload,
+                            const LatencyTable& latency,
+                            const FleetConfig& cfg,
+                            const LatencyTable* fallback) {
+  cfg.validate();
+  const auto n = static_cast<std::size_t>(cfg.num_shards);
+  std::vector<std::unique_ptr<ShardSim>> shards;
+  shards.reserve(n);
+  for (int s = 0; s < cfg.num_shards; ++s) {
+    ServerConfig sc = cfg.shard;
+    sc.faults.seed = shard_fault_seed(cfg.shard.faults.seed, s);
+    shards.push_back(std::make_unique<ShardSim>(latency, sc, fallback,
+                                                cfg.percentiles,
+                                                cfg.autoscale));
+  }
+  Router router(cfg.route, cfg.route_seed, cfg.num_shards);
+  WorkloadStream stream(workload);
+  std::vector<std::size_t> loads(n);
+
+  // The fleet event loop: every shard steps at every global timestamp in
+  // shard-index order (fault transitions and completions first, then
+  // autoscale decisions, arrivals routed on live loads, retries,
+  // dispatch), then time advances to the earliest next event anywhere.
+  std::uint64_t now = 0;
+  std::uint64_t end = 0;
+  while (true) {
+    for (auto& sh : shards) sh->begin_step(now);
+    for (auto& sh : shards) sh->maybe_autoscale(now);
+    while (stream.has_next() && stream.peek_arrival_us() <= now) {
+      const Request r = stream.next();
+      for (std::size_t s = 0; s < n; ++s) loads[s] = shards[s]->load();
+      shards[static_cast<std::size_t>(router.route(r, loads))]->admit(now, r);
+    }
+    for (auto& sh : shards) sh->admit_due_retries(now);
+    for (auto& sh : shards) sh->dispatch(now);
+
+    std::uint64_t t_next = kNever;
+    for (auto& sh : shards)
+      t_next = std::min(t_next, sh->next_internal_event_us());
+    if (stream.has_next()) t_next = std::min(t_next, stream.peek_arrival_us());
+    bool all_idle = true;
+    for (auto& sh : shards)
+      if (!sh->idle()) {
+        all_idle = false;
+        break;
+      }
+    if (!stream.has_next() && all_idle) break;  // drained
+    // Fault and autoscale timers only keep the loop alive while work
+    // remains somewhere in the fleet.
+    for (auto& sh : shards) t_next = std::min(t_next, sh->next_timer_us());
+    VITBIT_CHECK_MSG(t_next != kNever && t_next > now,
+                     "fleet loop failed to advance");
+    now = t_next;
+    end = std::max(end, now);
+  }
+
+  FleetMetrics fm;
+  fm.per_shard.reserve(n);
+  for (auto& sh : shards) {
+    // Each shard finalizes at its own span: metric denominators reflect
+    // the time the shard actually served, which is what the span-weighted
+    // aggregation below expects.
+    fm.per_shard.push_back(sh->finalize(sh->last_activity_us()));
+    fm.scale_ups += sh->scale_ups();
+    fm.scale_downs += sh->scale_downs();
+  }
+  fm.total = aggregate_shard_metrics(fm.per_shard, end);
+  // Fleet-wide percentiles, merged in shard-index order (the P² merge is
+  // not associative, so the order is part of the determinism contract).
+  if (cfg.percentiles == PercentileMode::kSketch) {
+    LatencySketch merged;
+    for (auto& sh : shards) merged.merge(sh->sink().sketch());
+    fm.total.p50_us = merged.percentile_us(50.0);
+    fm.total.p90_us = merged.percentile_us(90.0);
+    fm.total.p95_us = merged.percentile_us(95.0);
+    fm.total.p99_us = merged.percentile_us(99.0);
+    fm.total.max_us = merged.max_us();
+  } else {
+    std::vector<std::uint64_t> all;
+    for (auto& sh : shards) {
+      const auto& v = sh->sink().latencies();
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    std::sort(all.begin(), all.end());
+    const auto at = [&all](double p) {
+      return percentile_nearest_rank(all, p);
+    };
+    fm.total.p50_us = at(50.0);
+    fm.total.p90_us = at(90.0);
+    fm.total.p95_us = at(95.0);
+    fm.total.p99_us = at(99.0);
+    fm.total.max_us = at(100.0);
+  }
+  if (!fm.per_shard.empty()) {
+    fm.shard_util_min = fm.per_shard.front().utilization;
+    fm.shard_util_max = fm.per_shard.front().utilization;
+    for (const auto& s : fm.per_shard) {
+      fm.shard_util_min = std::min(fm.shard_util_min, s.utilization);
+      fm.shard_util_max = std::max(fm.shard_util_max, s.utilization);
+    }
+  }
+  VITBIT_CHECK_MSG(
+      fm.total.offered == fm.total.completed + fm.total.dropped + fm.total.shed,
+      "fleet request conservation violated at drain: offered "
+          << fm.total.offered << " != completed " << fm.total.completed
+          << " + dropped " << fm.total.dropped << " + shed " << fm.total.shed);
+  return fm;
+}
+
+std::vector<FleetPoint> run_fleet_sweep(const FleetSweepConfig& cfg,
+                                        const arch::OrinSpec& spec,
+                                        const arch::Calibration& calib,
+                                        ThreadPool* pool) {
+  VITBIT_CHECK_MSG(!cfg.routes.empty(), "fleet sweep needs >= 1 route");
+  VITBIT_CHECK_MSG(!cfg.rates_rps.empty(), "fleet sweep needs >= 1 rate");
+  cfg.fleet.validate();
+
+  // Phase 1: memoized latency tables — the swept strategy, plus the
+  // fallback when degraded-mode failover is on and it differs.
+  const bool degrade_on = cfg.fleet.shard.faults.degrade_below_live > 0;
+  std::vector<core::Strategy> to_build = {cfg.strategy};
+  if (degrade_on && cfg.fallback_strategy != cfg.strategy)
+    to_build.push_back(cfg.fallback_strategy);
+  const auto tables =
+      build_latency_tables(cfg.model, to_build, cfg.strategy_cfg, spec, calib,
+                           cfg.fleet.shard.batcher.max_batch_size, pool);
+  const LatencyTable* fallback =
+      degrade_on ? &tables[to_build.size() - 1] : nullptr;
+  if (degrade_on && cfg.fallback_strategy == cfg.strategy)
+    fallback = &tables[0];
+
+  // Phase 2: one single-threaded fleet loop per (route, rate) point,
+  // fanned out over the pool in index order. Every point regenerates the
+  // workload from the shared seed, so all policies at one rate face
+  // byte-identical request streams.
+  const auto n_routes = cfg.routes.size();
+  const auto n_rates = cfg.rates_rps.size();
+  return parallel_map(pool, n_routes * n_rates, [&](std::size_t i) {
+    const std::size_t ri = i / n_rates;
+    const std::size_t r = i % n_rates;
+    WorkloadConfig w = cfg.workload;
+    w.rate_rps = cfg.rates_rps[r];
+    FleetConfig fc = cfg.fleet;
+    fc.route = cfg.routes[ri];
+    FleetPoint point;
+    point.route = cfg.routes[ri];
+    point.rate_rps = cfg.rates_rps[r];
+    point.metrics = simulate_fleet(w, tables[0], fc, fallback);
+    return point;
+  });
+}
+
+Table fleet_table(const FleetSweepConfig& cfg,
+                  const std::vector<FleetPoint>& points) {
+  Table t("fleet simulation — " + std::to_string(cfg.fleet.num_shards) +
+          " shards, " + core::strategy_name(cfg.strategy) + ", " +
+          arrival_kind_name(cfg.workload.kind) + " arrivals");
+  std::vector<std::string> header = {"rate (req/s)"};
+  for (const auto r : cfg.routes) {
+    const std::string name = route_policy_name(r);
+    header.push_back(name + " goodput");
+    header.push_back(name + " p99 (ms)");
+    header.push_back(name + " drop %");
+    header.push_back(name + " util spread");
+  }
+  t.header(std::move(header));
+  const auto n_rates = cfg.rates_rps.size();
+  for (std::size_t r = 0; r < n_rates; ++r) {
+    auto& row = t.row();
+    row.cell(cfg.rates_rps[r], 1);
+    for (std::size_t ri = 0; ri < cfg.routes.size(); ++ri) {
+      const auto& m = points[ri * n_rates + r].metrics;
+      row.cell(m.total.goodput_rps, 1)
+          .cell(static_cast<double>(m.total.p99_us) / 1e3, 3)
+          .cell(m.total.drop_rate * 100.0, 2)
+          .cell(m.shard_util_max - m.shard_util_min, 3);
+    }
+  }
+  return t;
+}
+
+FleetSweepConfig fleet_config_from_cli(const Cli& cli) {
+  FleetSweepConfig cfg;
+  cfg.model = nn::vit_base();
+  cfg.model.num_layers =
+      static_cast<int>(cli.get_int("layers", cfg.model.num_layers));
+
+  const std::string strat = cli.get("strategy", "VitBit");
+  bool found = false;
+  for (const auto s : core::all_strategies())
+    if (strat == core::strategy_name(s)) {
+      cfg.strategy = s;
+      found = true;
+      break;
+    }
+  VITBIT_CHECK_MSG(found, "unknown strategy: " << strat);
+
+  if (cli.has("routes"))
+    cfg.routes = parse_route_list(cli.get("routes", ""));
+  else if (cli.has("route"))
+    cfg.routes = {route_policy_from_name(cli.get("route", ""))};
+  if (cli.has("rates"))
+    cfg.rates_rps = parse_rate_list(cli.get("rates", ""));
+  else if (cli.has("rate"))
+    cfg.rates_rps = {cli.get_double("rate", 0.0)};
+  cfg.workload.kind = arrival_kind_from_name(cli.get("arrival", "poisson"));
+  cfg.workload.duration_s = cli.get_double("duration-s", 2.0);
+  cfg.workload.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  auto& fleet = cfg.fleet;
+  fleet.num_shards = static_cast<int>(cli.get_int("shards", 4));
+  fleet.route_seed = static_cast<std::uint64_t>(cli.get_int("route-seed", 1));
+  fleet.percentiles = cli.get_bool("exact", false) ? PercentileMode::kExact
+                                                   : PercentileMode::kSketch;
+  fleet.shard.policy = cli.get("policy", "timeout");
+  fleet.shard.batcher.max_batch_size =
+      static_cast<int>(cli.get_int("max-batch", 8));
+  fleet.shard.batcher.batch_timeout_us =
+      static_cast<std::uint64_t>(cli.get_int("batch-timeout-us", 2000));
+  fleet.shard.batcher.queue_capacity =
+      static_cast<int>(cli.get_int("queue-capacity", 64));
+  fleet.shard.num_gpus = static_cast<int>(cli.get_int("replicas", 1));
+  fleet.shard.slo_us =
+      static_cast<std::uint64_t>(cli.get_int("slo-us", 50000));
+
+  auto& f = fleet.shard.faults;
+  f.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  f.replica_mtbf_s = cli.get_double("mtbf-s", 0.0);
+  f.replica_mttr_s = cli.get_double("mttr-s", 0.05);
+  f.batch_failure_prob = cli.get_double("batch-fail-prob", 0.0);
+  f.latency_spike_prob = cli.get_double("spike-prob", 0.0);
+  f.latency_spike_mult = cli.get_double("spike-mult", 4.0);
+  f.max_retries = static_cast<int>(cli.get_int("max-retries", 2));
+  f.retry_backoff_us =
+      static_cast<std::uint64_t>(cli.get_int("retry-backoff-us", 1000));
+  f.degrade_below_live = static_cast<int>(cli.get_int("degrade-below", 0));
+
+  auto& as = fleet.autoscale;
+  as.min_replicas =
+      static_cast<int>(cli.get_int("min-replicas", fleet.shard.num_gpus));
+  as.max_replicas =
+      static_cast<int>(cli.get_int("max-replicas", as.min_replicas));
+  as.interval_us =
+      static_cast<std::uint64_t>(cli.get_int("scale-interval-us", 50000));
+  as.up_queue_depth =
+      static_cast<std::size_t>(cli.get_int("scale-up-depth", 16));
+  as.down_queue_depth =
+      static_cast<std::size_t>(cli.get_int("scale-down-depth", 2));
+  as.up_p99_us = static_cast<std::uint64_t>(cli.get_int("scale-p99-us", 0));
+  as.cooldown_us =
+      static_cast<std::uint64_t>(cli.get_int("scale-cooldown-us", 200000));
+
+  const std::string fb = cli.get("fallback", "TC");
+  found = false;
+  for (const auto s : core::all_strategies())
+    if (fb == core::strategy_name(s)) {
+      cfg.fallback_strategy = s;
+      found = true;
+      break;
+    }
+  VITBIT_CHECK_MSG(found, "unknown fallback strategy: " << fb);
+
+  cfg.fleet.validate();
+  return cfg;
+}
+
+report::RunReport make_fleet_report(const FleetSweepConfig& cfg,
+                                    const std::vector<FleetPoint>& points,
+                                    const std::string& tool, int threads) {
+  report::RunReport rep;
+  rep.tool = tool;
+  rep.meta = report::build_metadata();
+  rep.meta["model"] = "vit";
+  rep.meta["layers"] = std::to_string(cfg.model.num_layers);
+  rep.meta["strategy"] = core::strategy_name(cfg.strategy);
+  rep.meta["arrival"] = arrival_kind_name(cfg.workload.kind);
+  rep.meta["duration_s"] = fmt_rate(cfg.workload.duration_s);
+  rep.meta["seed"] = std::to_string(cfg.workload.seed);
+  rep.meta["shards"] = std::to_string(cfg.fleet.num_shards);
+  rep.meta["route_seed"] = std::to_string(cfg.fleet.route_seed);
+  rep.meta["percentiles"] =
+      cfg.fleet.percentiles == PercentileMode::kSketch ? "sketch" : "exact";
+  rep.meta["policy"] = cfg.fleet.shard.policy;
+  rep.meta["max_batch_size"] =
+      std::to_string(cfg.fleet.shard.batcher.max_batch_size);
+  rep.meta["batch_timeout_us"] =
+      std::to_string(cfg.fleet.shard.batcher.batch_timeout_us);
+  rep.meta["queue_capacity"] =
+      std::to_string(cfg.fleet.shard.batcher.queue_capacity);
+  rep.meta["replicas"] = std::to_string(cfg.fleet.shard.num_gpus);
+  rep.meta["slo_us"] = std::to_string(cfg.fleet.shard.slo_us);
+  const auto& f = cfg.fleet.shard.faults;
+  rep.meta["fault_seed"] = std::to_string(f.seed);
+  rep.meta["mtbf_s"] = fmt_rate(f.replica_mtbf_s);
+  rep.meta["mttr_s"] = fmt_rate(f.replica_mttr_s);
+  rep.meta["batch_fail_prob"] = fmt_rate(f.batch_failure_prob);
+  rep.meta["spike_prob"] = fmt_rate(f.latency_spike_prob);
+  rep.meta["spike_mult"] = fmt_rate(f.latency_spike_mult);
+  rep.meta["max_retries"] = std::to_string(f.max_retries);
+  rep.meta["retry_backoff_us"] = std::to_string(f.retry_backoff_us);
+  rep.meta["degrade_below_live"] = std::to_string(f.degrade_below_live);
+  rep.meta["fallback"] = core::strategy_name(cfg.fallback_strategy);
+  const auto& as = cfg.fleet.autoscale;
+  rep.meta["min_replicas"] = std::to_string(as.min_replicas);
+  rep.meta["max_replicas"] = std::to_string(as.max_replicas);
+  rep.meta["scale_interval_us"] = std::to_string(as.interval_us);
+  rep.meta["scale_up_depth"] = std::to_string(as.up_queue_depth);
+  rep.meta["scale_down_depth"] = std::to_string(as.down_queue_depth);
+  rep.meta["scale_p99_us"] = std::to_string(as.up_p99_us);
+  rep.meta["scale_cooldown_us"] = std::to_string(as.cooldown_us);
+  rep.threads = threads;
+  for (const auto& p : points) {
+    report::FleetPointReport fp;
+    fp.strategy = core::strategy_name(cfg.strategy);
+    fp.route = route_policy_name(p.route);
+    fp.policy = cfg.fleet.shard.policy;
+    fp.arrival = arrival_kind_name(cfg.workload.kind);
+    fp.rate_rps = p.rate_rps;
+    const auto& m = p.metrics.total;
+    fp.offered = m.offered;
+    fp.completed = m.completed;
+    fp.dropped = m.dropped;
+    fp.shed = m.shed;
+    fp.batches = m.batches;
+    fp.mean_batch_size = m.mean_batch_size;
+    fp.drop_rate = m.drop_rate;
+    fp.throughput_rps = m.throughput_rps;
+    fp.goodput_rps = m.goodput_rps;
+    fp.utilization = m.utilization;
+    fp.mean_queue_depth = m.mean_queue_depth;
+    fp.max_queue_depth = m.max_queue_depth;
+    fp.p50_us = m.p50_us;
+    fp.p90_us = m.p90_us;
+    fp.p95_us = m.p95_us;
+    fp.p99_us = m.p99_us;
+    fp.scale_ups = p.metrics.scale_ups;
+    fp.scale_downs = p.metrics.scale_downs;
+    fp.shard_util_min = p.metrics.shard_util_min;
+    fp.shard_util_max = p.metrics.shard_util_max;
+    rep.fleet_points.push_back(std::move(fp));
+  }
+  return rep;
+}
+
+}  // namespace vitbit::serve

@@ -1,0 +1,134 @@
+// Fleet tier of the serving simulator: many ShardSims (serve/server.h)
+// interleaved in one global virtual-time loop, fed by a Router
+// (serve/router.h) that picks a shard per arrival, with optional reactive
+// autoscaling per shard. This is where the single-node goodput story
+// scales out: the fleet sweep compares balancing policies (rr vs jsq vs
+// po2c) at rates and request counts no single replica could absorb.
+//
+// Determinism contract, extended from serve/server.h: the fleet loop is
+// single-threaded per sweep point (live-load routing couples the shards,
+// so they cannot be simulated independently), shards step in index order
+// at every timestamp, router randomness is a pure function of
+// (seed, policy, request id), and per-shard percentile sketches merge in
+// shard-index order. Parallelism only fans out over sweep points through
+// ThreadPool::parallel_map, so fleet reports are byte-identical at every
+// --threads value.
+//
+// Memory contract: arrivals stream through WorkloadStream and latencies
+// stream through P² sketches (serve/sketch.h), so peak sink memory is
+// independent of the request count — 10^7-request sweep points run in the
+// same footprint as 10^3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace vitbit::serve {
+
+struct FleetConfig {
+  int num_shards = 4;
+  RoutePolicy route = RoutePolicy::kJsq;
+  // Seed of the router's per-request random streams (random / po2c).
+  std::uint64_t route_seed = 1;
+  // Per-shard server knobs. Each shard derives its own fault stream from
+  // shard.faults.seed and its shard index, so shards fail independently.
+  ServerConfig shard;
+  AutoscaleConfig autoscale;
+  PercentileMode percentiles = PercentileMode::kSketch;
+
+  void validate() const;
+};
+
+struct FleetMetrics {
+  // Span-weighted fleet aggregate (see aggregate_shard_metrics), with
+  // latency percentiles over all shards' completions: merged sketches in
+  // kSketch mode, exact nearest-rank over the concatenated samples in
+  // kExact mode.
+  ServeMetrics total;
+  std::vector<ServeMetrics> per_shard;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  // Spread of per-shard utilization — the balance quality signal the
+  // policy comparison tables report.
+  double shard_util_min = 0.0;
+  double shard_util_max = 0.0;
+};
+
+// Aggregates per-shard metrics into one fleet-level ServeMetrics. Counts
+// add. Ratios are weighted by each shard's virtual-time span, never
+// averaged naively: utilization = sum busy / sum replica-time (a shard
+// that served twice as long counts twice as much) and mean queue depth =
+// sum depth-integral / sum shard spans. Rates divide by the fleet
+// makespan `end_us`. Latency percentiles are NOT filled in here — the
+// caller owns those (they need the shards' sketches or raw samples).
+// Exposed for fleet_test's two-shard unequal-duration case.
+ServeMetrics aggregate_shard_metrics(const std::vector<ServeMetrics>& shards,
+                                     std::uint64_t end_us);
+
+// Runs the fleet loop over one workload until fully drained. `latency`
+// must cover shard.batcher.max_batch_size; `fallback` follows the same
+// rules as simulate_server.
+FleetMetrics simulate_fleet(const WorkloadConfig& workload,
+                            const LatencyTable& latency,
+                            const FleetConfig& cfg,
+                            const LatencyTable* fallback = nullptr);
+
+// A (route-policy x arrival-rate) sweep over one model, strategy, and
+// fleet config — the fleet analogue of SweepConfig.
+struct FleetSweepConfig {
+  nn::VitConfig model;
+  core::StrategyConfig strategy_cfg;
+  core::Strategy strategy = core::Strategy::kVitBit;
+  std::vector<RoutePolicy> routes = {RoutePolicy::kRoundRobin,
+                                     RoutePolicy::kJsq, RoutePolicy::kPo2c};
+  std::vector<double> rates_rps = {2000, 4000, 8000};
+  // rate_rps is overridden per sweep point; kind/duration/seed are shared
+  // so every policy faces byte-identical request streams.
+  WorkloadConfig workload;
+  FleetConfig fleet;
+  // Degraded-mode strategy when fleet.shard.faults.degrade_below_live > 0.
+  core::Strategy fallback_strategy = core::Strategy::kTC;
+};
+
+struct FleetPoint {
+  RoutePolicy route = RoutePolicy::kJsq;
+  double rate_rps = 0.0;
+  FleetMetrics metrics;
+};
+
+// Phase 1 memoizes the strategy (and fallback) latency tables; phase 2
+// runs the fleet loop per (route, rate) point over `pool` in index order.
+std::vector<FleetPoint> run_fleet_sweep(const FleetSweepConfig& cfg,
+                                        const arch::OrinSpec& spec,
+                                        const arch::Calibration& calib,
+                                        ThreadPool* pool = nullptr);
+
+// Console rendering: one row per rate, goodput / p99 / drop / utilization
+// spread per route policy (column groups follow cfg.routes order).
+Table fleet_table(const FleetSweepConfig& cfg,
+                  const std::vector<FleetPoint>& points);
+
+// Shared flag set of fleet_sim and `vitbit_cli fleet`: the serve flags
+// (--layers, --rates/--rate, --arrival, --duration-s, --seed, --policy,
+// --max-batch, --batch-timeout-us, --queue-capacity, --slo-us, fault
+// knobs, --fallback) plus the fleet knobs: --shards, --routes/--route,
+// --route-seed, --strategy, --replicas (per-shard GPUs), --exact (exact
+// percentiles instead of P² sketches), and the autoscaling knobs
+// (--min-replicas, --max-replicas, --scale-interval-us, --scale-up-depth,
+// --scale-down-depth, --scale-p99-us, --scale-cooldown-us). Autoscaling
+// turns on when --max-replicas exceeds --min-replicas. Validates the
+// assembled config before returning.
+FleetSweepConfig fleet_config_from_cli(const Cli& cli);
+
+// Schema-versioned run report carrying one FleetPointReport per sweep
+// point plus the sweep's full knob set in meta (the baseline gate
+// requires meta to match exactly). host_wall_seconds is left 0.
+report::RunReport make_fleet_report(const FleetSweepConfig& cfg,
+                                    const std::vector<FleetPoint>& points,
+                                    const std::string& tool, int threads);
+
+}  // namespace vitbit::serve

@@ -32,6 +32,14 @@ std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
   return percentile_sorted(samples, p);
 }
 
+MetricsSink::MetricsSink(PercentileMode mode, std::uint64_t slo_us)
+    : mode_(mode), slo_us_(slo_us) {
+  if (mode_ == PercentileMode::kSketch)
+    VITBIT_CHECK_MSG(slo_us_ >= 1,
+                     "kSketch mode needs the SLO up front (within-SLO "
+                     "counts accumulate per completion)");
+}
+
 void MetricsSink::on_queue_depth(std::uint64_t now_us, std::size_t depth) {
   VITBIT_CHECK_MSG(now_us >= last_depth_change_us_,
                    "queue-depth samples must be time-ordered");
@@ -51,15 +59,43 @@ void MetricsSink::on_batch(std::size_t size, std::uint64_t busy_us) {
 void MetricsSink::on_completion(std::uint64_t arrival_us,
                                 std::uint64_t done_us) {
   VITBIT_CHECK_MSG(done_us >= arrival_us, "completion precedes arrival");
-  latencies_us_.push_back(done_us - arrival_us);
+  const std::uint64_t lat = done_us - arrival_us;
+  ++completed_;
+  if (mode_ == PercentileMode::kExact) {
+    latencies_us_.push_back(lat);
+    return;
+  }
+  sketch_.add(lat);
+  if (lat <= slo_us_) ++within_slo_;
+}
+
+std::uint64_t MetricsSink::running_p99_us() const {
+  if (mode_ == PercentileMode::kSketch) return sketch_.percentile_us(99.0);
+  return percentile_nearest_rank(latencies_us_, 99.0);
+}
+
+const LatencySketch& MetricsSink::sketch() const {
+  VITBIT_CHECK_MSG(mode_ == PercentileMode::kSketch,
+                   "sketch() is only available in kSketch mode");
+  return sketch_;
+}
+
+const std::vector<std::uint64_t>& MetricsSink::latencies() const {
+  VITBIT_CHECK_MSG(mode_ == PercentileMode::kExact,
+                   "latencies() is only available in kExact mode");
+  return latencies_us_;
 }
 
 ServeMetrics MetricsSink::finalize(int num_replicas, std::uint64_t end_us,
                                    std::uint64_t slo_us) const {
   VITBIT_CHECK(num_replicas >= 1);
+  if (mode_ == PercentileMode::kSketch)
+    VITBIT_CHECK_MSG(slo_us == slo_us_,
+                     "finalize slo_us " << slo_us << " != the sink's "
+                                        << slo_us_);
   ServeMetrics m;
   m.offered = offered_;
-  m.completed = latencies_us_.size();
+  m.completed = completed_;
   m.dropped = dropped_;
   m.batch_failures = batch_failures_;
   m.retries = retries_;
@@ -77,30 +113,52 @@ ServeMetrics MetricsSink::finalize(int num_replicas, std::uint64_t end_us,
                               : static_cast<double>(dropped_) /
                                     static_cast<double>(offered_);
   m.max_queue_depth = max_depth_;
+  m.busy_us = busy_us_;
+  m.batched_requests = batched_requests_;
+  m.end_us = end_us;
+  m.replica_time_us = replica_time_us_ != 0
+                          ? replica_time_us_
+                          : static_cast<std::uint64_t>(num_replicas) * end_us;
+  // The tail after the last depth change counts at that depth.
+  m.depth_integral_us =
+      depth_integral_ +
+      static_cast<std::uint64_t>(last_depth_) *
+          (end_us - std::min(last_depth_change_us_, end_us));
   if (end_us > 0) {
-    // The tail after the last depth change counts at that depth.
-    const std::uint64_t integral =
-        depth_integral_ +
-        static_cast<std::uint64_t>(last_depth_) *
-            (end_us - std::min(last_depth_change_us_, end_us));
-    m.mean_queue_depth =
-        static_cast<double>(integral) / static_cast<double>(end_us);
+    m.mean_queue_depth = static_cast<double>(m.depth_integral_us) /
+                         static_cast<double>(end_us);
     m.throughput_rps = static_cast<double>(m.completed) / m.duration_s;
-    std::uint64_t within_slo = 0;
-    for (const auto lat : latencies_us_)
-      if (lat <= slo_us) ++within_slo;
+    std::uint64_t within_slo = within_slo_;
+    if (mode_ == PercentileMode::kExact) {
+      within_slo = 0;
+      for (const auto lat : latencies_us_)
+        if (lat <= slo_us) ++within_slo;
+    }
+    m.within_slo = within_slo;
     m.goodput_rps = static_cast<double>(within_slo) / m.duration_s;
-    m.utilization = static_cast<double>(busy_us_) /
-                    (static_cast<double>(num_replicas) *
-                     static_cast<double>(end_us));
+    m.utilization =
+        replica_time_us_ != 0
+            ? static_cast<double>(busy_us_) /
+                  static_cast<double>(replica_time_us_)
+            : static_cast<double>(busy_us_) /
+                  (static_cast<double>(num_replicas) *
+                   static_cast<double>(end_us));
   }
-  auto sorted = latencies_us_;
-  std::sort(sorted.begin(), sorted.end());
-  m.p50_us = percentile_sorted(sorted, 50.0);
-  m.p90_us = percentile_sorted(sorted, 90.0);
-  m.p95_us = percentile_sorted(sorted, 95.0);
-  m.p99_us = percentile_sorted(sorted, 99.0);
-  m.max_us = percentile_sorted(sorted, 100.0);
+  if (mode_ == PercentileMode::kExact) {
+    auto sorted = latencies_us_;
+    std::sort(sorted.begin(), sorted.end());
+    m.p50_us = percentile_sorted(sorted, 50.0);
+    m.p90_us = percentile_sorted(sorted, 90.0);
+    m.p95_us = percentile_sorted(sorted, 95.0);
+    m.p99_us = percentile_sorted(sorted, 99.0);
+    m.max_us = percentile_sorted(sorted, 100.0);
+  } else {
+    m.p50_us = sketch_.percentile_us(50.0);
+    m.p90_us = sketch_.percentile_us(90.0);
+    m.p95_us = sketch_.percentile_us(95.0);
+    m.p99_us = sketch_.percentile_us(99.0);
+    m.max_us = sketch_.max_us();
+  }
   return m;
 }
 

@@ -1,0 +1,103 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vitbit::serve {
+
+namespace {
+
+// Disjoint per-request random streams: golden-ratio stride over the
+// request id, a policy-tagged offset, and the user seed, then the Rng's
+// own splitmix scrambling on top. Same recipe as the per-replica fault
+// streams (serve/faults.cpp).
+std::uint64_t request_stream_seed(std::uint64_t seed, RoutePolicy policy,
+                                  std::uint64_t request_id) {
+  return seed + 0x9e3779b97f4a7c15ull * (request_id + 1) +
+         0xd1b54a32d192ed03ull * static_cast<std::uint64_t>(policy);
+}
+
+}  // namespace
+
+const char* route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRandom:
+      return "random";
+    case RoutePolicy::kRoundRobin:
+      return "rr";
+    case RoutePolicy::kJsq:
+      return "jsq";
+    case RoutePolicy::kPo2c:
+      return "po2c";
+  }
+  return "?";
+}
+
+RoutePolicy route_policy_from_name(const std::string& name) {
+  if (name == "random") return RoutePolicy::kRandom;
+  if (name == "rr") return RoutePolicy::kRoundRobin;
+  if (name == "jsq") return RoutePolicy::kJsq;
+  if (name == "po2c") return RoutePolicy::kPo2c;
+  VITBIT_CHECK_MSG(false, "unknown route policy: "
+                              << name << " (want random|rr|jsq|po2c)");
+  return RoutePolicy::kRandom;
+}
+
+std::vector<RoutePolicy> parse_route_list(const std::string& spec) {
+  std::vector<RoutePolicy> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    VITBIT_CHECK_MSG(!item.empty(), "empty entry in route list: " << spec);
+    out.push_back(route_policy_from_name(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Router::Router(RoutePolicy policy, std::uint64_t seed, int num_shards)
+    : policy_(policy), seed_(seed), num_shards_(num_shards) {
+  VITBIT_CHECK_MSG(num_shards_ >= 1, "router needs >= 1 shard");
+}
+
+int Router::route(const Request& req,
+                  const std::vector<std::size_t>& loads) const {
+  VITBIT_CHECK_MSG(loads.size() == static_cast<std::size_t>(num_shards_),
+                   "router got " << loads.size() << " loads for "
+                                 << num_shards_ << " shards");
+  const auto n = static_cast<std::uint64_t>(num_shards_);
+  switch (policy_) {
+    case RoutePolicy::kRandom: {
+      Rng rng(request_stream_seed(seed_, policy_, req.id));
+      return static_cast<int>(rng.below(n));
+    }
+    case RoutePolicy::kRoundRobin:
+      return static_cast<int>(req.id % n);
+    case RoutePolicy::kJsq: {
+      int best = 0;
+      for (int s = 1; s < num_shards_; ++s)
+        if (loads[static_cast<std::size_t>(s)] <
+            loads[static_cast<std::size_t>(best)])
+          best = s;
+      return best;
+    }
+    case RoutePolicy::kPo2c: {
+      Rng rng(request_stream_seed(seed_, policy_, req.id));
+      const auto a = static_cast<int>(rng.below(n));
+      const auto b = static_cast<int>(rng.below(n));
+      const auto la = loads[static_cast<std::size_t>(a)];
+      const auto lb = loads[static_cast<std::size_t>(b)];
+      if (la != lb) return la < lb ? a : b;
+      return std::min(a, b);
+    }
+  }
+  VITBIT_CHECK_MSG(false, "unreachable route policy");
+  return 0;
+}
+
+}  // namespace vitbit::serve

@@ -98,216 +98,308 @@ void ServerConfig::validate() const {
   make_policy(policy);  // throws on an unknown name
 }
 
-namespace {
+void AutoscaleConfig::validate() const {
+  VITBIT_CHECK_MSG(min_replicas >= 1, "min_replicas must be >= 1");
+  VITBIT_CHECK_MSG(max_replicas >= min_replicas,
+                   "max_replicas " << max_replicas << " below min_replicas "
+                                   << min_replicas);
+  if (!enabled()) return;
+  VITBIT_CHECK_MSG(interval_us >= 1, "autoscale interval must be >= 1 us");
+  VITBIT_CHECK_MSG(down_queue_depth <= up_queue_depth,
+                   "down_queue_depth " << down_queue_depth
+                                       << " above up_queue_depth "
+                                       << up_queue_depth
+                                       << " (hysteresis inverted)");
+}
 
-// One batch executing on a replica; `fail` is its predrawn transient fate.
-struct InFlight {
-  bool active = false;
-  bool fail = false;
-  std::uint64_t started_us = 0;
-  std::uint64_t done_us = 0;
-  std::vector<Request> batch;
-};
-
-// Requeue scheduled after retry backoff; a min-heap keyed on
-// (ready time, request id) keeps the requeue order deterministic.
-struct RetryEntry {
-  std::uint64_t ready_us = 0;
-  Request req;
-};
-
-struct RetryLater {
-  bool operator()(const RetryEntry& a, const RetryEntry& b) const {
-    if (a.ready_us != b.ready_us) return a.ready_us > b.ready_us;
-    return a.req.id > b.req.id;
+ShardSim::ShardSim(const LatencyTable& latency, const ServerConfig& cfg,
+                   const LatencyTable* fallback, PercentileMode mode,
+                   const AutoscaleConfig& autoscale)
+    : latency_(latency),
+      fallback_(fallback),
+      cfg_(cfg),
+      as_(autoscale),
+      policy_(make_policy(cfg.policy)),
+      queue_(cfg.batcher.queue_capacity),
+      sink_(mode, mode == PercentileMode::kSketch ? cfg.slo_us : 0),
+      faults_(cfg.faults,
+              autoscale.enabled() ? autoscale.max_replicas : cfg.num_gpus),
+      running_(static_cast<std::size_t>(
+          autoscale.enabled() ? autoscale.max_replicas : cfg.num_gpus)),
+      policy_wake_us_(kNever) {
+  cfg_.validate();
+  as_.validate();
+  VITBIT_CHECK_MSG(latency_.max_batch() >= cfg_.batcher.max_batch_size,
+                   "latency table covers batches up to "
+                       << latency_.max_batch() << ", batcher needs "
+                       << cfg_.batcher.max_batch_size);
+  if (cfg_.faults.degrade_below_live > 0) {
+    VITBIT_CHECK_MSG(fallback_ != nullptr,
+                     "degrade_below_live > 0 requires a fallback table");
+    VITBIT_CHECK_MSG(fallback_->max_batch() >= cfg_.batcher.max_batch_size,
+                     "fallback table covers batches up to "
+                         << fallback_->max_batch() << ", batcher needs "
+                         << cfg_.batcher.max_batch_size);
   }
-};
+  enabled_ = as_.enabled() ? std::clamp(cfg_.num_gpus, as_.min_replicas,
+                                        as_.max_replicas)
+                           : cfg_.num_gpus;
+  // The first evaluation lands one interval in; t = 0 has no signal yet.
+  next_autoscale_us_ = as_.interval_us;
+}
 
-}  // namespace
+// Routes a failed or aborted batch through the retry budget: each request
+// either schedules its next attempt after exponential backoff or is shed
+// when the budget or its SLO deadline is exhausted.
+void ShardSim::fail_batch(std::uint64_t t, std::vector<Request>&& batch) {
+  sink_.on_batch_failure();
+  for (auto& r : batch) {
+    const int attempt = r.attempt + 1;
+    if (attempt > cfg_.faults.max_retries) {
+      sink_.on_shed();
+      continue;
+    }
+    const std::uint64_t ready = t + faults_.retry_delay_us(attempt);
+    if (ready > r.arrival_us + cfg_.slo_us) {
+      sink_.on_shed();
+      continue;
+    }
+    sink_.on_retry();
+    r.attempt = attempt;
+    retries_.push_back({ready, r});
+    std::push_heap(retries_.begin(), retries_.end(), RetryLater{});
+  }
+}
+
+void ShardSim::accrue_replica_time(std::uint64_t now) {
+  replica_time_integral_us_ += static_cast<std::uint64_t>(enabled_) *
+                               (now - last_enabled_change_us_);
+  last_enabled_change_us_ = now;
+}
+
+int ShardSim::live_enabled() const {
+  int n = 0;
+  for (int g = 0; g < enabled_; ++g)
+    if (faults_.up(g)) ++n;
+  return n;
+}
+
+void ShardSim::begin_step(std::uint64_t now) {
+  // 1. Replica fault transitions due at `now` (lowest index first). A
+  // replica going down aborts its in-flight batch onto the retry path;
+  // the partial busy time still counts against utilization. Disabled
+  // replicas keep their schedules ticking but never hold work.
+  const int capacity = static_cast<int>(running_.size());
+  for (int g = 0; g < capacity; ++g) {
+    while (faults_.next_transition_us(g) <= now) {
+      faults_.advance(g);
+      touch(now);
+      auto& fl = running_[static_cast<std::size_t>(g)];
+      if (!faults_.up(g) && fl.active) {
+        sink_.on_batch(fl.batch.size(), now - fl.started_us);
+        in_flight_requests_ -= fl.batch.size();
+        fail_batch(now, std::move(fl.batch));
+        fl = InFlight{};
+      }
+    }
+  }
+  if (cfg_.faults.degrade_below_live > 0) {
+    const bool want = live_enabled() < cfg_.faults.degrade_below_live;
+    if (want && !degraded_) {
+      sink_.on_failover();
+      degraded_ = true;
+      degraded_since_ = now;
+    } else if (!want && degraded_) {
+      sink_.add_degraded_us(now - degraded_since_);
+      degraded_ = false;
+    }
+  }
+
+  // 2. Batch completions due at `now` (lowest replica index first).
+  // Failed batches requeue; successful ones record per-request latency.
+  for (auto& fl : running_) {
+    if (!fl.active || fl.done_us > now) continue;
+    sink_.on_batch(fl.batch.size(), fl.done_us - fl.started_us);
+    in_flight_requests_ -= fl.batch.size();
+    touch(now);
+    if (fl.fail) {
+      fail_batch(fl.done_us, std::move(fl.batch));
+    } else {
+      for (const auto& r : fl.batch)
+        sink_.on_completion(r.arrival_us, fl.done_us);
+    }
+    fl = InFlight{};
+  }
+}
+
+void ShardSim::maybe_autoscale(std::uint64_t now) {
+  if (!as_.enabled()) return;
+  while (next_autoscale_us_ <= now) {
+    const std::uint64_t t = next_autoscale_us_;
+    next_autoscale_us_ += as_.interval_us;
+    if (t < cooldown_until_us_) continue;
+    const std::size_t depth = queue_.depth();
+    const bool hot =
+        depth > as_.up_queue_depth ||
+        (as_.up_p99_us > 0 && sink_.running_p99_us() > as_.up_p99_us);
+    if (hot && enabled_ < as_.max_replicas) {
+      accrue_replica_time(t);
+      ++enabled_;
+      ++scale_ups_;
+      cooldown_until_us_ = t + as_.cooldown_us;
+      touch(t);
+      continue;
+    }
+    // Only a fully idle top replica is retired — never abort work.
+    if (!hot && depth <= as_.down_queue_depth &&
+        enabled_ > as_.min_replicas &&
+        !running_[static_cast<std::size_t>(enabled_ - 1)].active) {
+      accrue_replica_time(t);
+      --enabled_;
+      ++scale_downs_;
+      cooldown_until_us_ = t + as_.cooldown_us;
+      touch(t);
+    }
+  }
+}
+
+void ShardSim::admit(std::uint64_t now, const Request& r) {
+  touch(now);
+  sink_.on_offered();
+  if (queue_.offer(r))
+    sink_.on_queue_depth(now, queue_.depth());
+  else
+    sink_.on_drop();
+}
+
+void ShardSim::admit_due_retries(std::uint64_t now) {
+  // A full queue sheds retries rather than dropping them — the request
+  // was already admitted once and now exits the system for good.
+  while (!retries_.empty() && retries_.front().ready_us <= now) {
+    std::pop_heap(retries_.begin(), retries_.end(), RetryLater{});
+    const Request r = retries_.back().req;
+    retries_.pop_back();
+    touch(now);
+    if (queue_.offer(r)) {
+      sink_.on_requeue();
+      sink_.on_queue_depth(now, queue_.depth());
+    } else {
+      sink_.on_shed();
+    }
+  }
+}
+
+void ShardSim::dispatch(std::uint64_t now) {
+  // Dispatch onto idle live enabled replicas (lowest index first) while
+  // the policy agrees; its wake time bounds the idle stretch otherwise.
+  // Degraded mode charges new batches to the fallback table.
+  policy_wake_us_ = kNever;
+  while (!queue_.empty()) {
+    int idle = -1;
+    for (int g = 0; g < enabled_; ++g)
+      if (faults_.up(g) && !running_[static_cast<std::size_t>(g)].active) {
+        idle = g;
+        break;
+      }
+    if (idle < 0) break;
+    const auto decision = policy_->decide(now, queue_.depth(),
+                                          queue_.front().arrival_us,
+                                          cfg_.batcher);
+    if (!decision.dispatch) {
+      VITBIT_CHECK_MSG(decision.wake_us > now,
+                       "policy wait must wake strictly in the future");
+      policy_wake_us_ = decision.wake_us;
+      break;
+    }
+    auto batch = queue_.pop_batch(
+        static_cast<std::size_t>(cfg_.batcher.max_batch_size));
+    sink_.on_queue_depth(now, queue_.depth());
+    const LatencyTable& table = degraded_ ? *fallback_ : latency_;
+    const auto fate = faults_.draw_batch_fate();
+    std::uint64_t busy = table.latency_us(batch.size());
+    if (fate.spike) busy = faults_.spiked_latency_us(busy);
+    auto& fl = running_[static_cast<std::size_t>(idle)];
+    fl.active = true;
+    fl.fail = fate.fail;
+    fl.started_us = now;
+    fl.done_us = now + busy;
+    in_flight_requests_ += batch.size();
+    touch(now);
+    fl.batch = std::move(batch);
+  }
+}
+
+std::uint64_t ShardSim::next_internal_event_us() const {
+  std::uint64_t t = policy_wake_us_;
+  if (!retries_.empty()) t = std::min(t, retries_.front().ready_us);
+  for (const auto& fl : running_)
+    if (fl.active) t = std::min(t, fl.done_us);
+  return t;
+}
+
+std::uint64_t ShardSim::next_timer_us() const {
+  std::uint64_t t = kNever;
+  const int capacity = static_cast<int>(running_.size());
+  for (int g = 0; g < capacity; ++g)
+    t = std::min(t, faults_.next_transition_us(g));
+  if (as_.enabled()) t = std::min(t, next_autoscale_us_);
+  return t;
+}
+
+bool ShardSim::idle() const {
+  return queue_.empty() && retries_.empty() && in_flight_requests_ == 0;
+}
+
+ServeMetrics ShardSim::finalize(std::uint64_t end_us) {
+  if (degraded_) {
+    sink_.add_degraded_us(end_us - degraded_since_);
+    degraded_ = false;
+  }
+  if (as_.enabled()) {
+    accrue_replica_time(end_us);
+    sink_.add_replica_time_us(replica_time_integral_us_);
+  }
+  return sink_.finalize(cfg_.num_gpus, end_us, cfg_.slo_us);
+}
 
 ServeMetrics simulate_server(const std::vector<Request>& workload,
                              const LatencyTable& latency,
                              const ServerConfig& cfg,
                              const LatencyTable* fallback) {
-  cfg.validate();
-  VITBIT_CHECK_MSG(latency.max_batch() >= cfg.batcher.max_batch_size,
-                   "latency table covers batches up to "
-                       << latency.max_batch() << ", batcher needs "
-                       << cfg.batcher.max_batch_size);
-  const bool degrade_on = cfg.faults.degrade_below_live > 0;
-  if (degrade_on) {
-    VITBIT_CHECK_MSG(fallback != nullptr,
-                     "degrade_below_live > 0 requires a fallback table");
-    VITBIT_CHECK_MSG(fallback->max_batch() >= cfg.batcher.max_batch_size,
-                     "fallback table covers batches up to "
-                         << fallback->max_batch() << ", batcher needs "
-                         << cfg.batcher.max_batch_size);
-  }
-  const auto policy = make_policy(cfg.policy);
-  AdmissionQueue queue(cfg.batcher.queue_capacity);
-  MetricsSink sink;
-  FaultModel faults(cfg.faults, cfg.num_gpus);
-  std::vector<InFlight> running(static_cast<std::size_t>(cfg.num_gpus));
-  std::vector<RetryEntry> retries;  // min-heap via push_heap/pop_heap
-
-  // Routes a failed or aborted batch through the retry budget: each
-  // request either schedules its next attempt after exponential backoff
-  // or is shed when the budget or its SLO deadline is exhausted.
-  const auto fail_batch = [&](std::uint64_t t, std::vector<Request>&& batch) {
-    sink.on_batch_failure();
-    for (auto& r : batch) {
-      const int attempt = r.attempt + 1;
-      if (attempt > cfg.faults.max_retries) {
-        sink.on_shed();
-        continue;
-      }
-      const std::uint64_t ready = t + faults.retry_delay_us(attempt);
-      if (ready > r.arrival_us + cfg.slo_us) {
-        sink.on_shed();
-        continue;
-      }
-      sink.on_retry();
-      r.attempt = attempt;
-      retries.push_back({ready, r});
-      std::push_heap(retries.begin(), retries.end(), RetryLater{});
-    }
-  };
-
-  bool degraded = false;
-  std::uint64_t degraded_since = 0;
+  // The one-shard special case of the fleet loop (serve/cluster.h), kept
+  // as the canonical single-server entry point. The step order below is
+  // the determinism contract; reports are byte-identical to the
+  // pre-ShardSim loop.
+  ShardSim sim(latency, cfg, fallback);
   std::size_t next_arrival = 0;
   std::uint64_t now = 0;
   std::uint64_t end = 0;
   while (true) {
-    // 1. Replica fault transitions due at `now` (lowest index first). A
-    // replica going down aborts its in-flight batch onto the retry path;
-    // the partial busy time still counts against utilization.
-    for (int g = 0; g < cfg.num_gpus; ++g) {
-      while (faults.next_transition_us(g) <= now) {
-        faults.advance(g);
-        auto& fl = running[static_cast<std::size_t>(g)];
-        if (!faults.up(g) && fl.active) {
-          sink.on_batch(fl.batch.size(), now - fl.started_us);
-          fail_batch(now, std::move(fl.batch));
-          fl = InFlight{};
-        }
-      }
-    }
-    if (degrade_on) {
-      const bool want = faults.live() < cfg.faults.degrade_below_live;
-      if (want && !degraded) {
-        sink.on_failover();
-        degraded = true;
-        degraded_since = now;
-      } else if (!want && degraded) {
-        sink.add_degraded_us(now - degraded_since);
-        degraded = false;
-      }
-    }
-
-    // 2. Batch completions due at `now` (lowest replica index first).
-    // Failed batches requeue; successful ones record per-request latency.
-    for (auto& fl : running) {
-      if (!fl.active || fl.done_us > now) continue;
-      sink.on_batch(fl.batch.size(), fl.done_us - fl.started_us);
-      if (fl.fail) {
-        fail_batch(fl.done_us, std::move(fl.batch));
-      } else {
-        for (const auto& r : fl.batch)
-          sink.on_completion(r.arrival_us, fl.done_us);
-      }
-      fl = InFlight{};
-    }
-
-    // 3. Admissions due at `now`: fresh arrivals first (ties: arrivals
-    // land before dispatch decisions at the same timestamp), then retries
-    // whose backoff has elapsed, in (ready time, request id) order. A
-    // full queue drops fresh arrivals but sheds retries — the request was
-    // already admitted once and now exits the system for good.
+    sim.begin_step(now);
+    // Admissions due at `now`: fresh arrivals first (ties: arrivals land
+    // before dispatch decisions at the same timestamp), then retries
+    // whose backoff has elapsed, in (ready time, request id) order.
     while (next_arrival < workload.size() &&
-           workload[next_arrival].arrival_us <= now) {
-      sink.on_offered();
-      if (queue.offer(workload[next_arrival]))
-        sink.on_queue_depth(now, queue.depth());
-      else
-        sink.on_drop();
-      ++next_arrival;
-    }
-    while (!retries.empty() && retries.front().ready_us <= now) {
-      std::pop_heap(retries.begin(), retries.end(), RetryLater{});
-      const Request r = retries.back().req;
-      retries.pop_back();
-      if (queue.offer(r)) {
-        sink.on_requeue();
-        sink.on_queue_depth(now, queue.depth());
-      } else {
-        sink.on_shed();
-      }
-    }
-
-    // 4. Dispatch onto idle live replicas (lowest index first) while the
-    // policy agrees; its wake time bounds the idle stretch otherwise.
-    // Degraded mode charges new batches to the fallback table.
-    std::uint64_t policy_wake = kNever;
-    while (!queue.empty()) {
-      int idle = -1;
-      for (int g = 0; g < cfg.num_gpus; ++g)
-        if (faults.up(g) && !running[static_cast<std::size_t>(g)].active) {
-          idle = g;
-          break;
-        }
-      if (idle < 0) break;
-      const auto decision = policy->decide(now, queue.depth(),
-                                           queue.front().arrival_us,
-                                           cfg.batcher);
-      if (!decision.dispatch) {
-        VITBIT_CHECK_MSG(decision.wake_us > now,
-                         "policy wait must wake strictly in the future");
-        policy_wake = decision.wake_us;
-        break;
-      }
-      auto batch = queue.pop_batch(
-          static_cast<std::size_t>(cfg.batcher.max_batch_size));
-      sink.on_queue_depth(now, queue.depth());
-      const LatencyTable& table = degraded ? *fallback : latency;
-      const auto fate = faults.draw_batch_fate();
-      std::uint64_t busy = table.latency_us(batch.size());
-      if (fate.spike) busy = faults.spiked_latency_us(busy);
-      auto& fl = running[static_cast<std::size_t>(idle)];
-      fl.active = true;
-      fl.fail = fate.fail;
-      fl.started_us = now;
-      fl.done_us = now + busy;
-      fl.batch = std::move(batch);
-    }
-
-    // 5. Advance to the next event: an arrival, a retry coming due, a
-    // batch completion, the policy's wake-up, or a fault transition.
-    // Fault transitions only keep the loop alive while work remains —
-    // the infinite up/down schedule must not outlive the last request.
-    std::uint64_t t_next = policy_wake;
+           workload[next_arrival].arrival_us <= now)
+      sim.admit(now, workload[next_arrival++]);
+    sim.admit_due_retries(now);
+    sim.dispatch(now);
+    // Advance to the next event: an arrival, a retry coming due, a batch
+    // completion, the policy's wake-up, or a fault transition. Fault
+    // transitions only keep the loop alive while work remains — the
+    // infinite up/down schedule must not outlive the last request.
+    std::uint64_t t_next = sim.next_internal_event_us();
     if (next_arrival < workload.size())
       t_next = std::min(t_next, workload[next_arrival].arrival_us);
-    if (!retries.empty()) t_next = std::min(t_next, retries.front().ready_us);
-    bool inflight = false;
-    for (const auto& fl : running)
-      if (fl.active) {
-        inflight = true;
-        t_next = std::min(t_next, fl.done_us);
-      }
-    if (next_arrival >= workload.size() && retries.empty() && queue.empty() &&
-        !inflight)
-      break;  // drained
-    for (int g = 0; g < cfg.num_gpus; ++g)
-      t_next = std::min(t_next, faults.next_transition_us(g));
+    if (next_arrival >= workload.size() && sim.idle()) break;  // drained
+    t_next = std::min(t_next, sim.next_timer_us());
     VITBIT_CHECK_MSG(t_next != kNever && t_next > now,
                      "event loop failed to advance");
     now = t_next;
     end = std::max(end, now);
   }
-  if (degraded) sink.add_degraded_us(end - degraded_since);
 
-  const auto m = sink.finalize(cfg.num_gpus, end, cfg.slo_us);
+  const auto m = sim.finalize(end);
   VITBIT_CHECK_MSG(m.offered == m.completed + m.dropped + m.shed,
                    "request conservation violated at drain: offered "
                        << m.offered << " != completed " << m.completed

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "common/rng.h"
 
 namespace vitbit::serve {
 
@@ -37,65 +36,81 @@ ArrivalKind arrival_kind_from_name(const std::string& name) {
   return ArrivalKind::kPoisson;
 }
 
-std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
-  VITBIT_CHECK_MSG(cfg.rate_rps > 0.0, "workload rate must be > 0");
-  VITBIT_CHECK_MSG(cfg.duration_s > 0.0, "workload duration must be > 0");
-  Rng rng(cfg.seed);
-  std::vector<Request> out;
-  auto emit = [&](double t) {
-    out.push_back({static_cast<std::uint64_t>(out.size()), to_us(t)});
-  };
+WorkloadStream::WorkloadStream(const WorkloadConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  VITBIT_CHECK_MSG(cfg_.rate_rps > 0.0, "workload rate must be > 0");
+  VITBIT_CHECK_MSG(cfg_.duration_s > 0.0, "workload duration must be > 0");
+  if (cfg_.kind == ArrivalKind::kBursty) {
+    VITBIT_CHECK_MSG(cfg_.burst_on_s > 0.0 && cfg_.burst_off_s > 0.0,
+                     "bursty phase means must be > 0");
+    // Scale the on-phase rate so the duty-cycled average is rate_rps.
+    on_rate_ = cfg_.rate_rps * (cfg_.burst_on_s + cfg_.burst_off_s) /
+               cfg_.burst_on_s;
+    phase_end_s_ = rng_.exp_double(1.0 / cfg_.burst_on_s);
+  }
+  advance();
+}
 
-  switch (cfg.kind) {
+std::uint64_t WorkloadStream::peek_arrival_us() const {
+  VITBIT_CHECK_MSG(has_next_, "peek past the end of the workload stream");
+  return pending_.arrival_us;
+}
+
+Request WorkloadStream::next() {
+  VITBIT_CHECK_MSG(has_next_, "next past the end of the workload stream");
+  const Request out = pending_;
+  advance();
+  return out;
+}
+
+// Draw-for-draw identical to the pre-streaming generate_workload loops,
+// restated as one resumable step per emitted request.
+void WorkloadStream::advance() {
+  has_next_ = false;
+  switch (cfg_.kind) {
     case ArrivalKind::kPoisson: {
-      double t = rng.exp_double(cfg.rate_rps);
-      while (t < cfg.duration_s) {
-        emit(t);
-        t += rng.exp_double(cfg.rate_rps);
-      }
+      now_s_ += rng_.exp_double(cfg_.rate_rps);
+      if (now_s_ >= cfg_.duration_s) return;
       break;
     }
     case ArrivalKind::kUniform: {
-      const double mean = 1.0 / cfg.rate_rps;
-      double t = rng.uniform(0.5 * mean, 1.5 * mean);
-      while (t < cfg.duration_s) {
-        emit(t);
-        t += rng.uniform(0.5 * mean, 1.5 * mean);
-      }
+      const double mean = 1.0 / cfg_.rate_rps;
+      now_s_ += rng_.uniform(0.5 * mean, 1.5 * mean);
+      if (now_s_ >= cfg_.duration_s) return;
       break;
     }
     case ArrivalKind::kBursty: {
-      VITBIT_CHECK_MSG(cfg.burst_on_s > 0.0 && cfg.burst_off_s > 0.0,
-                       "bursty phase means must be > 0");
-      // Scale the on-phase rate so the duty-cycled average is rate_rps.
-      const double on_rate = cfg.rate_rps *
-                             (cfg.burst_on_s + cfg.burst_off_s) /
-                             cfg.burst_on_s;
-      double now = 0.0;
-      bool on = true;
-      double phase_end = rng.exp_double(1.0 / cfg.burst_on_s);
-      while (now < cfg.duration_s) {
-        if (!on) {
-          now = phase_end;
-          on = true;
-          phase_end = now + rng.exp_double(1.0 / cfg.burst_on_s);
+      while (now_s_ < cfg_.duration_s) {
+        if (!on_) {
+          now_s_ = phase_end_s_;
+          on_ = true;
+          phase_end_s_ = now_s_ + rng_.exp_double(1.0 / cfg_.burst_on_s);
           continue;
         }
-        const double dt = rng.exp_double(on_rate);
+        const double dt = rng_.exp_double(on_rate_);
         // The candidate past the phase boundary is discarded, which is
         // exact for exponential inter-arrivals (memorylessness).
-        if (now + dt > phase_end) {
-          now = phase_end;
-          on = false;
-          phase_end = now + rng.exp_double(1.0 / cfg.burst_off_s);
+        if (now_s_ + dt > phase_end_s_) {
+          now_s_ = phase_end_s_;
+          on_ = false;
+          phase_end_s_ = now_s_ + rng_.exp_double(1.0 / cfg_.burst_off_s);
           continue;
         }
-        now += dt;
-        if (now < cfg.duration_s) emit(now);
+        now_s_ += dt;
+        if (now_s_ < cfg_.duration_s) break;
       }
+      if (now_s_ >= cfg_.duration_s) return;
       break;
     }
   }
+  pending_ = Request{next_id_++, to_us(now_s_), 0};
+  has_next_ = true;
+}
+
+std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
+  WorkloadStream stream(cfg);
+  std::vector<Request> out;
+  while (stream.has_next()) out.push_back(stream.next());
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace vitbit::serve {
 
 // The three arrival processes:
@@ -45,5 +47,36 @@ struct Request {
 
 // Arrival times are nondecreasing; ids are sequential from 0.
 std::vector<Request> generate_workload(const WorkloadConfig& cfg);
+
+// Streaming form of generate_workload: yields the identical request
+// sequence one arrival at a time, holding O(1) state instead of the whole
+// vector. The fleet tier (serve/cluster.h) consumes arrivals through this
+// so a 10^7-request sweep never materializes a multi-hundred-MB workload
+// — generate_workload() is itself implemented by draining a stream, so
+// the two can never diverge.
+class WorkloadStream {
+ public:
+  explicit WorkloadStream(const WorkloadConfig& cfg);
+
+  // True while next() has another request to yield.
+  bool has_next() const { return has_next_; }
+  // Arrival time of the pending request; has_next() must be true.
+  std::uint64_t peek_arrival_us() const;
+  // Yields the pending request and advances; has_next() must be true.
+  Request next();
+
+ private:
+  void advance();
+
+  WorkloadConfig cfg_;
+  Rng rng_;
+  double on_rate_ = 0.0;  // bursty on-phase rate (kBursty only)
+  double now_s_ = 0.0;
+  bool on_ = true;            // bursty phase flag
+  double phase_end_s_ = 0.0;  // bursty phase boundary
+  std::uint64_t next_id_ = 0;
+  bool has_next_ = false;
+  Request pending_;
+};
 
 }  // namespace vitbit::serve

@@ -1,0 +1,265 @@
+// Accuracy and determinism bounds for the P² streaming percentile
+// sketches (serve/sketch.h). Every input sequence here is pinned — a
+// fixed Rng seed through common/rng.h — so the estimates are exact
+// constants on every host, and the error bounds compare the sketch
+// against the exact nearest-rank percentile over the same samples
+// (serve/metrics.h) on the distribution shapes the fleet tier actually
+// sees: constant, bimodal, and heavy-tail latencies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "serve/metrics.h"
+#include "serve/sketch.h"
+
+namespace vitbit::serve {
+namespace {
+
+// |sketch - exact| as a fraction of the exact value (exact > 0).
+double rel_err(std::uint64_t sketch_us, std::uint64_t exact_us) {
+  const double d = static_cast<double>(sketch_us) -
+                   static_cast<double>(exact_us);
+  return std::abs(d) / static_cast<double>(exact_us);
+}
+
+// Feeds `samples` through a fresh LatencySketch.
+LatencySketch sketch_of(const std::vector<std::uint64_t>& samples) {
+  LatencySketch s;
+  for (const auto x : samples) s.add(x);
+  return s;
+}
+
+TEST(P2Quantile, StartupBufferIsExact) {
+  // With fewer than five samples the estimator sorts its buffer, so the
+  // estimate must match the exact quantile of the observed set.
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);  // empty convention
+  q.add(30.0);
+  EXPECT_DOUBLE_EQ(q.value(), 30.0);
+  q.add(10.0);
+  q.add(20.0);
+  q.add(40.0);
+  // Sorted buffer {10, 20, 30, 40}: the median estimate must land inside
+  // the middle pair.
+  EXPECT_GE(q.value(), 20.0);
+  EXPECT_LE(q.value(), 30.0);
+  EXPECT_EQ(q.count(), 4u);
+}
+
+TEST(P2Quantile, ConstantStreamIsExactAtAnyLength) {
+  P2Quantile q(0.99);
+  for (int i = 0; i < 1000; ++i) q.add(42.0);
+  EXPECT_DOUBLE_EQ(q.value(), 42.0);
+  EXPECT_EQ(q.count(), 1000u);
+}
+
+TEST(LatencySketch, ConstantDistribution) {
+  // Every tracked percentile of a constant stream is the constant —
+  // the markers can never spread beyond the (min, max) envelope.
+  const std::vector<std::uint64_t> samples(10'000, 777);
+  const auto s = sketch_of(samples);
+  EXPECT_EQ(s.count(), 10'000u);
+  for (const double p : {0.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_EQ(s.percentile_us(p), 777u) << "p=" << p;
+}
+
+TEST(LatencySketch, BimodalDistribution) {
+  // 75% fast mode around 2 ms, 25% slow mode around 40 ms — the shape a
+  // fleet under partial degradation produces. p50 sits in the fast mode,
+  // p90/p95/p99 in the slow mode; the sketch must find both. (The mode
+  // boundary lands at p75, away from every tracked quantile: P² markers
+  // interpolate parabolically, so a density gap exactly at a tracked
+  // quantile is the one shape they smear — keep it off the tracked set.)
+  Rng rng(11);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    const bool slow = rng.below(4) == 0;
+    const double mean = slow ? 40'000.0 : 2'000.0;
+    samples.push_back(
+        static_cast<std::uint64_t>(mean * (0.8 + 0.4 * rng.uniform())));
+  }
+  const auto s = sketch_of(samples);
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const auto exact = percentile_nearest_rank(samples, p);
+    EXPECT_LE(rel_err(s.percentile_us(p), exact), 0.05)
+        << "p=" << p << " sketch=" << s.percentile_us(p)
+        << " exact=" << exact;
+  }
+  // Sanity that the modes really separate: exact p50 fast, p99 slow.
+  EXPECT_LT(percentile_nearest_rank(samples, 50.0), 4'000u);
+  EXPECT_GT(percentile_nearest_rank(samples, 99.0), 30'000u);
+}
+
+TEST(LatencySketch, HeavyTailDistribution) {
+  // Exponential latencies (the M/M/1-ish waiting-time shape): the tail
+  // quantiles are far from the body, the hard case for five markers.
+  Rng rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50'000; ++i)
+    samples.push_back(
+        static_cast<std::uint64_t>(1'000.0 * rng.exp_double(1.0)) + 1);
+  const auto s = sketch_of(samples);
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const auto exact = percentile_nearest_rank(samples, p);
+    EXPECT_LE(rel_err(s.percentile_us(p), exact), 0.05)
+        << "p=" << p << " sketch=" << s.percentile_us(p)
+        << " exact=" << exact;
+  }
+  // Exact extremes survive regardless of marker drift.
+  EXPECT_EQ(s.percentile_us(0.0),
+            *std::min_element(samples.begin(), samples.end()));
+  EXPECT_EQ(s.percentile_us(100.0),
+            *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(LatencySketch, EstimatesClampToExactEnvelope) {
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    Rng rng(19);
+    LatencySketch s;
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 5'000; ++i) {
+      const auto x = rng.below(1'000'000) + 1;
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      s.add(x);
+    }
+    EXPECT_GE(s.percentile_us(p), lo) << "p=" << p;
+    EXPECT_LE(s.percentile_us(p), hi) << "p=" << p;
+  }
+}
+
+TEST(LatencySketch, RejectsUntrackedPercentile) {
+  LatencySketch s;
+  s.add(1);
+  EXPECT_THROW(s.percentile_us(75.0), CheckError);
+  EXPECT_THROW(s.percentile_us(-1.0), CheckError);
+}
+
+TEST(LatencySketch, MergeMatchesCountsAndExtremes) {
+  Rng rng(3);
+  std::vector<std::uint64_t> all;
+  LatencySketch a, b;
+  for (int i = 0; i < 8'000; ++i) {
+    const auto x = rng.below(100'000) + 1;
+    all.push_back(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.size());
+  EXPECT_EQ(a.min_us(), *std::min_element(all.begin(), all.end()));
+  EXPECT_EQ(a.max_us(), *std::max_element(all.begin(), all.end()));
+  // The merged estimate stays close to the exact percentile of the union.
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const auto exact = percentile_nearest_rank(all, p);
+    EXPECT_LE(rel_err(a.percentile_us(p), exact), 0.10) << "p=" << p;
+  }
+}
+
+TEST(LatencySketch, MergeReplaysStartupBuffers) {
+  // Either side still inside its exact start-up buffer is replayed sample
+  // by sample, so tiny shards merge exactly.
+  LatencySketch a, b;
+  a.add(10);
+  a.add(20);
+  b.add(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.percentile_us(0.0), 10u);
+  EXPECT_EQ(a.percentile_us(100.0), 30u);
+  EXPECT_EQ(a.percentile_us(50.0), 20u);
+}
+
+TEST(LatencySketch, MergeIsDeterministicForAFixedOrder) {
+  // The fleet contract: merging the same per-shard sketches in the same
+  // (shard-index) order must reproduce bit-identical estimates. This is
+  // the invariant CI's --threads=1/2/4 byte-diff leans on.
+  const auto build = [] {
+    Rng rng(23);
+    std::vector<LatencySketch> shards(4);
+    for (int i = 0; i < 12'000; ++i)
+      shards[rng.below(4)].add(rng.below(500'000) + 1);
+    LatencySketch merged;
+    for (const auto& s : shards) merged.merge(s);
+    return merged;
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_EQ(a.count(), b.count());
+  for (const double p : {0.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_EQ(a.percentile_us(p), b.percentile_us(p)) << "p=" << p;
+}
+
+TEST(LatencySketch, MergeOrderChangesAreObservable) {
+  // Count-weighted marker averaging is NOT associative in floating
+  // point — this documents why the fleet merges strictly in shard-index
+  // order rather than completion order. (Equality would also be fine in
+  // principle; what matters is that the contract never relies on it.)
+  Rng rng(29);
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 9'000; ++i)
+    xs.push_back(
+        static_cast<std::uint64_t>(1'000.0 * rng.exp_double(0.5)) + 1);
+  LatencySketch s0, s1, s2;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i % 3 == 0 ? s0 : i % 3 == 1 ? s1 : s2).add(xs[i]);
+
+  LatencySketch fwd = s0;
+  fwd.merge(s1);
+  fwd.merge(s2);
+  LatencySketch rev = s2;
+  rev.merge(s1);
+  rev.merge(s0);
+  // Counts and exact extremes are order-independent; the interior
+  // estimates need only agree within the accuracy bound.
+  EXPECT_EQ(fwd.count(), rev.count());
+  EXPECT_EQ(fwd.min_us(), rev.min_us());
+  EXPECT_EQ(fwd.max_us(), rev.max_us());
+  const auto exact = percentile_nearest_rank(xs, 99.0);
+  EXPECT_LE(rel_err(fwd.percentile_us(99.0), exact), 0.10);
+  EXPECT_LE(rel_err(rev.percentile_us(99.0), exact), 0.10);
+}
+
+TEST(MetricsSinkSketchMode, RetainsNoLatencySamples) {
+  // The constant-memory claim: a kSketch sink holds zero raw samples no
+  // matter how many completions stream through it.
+  MetricsSink sink(PercentileMode::kSketch, /*slo_us=*/50'000);
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    const auto arrival = i * 10;
+    sink.on_completion(arrival, arrival + rng.below(100'000) + 1);
+  }
+  EXPECT_EQ(sink.retained_latency_samples(), 0u);
+  EXPECT_EQ(sink.sketch().count(), 100'000u);
+  EXPECT_GT(sink.running_p99_us(), 0u);
+}
+
+TEST(MetricsSinkSketchMode, FinalizeTracksExactWithinBound) {
+  // Same event stream through both modes: counts and rates must agree
+  // exactly, percentiles within the sketch accuracy bound.
+  MetricsSink exact(PercentileMode::kExact);
+  MetricsSink sketch(PercentileMode::kSketch, /*slo_us=*/30'000);
+  Rng rng(13);
+  for (std::uint64_t i = 0; i < 30'000; ++i) {
+    const auto arrival = i * 25;
+    const auto done =
+        arrival + static_cast<std::uint64_t>(
+                      5'000.0 * rng.exp_double(0.5)) + 1;
+    exact.on_completion(arrival, done);
+    sketch.on_completion(arrival, done);
+  }
+  const auto end = 30'000u * 25u + 1'000'000u;
+  const auto me = exact.finalize(1, end, 30'000);
+  const auto ms = sketch.finalize(1, end, 30'000);
+  EXPECT_EQ(me.completed, ms.completed);
+  EXPECT_DOUBLE_EQ(me.goodput_rps, ms.goodput_rps);
+  EXPECT_EQ(me.max_us, ms.max_us);  // max is exact in both modes
+  EXPECT_LE(rel_err(ms.p50_us, me.p50_us), 0.05);
+  EXPECT_LE(rel_err(ms.p99_us, me.p99_us), 0.05);
+}
+
+}  // namespace
+}  // namespace vitbit::serve

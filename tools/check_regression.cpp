@@ -1,9 +1,10 @@
 // check_regression — the CI perf gate.
 //
 // Runs the fig5 (end-to-end inference) and fig10 (IPC) pipelines on a
-// reduced-layer ViT-Base plus a reduced serving-simulator rate sweep
-// (serve/server.h), emits schema-versioned run reports, and diffs them
-// against the checked-in baselines. Exit 0 when every metric is within
+// reduced-layer ViT-Base plus reduced serving-simulator sweeps — a
+// single-server rate sweep, a faults sweep (serve/server.h), and a
+// sharded fleet sweep (serve/cluster.h) — emits schema-versioned run
+// reports, and diffs them against the checked-in baselines. Exit 0 when every metric is within
 // tolerance; exit 1 naming the first offending metric otherwise.
 //
 //   check_regression [--baselines=baselines] [--layers=2]
@@ -37,6 +38,7 @@
 #include "nn/vit_model.h"
 #include "report/baseline.h"
 #include "report/run_report.h"
+#include "serve/cluster.h"
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "tensor/gemm_timing.h"
@@ -244,6 +246,37 @@ int run(int argc, char** argv) {
                                       serve_start)
             .count();
     gate("serve_faults", fresh);
+  }
+  // Fleet gate: a reduced sharded sweep (4 shards, rr vs jsq vs po2c at
+  // one unsaturated and one saturated rate, streaming P² percentiles,
+  // autoscaling on) so the router, the sketch path, the span-weighted
+  // aggregation, and the autoscaler are all regression-gated.
+  {
+    serve::FleetSweepConfig fcfg;
+    fcfg.model = nn::vit_base();
+    fcfg.model.num_layers = 1;
+    fcfg.rates_rps = {2000, 12000};
+    fcfg.workload.duration_s = 0.25;
+    fcfg.workload.seed = 7;
+    fcfg.fleet.num_shards = 4;
+    fcfg.fleet.shard.batcher.max_batch_size = 4;
+    fcfg.fleet.shard.batcher.queue_capacity = 32;
+    fcfg.fleet.autoscale.min_replicas = 1;
+    fcfg.fleet.autoscale.max_replicas = 2;
+    fcfg.fleet.autoscale.interval_us = 20000;
+    fcfg.fleet.autoscale.up_queue_depth = 8;
+    fcfg.fleet.autoscale.down_queue_depth = 1;
+    fcfg.fleet.autoscale.cooldown_us = 40000;
+    const auto fleet_start = std::chrono::steady_clock::now();
+    const auto points = serve::run_fleet_sweep(fcfg, spec, calib, &pool);
+    auto fresh =
+        serve::make_fleet_report(fcfg, points, "check_regression",
+                                 pool.size());
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      fleet_start)
+            .count();
+    gate("fleet_sweep", fresh);
   }
   // Host-GEMM gate: the compute-heavy ViT-Base linear shape (fc1,
   // 197x768x3072), int32 and f32 paths. Bit-identity (max_abs_diff == 0)
