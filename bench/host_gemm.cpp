@@ -1,18 +1,20 @@
-// Host GEMM engine bench: times the blocked, panel-packed engine
-// (tensor/gemm_blocked.h) against the reference triple loop on the linear
-// GEMM shapes of a ViT-Base encoder layer, for both the int32 accumulator
-// path and f32. Every row also verifies bit-identity (max|diff| must be 0
-// — the blocked engine is a faster spelling of the same arithmetic, not an
-// approximation).
+// Host GEMM engine bench: times the fast engines — blocked panel-packed
+// (tensor/gemm_blocked.h) and runtime-dispatched SIMD (tensor/gemm_simd.h)
+// — against the reference triple loop on the linear GEMM shapes of a
+// ViT-Base encoder layer, for both the int32 accumulator path and f32.
+// Every row also verifies bit-identity (max|diff| must be 0 — the fast
+// engines are faster spellings of the same arithmetic, not
+// approximations).
 //
-//   host_gemm [--shapes=fc1,fc2,...] [--repeats=5] [--seed=42]
-//             [--threads=N] [--csv] [--json=PATH]
+//   host_gemm [--shapes=fc1,fc2,...] [--engines=blocked,simd] [--repeats=5]
+//             [--seed=42] [--threads=N] [--csv] [--json=PATH]
 //
 // --json writes a schema-versioned run report (gemm_points section,
-// schema minor 3). GFLOP/s and speedup are machine-dependent; everything
-// else in the report is deterministic for a given seed, at every thread
-// count — which is what lets CI byte-diff stripped reports across
-// --threads values.
+// schema minor 6). GFLOP/s, speedup, and the simd level column are
+// machine-dependent; everything else in the report is deterministic for a
+// given seed, at every thread count and every VITBIT_SIMD_LEVEL — which
+// is what lets CI byte-diff stripped reports across --threads values and
+// SIMD tiers.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -23,6 +25,7 @@
 #include "common/cli.h"
 #include "tensor/gemm_blocked.h"
 #include "tensor/gemm_timing.h"
+#include "tensor/simd_level.h"
 
 namespace vitbit {
 namespace {
@@ -42,18 +45,45 @@ std::vector<GemmShapeSpec> select_shapes(const Cli& cli) {
   return out;
 }
 
+std::vector<GemmEngine> select_engines(const Cli& cli) {
+  const std::string spec = cli.get("engines", "blocked,simd");
+  std::vector<GemmEngine> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string name =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    if (!name.empty()) out.push_back(gemm_engine_from_string(name));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  VITBIT_CHECK_MSG(!out.empty(), "--engines selected no engine (valid: "
+                                     << gemm_engine_names() << ")");
+  return out;
+}
+
+// The simd-level column: what the simd engine actually dispatched to;
+// other engines never consult the SIMD tier.
+std::string engine_simd_level(GemmEngine engine) {
+  return engine == GemmEngine::kSimd ? simd_level_name(active_simd_level())
+                                     : "";
+}
+
 report::GemmPointReport make_point(const GemmShapeSpec& shape,
-                                   const std::string& dtype, int repeats,
+                                   const std::string& dtype,
+                                   GemmEngine engine, int repeats,
                                    const GemmMeasurement& m) {
   report::GemmPointReport p;
   p.name = shape.name;
   p.dtype = dtype;
-  p.engine = "blocked";
+  p.engine = gemm_engine_name(engine);
+  p.simd_level = engine_simd_level(engine);
   p.m = shape.m;
   p.k = shape.k;
   p.n = shape.n;
   p.repeats = repeats;
-  p.gflops = m.blocked_gflops;
+  p.gflops = m.engine_gflops;
   p.ref_gflops = m.ref_gflops;
   p.speedup = m.speedup;
   p.max_abs_diff = m.max_abs_diff;
@@ -65,6 +95,7 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   auto pool = bench::make_pool(cli);
   const auto shapes = select_shapes(cli);
+  const auto engines = select_engines(cli);
   const int repeats = static_cast<int>(cli.get_int("repeats", 5));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const std::string json = cli.json_path();
@@ -74,30 +105,35 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  Table t("host GEMM: blocked " + std::to_string(kGemmMr) + "x" +
-          std::to_string(kGemmNr) + " engine vs reference (best of " +
+  Table t("host GEMM: " + std::to_string(kGemmMr) + "x" +
+          std::to_string(kGemmNr) + " engines vs reference (best of " +
           std::to_string(repeats) + ", " + std::to_string(pool.size()) +
-          " thread(s))");
-  t.header({"shape", "dtype", "M", "K", "N", "ref GFLOP/s", "blk GFLOP/s",
-            "speedup", "max|diff|"});
+          " thread(s), simd level " +
+          simd_level_name(active_simd_level()) + ")");
+  t.header({"shape", "dtype", "engine", "simd", "M", "K", "N",
+            "ref GFLOP/s", "eng GFLOP/s", "speedup", "max|diff|"});
   std::vector<report::GemmPointReport> points;
   for (const auto& shape : shapes) {
-    const auto mi = measure_gemm_int(shape, repeats, seed, &pool);
-    const auto mf = measure_gemm_f32(shape, repeats, seed, &pool);
-    for (const auto& [dtype, m] :
-         {std::pair<const char*, const GemmMeasurement&>{"int32", mi},
-          {"f32", mf}}) {
-      t.row()
-          .cell(shape.name)
-          .cell(dtype)
-          .cell(shape.m)
-          .cell(shape.k)
-          .cell(shape.n)
-          .cell(m.ref_gflops, 2)
-          .cell(m.blocked_gflops, 2)
-          .cell(m.speedup, 2)
-          .cell(m.max_abs_diff, 0);
-      points.push_back(make_point(shape, dtype, repeats, m));
+    for (const GemmEngine engine : engines) {
+      const auto mi = measure_gemm_int(shape, repeats, seed, &pool, engine);
+      const auto mf = measure_gemm_f32(shape, repeats, seed, &pool, engine);
+      for (const auto& [dtype, m] :
+           {std::pair<const char*, const GemmMeasurement&>{"int32", mi},
+            {"f32", mf}}) {
+        t.row()
+            .cell(shape.name)
+            .cell(dtype)
+            .cell(gemm_engine_name(engine))
+            .cell(engine_simd_level(engine))
+            .cell(shape.m)
+            .cell(shape.k)
+            .cell(shape.n)
+            .cell(m.ref_gflops, 2)
+            .cell(m.engine_gflops, 2)
+            .cell(m.speedup, 2)
+            .cell(m.max_abs_diff, 0);
+        points.push_back(make_point(shape, dtype, engine, repeats, m));
+      }
     }
   }
   if (csv)
@@ -105,13 +141,15 @@ int run(int argc, char** argv) {
   else
     t.print(std::cout);
 
-  // Every row must show max|diff| = 0: the blocked engine's contract is
-  // bit-identity with the reference, not "close enough". Fail the bench
-  // loudly if timing ever races ahead of correctness.
+  // Every row must show max|diff| = 0 for int paths and stay within the
+  // engines' contract for f32 (also exact, see gemm_simd.h): the fast
+  // engines promise bit-identity with the reference, not "close enough".
+  // Fail the bench loudly if timing ever races ahead of correctness.
   for (const auto& p : points)
     VITBIT_CHECK_MSG(p.max_abs_diff == 0.0,
-                     "blocked engine diverged from reference on "
-                         << p.key() << ": max|diff|=" << p.max_abs_diff);
+                     p.engine << " engine diverged from reference on "
+                              << p.key()
+                              << ": max|diff|=" << p.max_abs_diff);
 
   if (!json.empty()) {
     report::RunReport rep;

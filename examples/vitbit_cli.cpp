@@ -8,7 +8,7 @@
 //   vitbit_cli serve  [--rates=... --policy=timeout] serving rate sweep
 //
 // Every subcommand accepts --threads=N (default: hardware_concurrency,
-// 1 = serial) and --gemm=ref|blocked to pick the host GEMM engine (same
+// 1 = serial) and --gemm=ref|blocked|simd to pick the host GEMM engine (same
 // override as the VITBIT_GEMM env var; both engines are bit-identical).
 // Simulated results are identical for every N.
 #include <chrono>
@@ -29,6 +29,7 @@
 #include "sim/gpu_sim.h"
 #include "swar/layout.h"
 #include "tensor/gemm_dispatch.h"
+#include "tensor/simd_level.h"
 #include "trace/gemm_traces.h"
 #include "vitbit/config_io.h"
 #include "vitbit/pipeline.h"
@@ -285,9 +286,13 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string cmd =
       cli.positional().empty() ? "help" : cli.positional()[0];
-  // CLI override for the host GEMM engine, same spelling as VITBIT_GEMM.
+  // CLI override for the host GEMM engine, same spelling as VITBIT_GEMM,
+  // and for the SIMD tier, same spelling as VITBIT_SIMD_LEVEL.
   if (cli.has("gemm"))
     set_default_gemm_engine(gemm_engine_from_string(cli.get("gemm", "")));
+  if (cli.has("simd-level"))
+    set_simd_level_override(
+        simd_level_from_string(cli.get("simd-level", "")));
   ThreadPool pool(cli.threads());
   const int rc = dispatch(cli, cmd, pool);
   if (rc >= 0) {
@@ -328,8 +333,12 @@ int run(int argc, char** argv) {
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"
                "         simulated results are identical for every N)\n"
-               "         --gemm=ref|blocked  host GEMM engine (default:\n"
-               "         blocked; same as VITBIT_GEMM; bit-identical)\n";
+               "         --gemm=ref|blocked|simd  host GEMM engine\n"
+               "         (default: simd when the CPU supports it, else\n"
+               "         blocked; same as VITBIT_GEMM; bit-identical)\n"
+               "         --simd-level=none|sse|avx2  cap the simd engine's\n"
+               "         microkernel tier (same as VITBIT_SIMD_LEVEL;\n"
+               "         clamped to what the CPU supports; bit-identical)\n";
   return cmd == "help" ? 0 : 1;
 }
 

@@ -77,7 +77,11 @@ const FleetPointReport* RunReport::find_fleet_point(
   return nullptr;
 }
 
-std::string GemmPointReport::key() const { return name + "." + dtype; }
+std::string GemmPointReport::key() const {
+  // Pre-minor-6 documents carry engine == "blocked", so their keys gain
+  // the same suffix a fresh blocked measurement produces.
+  return name + "." + dtype + "." + engine;
+}
 
 const GemmPointReport* RunReport::find_gemm_point(
     const std::string& key) const {
@@ -269,6 +273,7 @@ Json to_json(const GemmPointReport& r) {
   j.set("name", Json(r.name));
   j.set("dtype", Json(r.dtype));
   j.set("engine", Json(r.engine));
+  j.set("simd_level", Json(r.simd_level));
   j.set("m", Json(static_cast<std::int64_t>(r.m)));
   j.set("k", Json(static_cast<std::int64_t>(r.k)));
   j.set("n", Json(static_cast<std::int64_t>(r.n)));
@@ -422,6 +427,10 @@ GemmPointReport gemm_point_from_json(const Json& j) {
   r.name = j.string_at("name");
   r.dtype = j.string_at("dtype");
   r.engine = j.string_at("engine");
+  // Minor-6 addition: absent (empty) in pre-bump documents and stripped
+  // from baselines.
+  if (const Json* s = j.find("simd_level"); s != nullptr)
+    r.simd_level = s->as_string();
   r.m = static_cast<int>(j.int_at("m"));
   r.k = static_cast<int>(j.int_at("k"));
   r.n = static_cast<int>(j.int_at("n"));

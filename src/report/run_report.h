@@ -33,7 +33,9 @@ inline constexpr int kSchemaVersion = 1;
 //   minor 3: gemm_points (host GEMM engine sweep, tensor/gemm_blocked.h).
 //   minor 4: serve fault metrics on serve_points (serve/faults.h).
 //   minor 5: fleet_points (sharded fleet sweeps, serve/cluster.h).
-inline constexpr int kSchemaMinorVersion = 5;
+//   minor 6: simd_level on gemm_points (tensor/simd_level.h) and the
+//            measured engine name joined into the gemm-point key.
+inline constexpr int kSchemaMinorVersion = 6;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -157,16 +159,22 @@ struct FleetPointReport {
   std::string key() const;
 };
 
-// One (shape, dtype) point of a host-GEMM engine sweep (bench/host_gemm,
-// tensor/gemm_timing.h): the blocked engine timed against the reference
-// triple loop. gflops/ref_gflops/speedup are machine-dependent and are
-// zeroed in checked-in baselines; the gate instead enforces max_abs_diff
-// == 0 (bit-identity) and fresh speedup >= the baseline's min_speedup
-// floor. Identified for baseline matching by (name, dtype) — see key().
+// One (shape, dtype, engine) point of a host-GEMM engine sweep
+// (bench/host_gemm, tensor/gemm_timing.h): a candidate engine (blocked or
+// simd) timed against the reference triple loop. gflops/ref_gflops/
+// speedup and simd_level are machine-dependent and are zeroed/cleared in
+// checked-in baselines; the gate instead enforces max_abs_diff == 0
+// (bit-identity) and fresh speedup >= the baseline's min_speedup floor.
+// Identified for baseline matching by (name, dtype, engine) — see key().
 struct GemmPointReport {
   std::string name;    // workload label, e.g. "layer0.attn.qkv"
   std::string dtype;   // "int32" | "f32"
-  std::string engine;  // engine measured against the reference: "blocked"
+  std::string engine;  // engine measured against the reference:
+                       // "blocked" | "simd"
+  // SIMD tier the simd engine ran at ("none" | "sse" | "avx2"; schema
+  // minor 6). Machine-dependent — recorded for humans reading fresh
+  // reports, cleared in baselines and never gated on.
+  std::string simd_level;
   int m = 0;
   int k = 0;
   int n = 0;
@@ -177,7 +185,7 @@ struct GemmPointReport {
   double max_abs_diff = 0.0;  // vs reference output; 0 == bit-identical
   double min_speedup = 0.0;   // gate floor recorded at --update time
 
-  // Stable identity within a report, e.g. "layer0.attn.qkv.int32".
+  // Stable identity within a report, e.g. "layer0.attn.qkv.int32.simd".
   std::string key() const;
 };
 

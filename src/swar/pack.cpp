@@ -1,5 +1,7 @@
 #include "swar/pack.h"
 
+#include "swar/packed_span.h"
+
 namespace vitbit::swar {
 
 namespace {
@@ -75,20 +77,12 @@ void unpack_lanes(std::uint32_t word, const LaneLayout& layout,
 PackedMatrix::PackedMatrix(const MatrixI32& b, const LaneLayout& layout)
     : layout_(layout), orig_cols_(b.cols()) {
   VITBIT_CHECK(layout.valid());
-  const int L = layout.num_lanes;
-  const int pc_count = ceil_div(b.cols(), L);
+  const int pc_count = ceil_div(b.cols(), layout.num_lanes);
   words_ = Matrix<std::uint32_t>(b.rows(), pc_count);
-  std::vector<std::int32_t> lanes(static_cast<std::size_t>(L));
-  for (int k = 0; k < b.rows(); ++k) {
-    for (int pc = 0; pc < pc_count; ++pc) {
-      for (int lane = 0; lane < L; ++lane) {
-        const int col = pc * L + lane;
-        lanes[static_cast<std::size_t>(lane)] =
-            col < b.cols() ? b.at(k, col) : 0;
-      }
-      words_.at(k, pc) = pack_lanes(lanes, layout);
-    }
-  }
+  // Row-at-a-time through the span layer: vectorized on AVX2 machines,
+  // identical per-word pack_lanes encoding otherwise.
+  for (int k = 0; k < b.rows(); ++k)
+    pack_span(b.row(k), layout, words_.row(k));
 }
 
 std::int32_t PackedMatrix::value(int k, int pc, int lane) const {
@@ -100,8 +94,7 @@ std::int32_t PackedMatrix::value(int k, int pc, int lane) const {
 MatrixI32 PackedMatrix::unpack() const {
   MatrixI32 out(rows(), orig_cols_);
   for (int k = 0; k < rows(); ++k)
-    for (int c = 0; c < orig_cols_; ++c)
-      out.at(k, c) = value(k, c / layout_.num_lanes, c % layout_.num_lanes);
+    unpack_span(words_.row(k), layout_, out.row(k));
   return out;
 }
 

@@ -37,6 +37,12 @@ class PackedMatrix {
 
   std::uint32_t word(int k, int pc) const { return words_.at(k, pc); }
 
+  // All packed columns of row k as one contiguous span — the operand shape
+  // the span kernels (swar/packed_span.h) consume.
+  std::span<const std::uint32_t> word_row(int k) const {
+    return words_.row(k);
+  }
+
   // Decodes lane `lane` of packed column `pc` at row `k`.
   std::int32_t value(int k, int pc, int lane) const;
 

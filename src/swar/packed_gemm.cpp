@@ -1,8 +1,10 @@
 #include "swar/packed_gemm.h"
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
+#include "swar/packed_span.h"
 #include "tensor/gemm_dispatch.h"
 
 namespace vitbit::swar {
@@ -102,19 +104,99 @@ MatrixI32 gemm_packed(const MatrixI32& a, const PackedMatrix& b,
 
   const bool validate = options.validate_bounds ||
                         options.tile.mode == TileMode::kFixedPeriod;
-  // Blocked-engine fast path (tensor/gemm_dispatch.h): hoist the scalar
-  // encoding out of the packed-column loop — each a(m,k) is encoded once
-  // per row instead of once per packed column — and derive per-tile scalar
-  // sums from a prefix array. The wrapping 32-bit MAC stream is unchanged
-  // (uint32 arithmetic is associative), so results are bit-identical;
-  // VITBIT_GEMM=ref keeps the original per-element encoding for A/B runs.
+  // Fast-engine path (any non-ref tensor/gemm_dispatch.h engine): hoist
+  // the scalar encoding out of the packed-column loop — each a(m,k) is
+  // encoded once per row instead of once per packed column — and derive
+  // per-tile scalar sums from a prefix array. The wrapping 32-bit MAC
+  // stream per packed column is unchanged (uint32 arithmetic is
+  // associative), so results are bit-identical; VITBIT_GEMM=ref keeps the
+  // original per-element encoding for A/B runs.
   const bool hoist_encodings =
-      default_gemm_engine() == GemmEngine::kBlocked && b.packed_cols() > 0;
+      default_gemm_engine() != GemmEngine::kRef && b.packed_cols() > 0;
   std::vector<std::uint32_t> enc_row;
   std::vector<std::int64_t> scalar_prefix;
   if (hoist_encodings) {
     enc_row.resize(static_cast<std::size_t>(k_dim));
     scalar_prefix.resize(static_cast<std::size_t>(k_dim) + 1, 0);
+  }
+
+  if (hoist_encodings && !validate) {
+    // Tile-major fast path: for each accumulation tile, run the wrapping
+    // MAC across the whole row of packed columns at once via
+    // swar_mac_span (vectorized on AVX2 machines; same per-column uint32
+    // stream either way, so results and stats match the column-major
+    // loop bit for bit).
+    const int pcs = b.packed_cols();
+    std::vector<std::uint32_t> acc_row(static_cast<std::size_t>(pcs));
+    std::vector<std::int64_t> row_totals(
+        static_cast<std::size_t>(pcs) * static_cast<std::size_t>(lanes));
+    for (int m = 0; m < m_dim; ++m) {
+      const auto bounds = tile_boundaries(a.row(m), l, options.tile);
+      tile_len_sum += mean_tile_length(bounds);
+      ++tile_rows;
+      for (int k = 0; k < k_dim; ++k) {
+        const std::int32_t raw_a = a.at(m, k);
+        enc_row[static_cast<std::size_t>(k)] = encode_scalar(raw_a, l);
+        scalar_prefix[static_cast<std::size_t>(k) + 1] =
+            scalar_prefix[static_cast<std::size_t>(k)] + raw_a;
+      }
+      std::fill(row_totals.begin(), row_totals.end(), 0);
+      int k0 = 0;
+      for (const int k1 : bounds) {
+        std::fill(acc_row.begin(), acc_row.end(), 0);
+        for (int k = k0; k < k1; ++k)
+          swar_mac_span(acc_row, enc_row[static_cast<std::size_t>(k)],
+                        b.word_row(k));
+        const std::int64_t scalar_sum =
+            scalar_prefix[static_cast<std::size_t>(k1)] -
+            scalar_prefix[static_cast<std::size_t>(k0)];
+        const std::int64_t t_len = k1 - k0;
+        local.total_tiles += pcs;
+        local.spill_events += pcs;
+        local.mac_instructions += t_len * pcs;
+        for (int pc = 0; pc < pcs; ++pc) {
+          extract_lanes(acc_row[static_cast<std::size_t>(pc)], l, phys);
+          for (int lane = 0; lane < lanes; ++lane) {
+            const bool top = lane == lanes - 1;
+            std::int64_t value = phys[static_cast<std::size_t>(lane)];
+            if (!(l.mode == LaneMode::kTopSigned && top) &&
+                l.mode != LaneMode::kUnsigned) {
+              value -= z * (scalar_sum + (l.mode == LaneMode::kOffset
+                                              ? za * t_len
+                                              : 0));
+            }
+            if (l.mode == LaneMode::kOffset) {
+              std::int64_t lane_val_sum = 0;
+              for (int k = k0; k < k1; ++k)
+                lane_val_sum += b.value(k, pc, lane);
+              value -= za * lane_val_sum;
+            }
+            row_totals[static_cast<std::size_t>(pc) *
+                           static_cast<std::size_t>(lanes) +
+                       static_cast<std::size_t>(lane)] += value;
+          }
+        }
+        k0 = k1;
+      }
+      for (int pc = 0; pc < pcs; ++pc) {
+        for (int lane = 0; lane < lanes; ++lane) {
+          const int col = pc * lanes + lane;
+          if (col >= n_dim) continue;
+          const std::int64_t v =
+              row_totals[static_cast<std::size_t>(pc) *
+                             static_cast<std::size_t>(lanes) +
+                         static_cast<std::size_t>(lane)];
+          VITBIT_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+                           "int32 output overflow at (" << m << "," << col
+                                                        << ")");
+          c.at(m, col) = static_cast<std::int32_t>(v);
+        }
+      }
+    }
+    local.mean_tile_length =
+        tile_rows > 0 ? tile_len_sum / static_cast<double>(tile_rows) : 0.0;
+    if (stats) *stats = local;
+    return c;
   }
 
   for (int m = 0; m < m_dim; ++m) {
@@ -136,37 +218,28 @@ MatrixI32 gemm_packed(const MatrixI32& a, const PackedMatrix& b,
         std::uint32_t acc = 0;
         bool violated = false;
         std::int64_t scalar_sum = 0;  // sum of raw scalars over the tile
-        if (hoist_encodings && !validate) {
-          // The packed-lane inner product as one tight dot over the
-          // pre-encoded row — the hot loop of every packed GEMM.
-          for (int k = k0; k < k1; ++k)
-            acc += enc_row[static_cast<std::size_t>(k)] * b.word(k, pc);
-          scalar_sum = scalar_prefix[static_cast<std::size_t>(k1)] -
-                       scalar_prefix[static_cast<std::size_t>(k0)];
-        } else {
-          shadow.fill(0);
-          for (int k = k0; k < k1; ++k) {
-            const std::int32_t raw_a = a.at(m, k);
-            const std::uint32_t enc =
-                hoist_encodings ? enc_row[static_cast<std::size_t>(k)]
-                                : encode_scalar(raw_a, l);
-            acc += enc * b.word(k, pc);  // the packed IMAD
-            scalar_sum += raw_a;
-            if (!validate) continue;
-            // Exact shadow of each lane's physical sum, for violation
-            // checks.
-            const std::int64_t enc_a =
-                l.mode == LaneMode::kOffset ? raw_a + za : raw_a;
-            for (int lane = 0; lane < lanes; ++lane) {
-              const bool top = lane == lanes - 1;
-              const std::int32_t v = b.value(k, pc, lane);
-              const std::int64_t enc_b =
-                  (l.mode == LaneMode::kTopSigned && top) ? v : v + z;
-              shadow[static_cast<std::size_t>(lane)] += enc_a * enc_b;
-              if (shadow[static_cast<std::size_t>(lane)] < caps.lo[lane] ||
-                  shadow[static_cast<std::size_t>(lane)] > caps.hi[lane])
-                violated = true;
-            }
+        shadow.fill(0);
+        for (int k = k0; k < k1; ++k) {
+          const std::int32_t raw_a = a.at(m, k);
+          const std::uint32_t enc =
+              hoist_encodings ? enc_row[static_cast<std::size_t>(k)]
+                              : encode_scalar(raw_a, l);
+          acc += enc * b.word(k, pc);  // the packed IMAD
+          scalar_sum += raw_a;
+          if (!validate) continue;
+          // Exact shadow of each lane's physical sum, for violation
+          // checks.
+          const std::int64_t enc_a =
+              l.mode == LaneMode::kOffset ? raw_a + za : raw_a;
+          for (int lane = 0; lane < lanes; ++lane) {
+            const bool top = lane == lanes - 1;
+            const std::int32_t v = b.value(k, pc, lane);
+            const std::int64_t enc_b =
+                (l.mode == LaneMode::kTopSigned && top) ? v : v + z;
+            shadow[static_cast<std::size_t>(lane)] += enc_a * enc_b;
+            if (shadow[static_cast<std::size_t>(lane)] < caps.lo[lane] ||
+                shadow[static_cast<std::size_t>(lane)] > caps.hi[lane])
+              violated = true;
           }
         }
         const std::int64_t t_len = k1 - k0;

@@ -1,0 +1,73 @@
+// Span (bulk) forms of the SWAR primitives: pack/unpack of contiguous
+// value runs and word-wise lane ops over contiguous word runs. These are
+// the vectorization seam of the SWAR layer — on AVX2 machines the uniform
+// layouts (num_lanes * field_bits == 32, i.e. 2x16 and 4x8) run through
+// the intrinsic kernels in packed_span_avx2.cpp; every other layout (3x10)
+// and every lower SIMD tier runs the scalar per-word primitives from
+// swar/pack.h and swar/packed_simd.h. Both paths compute the identical
+// wrapping 32-bit arithmetic, so results are lane-exact regardless of tier
+// (VITBIT_SIMD_LEVEL flips the implementation, never the answer).
+//
+// Debug builds always take the scalar path for the ops that carry
+// per-lane overflow/borrow VITBIT_CHECKs (add, sub, scalar_mul) so those
+// diagnostics are never skipped; the checks vanish in release either way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "swar/layout.h"
+#include "swar/packed_simd.h"
+
+namespace vitbit::swar {
+
+// Encodes values[i*L + lane] (lane 0 first) into out_words[i]; the final
+// word is zero-value-padded when values.size() is not a multiple of
+// num_lanes. Requires out_words.size() == ceil(values.size() / L). Throws
+// CheckError (same message as pack_lanes) on any out-of-range value.
+void pack_span(std::span<const std::int32_t> values, const LaneLayout& layout,
+               std::span<std::uint32_t> out_words);
+
+// Decodes the first values.size() lanes of `words` (lane-0-first order).
+// Requires words.size() == ceil(values.size() / L).
+void unpack_span(std::span<const std::uint32_t> words,
+                 const LaneLayout& layout, std::span<std::int32_t> values);
+
+// r[i] = swar_add(a[i], b[i]); a, b, r must have equal sizes (r may alias
+// a or b — each word is read before it is written).
+void swar_add_span(std::span<const std::uint32_t> a,
+                   std::span<const std::uint32_t> b,
+                   std::span<std::uint32_t> r, const LaneLayout& layout);
+
+// r[i] = swar_sub(a[i], b[i]).
+void swar_sub_span(std::span<const std::uint32_t> a,
+                   std::span<const std::uint32_t> b,
+                   std::span<std::uint32_t> r, const LaneLayout& layout);
+
+// r[i] = swar_scalar_mul(a[i], c).
+void swar_scalar_mul_span(std::span<const std::uint32_t> a, std::uint32_t c,
+                          std::span<std::uint32_t> r,
+                          const LaneLayout& layout);
+
+// r[i] = swar_shift_right(a[i], s).
+void swar_shift_right_span(std::span<const std::uint32_t> a, int s,
+                           std::span<std::uint32_t> r,
+                           const LaneLayout& layout);
+
+// r[i] = swar_mask_low(a[i], s).
+void swar_mask_low_span(std::span<const std::uint32_t> a, int s,
+                        std::span<std::uint32_t> r, const LaneLayout& layout);
+
+// r[i] = swar_min_const(a[i], c).
+void swar_min_const_span(std::span<const std::uint32_t> a, std::uint32_t c,
+                         std::span<std::uint32_t> r,
+                         const LaneLayout& layout);
+
+// acc[i] += enc * words[i] as wrapping uint32 — the packed-IMAD inner step
+// of gemm_packed applied across a whole row of packed columns. Wrapping
+// unsigned arithmetic is exact modulo 2^32, so the vector and scalar forms
+// are bit-identical by definition. Requires acc.size() == words.size().
+void swar_mac_span(std::span<std::uint32_t> acc, std::uint32_t enc,
+                   std::span<const std::uint32_t> words);
+
+}  // namespace vitbit::swar

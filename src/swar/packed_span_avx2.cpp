@@ -1,0 +1,264 @@
+// AVX2 kernels for the SWAR span layer (packed_span.h). Compiled with
+// -mavx2; called only after runtime detection. Every kernel computes the
+// same wrapping 32-bit arithmetic as the scalar primitives, so outputs
+// are bit-identical — vectorization changes which words are in flight at
+// once, never the per-word result.
+#include <immintrin.h>
+
+#include "swar/pack.h"
+#include "swar/packed_span_kernels.h"
+
+namespace vitbit::swar::detail {
+
+namespace {
+
+// Per-position encode offsets for a uniform layout: lower lanes always add
+// the zero-point; the top lane adds it only in kOffset mode (kTopSigned
+// stores the top lane as raw two's complement, which the field mask
+// produces from (v + 0)).
+std::int32_t lane_offset(const LaneLayout& l, int lane) {
+  const bool top = lane == l.num_lanes - 1;
+  if (top && l.mode != LaneMode::kOffset) return 0;
+  return static_cast<std::int32_t>(l.zero_point());
+}
+
+}  // namespace
+
+bool pack_span_avx2(const std::int32_t* values, std::size_t count,
+                    const LaneLayout& l, std::uint32_t* out_words) {
+  const int L = l.num_lanes;
+  const std::size_t full_values = count - count % static_cast<std::size_t>(L);
+  const __m256i lo =
+      _mm256_set1_epi32(static_cast<std::int32_t>(l.value_min()));
+  const __m256i hi =
+      _mm256_set1_epi32(static_cast<std::int32_t>(l.value_max()));
+  const __m256i field_mask = _mm256_set1_epi32(
+      static_cast<std::int32_t>(low_mask32(l.field_bits)));
+  __m256i bad = _mm256_setzero_si256();
+  std::size_t v = 0;
+  std::size_t w = 0;
+  if (l.field_bits == 16) {
+    // 8 values -> 4 words. Elements alternate lane0/lane1 (= value order).
+    const __m256i off = _mm256_setr_epi32(
+        lane_offset(l, 0), lane_offset(l, 1), lane_offset(l, 0),
+        lane_offset(l, 1), lane_offset(l, 0), lane_offset(l, 1),
+        lane_offset(l, 0), lane_offset(l, 1));
+    const __m256i gather = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    for (; v + 8 <= full_values; v += 8, w += 4) {
+      const __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + v));
+      bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(lo, x));
+      bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(x, hi));
+      __m256i e = _mm256_and_si256(_mm256_add_epi32(x, off), field_mask);
+      // Merge each 64-bit pair [lane0 | lane1<<32] into one 32-bit word
+      // lane0 | lane1<<16, then compact the four words to the low lane.
+      e = _mm256_or_si256(e, _mm256_srli_epi64(e, 16));
+      const __m256i packed = _mm256_permutevar8x32_epi32(e, gather);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out_words + w),
+                       _mm256_castsi256_si128(packed));
+    }
+  } else {  // field_bits == 8
+    // 8 values -> 2 words.
+    const __m256i off = _mm256_setr_epi32(
+        lane_offset(l, 0), lane_offset(l, 1), lane_offset(l, 2),
+        lane_offset(l, 3), lane_offset(l, 0), lane_offset(l, 1),
+        lane_offset(l, 2), lane_offset(l, 3));
+    // Byte 0 of each 32-bit element, compacted to bytes 0-3 per 128-bit
+    // half (the rest zeroed).
+    const __m256i byte_gather = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m256i word_gather = _mm256_setr_epi32(0, 4, 0, 4, 0, 4, 0, 4);
+    for (; v + 8 <= full_values; v += 8, w += 2) {
+      const __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + v));
+      bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(lo, x));
+      bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(x, hi));
+      const __m256i e =
+          _mm256_and_si256(_mm256_add_epi32(x, off), field_mask);
+      const __m256i packed = _mm256_permutevar8x32_epi32(
+          _mm256_shuffle_epi8(e, byte_gather), word_gather);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(out_words + w),
+                       _mm256_castsi256_si128(packed));
+    }
+  }
+  if (_mm256_movemask_epi8(bad) != 0) return false;
+  // Scalar tail: remaining full groups plus the zero-padded partial word.
+  std::int32_t lanes[8] = {};
+  for (; v < count; v += static_cast<std::size_t>(L), ++w) {
+    for (int lane = 0; lane < L; ++lane) {
+      const std::size_t idx = v + static_cast<std::size_t>(lane);
+      lanes[lane] = idx < count ? values[idx] : 0;
+    }
+    out_words[w] = pack_lanes({lanes, static_cast<std::size_t>(L)}, l);
+  }
+  return true;
+}
+
+void unpack_span_avx2(const std::uint32_t* words, std::size_t count,
+                      const LaneLayout& l, std::int32_t* out_values) {
+  const int L = l.num_lanes;
+  const std::size_t full_values = count - count % static_cast<std::size_t>(L);
+  std::size_t v = 0;
+  std::size_t w = 0;
+  if (l.field_bits == 16) {
+    const __m256i off = _mm256_setr_epi32(
+        lane_offset(l, 0), lane_offset(l, 1), lane_offset(l, 0),
+        lane_offset(l, 1), lane_offset(l, 0), lane_offset(l, 1),
+        lane_offset(l, 0), lane_offset(l, 1));
+    for (; v + 8 <= full_values; v += 8, w += 4) {
+      const __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + w));
+      __m256i d = _mm256_cvtepu16_epi32(x);
+      if (l.mode == LaneMode::kTopSigned) {
+        // Top (odd) positions are raw two's complement: sign-extend.
+        d = _mm256_blend_epi32(d, _mm256_cvtepi16_epi32(x), 0xAA);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_values + v),
+                          _mm256_sub_epi32(d, off));
+    }
+  } else {  // field_bits == 8
+    const __m256i off = _mm256_setr_epi32(
+        lane_offset(l, 0), lane_offset(l, 1), lane_offset(l, 2),
+        lane_offset(l, 3), lane_offset(l, 0), lane_offset(l, 1),
+        lane_offset(l, 2), lane_offset(l, 3));
+    for (; v + 8 <= full_values; v += 8, w += 2) {
+      const __m128i x = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(words + w));
+      __m256i d = _mm256_cvtepu8_epi32(x);
+      if (l.mode == LaneMode::kTopSigned) {
+        // Top lane = positions 3 and 7.
+        d = _mm256_blend_epi32(d, _mm256_cvtepi8_epi32(x), 0x88);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_values + v),
+                          _mm256_sub_epi32(d, off));
+    }
+  }
+  // Scalar tail, including the final partial word.
+  std::int32_t lanes[8];
+  for (; v < count; v += static_cast<std::size_t>(L), ++w) {
+    unpack_lanes(words[w], l, {lanes, static_cast<std::size_t>(L)});
+    for (int lane = 0; lane < L; ++lane) {
+      const std::size_t idx = v + static_cast<std::size_t>(lane);
+      if (idx < count) out_values[idx] = lanes[lane];
+    }
+  }
+}
+
+void add_u32_span_avx2(const std::uint32_t* a, const std::uint32_t* b,
+                       std::uint32_t* r, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                        _mm256_add_epi32(x, y));
+  }
+  for (; i < n; ++i) r[i] = a[i] + b[i];
+}
+
+void sub_u32_span_avx2(const std::uint32_t* a, const std::uint32_t* b,
+                       std::uint32_t* r, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                        _mm256_sub_epi32(x, y));
+  }
+  for (; i < n; ++i) r[i] = a[i] - b[i];
+}
+
+void mullo_u32_span_avx2(const std::uint32_t* a, std::uint32_t c,
+                         std::uint32_t* r, std::size_t n) {
+  const __m256i cv = _mm256_set1_epi32(static_cast<std::int32_t>(c));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                        _mm256_mullo_epi32(x, cv));
+  }
+  for (; i < n; ++i) r[i] = a[i] * c;
+}
+
+void shift_mask_u32_span_avx2(const std::uint32_t* a, int s,
+                              std::uint32_t keep, std::uint32_t* r,
+                              std::size_t n) {
+  const __m256i kv = _mm256_set1_epi32(static_cast<std::int32_t>(keep));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                        _mm256_and_si256(_mm256_srli_epi32(x, s), kv));
+  }
+  for (; i < n; ++i) r[i] = (a[i] >> s) & keep;
+}
+
+void and_u32_span_avx2(const std::uint32_t* a, std::uint32_t mask,
+                       std::uint32_t* r, std::size_t n) {
+  const __m256i mv = _mm256_set1_epi32(static_cast<std::int32_t>(mask));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                        _mm256_and_si256(x, mv));
+  }
+  for (; i < n; ++i) r[i] = a[i] & mask;
+}
+
+void min_lanes_span_avx2(const std::uint32_t* a, std::uint32_t word_c,
+                         int field_bits, std::uint32_t* r, std::size_t n) {
+  const __m256i cv = _mm256_set1_epi32(static_cast<std::int32_t>(word_c));
+  std::size_t i = 0;
+  if (field_bits == 16) {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                          _mm256_min_epu16(x, cv));
+    }
+  } else {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                          _mm256_min_epu8(x, cv));
+    }
+  }
+  for (; i < n; ++i) {
+    // Scalar per-lane min against the replicated constant.
+    std::uint32_t out = 0;
+    for (int shift = 0; shift < 32; shift += field_bits) {
+      const std::uint32_t mask = low_mask32(field_bits) << shift;
+      const std::uint32_t va = (a[i] & mask) >> shift;
+      const std::uint32_t vc = (word_c & mask) >> shift;
+      out |= (va < vc ? va : vc) << shift;
+    }
+    r[i] = out;
+  }
+}
+
+void mac_u32_span_avx2(std::uint32_t* acc, std::uint32_t enc,
+                       const std::uint32_t* words, std::size_t n) {
+  const __m256i ev = _mm256_set1_epi32(static_cast<std::int32_t>(enc));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(acc + i),
+        _mm256_add_epi32(av, _mm256_mullo_epi32(x, ev)));
+  }
+  for (; i < n; ++i) acc[i] += enc * words[i];
+}
+
+}  // namespace vitbit::swar::detail

@@ -2,34 +2,7 @@
 
 namespace vitbit {
 
-namespace {
-
-// f32 twins of the int tiles in gemm_blocked.h: double accumulators, same
-// in-order k traversal per output element.
-void gemm_tile_f32_full(const float* a, std::size_t lda, const float* bp,
-                        int kdim, double acc[kGemmMr][kGemmNr]) {
-  for (int k = 0; k < kdim; ++k) {
-    const float* brow = bp + static_cast<std::size_t>(k) * kGemmNr;
-    for (int i = 0; i < kGemmMr; ++i) {
-      const auto ai = static_cast<double>(a[i * lda + k]);
-      for (int j = 0; j < kGemmNr; ++j)
-        acc[i][j] += ai * static_cast<double>(brow[j]);
-    }
-  }
-}
-
-void gemm_tile_f32_edge(const float* a, std::size_t lda, const float* bp,
-                        int kdim, int mr, int w,
-                        double acc[kGemmMr][kGemmNr]) {
-  for (int k = 0; k < kdim; ++k) {
-    const float* brow = bp + static_cast<std::size_t>(k) * w;
-    for (int i = 0; i < mr; ++i) {
-      const auto ai = static_cast<double>(a[i * lda + k]);
-      for (int j = 0; j < w; ++j)
-        acc[i][j] += ai * static_cast<double>(brow[j]);
-    }
-  }
-}
+namespace detail {
 
 std::vector<float> pack_b_panels_f32(const MatrixF32& b) {
   const int kdim = b.rows(), n = b.cols();
@@ -45,47 +18,11 @@ std::vector<float> pack_b_panels_f32(const MatrixF32& b) {
   return packed;
 }
 
-}  // namespace
+}  // namespace detail
 
 MatrixF32 gemm_blocked_f32(const MatrixF32& a, const MatrixF32& b,
                            ThreadPool* pool) {
-  VITBIT_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: A is "
-                                             << a.rows() << "x" << a.cols()
-                                             << ", B is " << b.rows() << "x"
-                                             << b.cols());
-  const int m_dim = a.rows(), k_dim = a.cols(), n_dim = b.cols();
-  MatrixF32 c(m_dim, n_dim);
-  if (m_dim == 0 || n_dim == 0) return c;
-
-  const std::vector<float> bpack = pack_b_panels_f32(b);
-  const std::size_t tasks =
-      (static_cast<std::size_t>(m_dim) + kGemmRowsPerTask - 1) /
-      kGemmRowsPerTask;
-  parallel_map(pool, tasks, [&](std::size_t t) {
-    const int r0 = static_cast<int>(t) * kGemmRowsPerTask;
-    const int r1 = std::min(m_dim, r0 + kGemmRowsPerTask);
-    for (int m0 = r0; m0 < r1; m0 += kGemmMr) {
-      const int mr = std::min(kGemmMr, r1 - m0);
-      const float* arow = a.data() + static_cast<std::size_t>(m0) * k_dim;
-      std::size_t off = 0;
-      for (int n0 = 0; n0 < n_dim; n0 += kGemmNr) {
-        const int w = std::min(kGemmNr, n_dim - n0);
-        double acc[kGemmMr][kGemmNr] = {};
-        if (mr == kGemmMr && w == kGemmNr)
-          gemm_tile_f32_full(arow, static_cast<std::size_t>(k_dim),
-                             bpack.data() + off, k_dim, acc);
-        else
-          gemm_tile_f32_edge(arow, static_cast<std::size_t>(k_dim),
-                             bpack.data() + off, k_dim, mr, w, acc);
-        off += static_cast<std::size_t>(k_dim) * w;
-        for (int i = 0; i < mr; ++i)
-          for (int j = 0; j < w; ++j)
-            c.at(m0 + i, n0 + j) = static_cast<float>(acc[i][j]);
-      }
-    }
-    return 0;
-  });
-  return c;
+  return detail::gemm_f32_panels(a, b, pool, detail::gemm_tile_f32_full);
 }
 
 }  // namespace vitbit

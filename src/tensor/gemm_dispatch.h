@@ -2,16 +2,22 @@
 //
 // Every functional matrix product in the library routes through gemm_int /
 // gemm_f32, which select between the reference triple loops (gemm_ref.h,
-// the oracle) and the blocked panel-packed engine (gemm_blocked.h, the
-// default). The two produce bit-identical results; the switch exists for
-// A/B timing and for bisecting, not for accuracy trade-offs.
+// the oracle), the blocked panel-packed engine (gemm_blocked.h), and the
+// SIMD engine (gemm_simd.h, runtime-dispatched AVX2/SSE4.1 microkernels —
+// the default whenever the CPU supports a vector tier). All three produce
+// bit-identical results; the switch exists for A/B timing and for
+// bisecting, not for accuracy trade-offs.
 //
 // Selection, in precedence order:
-//   1. set_default_gemm_engine() — the --gemm=ref|blocked CLI override.
-//   2. The VITBIT_GEMM environment variable ("ref" or "blocked"), read
-//      once on first use; any other value throws CheckError (fail loud,
-//      like a mistyped flag).
-//   3. Default: blocked.
+//   1. set_default_gemm_engine() — the --gemm=ref|blocked|simd CLI
+//      override.
+//   2. The VITBIT_GEMM environment variable ("ref", "blocked" or "simd"),
+//      read once on first use; any other value throws CheckError (fail
+//      loud, like a mistyped flag).
+//   3. Default: simd when active_simd_level() has a vector tier
+//      (tensor/simd_level.h), blocked otherwise. The simd engine itself
+//      falls back to the blocked tiles when VITBIT_SIMD_LEVEL forces
+//      "none", so the chain is always simd -> blocked -> ref.
 #pragma once
 
 #include <string>
@@ -21,19 +27,24 @@
 
 namespace vitbit {
 
-enum class GemmEngine { kRef, kBlocked };
+enum class GemmEngine { kRef, kBlocked, kSimd };
 
 const char* gemm_engine_name(GemmEngine engine);
-// "ref" or "blocked"; anything else throws CheckError.
+// A name from gemm_engine_names(); anything else throws CheckError listing
+// every valid engine. Shared by vitbit_cli --gemm, the benches, and the
+// VITBIT_GEMM environment parse, so a typo fails the same way everywhere.
 GemmEngine gemm_engine_from_string(const std::string& name);
+// "ref|blocked|simd" — for error messages and --help text.
+const char* gemm_engine_names();
 
 // The process-wide engine used by gemm_int / gemm_f32.
 GemmEngine default_gemm_engine();
 void set_default_gemm_engine(GemmEngine engine);
 
 // C (MxN, int32) = A (MxK) * B (KxN) under the default engine. `pool`
-// parallelizes the blocked engine over disjoint row panels (byte-identical
-// output at any thread count); the reference engine is always serial.
+// parallelizes the blocked and simd engines over disjoint row panels
+// (byte-identical output at any thread count); the reference engine is
+// always serial.
 MatrixI32 gemm_int(const MatrixI32& a, const MatrixI32& b,
                    ThreadPool* pool = nullptr);
 

@@ -1,0 +1,50 @@
+#include "tensor/gemm_simd.h"
+
+#include "tensor/gemm_blocked.h"
+#include "tensor/gemm_simd_kernels.h"
+
+namespace vitbit {
+
+namespace {
+
+using TileIntFn = void (*)(const std::int32_t*, std::size_t,
+                           const std::int32_t*, int,
+                           std::int64_t[kGemmMr][kGemmNr]);
+using TileF32Fn = void (*)(const float*, std::size_t, const float*, int,
+                           double[kGemmMr][kGemmNr]);
+
+struct Kernels {
+  TileIntFn tile_int = nullptr;  // nullptr -> scalar blocked tiles
+  TileF32Fn tile_f32 = nullptr;
+};
+
+Kernels kernels_for(SimdLevel level) {
+#if defined(VITBIT_SIMD_HAVE_AVX2)
+  if (level >= SimdLevel::kAvx2)
+    return {&detail::gemm_tile_int_avx2, &detail::gemm_tile_f32_avx2};
+#endif
+#if defined(VITBIT_SIMD_HAVE_SSE4)
+  if (level >= SimdLevel::kSse)
+    return {&detail::gemm_tile_int_sse, &detail::gemm_tile_f32_sse};
+#endif
+  (void)level;
+  return {};
+}
+
+}  // namespace
+
+MatrixI32 gemm_simd_int(const MatrixI32& a, const MatrixI32& b,
+                        ThreadPool* pool) {
+  const Kernels k = kernels_for(active_simd_level());
+  if (k.tile_int == nullptr) return gemm_blocked_int(a, b, pool);
+  return detail::gemm_int_panels(a, b, pool, k.tile_int);
+}
+
+MatrixF32 gemm_simd_f32(const MatrixF32& a, const MatrixF32& b,
+                        ThreadPool* pool) {
+  const Kernels k = kernels_for(active_simd_level());
+  if (k.tile_f32 == nullptr) return gemm_blocked_f32(a, b, pool);
+  return detail::gemm_f32_panels(a, b, pool, k.tile_f32);
+}
+
+}  // namespace vitbit

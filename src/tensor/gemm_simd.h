@@ -1,0 +1,33 @@
+// SIMD host GEMM engine: the blocked macro-loop of tensor/gemm_blocked.h
+// with runtime-dispatched AVX2 / SSE4.1 full-tile microkernels. Output is
+// bit-identical to gemm_ref_* on every shape and at every thread count:
+// the int kernels sum the same int64 products per element (integer
+// addition is associative), and the f32 kernels perform the same double
+// multiply-and-add per element in the same k order (see
+// gemm_simd_avx2.cpp for the full argument). No fast-math tier exists —
+// the simd engine is a faster spelling of the reference arithmetic.
+//
+// Fallback chain: the microkernel pair is chosen from active_simd_level()
+// (tensor/simd_level.h) at each call — avx2, then sse, then the scalar
+// blocked tiles when the level is none (or the matching kernel TU was not
+// compiled). Forcing VITBIT_SIMD_LEVEL=none therefore makes gemm_simd_*
+// equal gemm_blocked_* exactly.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "tensor/matrix.h"
+#include "tensor/simd_level.h"
+
+namespace vitbit {
+
+// C (MxN, int32) = A (MxK) * B (KxN), int64 accumulation, bit-identical
+// to gemm_ref_int. Same pool/edge/overflow contract as gemm_blocked_int.
+MatrixI32 gemm_simd_int(const MatrixI32& a, const MatrixI32& b,
+                        ThreadPool* pool = nullptr);
+
+// C (MxN, float) = A (MxK) * B (KxN), double accumulation, bit-identical
+// to gemm_ref_f32.
+MatrixF32 gemm_simd_f32(const MatrixF32& a, const MatrixF32& b,
+                        ThreadPool* pool = nullptr);
+
+}  // namespace vitbit

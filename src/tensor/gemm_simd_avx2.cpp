@@ -1,0 +1,89 @@
+// AVX2 full-tile microkernels. Compiled with -mavx2 (see
+// src/tensor/CMakeLists.txt); only ever called after runtime detection
+// reports AVX2 (tensor/simd_level.h).
+//
+// Bit-identity argument, int: every output element (i, j) sums the exact
+// int64 products a[i][k] * b[k][j] over k. int64 addition is associative,
+// and the vector kernel adds the same products in the same k order per
+// element (lanes merely group different j together), so the final int64
+// accumulators equal the scalar tile's exactly.
+//
+// Bit-identity argument, f32: the scalar tile computes
+// acc += double(a) * double(b) per element, rounding once per add (the
+// product of two floats is exact in double: 24-bit mantissas multiply into
+// 48 bits < 53). The vector kernel performs the same double multiply and
+// the same double add per element in the same k order — four j lanes at a
+// time — so every intermediate double is bit-identical to the scalar
+// recurrence. No FMA is used: fusing would not change values here (the
+// products are exact), but mul+add keeps the equivalence self-evident.
+#include <immintrin.h>
+
+#include "tensor/gemm_simd_kernels.h"
+
+namespace vitbit::detail {
+
+void gemm_tile_int_avx2(const std::int32_t* a, std::size_t lda,
+                        const std::int32_t* bp, int kdim,
+                        std::int64_t acc[kGemmMr][kGemmNr]) {
+  static_assert(kGemmMr == 4 && kGemmNr == 8,
+                "AVX2 int microkernel is written for 4x8 tiles");
+  // Per row: one accumulator of int64 lanes for even j (0,2,4,6) and one
+  // for odd j (1,3,5,7) — _mm256_mul_epi32 multiplies the low 32 bits of
+  // each 64-bit lane, so the odd columns are exposed by a 64-bit shift.
+  __m256i acc_e[kGemmMr], acc_o[kGemmMr];
+  for (int i = 0; i < kGemmMr; ++i) {
+    acc_e[i] = _mm256_setzero_si256();
+    acc_o[i] = _mm256_setzero_si256();
+  }
+  for (int k = 0; k < kdim; ++k) {
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        bp + static_cast<std::size_t>(k) * kGemmNr));
+    const __m256i b_odd = _mm256_srli_epi64(b, 32);
+    for (int i = 0; i < kGemmMr; ++i) {
+      const __m256i ai = _mm256_set1_epi32(a[i * lda + k]);
+      acc_e[i] = _mm256_add_epi64(acc_e[i], _mm256_mul_epi32(ai, b));
+      acc_o[i] = _mm256_add_epi64(acc_o[i], _mm256_mul_epi32(ai, b_odd));
+    }
+  }
+  for (int i = 0; i < kGemmMr; ++i) {
+    alignas(32) std::int64_t e[4], o[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(e), acc_e[i]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(o), acc_o[i]);
+    for (int j = 0; j < 4; ++j) {
+      acc[i][2 * j] += e[j];
+      acc[i][2 * j + 1] += o[j];
+    }
+  }
+}
+
+void gemm_tile_f32_avx2(const float* a, std::size_t lda, const float* bp,
+                        int kdim, double acc[kGemmMr][kGemmNr]) {
+  static_assert(kGemmMr == 4 && kGemmNr == 8,
+                "AVX2 f32 microkernel is written for 4x8 tiles");
+  // Per row: 8 double accumulators as two 4-lane registers (j 0-3 / 4-7).
+  __m256d acc_lo[kGemmMr], acc_hi[kGemmMr];
+  for (int i = 0; i < kGemmMr; ++i) {
+    acc_lo[i] = _mm256_setzero_pd();
+    acc_hi[i] = _mm256_setzero_pd();
+  }
+  for (int k = 0; k < kdim; ++k) {
+    const __m256 b =
+        _mm256_loadu_ps(bp + static_cast<std::size_t>(k) * kGemmNr);
+    const __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(b));
+    const __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(b, 1));
+    for (int i = 0; i < kGemmMr; ++i) {
+      const __m256d ai = _mm256_set1_pd(static_cast<double>(a[i * lda + k]));
+      acc_lo[i] = _mm256_add_pd(acc_lo[i], _mm256_mul_pd(ai, b_lo));
+      acc_hi[i] = _mm256_add_pd(acc_hi[i], _mm256_mul_pd(ai, b_hi));
+    }
+  }
+  // Tiles always arrive zeroed (detail::gemm_f32_panels), and the vector
+  // accumulators started from the same +0.0, so a plain store writes the
+  // exact scalar-recurrence values.
+  for (int i = 0; i < kGemmMr; ++i) {
+    _mm256_storeu_pd(&acc[i][0], acc_lo[i]);
+    _mm256_storeu_pd(&acc[i][4], acc_hi[i]);
+  }
+}
+
+}  // namespace vitbit::detail

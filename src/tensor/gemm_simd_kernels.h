@@ -1,0 +1,34 @@
+// Internal: full-tile GEMM microkernel entry points, one pair per SIMD
+// level. Each is defined in its own translation unit compiled with the
+// matching -m flag (gemm_simd_avx2.cpp / gemm_simd_sse.cpp) and is only
+// referenced after runtime feature detection (tensor/simd_level.h), so the
+// binary stays runnable on CPUs without the feature. Contract for every
+// kernel: accumulate one kGemmMr x kGemmNr tile into `acc` using the exact
+// reference recurrence — int64 lane products summed per element, or double
+// mul+add per element in k order — so output is bit-identical to the
+// scalar tiles in tensor/gemm_blocked.h.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm_blocked.h"
+
+namespace vitbit::detail {
+
+#if defined(VITBIT_SIMD_HAVE_AVX2)
+void gemm_tile_int_avx2(const std::int32_t* a, std::size_t lda,
+                        const std::int32_t* bp, int kdim,
+                        std::int64_t acc[kGemmMr][kGemmNr]);
+void gemm_tile_f32_avx2(const float* a, std::size_t lda, const float* bp,
+                        int kdim, double acc[kGemmMr][kGemmNr]);
+#endif
+
+#if defined(VITBIT_SIMD_HAVE_SSE4)
+void gemm_tile_int_sse(const std::int32_t* a, std::size_t lda,
+                       const std::int32_t* bp, int kdim,
+                       std::int64_t acc[kGemmMr][kGemmNr]);
+void gemm_tile_f32_sse(const float* a, std::size_t lda, const float* bp,
+                       int kdim, double acc[kGemmMr][kGemmNr]);
+#endif
+
+}  // namespace vitbit::detail

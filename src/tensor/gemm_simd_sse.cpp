@@ -1,0 +1,82 @@
+// SSE4.1 full-tile microkernels — the 128-bit halves of the AVX2 kernels
+// in gemm_simd_avx2.cpp; same bit-identity arguments (see that file), half
+// the lane width. Compiled with -msse4.1 (_mm_mul_epi32 is SSE4.1); only
+// called after runtime detection reports at least SSE4.1.
+#include <smmintrin.h>
+
+#include "tensor/gemm_simd_kernels.h"
+
+namespace vitbit::detail {
+
+void gemm_tile_int_sse(const std::int32_t* a, std::size_t lda,
+                       const std::int32_t* bp, int kdim,
+                       std::int64_t acc[kGemmMr][kGemmNr]) {
+  static_assert(kGemmMr == 4 && kGemmNr == 8,
+                "SSE int microkernel is written for 4x8 tiles");
+  // Per row: j 0-3 and j 4-7 halves, each split into even/odd int64 pairs
+  // for _mm_mul_epi32 (low-32-bit signed multiply per 64-bit lane).
+  __m128i acc_e0[kGemmMr], acc_o0[kGemmMr], acc_e1[kGemmMr], acc_o1[kGemmMr];
+  for (int i = 0; i < kGemmMr; ++i) {
+    acc_e0[i] = _mm_setzero_si128();
+    acc_o0[i] = _mm_setzero_si128();
+    acc_e1[i] = _mm_setzero_si128();
+    acc_o1[i] = _mm_setzero_si128();
+  }
+  for (int k = 0; k < kdim; ++k) {
+    const std::int32_t* brow = bp + static_cast<std::size_t>(k) * kGemmNr;
+    const __m128i b0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow));
+    const __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + 4));
+    const __m128i b0_odd = _mm_srli_epi64(b0, 32);
+    const __m128i b1_odd = _mm_srli_epi64(b1, 32);
+    for (int i = 0; i < kGemmMr; ++i) {
+      const __m128i ai = _mm_set1_epi32(a[i * lda + k]);
+      acc_e0[i] = _mm_add_epi64(acc_e0[i], _mm_mul_epi32(ai, b0));
+      acc_o0[i] = _mm_add_epi64(acc_o0[i], _mm_mul_epi32(ai, b0_odd));
+      acc_e1[i] = _mm_add_epi64(acc_e1[i], _mm_mul_epi32(ai, b1));
+      acc_o1[i] = _mm_add_epi64(acc_o1[i], _mm_mul_epi32(ai, b1_odd));
+    }
+  }
+  for (int i = 0; i < kGemmMr; ++i) {
+    alignas(16) std::int64_t e0[2], o0[2], e1[2], o1[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(e0), acc_e0[i]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(o0), acc_o0[i]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(e1), acc_e1[i]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(o1), acc_o1[i]);
+    for (int j = 0; j < 2; ++j) {
+      acc[i][2 * j] += e0[j];
+      acc[i][2 * j + 1] += o0[j];
+      acc[i][4 + 2 * j] += e1[j];
+      acc[i][4 + 2 * j + 1] += o1[j];
+    }
+  }
+}
+
+void gemm_tile_f32_sse(const float* a, std::size_t lda, const float* bp,
+                       int kdim, double acc[kGemmMr][kGemmNr]) {
+  static_assert(kGemmMr == 4 && kGemmNr == 8,
+                "SSE f32 microkernel is written for 4x8 tiles");
+  // Per row: 8 double accumulators as four 2-lane registers.
+  __m128d accv[kGemmMr][4];
+  for (int i = 0; i < kGemmMr; ++i)
+    for (int q = 0; q < 4; ++q) accv[i][q] = _mm_setzero_pd();
+  for (int k = 0; k < kdim; ++k) {
+    const float* brow = bp + static_cast<std::size_t>(k) * kGemmNr;
+    const __m128 b0 = _mm_loadu_ps(brow);
+    const __m128 b1 = _mm_loadu_ps(brow + 4);
+    const __m128d bd[4] = {
+        _mm_cvtps_pd(b0), _mm_cvtps_pd(_mm_movehl_ps(b0, b0)),
+        _mm_cvtps_pd(b1), _mm_cvtps_pd(_mm_movehl_ps(b1, b1))};
+    for (int i = 0; i < kGemmMr; ++i) {
+      const __m128d ai = _mm_set1_pd(static_cast<double>(a[i * lda + k]));
+      for (int q = 0; q < 4; ++q)
+        accv[i][q] = _mm_add_pd(accv[i][q], _mm_mul_pd(ai, bd[q]));
+    }
+  }
+  // Tiles arrive zeroed; plain stores write the scalar-recurrence values.
+  for (int i = 0; i < kGemmMr; ++i)
+    for (int q = 0; q < 4; ++q) _mm_storeu_pd(&acc[i][2 * q], accv[i][q]);
+}
+
+}  // namespace vitbit::detail

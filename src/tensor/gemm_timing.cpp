@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "tensor/gemm_blocked.h"
 #include "tensor/gemm_ref.h"
+#include "tensor/gemm_simd.h"
 
 namespace vitbit {
 
@@ -32,28 +33,55 @@ double best_of(int repeats, Out& out, const Fn& fn) {
   return best;
 }
 
-template <typename Mat, typename RefFn, typename BlockedFn>
+template <typename Mat, typename RefFn, typename EngineFn>
 GemmMeasurement measure(const GemmShapeSpec& shape, int repeats,
                         const Mat& a, const Mat& b, const RefFn& ref,
-                        const BlockedFn& blocked) {
+                        const EngineFn& engine) {
   VITBIT_CHECK(repeats >= 1);
   GemmMeasurement out;
-  Mat c_ref, c_blocked;
+  Mat c_ref, c_engine;
   out.ref_seconds = best_of(repeats, c_ref, [&] { return ref(a, b); });
-  out.blocked_seconds =
-      best_of(repeats, c_blocked, [&] { return blocked(a, b); });
+  out.engine_seconds =
+      best_of(repeats, c_engine, [&] { return engine(a, b); });
   out.ref_gflops = gflops(shape, out.ref_seconds);
-  out.blocked_gflops = gflops(shape, out.blocked_seconds);
+  out.engine_gflops = gflops(shape, out.engine_seconds);
   out.speedup =
-      out.ref_gflops > 0.0 ? out.blocked_gflops / out.ref_gflops : 0.0;
-  out.max_abs_diff = static_cast<double>(max_abs_diff(c_blocked, c_ref));
+      out.ref_gflops > 0.0 ? out.engine_gflops / out.ref_gflops : 0.0;
+  out.max_abs_diff = static_cast<double>(max_abs_diff(c_engine, c_ref));
   return out;
+}
+
+MatrixI32 run_engine_int(GemmEngine engine, const MatrixI32& a,
+                         const MatrixI32& b, ThreadPool* pool) {
+  switch (engine) {
+    case GemmEngine::kRef:
+      return gemm_ref_int(a, b);
+    case GemmEngine::kBlocked:
+      return gemm_blocked_int(a, b, pool);
+    case GemmEngine::kSimd:
+      return gemm_simd_int(a, b, pool);
+  }
+  return gemm_blocked_int(a, b, pool);
+}
+
+MatrixF32 run_engine_f32(GemmEngine engine, const MatrixF32& a,
+                         const MatrixF32& b, ThreadPool* pool) {
+  switch (engine) {
+    case GemmEngine::kRef:
+      return gemm_ref_f32(a, b);
+    case GemmEngine::kBlocked:
+      return gemm_blocked_f32(a, b, pool);
+    case GemmEngine::kSimd:
+      return gemm_simd_f32(a, b, pool);
+  }
+  return gemm_blocked_f32(a, b, pool);
 }
 
 }  // namespace
 
 GemmMeasurement measure_gemm_int(const GemmShapeSpec& shape, int repeats,
-                                 std::uint64_t seed, ThreadPool* pool) {
+                                 std::uint64_t seed, ThreadPool* pool,
+                                 GemmEngine engine) {
   Rng rng(seed);
   MatrixI32 a(shape.m, shape.k), b(shape.k, shape.n);
   fill_uniform(a, rng, -127, 127);
@@ -63,13 +91,14 @@ GemmMeasurement measure_gemm_int(const GemmShapeSpec& shape, int repeats,
       [](const MatrixI32& x, const MatrixI32& y) {
         return gemm_ref_int(x, y);
       },
-      [pool](const MatrixI32& x, const MatrixI32& y) {
-        return gemm_blocked_int(x, y, pool);
+      [pool, engine](const MatrixI32& x, const MatrixI32& y) {
+        return run_engine_int(engine, x, y, pool);
       });
 }
 
 GemmMeasurement measure_gemm_f32(const GemmShapeSpec& shape, int repeats,
-                                 std::uint64_t seed, ThreadPool* pool) {
+                                 std::uint64_t seed, ThreadPool* pool,
+                                 GemmEngine engine) {
   Rng rng(seed);
   MatrixF32 a(shape.m, shape.k), b(shape.k, shape.n);
   for (auto& v : a.flat()) v = static_cast<float>(rng.normal());
@@ -79,8 +108,8 @@ GemmMeasurement measure_gemm_f32(const GemmShapeSpec& shape, int repeats,
       [](const MatrixF32& x, const MatrixF32& y) {
         return gemm_ref_f32(x, y);
       },
-      [pool](const MatrixF32& x, const MatrixF32& y) {
-        return gemm_blocked_f32(x, y, pool);
+      [pool, engine](const MatrixF32& x, const MatrixF32& y) {
+        return run_engine_f32(engine, x, y, pool);
       });
 }
 

@@ -1,6 +1,7 @@
 // Host-side GEMM measurement shared by bench/host_gemm and the
 // check_regression host-GEMM gate: times the reference triple loop against
-// the blocked engine on one shape and verifies bit-identity of the outputs.
+// a candidate engine (blocked or simd) on one shape and verifies
+// bit-identity of the outputs.
 //
 // Timing is best-of-`repeats` wall-clock per engine (min absorbs scheduler
 // noise far better than the mean on loaded CI machines). Everything other
@@ -13,6 +14,7 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "tensor/gemm_dispatch.h"
 #include "tensor/matrix.h"
 
 namespace vitbit {
@@ -25,22 +27,26 @@ struct GemmShapeSpec {
 };
 
 struct GemmMeasurement {
-  double ref_seconds = 0.0;      // best-of-repeats, reference engine
-  double blocked_seconds = 0.0;  // best-of-repeats, blocked engine
+  double ref_seconds = 0.0;     // best-of-repeats, reference engine
+  double engine_seconds = 0.0;  // best-of-repeats, measured engine
   double ref_gflops = 0.0;
-  double blocked_gflops = 0.0;
-  double speedup = 0.0;  // blocked_gflops / ref_gflops
-  // max_abs_diff(blocked, reference): 0 when bit-identical (the contract).
+  double engine_gflops = 0.0;
+  double speedup = 0.0;  // engine_gflops / ref_gflops
+  // max_abs_diff(engine, reference): 0 when bit-identical (the contract).
   double max_abs_diff = 0.0;
 };
 
 // Int path: operands are int8-range values (the quantized-inference shape
-// of the workload), drawn from Rng(seed).
+// of the workload), drawn from Rng(seed). `engine` is the candidate timed
+// against the reference loop (kRef measures the reference against itself,
+// useful only as a sanity check).
 GemmMeasurement measure_gemm_int(const GemmShapeSpec& shape, int repeats,
-                                 std::uint64_t seed, ThreadPool* pool);
+                                 std::uint64_t seed, ThreadPool* pool,
+                                 GemmEngine engine = GemmEngine::kBlocked);
 
 // f32 path: standard-normal operands.
 GemmMeasurement measure_gemm_f32(const GemmShapeSpec& shape, int repeats,
-                                 std::uint64_t seed, ThreadPool* pool);
+                                 std::uint64_t seed, ThreadPool* pool,
+                                 GemmEngine engine = GemmEngine::kBlocked);
 
 }  // namespace vitbit

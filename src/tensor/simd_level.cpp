@@ -1,0 +1,87 @@
+#include "tensor/simd_level.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace vitbit {
+
+namespace {
+
+SimdLevel detect() {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(VITBIT_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+#if defined(VITBIT_SIMD_HAVE_SSE4)
+  if (__builtin_cpu_supports("sse4.1")) return SimdLevel::kSse;
+#endif
+#endif
+  return SimdLevel::kNone;
+}
+
+SimdLevel env_level() {
+  // Read once on first use, like VITBIT_GEMM (tensor/gemm_dispatch.cpp).
+  static const SimdLevel level = [] {
+    const char* env = std::getenv("VITBIT_SIMD_LEVEL");
+    if (env == nullptr || *env == '\0') return detected_simd_level();
+    return simd_level_from_string(env);
+  }();
+  return level;
+}
+
+// -1 = no override (fall back to VITBIT_SIMD_LEVEL / detected).
+std::atomic<int>& override_slot() {
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kNone:
+      return "none";
+    case SimdLevel::kSse:
+      return "sse";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "none";
+}
+
+SimdLevel simd_level_from_string(const std::string& name) {
+  if (name == "none") return SimdLevel::kNone;
+  if (name == "sse") return SimdLevel::kSse;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  VITBIT_CHECK_MSG(false, "unknown SIMD level '" << name << "' (valid: "
+                                                 << simd_level_names()
+                                                 << ")");
+  return SimdLevel::kNone;
+}
+
+const char* simd_level_names() { return "none|sse|avx2"; }
+
+SimdLevel detected_simd_level() {
+  static const SimdLevel level = detect();
+  return level;
+}
+
+SimdLevel active_simd_level() {
+  const int forced = override_slot().load(std::memory_order_relaxed);
+  const SimdLevel requested =
+      forced >= 0 ? static_cast<SimdLevel>(forced) : env_level();
+  const SimdLevel detected = detected_simd_level();
+  return requested < detected ? requested : detected;
+}
+
+void set_simd_level_override(SimdLevel level) {
+  override_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_simd_level_override() {
+  override_slot().store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace vitbit

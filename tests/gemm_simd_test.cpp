@@ -1,0 +1,210 @@
+// The simd engine's contract (tensor/gemm_simd.h): bit-identical to the
+// gemm_ref_* triple loops at EVERY SIMD tier — avx2, sse, and the scalar
+// fallback — on ragged shapes, near-overflow inputs, and every thread
+// count. VITBIT_SIMD_LEVEL / set_simd_level_override make all tiers
+// testable on any machine (levels above the detected one clamp), so this
+// suite runs the same assertions three times and only the dispatch path
+// differs. Plus the three-engine dispatcher surface: name round-trips,
+// the error message listing every valid engine, and routing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/gemm_blocked.h"
+#include "tensor/gemm_dispatch.h"
+#include "tensor/gemm_ref.h"
+#include "tensor/gemm_simd.h"
+#include "tensor/simd_level.h"
+
+namespace vitbit {
+namespace {
+
+// Forces one SIMD tier for a scope; restores the env/detected default on
+// exit so a failing test can't leak its tier into later tests.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) { set_simd_level_override(level); }
+  ~ScopedSimdLevel() { clear_simd_level_override(); }
+};
+
+class ScopedEngine {
+ public:
+  explicit ScopedEngine(GemmEngine e) : saved_(default_gemm_engine()) {
+    set_default_gemm_engine(e);
+  }
+  ~ScopedEngine() { set_default_gemm_engine(saved_); }
+
+ private:
+  GemmEngine saved_;
+};
+
+constexpr SimdLevel kAllLevels[] = {SimdLevel::kNone, SimdLevel::kSse,
+                                    SimdLevel::kAvx2};
+
+TEST(SimdLevel, NamesRoundTripAndErrorsListAll) {
+  EXPECT_EQ(simd_level_from_string("none"), SimdLevel::kNone);
+  EXPECT_EQ(simd_level_from_string("sse"), SimdLevel::kSse);
+  EXPECT_EQ(simd_level_from_string("avx2"), SimdLevel::kAvx2);
+  EXPECT_STREQ(simd_level_name(SimdLevel::kNone), "none");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kSse), "sse");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  try {
+    simd_level_from_string("avx512");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(simd_level_names()),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SimdLevel, OverrideClampsToDetected) {
+  const SimdLevel detected = detected_simd_level();
+  {
+    ScopedSimdLevel force(SimdLevel::kNone);
+    EXPECT_EQ(active_simd_level(), SimdLevel::kNone);
+  }
+  {
+    // Asking for more than the machine has degrades, never fails.
+    ScopedSimdLevel force(SimdLevel::kAvx2);
+    EXPECT_EQ(active_simd_level(),
+              detected < SimdLevel::kAvx2 ? detected : SimdLevel::kAvx2);
+  }
+}
+
+TEST(GemmSimd, BitIdenticalOnRaggedShapesIntAtEveryTier) {
+  // Shapes hitting full tiles, ragged rows, ragged columns, both, and
+  // vectors — same sweep the blocked engine is held to.
+  const int shapes[][3] = {{1, 1, 1},   {4, 8, 8},   {5, 3, 9},
+                           {32, 16, 8}, {33, 17, 9}, {7, 1, 13},
+                           {1, 64, 1},  {63, 5, 31}, {12, 100, 20}};
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel force(level);
+    Rng rng(21);
+    for (const auto& s : shapes) {
+      MatrixI32 a(s[0], s[1]), b(s[1], s[2]);
+      fill_uniform(a, rng, -127, 127);
+      fill_uniform(b, rng, -127, 127);
+      const auto ref = gemm_ref_int(a, b);
+      EXPECT_TRUE(gemm_simd_int(a, b) == ref)
+          << simd_level_name(level) << " " << s[0] << "x" << s[1] << "x"
+          << s[2];
+    }
+  }
+}
+
+TEST(GemmSimd, BitIdenticalOnRaggedShapesF32AtEveryTier) {
+  const int shapes[][3] = {{1, 1, 1}, {4, 8, 8}, {33, 17, 9}, {7, 129, 11}};
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel force(level);
+    Rng rng(22);
+    for (const auto& s : shapes) {
+      MatrixF32 a(s[0], s[1]), b(s[1], s[2]);
+      for (auto& v : a.flat()) v = static_cast<float>(rng.normal());
+      for (auto& v : b.flat()) v = static_cast<float>(rng.normal());
+      // Bit-identity, not closeness: the SIMD kernels perform the same
+      // double multiply-and-add per element in the same k order.
+      EXPECT_EQ(max_abs_diff(gemm_simd_f32(a, b), gemm_ref_f32(a, b)), 0.0)
+          << simd_level_name(level) << " " << s[0] << "x" << s[1] << "x"
+          << s[2];
+    }
+  }
+}
+
+TEST(GemmSimd, NearInt32MaxHeadroom) {
+  // 3 * 26754^2 = 2,147,329,548 — within 155k of INT32_MAX. The int64
+  // accumulator must carry these exactly at every tier, and the mixed-sign
+  // variant must cancel exactly.
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel force(level);
+    MatrixI32 a(1, 3, 26754), b(3, 1, 26754);
+    const auto c = gemm_simd_int(a, b);
+    EXPECT_EQ(c.at(0, 0), 2147329548) << simd_level_name(level);
+    EXPECT_TRUE(c == gemm_ref_int(a, b));
+    a.at(0, 1) = -26754;
+    b.at(1, 0) = 26754;
+    EXPECT_TRUE(gemm_simd_int(a, b) == gemm_ref_int(a, b))
+        << simd_level_name(level);
+  }
+}
+
+TEST(GemmSimd, Int32OverflowThrowsLikeReferenceAtEveryTier) {
+  // Four terms of 2^30 sum to 2^32 > INT32_MAX: every tier must refuse
+  // exactly where the reference does.
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel force(level);
+    MatrixI32 a(1, 4, 1 << 15), b(4, 1, 1 << 15);
+    EXPECT_THROW(gemm_simd_int(a, b), CheckError) << simd_level_name(level);
+  }
+}
+
+TEST(GemmSimd, ThreadCountInvarianceAtEveryTier) {
+  Rng rng(23);
+  // 101 rows = several row panels plus a ragged remainder per thread.
+  MatrixI32 a(101, 48), b(48, 19);
+  fill_uniform(a, rng, -100, 100);
+  fill_uniform(b, rng, -100, 100);
+  MatrixF32 af = convert<float>(a), bf = convert<float>(b);
+  const auto ref = gemm_ref_int(a, b);
+  const auto ref_f = gemm_ref_f32(af, bf);
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel force(level);
+    EXPECT_TRUE(gemm_simd_int(a, b, nullptr) == ref)
+        << simd_level_name(level) << " serial";
+    for (int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      EXPECT_TRUE(gemm_simd_int(a, b, &pool) == ref)
+          << simd_level_name(level) << " threads=" << threads;
+      EXPECT_EQ(max_abs_diff(gemm_simd_f32(af, bf, &pool), ref_f), 0.0)
+          << simd_level_name(level) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GemmSimd, NoneTierEqualsBlockedEngine) {
+  // The bottom of the fallback chain IS the blocked engine's scalar tiles,
+  // so forcing none must reproduce gemm_blocked_* exactly.
+  ScopedSimdLevel force(SimdLevel::kNone);
+  Rng rng(24);
+  MatrixI32 a(19, 37), b(37, 23);
+  fill_uniform(a, rng, -127, 127);
+  fill_uniform(b, rng, -127, 127);
+  EXPECT_TRUE(gemm_simd_int(a, b) == gemm_blocked_int(a, b));
+}
+
+TEST(GemmDispatch, SimdEngineNameRoundTripsAndErrorListsAll) {
+  EXPECT_EQ(gemm_engine_from_string("simd"), GemmEngine::kSimd);
+  EXPECT_STREQ(gemm_engine_name(GemmEngine::kSimd), "simd");
+  // One error path, shared by --gemm, VITBIT_GEMM, and --engines: it must
+  // name every valid engine so a typo is self-correcting.
+  try {
+    gemm_engine_from_string("fast");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(gemm_engine_names()), std::string::npos) << msg;
+  }
+  EXPECT_NE(std::string(gemm_engine_names()).find("simd"),
+            std::string::npos);
+}
+
+TEST(GemmDispatch, SimdEngineRoutesThroughDispatcher) {
+  Rng rng(25);
+  MatrixI32 a(9, 33), b(33, 14);
+  fill_uniform(a, rng, -50, 50);
+  fill_uniform(b, rng, -50, 50);
+  const auto ref = gemm_ref_int(a, b);
+  for (const SimdLevel level : kAllLevels) {
+    ScopedSimdLevel force_level(level);
+    ScopedEngine e(GemmEngine::kSimd);
+    EXPECT_EQ(default_gemm_engine(), GemmEngine::kSimd);
+    EXPECT_TRUE(gemm_int(a, b) == ref) << simd_level_name(level);
+  }
+}
+
+}  // namespace
+}  // namespace vitbit

@@ -176,6 +176,21 @@ RunReport sample_report() {
   sp.p95_us = 18000;
   sp.p99_us = 24000;
   rep.serve_points.push_back(std::move(sp));
+  GemmPointReport gp;
+  gp.name = "layer0.fc1";
+  gp.dtype = "int32";
+  gp.engine = "simd";
+  gp.simd_level = "avx2";
+  gp.m = 197;
+  gp.k = 768;
+  gp.n = 3072;
+  gp.repeats = 2;
+  gp.gflops = 18.0;
+  gp.ref_gflops = 0.25;
+  gp.speedup = 72.0;
+  gp.max_abs_diff = 0.0;
+  gp.min_speedup = 6.0;
+  rep.gemm_points.push_back(std::move(gp));
   return rep;
 }
 
@@ -409,6 +424,43 @@ TEST(RunReport, ServePointsRoundTripAndLookup) {
   EXPECT_EQ(p->completed, 780u);
   EXPECT_EQ(p->p99_us, 24000u);
   EXPECT_EQ(back.find_serve_point("TC.timeout.poisson@400"), nullptr);
+}
+
+TEST(RunReport, GemmPointKeyIncludesEngine) {
+  // Schema minor 6: the engine name is part of the gemm-point identity,
+  // so blocked and simd measurements of the same shape coexist in one
+  // report, and simd_level survives the JSON round trip.
+  const RunReport back = run_report_from_json(to_json(sample_report()));
+  const auto* p = back.find_gemm_point("layer0.fc1.int32.simd");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->simd_level, "avx2");
+  EXPECT_EQ(p->min_speedup, 6.0);
+  EXPECT_EQ(back.find_gemm_point("layer0.fc1.int32.blocked"), nullptr);
+}
+
+TEST(RunReport, PreMinor6GemmPointsLoadWithoutSimdLevel) {
+  // Documents written before minor 6 carry no simd_level key on their
+  // gemm points; the reader must default it to empty, not reject.
+  const Json full = to_json(sample_report());
+  Json j = Json::object();
+  for (const auto& [key, value] : full.items()) {
+    if (key != "gemm_points") {
+      j.set(key, value);
+      continue;
+    }
+    Json points = Json::array();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      Json point = Json::object();
+      for (const auto& [pk, pv] : value[i].items())
+        if (pk != "simd_level") point.set(pk, pv);
+      points.push_back(std::move(point));
+    }
+    j.set(key, std::move(points));
+  }
+  const RunReport back = run_report_from_json(j);
+  ASSERT_EQ(back.gemm_points.size(), 1u);
+  EXPECT_TRUE(back.gemm_points[0].simd_level.empty());
+  EXPECT_EQ(back.gemm_points[0].engine, "simd");
 }
 
 TEST(RunReport, DocumentsWithoutServePointsStillLoad) {

@@ -4,20 +4,23 @@
 // reduced-layer ViT-Base plus reduced serving-simulator sweeps — a
 // single-server rate sweep, a faults sweep (serve/server.h), and a
 // sharded fleet sweep (serve/cluster.h) — emits schema-versioned run
-// reports, and diffs them against the checked-in baselines. Exit 0 when every metric is within
-// tolerance; exit 1 naming the first offending metric otherwise.
+// reports, and diffs them against the checked-in baselines. Exit 0 when
+// every metric is within tolerance; exit 1 naming the first offending
+// metric otherwise.
 //
 //   check_regression [--baselines=baselines] [--layers=2]
 //                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--serve-tol=0.05]
-//                    [--gemm-speedup-floor=1.5] [--json=PATH] [--threads=N]
+//                    [--gemm-speedup-floor=3.0] [--simd-speedup-floor=6.0]
+//                    [--json=PATH] [--threads=N]
 //   check_regression --update          regenerate the baseline files
 //
-// Besides the simulated figures, the gate measures the blocked host GEMM
-// engine (tensor/gemm_blocked.h) against the reference triple loop on one
-// ViT-Base linear shape: bit-identity is enforced exactly, and the
-// measured speedup must clear the floor recorded in the baseline at
-// --update time (--gemm-speedup-floor; raw GFLOP/s are machine-dependent
-// and never diffed).
+// Besides the simulated figures, the gate measures the blocked and simd
+// host GEMM engines (tensor/gemm_blocked.h, tensor/gemm_simd.h) against
+// the reference triple loop on one ViT-Base linear shape: bit-identity is
+// enforced exactly, and each engine's measured speedup must clear the
+// floor recorded in the baseline at --update time (--gemm-speedup-floor
+// for blocked, --simd-speedup-floor for simd; raw GFLOP/s are
+// machine-dependent and never diffed).
 //
 // --threads=N fans the strategy replays and candidate sweeps over a host
 // thread pool (default: hardware_concurrency; 1 restores the serial
@@ -42,6 +45,7 @@
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "tensor/gemm_timing.h"
+#include "tensor/simd_level.h"
 #include "trace/gemm_traces.h"
 #include "vitbit/pipeline.h"
 
@@ -122,10 +126,13 @@ int run(int argc, char** argv) {
   tol.ipc = cli.get_double("ipc-tol", tol.ipc);
   tol.serve = cli.get_double("serve-tol", tol.serve);
   tol.check_kernels = !cli.get_bool("no-kernels", false);
-  // Floor recorded into the host_gemm baseline at --update time; during a
-  // check run the committed baseline's floor is what gates. 3.0 leaves a
-  // 2x margin under the ~6-11x measured on the gated fc1 shape.
+  // Floors recorded into the host_gemm baseline at --update time; during
+  // a check run the committed baseline's floors are what gate. 3.0 leaves
+  // a 2x margin under the ~6-11x measured for the blocked engine on the
+  // gated fc1 shape; the simd floor asserts the vector microkernels stay
+  // at least ~2x faster than that on AVX2 CI machines.
   const double gemm_floor = cli.get_double("gemm-speedup-floor", 3.0);
+  const double simd_floor = cli.get_double("simd-speedup-floor", 6.0);
 
   auto vit_cfg = nn::vit_base();
   vit_cfg.num_layers = layers;
@@ -168,6 +175,7 @@ int run(int argc, char** argv) {
         g.gflops = 0.0;
         g.ref_gflops = 0.0;
         g.speedup = 0.0;
+        g.simd_level.clear();
       }
       report::save_report_file(path, stable);
       std::cout << "regenerated " << path << "\n";
@@ -279,9 +287,10 @@ int run(int argc, char** argv) {
     gate("fleet_sweep", fresh);
   }
   // Host-GEMM gate: the compute-heavy ViT-Base linear shape (fc1,
-  // 197x768x3072), int32 and f32 paths. Bit-identity (max_abs_diff == 0)
-  // is exact; the speedup floor guards the blocked engine's reason to
-  // exist without gating machine-dependent absolute GFLOP/s.
+  // 197x768x3072), int32 and f32 paths under both fast engines. Bit-
+  // identity (max_abs_diff == 0) is exact; the per-engine speedup floors
+  // guard each engine's reason to exist without gating machine-dependent
+  // absolute GFLOP/s.
   {
     const GemmShapeSpec shape{"layer0.fc1", 197, 768, 3072};
     const int repeats = 2;
@@ -290,24 +299,32 @@ int run(int argc, char** argv) {
     fresh.tool = "check_regression";
     fresh.meta = report::build_metadata();
     fresh.meta["figure"] = "host_gemm";
-    for (const auto& [dtype, m] :
-         {std::pair<const char*, GemmMeasurement>{
-              "int32", measure_gemm_int(shape, repeats, 42, &pool)},
-          {"f32", measure_gemm_f32(shape, repeats, 42, &pool)}}) {
-      report::GemmPointReport p;
-      p.name = shape.name;
-      p.dtype = dtype;
-      p.engine = "blocked";
-      p.m = shape.m;
-      p.k = shape.k;
-      p.n = shape.n;
-      p.repeats = repeats;
-      p.gflops = m.blocked_gflops;
-      p.ref_gflops = m.ref_gflops;
-      p.speedup = m.speedup;
-      p.max_abs_diff = m.max_abs_diff;
-      p.min_speedup = gemm_floor;
-      fresh.gemm_points.push_back(std::move(p));
+    for (const auto& [engine, floor] :
+         {std::pair<GemmEngine, double>{GemmEngine::kBlocked, gemm_floor},
+          {GemmEngine::kSimd, simd_floor}}) {
+      for (const auto& [dtype, m] :
+           {std::pair<const char*, GemmMeasurement>{
+                "int32",
+                measure_gemm_int(shape, repeats, 42, &pool, engine)},
+            {"f32", measure_gemm_f32(shape, repeats, 42, &pool, engine)}}) {
+        report::GemmPointReport p;
+        p.name = shape.name;
+        p.dtype = dtype;
+        p.engine = gemm_engine_name(engine);
+        p.simd_level = engine == GemmEngine::kSimd
+                           ? simd_level_name(active_simd_level())
+                           : "";
+        p.m = shape.m;
+        p.k = shape.k;
+        p.n = shape.n;
+        p.repeats = repeats;
+        p.gflops = m.engine_gflops;
+        p.ref_gflops = m.ref_gflops;
+        p.speedup = m.speedup;
+        p.max_abs_diff = m.max_abs_diff;
+        p.min_speedup = floor;
+        fresh.gemm_points.push_back(std::move(p));
+      }
     }
     fresh.threads = pool.size();
     fresh.host_wall_seconds =
