@@ -1,12 +1,17 @@
 // Extension bench: batched ViT-Base inference. Larger batches enlarge the
 // GEMMs (more blocks, better GPU fill); this sweeps the batch size and
-// reports throughput and VitBit's advantage at each point.
+// reports throughput and VitBit's advantage at each point. Latencies come
+// from the same memoized per-batch-size table builder the serving tiers
+// and the model registry use (serve/server.h), so the bench and the
+// simulators can never disagree about what a batch costs.
+#include <cstdint>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "nn/vit_model.h"
+#include "serve/server.h"
 #include "vitbit/pipeline.h"
 
 namespace vitbit {
@@ -23,29 +28,25 @@ int run(int argc, char** argv) {
   t.header({"batch", "TC (ms)", "VitBit (ms)", "VitBit speedup",
             "TC img/s", "VitBit img/s"});
   const std::vector<int> batches = {1, 2, 4, 8, 16, 32};
-  // Flatten (batch, strategy): even index = TC, odd = VitBit.
-  const auto timings =
-      parallel_map(&pool, batches.size() * 2, [&](std::size_t i) {
-        const auto log = nn::build_kernel_log(nn::vit_base(), batches[i / 2]);
-        const auto s =
-            i % 2 == 0 ? core::Strategy::kTC : core::Strategy::kVitBit;
-        return core::time_inference(log, s, cfg, spec, calib, &pool);
-      });
-  for (std::size_t i = 0; i < batches.size(); ++i) {
-    const int batch = batches[i];
-    const auto& tc = timings[2 * i];
-    const auto& vb = timings[2 * i + 1];
-    const double tc_ms = tc.total_ms(spec);
-    const double vb_ms = vb.total_ms(spec);
+  // One shared builder call covers both strategies at every batch size
+  // up to the sweep's largest, fanned out over the pool.
+  const auto model = nn::vit_base();
+  const auto tables = serve::build_latency_tables_from_logs(
+      [&model](int b) { return nn::build_kernel_log(model, b); },
+      {core::Strategy::kTC, core::Strategy::kVitBit}, cfg, spec, calib,
+      batches.back(), &pool);
+  const auto& tc = tables[0];
+  const auto& vb = tables[1];
+  for (const int batch : batches) {
+    const auto tc_us = tc.latency_us(batch);
+    const auto vb_us = vb.latency_us(batch);
     t.row()
         .cell(std::int64_t{batch})
-        .cell(tc_ms, 3)
-        .cell(vb_ms, 3)
-        .cell(static_cast<double>(tc.total_cycles) /
-                  static_cast<double>(vb.total_cycles),
-              2)
-        .cell(1000.0 * batch / tc_ms, 1)
-        .cell(1000.0 * batch / vb_ms, 1);
+        .cell(tc_us / 1000.0, 3)
+        .cell(vb_us / 1000.0, 3)
+        .cell(static_cast<double>(tc_us) / static_cast<double>(vb_us), 2)
+        .cell(1e6 * batch / static_cast<double>(tc_us), 1)
+        .cell(1e6 * batch / static_cast<double>(vb_us), 1);
   }
   bench::emit(t, cli);
   std::cout << "\nBatching amortizes kernel-launch overhead and fills the\n"

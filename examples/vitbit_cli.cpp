@@ -25,6 +25,7 @@
 #include "nn/vit_model.h"
 #include "report/run_report.h"
 #include "serve/cluster.h"
+#include "serve/sched/sched.h"
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "swar/layout.h"
@@ -261,6 +262,37 @@ int cmd_fleet(const Cli& cli, ThreadPool& pool) {
   return 0;
 }
 
+// Scheduler sweep (serve/sched/sched.h): a mixed multi-class request
+// stream over the model zoo through fifo, cb, and cb-pre scheduling.
+// --json writes the schema-versioned sched_points report.
+int cmd_sched(const Cli& cli, ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& calib = arch::default_calibration();
+  // The one flag set shared with bench/sched_sim, validated on return.
+  const auto cfg = serve::sched_config_from_cli(cli);
+
+  const auto points = serve::run_sched_sweep(cfg, kSpec, calib, &pool);
+  serve::sched_table(cfg, points).print(std::cout);
+
+  const std::string out = cli.json_path();
+  if (!out.empty()) {
+    auto rep = serve::make_sched_report(cfg, points, "vitbit_cli",
+                                        pool.size());
+    rep.host_wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    report::save_report_file(out, rep);
+    // Same self-check as `report`: the artifact must round-trip before
+    // anything downstream trusts it.
+    const auto back = report::load_report_file(out);
+    VITBIT_CHECK_MSG(report::to_json(back) == report::to_json(rep),
+                     "sched report round-trip mismatch: " << out);
+    std::cout << "wrote " << out << " (" << rep.sched_points.size()
+              << " sweep rows)\n";
+  }
+  return 0;
+}
+
 int cmd_layout(const Cli& cli) {
   const int bits = static_cast<int>(cli.get_int("bits", 8));
   for (const auto mode : {swar::LaneMode::kUnsigned, swar::LaneMode::kOffset,
@@ -279,6 +311,7 @@ int dispatch(const Cli& cli, const std::string& cmd, ThreadPool& pool) {
   if (cmd == "report") return cmd_report(cli, pool);
   if (cmd == "serve") return cmd_serve(cli, pool);
   if (cmd == "fleet") return cmd_fleet(cli, pool);
+  if (cmd == "sched") return cmd_sched(cli, pool);
   return -1;
 }
 
@@ -306,7 +339,8 @@ int run(int argc, char** argv) {
     return rc;
   }
   std::cout << "usage: vitbit_cli "
-               "<study|tune|infer|layout|report|serve|fleet> [--flags]\n"
+               "<study|tune|infer|layout|report|serve|fleet|sched> "
+               "[--flags]\n"
                "  study  --m --k --n        Section 3.2 GEMM ratio study\n"
                "  tune   --m --k --n        derive the VitBit split ratios\n"
                "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
@@ -330,6 +364,15 @@ int run(int argc, char** argv) {
                "         --scale-p99-us=N --scale-cooldown-us=N\n"
                "         sharded fleet sweep: balancing policies compared\n"
                "         with streaming (P^2) percentiles [--json=PATH]\n"
+               "  sched  --models=CSV (zoo names, see serve/models)\n"
+               "         --modes=fifo,cb,cb-pre --rates=CSV --classes=CSV\n"
+               "         --weights=CSV --slos-us=CSV --shares=CSV\n"
+               "         --arrivals=CSV --mix=CSV or per-class --mix0=CSV...\n"
+               "         --max-batch=N --queue-capacity=N --num-gpus=N\n"
+               "         --iters=N --cache-models=N --load-gbps=X\n"
+               "         --warm-swap-us=N --exact [--json=PATH]\n"
+               "         continuous-batching scheduler with priority\n"
+               "         classes over the multi-model zoo\n"
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"
                "         simulated results are identical for every N)\n"

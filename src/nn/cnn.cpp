@@ -188,28 +188,31 @@ CnnModel random_cnn(const CnnConfig& cfg, std::uint64_t seed, int act_bits,
   return m;
 }
 
-KernelLog build_cnn_kernel_log(const CnnConfig& cfg) {
+KernelLog build_cnn_kernel_log(const CnnConfig& cfg, int batch) {
   cfg.validate();
+  VITBIT_CHECK(batch >= 1);
   KernelLog log;
   int channels = cfg.channels;
   int size = cfg.image_size;
+  // Batched inference stacks the images' im2col patch rows: each conv GEMM
+  // grows in M, elementwise extents scale with the batch.
   for (std::size_t i = 0; i < cfg.convs.size(); ++i) {
     const auto& spec = cfg.convs[i];
     const std::string name = "conv" + std::to_string(i);
     const int out = conv_out_size(size, spec.kernel, spec.stride);
-    log.add({KernelKind::kGemm, name, out * out,
+    log.add({KernelKind::kGemm, name, out * out * batch,
              channels * spec.kernel * spec.kernel, spec.out_channels, 1, 0});
     log.add({KernelKind::kRelu, name + ".relu", 0, 0, 0, 1,
-             static_cast<std::int64_t>(out) * out * spec.out_channels});
+             static_cast<std::int64_t>(out) * out * spec.out_channels * batch});
     size = out;
     channels = spec.out_channels;
     if (spec.pool_after) {
       size /= 2;
       log.add({KernelKind::kPool, name + ".pool", 0, 0, 0, 1,
-               static_cast<std::int64_t>(channels) * size * size});
+               static_cast<std::int64_t>(channels) * size * size * batch});
     }
   }
-  log.add({KernelKind::kGemm, "head", 1, channels * size * size,
+  log.add({KernelKind::kGemm, "head", batch, channels * size * size,
            cfg.num_classes, 1, 0});
   return log;
 }

@@ -63,7 +63,9 @@ CnnModel random_cnn(const CnnConfig& cfg, std::uint64_t seed,
 MatrixI32 im2col(const MatrixI32& input_chw, int channels, int size,
                  int kernel, int stride);
 
-// Kernel sequence of one inference from shapes alone (timing pipeline).
-KernelLog build_cnn_kernel_log(const CnnConfig& cfg);
+// Kernel sequence of one batch-`batch` inference from shapes alone
+// (timing pipeline). Batching stacks the images' im2col GEMMs in M and
+// scales the elementwise extents, mirroring nn::build_kernel_log.
+KernelLog build_cnn_kernel_log(const CnnConfig& cfg, int batch = 1);
 
 }  // namespace vitbit::nn

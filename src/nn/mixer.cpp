@@ -112,36 +112,41 @@ MixerModel random_mixer(const MixerConfig& cfg, std::uint64_t seed) {
   return m;
 }
 
-KernelLog build_mixer_kernel_log(const MixerConfig& cfg) {
+KernelLog build_mixer_kernel_log(const MixerConfig& cfg, int batch) {
   cfg.validate();
+  VITBIT_CHECK(batch >= 1);
   KernelLog log;
   const int tokens = cfg.num_patches();
   const int hidden = cfg.hidden_dim;
-  const std::int64_t acts = static_cast<std::int64_t>(tokens) * hidden;
-  log.add({KernelKind::kGemm, "patch_embed", tokens, cfg.patch_dim(), hidden,
+  // Batched inference concatenates the images' token sequences: channel-
+  // mixing GEMMs grow in M, token-mixing GEMMs (per-image transposed
+  // views) grow in batch count, elementwise extents scale with the batch.
+  const int seq = tokens * batch;
+  const std::int64_t acts = static_cast<std::int64_t>(seq) * hidden;
+  log.add({KernelKind::kGemm, "patch_embed", seq, cfg.patch_dim(), hidden,
            1, 0});
   for (int i = 0; i < cfg.num_layers; ++i) {
     const std::string p = "layer" + std::to_string(i);
     log.add({KernelKind::kLayerNorm, p + ".ln1", 0, 0, 0, 1, acts});
     log.add({KernelKind::kGemm, p + ".token.fc1", hidden, tokens,
-             cfg.token_mlp_dim, 1, 0});
+             cfg.token_mlp_dim, batch, 0});
     log.add({KernelKind::kGelu, p + ".token.gelu", 0, 0, 0, 1,
-             static_cast<std::int64_t>(hidden) * cfg.token_mlp_dim});
+             static_cast<std::int64_t>(hidden) * cfg.token_mlp_dim * batch});
     log.add({KernelKind::kGemm, p + ".token.fc2", hidden, cfg.token_mlp_dim,
-             tokens, 1, 0});
+             tokens, batch, 0});
     log.add({KernelKind::kAdd, p + ".add1", 0, 0, 0, 1, acts});
     log.add({KernelKind::kLayerNorm, p + ".ln2", 0, 0, 0, 1, acts});
-    log.add({KernelKind::kGemm, p + ".channel.fc1", tokens, hidden,
+    log.add({KernelKind::kGemm, p + ".channel.fc1", seq, hidden,
              cfg.channel_mlp_dim, 1, 0});
     log.add({KernelKind::kGelu, p + ".channel.gelu", 0, 0, 0, 1,
-             static_cast<std::int64_t>(tokens) * cfg.channel_mlp_dim});
-    log.add({KernelKind::kGemm, p + ".channel.fc2", tokens,
+             static_cast<std::int64_t>(seq) * cfg.channel_mlp_dim});
+    log.add({KernelKind::kGemm, p + ".channel.fc2", seq,
              cfg.channel_mlp_dim, hidden, 1, 0});
     log.add({KernelKind::kAdd, p + ".add2", 0, 0, 0, 1, acts});
   }
   log.add({KernelKind::kLayerNorm, "final.ln", 0, 0, 0, 1, acts});
   log.add({KernelKind::kAdd, "pool", 0, 0, 0, 1, acts});
-  log.add({KernelKind::kGemm, "head", 1, hidden, cfg.num_classes, 1, 0});
+  log.add({KernelKind::kGemm, "head", batch, hidden, cfg.num_classes, 1, 0});
   return log;
 }
 

@@ -65,7 +65,10 @@ struct MixerModel {
 
 MixerModel random_mixer(const MixerConfig& cfg, std::uint64_t seed);
 
-// Kernel sequence from shapes alone (timing pipeline).
-KernelLog build_mixer_kernel_log(const MixerConfig& cfg);
+// Kernel sequence of one batch-`batch` inference from shapes alone
+// (timing pipeline). Channel-mixing GEMMs grow in M (stacked token
+// sequences); token-mixing GEMMs operate per image and grow in batch
+// count, mirroring nn::build_kernel_log's attention handling.
+KernelLog build_mixer_kernel_log(const MixerConfig& cfg, int batch = 1);
 
 }  // namespace vitbit::nn

@@ -174,6 +174,38 @@ void compare_fleet_point(std::vector<MetricDelta>& out,
                  fresh.shard_util_max, tol.serve);
 }
 
+void compare_sched_point(std::vector<MetricDelta>& out,
+                         const SchedPointReport& base,
+                         const SchedPointReport& fresh,
+                         const ToleranceSpec& tol) {
+  const std::string p = "sched." + base.key() + ".";
+  // offered counts arrivals of the seeded mixed workload — exact by
+  // construction (and conservation ties dropped to it); the scheduling
+  // metrics inherit latency drift through the queue dynamics.
+  compare_metric(out, p + "offered", static_cast<double>(base.offered),
+                 static_cast<double>(fresh.offered), tol.instructions);
+  compare_metric(out, p + "completed", static_cast<double>(base.completed),
+                 static_cast<double>(fresh.completed), tol.serve);
+  compare_metric(out, p + "drop_rate", base.drop_rate, fresh.drop_rate,
+                 tol.serve);
+  compare_metric(out, p + "throughput_rps", base.throughput_rps,
+                 fresh.throughput_rps, tol.serve);
+  compare_metric(out, p + "goodput_rps", base.goodput_rps, fresh.goodput_rps,
+                 tol.serve);
+  compare_metric(out, p + "utilization", base.utilization, fresh.utilization,
+                 tol.serve);
+  compare_metric(out, p + "p50_us", static_cast<double>(base.p50_us),
+                 static_cast<double>(fresh.p50_us), tol.serve);
+  compare_metric(out, p + "p99_us", static_cast<double>(base.p99_us),
+                 static_cast<double>(fresh.p99_us), tol.serve);
+  compare_metric(out, p + "preemptions",
+                 static_cast<double>(base.preemptions),
+                 static_cast<double>(fresh.preemptions), tol.serve);
+  compare_metric(out, p + "model_swaps",
+                 static_cast<double>(base.model_swaps),
+                 static_cast<double>(fresh.model_swaps), tol.serve);
+}
+
 void compare_gemm_point(std::vector<MetricDelta>& out,
                         const GemmPointReport& base,
                         const GemmPointReport& fresh) {
@@ -324,6 +356,19 @@ BaselineCheckResult check_against_baseline(const RunReport& fresh,
   for (const auto& p : fresh.fleet_points)
     if (baseline.find_fleet_point(p.key()) == nullptr)
       add_new(out, "fleet." + p.key() + ".goodput_rps",
+              tol.allow_new_metrics);
+
+  for (const auto& base : baseline.sched_points) {
+    const SchedPointReport* f = fresh.find_sched_point(base.key());
+    if (f == nullptr) {
+      add_missing(out, "sched." + base.key() + ".goodput_rps");
+      continue;
+    }
+    compare_sched_point(out, base, *f, tol);
+  }
+  for (const auto& p : fresh.sched_points)
+    if (baseline.find_sched_point(p.key()) == nullptr)
+      add_new(out, "sched." + p.key() + ".goodput_rps",
               tol.allow_new_metrics);
 
   for (const auto& base : baseline.gemm_points) {

@@ -77,6 +77,19 @@ const FleetPointReport* RunReport::find_fleet_point(
   return nullptr;
 }
 
+std::string SchedPointReport::key() const {
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%g", rate_rps);
+  return mode + "." + scope + "." + group + "@" + rate;
+}
+
+const SchedPointReport* RunReport::find_sched_point(
+    const std::string& key) const {
+  for (const auto& p : sched_points)
+    if (p.key() == key) return &p;
+  return nullptr;
+}
+
 std::string GemmPointReport::key() const {
   // Pre-minor-6 documents carry engine == "blocked", so their keys gain
   // the same suffix a fresh blocked measurement produces.
@@ -268,6 +281,33 @@ Json to_json(const FleetPointReport& r) {
   return j;
 }
 
+Json to_json(const SchedPointReport& r) {
+  Json j = Json::object();
+  j.set("mode", Json(r.mode));
+  j.set("scope", Json(r.scope));
+  j.set("group", Json(r.group));
+  j.set("rate_rps", Json(r.rate_rps));
+  j.set("offered", Json(r.offered));
+  j.set("completed", Json(r.completed));
+  j.set("dropped", Json(r.dropped));
+  j.set("preemptions", Json(r.preemptions));
+  j.set("model_swaps", Json(r.model_swaps));
+  j.set("swap_us", Json(r.swap_us));
+  j.set("batches", Json(r.batches));
+  j.set("mean_batch_size", Json(r.mean_batch_size));
+  j.set("drop_rate", Json(r.drop_rate));
+  j.set("throughput_rps", Json(r.throughput_rps));
+  j.set("goodput_rps", Json(r.goodput_rps));
+  j.set("utilization", Json(r.utilization));
+  j.set("mean_queue_depth", Json(r.mean_queue_depth));
+  j.set("max_queue_depth", Json(r.max_queue_depth));
+  j.set("p50_us", Json(r.p50_us));
+  j.set("p90_us", Json(r.p90_us));
+  j.set("p95_us", Json(r.p95_us));
+  j.set("p99_us", Json(r.p99_us));
+  return j;
+}
+
 Json to_json(const GemmPointReport& r) {
   Json j = Json::object();
   j.set("name", Json(r.name));
@@ -312,6 +352,9 @@ Json to_json(const RunReport& r) {
   Json fleet = Json::array();
   for (const auto& p : r.fleet_points) fleet.push_back(to_json(p));
   j.set("fleet_points", std::move(fleet));
+  Json sched = Json::array();
+  for (const auto& p : r.sched_points) sched.push_back(to_json(p));
+  j.set("sched_points", std::move(sched));
   return j;
 }
 
@@ -422,6 +465,33 @@ FleetPointReport fleet_point_from_json(const Json& j) {
   return r;
 }
 
+SchedPointReport sched_point_from_json(const Json& j) {
+  SchedPointReport r;
+  r.mode = j.string_at("mode");
+  r.scope = j.string_at("scope");
+  r.group = j.string_at("group");
+  r.rate_rps = j.double_at("rate_rps");
+  r.offered = j.uint_at("offered");
+  r.completed = j.uint_at("completed");
+  r.dropped = j.uint_at("dropped");
+  r.preemptions = j.uint_at("preemptions");
+  r.model_swaps = j.uint_at("model_swaps");
+  r.swap_us = j.uint_at("swap_us");
+  r.batches = j.uint_at("batches");
+  r.mean_batch_size = j.double_at("mean_batch_size");
+  r.drop_rate = j.double_at("drop_rate");
+  r.throughput_rps = j.double_at("throughput_rps");
+  r.goodput_rps = j.double_at("goodput_rps");
+  r.utilization = j.double_at("utilization");
+  r.mean_queue_depth = j.double_at("mean_queue_depth");
+  r.max_queue_depth = j.uint_at("max_queue_depth");
+  r.p50_us = j.uint_at("p50_us");
+  r.p90_us = j.uint_at("p90_us");
+  r.p95_us = j.uint_at("p95_us");
+  r.p99_us = j.uint_at("p99_us");
+  return r;
+}
+
 GemmPointReport gemm_point_from_json(const Json& j) {
   GemmPointReport r;
   r.name = j.string_at("name");
@@ -492,6 +562,10 @@ RunReport run_report_from_json(const Json& j) {
   if (const Json* fleet = j.find("fleet_points"); fleet != nullptr)
     for (std::size_t i = 0; i < fleet->size(); ++i)
       r.fleet_points.push_back(fleet_point_from_json((*fleet)[i]));
+  // Minor-7 addition: absent in older documents.
+  if (const Json* sched = j.find("sched_points"); sched != nullptr)
+    for (std::size_t i = 0; i < sched->size(); ++i)
+      r.sched_points.push_back(sched_point_from_json((*sched)[i]));
   return r;
 }
 

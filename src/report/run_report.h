@@ -35,7 +35,9 @@ inline constexpr int kSchemaVersion = 1;
 //   minor 5: fleet_points (sharded fleet sweeps, serve/cluster.h).
 //   minor 6: simd_level on gemm_points (tensor/simd_level.h) and the
 //            measured engine name joined into the gemm-point key.
-inline constexpr int kSchemaMinorVersion = 6;
+//   minor 7: sched_points (continuous-batching scheduler sweeps over the
+//            multi-model zoo, serve/sched).
+inline constexpr int kSchemaMinorVersion = 7;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -159,6 +161,41 @@ struct FleetPointReport {
   std::string key() const;
 };
 
+// One row of a continuous-batching scheduler sweep (serve/sched). Each
+// (mode, rate) sweep point expands to one aggregate row (scope "all",
+// group "all") plus one row per priority class (scope "class", group =
+// class name) and per zoo model (scope "model", group = model name).
+// Preemption/swap counters are whole-run totals carried on the "all" row
+// only. Identified for baseline matching by (mode, scope, group,
+// rate_rps) — see key().
+struct SchedPointReport {
+  std::string mode;   // fifo | cb | cb-pre
+  std::string scope;  // "all" | "class" | "model"
+  std::string group;  // "all", class name, or model name
+  double rate_rps = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t preemptions = 0;  // "all" rows only
+  std::uint64_t model_swaps = 0;  // "all" rows only
+  std::uint64_t swap_us = 0;      // "all" rows only
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double drop_rate = 0.0;
+  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;
+  double utilization = 0.0;  // "all" rows only (members share replicas)
+  double mean_queue_depth = 0.0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+
+  // Stable identity within a report, e.g. "cb-pre.class.gold@400".
+  std::string key() const;
+};
+
 // One (shape, dtype, engine) point of a host-GEMM engine sweep
 // (bench/host_gemm, tensor/gemm_timing.h): a candidate engine (blocked or
 // simd) timed against the reference triple loop. gflops/ref_gflops/
@@ -214,6 +251,9 @@ struct RunReport {
   // Fleet sweep points (schema minor 5; empty for reports that ran no
   // fleet simulation, and for pre-bump documents).
   std::vector<FleetPointReport> fleet_points;
+  // Scheduler sweep points (schema minor 7; empty for reports that ran
+  // no scheduler simulation, and for pre-bump documents).
+  std::vector<SchedPointReport> sched_points;
 
   // nullptr when the report has no entry for `strategy`.
   const StrategyReport* find_strategy(const std::string& strategy) const;
@@ -223,6 +263,8 @@ struct RunReport {
   const GemmPointReport* find_gemm_point(const std::string& key) const;
   // nullptr when the report has no fleet point with this key().
   const FleetPointReport* find_fleet_point(const std::string& key) const;
+  // nullptr when the report has no sched point with this key().
+  const SchedPointReport* find_sched_point(const std::string& key) const;
 };
 
 // ---- Builders from live simulator results ----
@@ -245,6 +287,7 @@ Json to_json(const L2Report& r);
 Json to_json(const ServePointReport& r);
 Json to_json(const GemmPointReport& r);
 Json to_json(const FleetPointReport& r);
+Json to_json(const SchedPointReport& r);
 Json to_json(const RunReport& r);
 
 // Throw CheckError on schema-version or shape mismatch.

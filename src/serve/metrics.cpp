@@ -33,12 +33,7 @@ std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> samples,
 }
 
 MetricsSink::MetricsSink(PercentileMode mode, std::uint64_t slo_us)
-    : mode_(mode), slo_us_(slo_us) {
-  if (mode_ == PercentileMode::kSketch)
-    VITBIT_CHECK_MSG(slo_us_ >= 1,
-                     "kSketch mode needs the SLO up front (within-SLO "
-                     "counts accumulate per completion)");
-}
+    : mode_(mode), slo_us_(slo_us) {}
 
 void MetricsSink::on_queue_depth(std::uint64_t now_us, std::size_t depth) {
   VITBIT_CHECK_MSG(now_us >= last_depth_change_us_,
@@ -66,7 +61,7 @@ void MetricsSink::on_completion(std::uint64_t arrival_us,
     return;
   }
   sketch_.add(lat);
-  if (lat <= slo_us_) ++within_slo_;
+  if (slo_us_ > 0 && lat <= slo_us_) ++within_slo_;
 }
 
 std::uint64_t MetricsSink::running_p99_us() const {
@@ -160,6 +155,21 @@ ServeMetrics MetricsSink::finalize(int num_replicas, std::uint64_t end_us,
     m.max_us = sketch_.max_us();
   }
   return m;
+}
+
+SinkGroup::SinkGroup(std::vector<std::uint64_t> slos_us, PercentileMode mode)
+    : slos_us_(std::move(slos_us)) {
+  sinks_.reserve(slos_us_.size());
+  for (const auto slo : slos_us_) sinks_.emplace_back(mode, slo);
+}
+
+std::vector<ServeMetrics> SinkGroup::finalize(int num_replicas,
+                                              std::uint64_t end_us) const {
+  std::vector<ServeMetrics> out;
+  out.reserve(sinks_.size());
+  for (std::size_t i = 0; i < sinks_.size(); ++i)
+    out.push_back(sinks_[i].finalize(num_replicas, end_us, slos_us_[i]));
+  return out;
 }
 
 }  // namespace vitbit::serve

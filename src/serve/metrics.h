@@ -77,10 +77,11 @@ struct ServeMetrics {
 
 class MetricsSink {
  public:
-  // `slo_us` is the goodput latency target. kSketch requires it up front
+  // `slo_us` is the goodput latency target. kSketch needs it up front
   // (within-SLO counts accumulate per completion instead of in a finalize
-  // pass over stored samples); kExact ignores it until finalize, where
-  // the value passed there must match when both are provided.
+  // pass over stored samples) — 0 there means goodput is not tracked and
+  // finalizes to 0. kExact ignores it until finalize, where the value
+  // passed there must match when both are provided.
   explicit MetricsSink(PercentileMode mode = PercentileMode::kExact,
                        std::uint64_t slo_us = 0);
 
@@ -151,6 +152,34 @@ class MetricsSink {
   std::uint64_t last_depth_change_us_ = 0;
   std::size_t last_depth_ = 0;
   std::uint64_t max_depth_ = 0;
+};
+
+// A fixed-size family of MetricsSinks with one SLO per member — the
+// per-priority-class and per-model breakdowns the scheduler tier
+// (serve/sched) keeps next to its total sink. Groups share the total
+// sink's percentile mode, so a 10^6-request mixed-traffic sweep holds
+// one P² sketch per class and per model instead of per-request samples.
+// An SLO of 0 disables goodput tracking for that member (per-model
+// groups: requests of different classes share a model, so no single
+// latency target applies).
+class SinkGroup {
+ public:
+  SinkGroup(std::vector<std::uint64_t> slos_us, PercentileMode mode);
+
+  std::size_t size() const { return sinks_.size(); }
+  MetricsSink& at(std::size_t i) { return sinks_[i]; }
+  const MetricsSink& at(std::size_t i) const { return sinks_[i]; }
+
+  // Finalizes every member against its own SLO. Per-member replica
+  // counts are not meaningful (members share the replicas), so
+  // utilization fields of the results are not: callers report only the
+  // total sink's utilization.
+  std::vector<ServeMetrics> finalize(int num_replicas,
+                                     std::uint64_t end_us) const;
+
+ private:
+  std::vector<std::uint64_t> slos_us_;
+  std::vector<MetricsSink> sinks_;
 };
 
 }  // namespace vitbit::serve

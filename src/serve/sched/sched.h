@@ -1,0 +1,252 @@
+// Continuous-batching scheduler with priority classes over the multi-
+// model zoo (serve/models): the tier above the single-model batcher.
+// Three scheduling modes, compared at identical offered traffic:
+//
+//   fifo    the pre-scheduler baseline restated: one arrival-order queue,
+//           head-of-line same-model prefix batches, whole-batch latency,
+//           priorities ignored. With the all-default SchedConfig (one
+//           class, one model) this reproduces simulate_server with the
+//           "greedy" flush policy bit for bit — the pin sched_test
+//           asserts.
+//   cb      continuous batching: a batch executes iteration by iteration
+//           (a batch's latency splits into `iters` equal slices), and at
+//           every iteration boundary finished requests leave while queued
+//           requests of the same model join the running batch. Admission
+//           across priority-class queues is smooth weighted round-robin.
+//   cb-pre  cb plus deadline awareness: a queued request that would miss
+//           its class SLO even if dispatched alone is urgent; urgent
+//           requests are admitted ahead of the round-robin order, and
+//           when the batch is full the scheduler preempts the most
+//           recently joined resident of a strictly lower class, losing
+//           that resident's partial work (it restarts from its original
+//           arrival time, so its latency keeps the cost honest).
+//
+// Replicas keep an LRU cache of model weights; switching an (idle)
+// replica to an uncached model charges the registry's cold-swap time,
+// a cached switch the warm activation (a replica's first load is free —
+// weights are staged before traffic, matching the single-model tiers).
+//
+// Determinism contract: identical to serve/server.h — integer virtual
+// microseconds, fixed event order (iteration completions by replica
+// index, admissions in arrival order, then dispatch by replica index),
+// sweeps fan out over ThreadPool::parallel_map in point-index order —
+// so a sweep serializes to byte-identical reports at every --threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serve/models/registry.h"
+#include "serve/server.h"
+
+namespace vitbit::serve {
+
+// One priority class's scheduling contract. Lower class index = higher
+// priority (class 0 preempts class 2, never the reverse); the weights
+// shape steady-state sharing while the SLOs drive urgency.
+struct ClassSpec {
+  std::string name = "default";
+  double weight = 1.0;        // smooth-WRR admission weight (> 0)
+  std::uint64_t slo_us = 50000;  // per-class goodput target and deadline
+};
+
+struct SchedConfig {
+  std::string mode = "fifo";  // fifo | cb | cb-pre
+  int num_gpus = 1;
+  int max_batch = 8;
+  // Shared admission bound across all class queues (total queued
+  // requests), so fifo and cb face the same drop pressure. Preempted
+  // residents re-enter their class queue bypassing the bound — they were
+  // already admitted once and must conserve.
+  int queue_capacity = 64;
+  // Iteration slices per batch: a batch-b inference of model m runs as
+  // `iters` boundaries max(1, latency_us(b) / iters) apart. 1 degenerates
+  // to whole-batch scheduling; fifo mode ignores it entirely.
+  int iters = 1;
+  std::vector<ClassSpec> classes = {ClassSpec{}};
+  // Goodput latency target of the aggregate (all-classes) sink.
+  std::uint64_t slo_us = 50000;
+
+  void validate() const;
+};
+
+// Aggregate plus per-class and per-model breakdowns. Vector order follows
+// SchedConfig::classes / the registry's model order. Request conservation
+// (offered == completed + dropped) holds for the total and per class;
+// preempted residents are neither dropped nor shed — they requeue and
+// finish.
+struct SchedMetrics {
+  ServeMetrics total;
+  std::vector<ServeMetrics> per_class;
+  std::vector<ServeMetrics> per_model;
+  std::uint64_t preemptions = 0;  // residents evicted for urgent arrivals
+  std::uint64_t model_swaps = 0;  // cold + warm model activations charged
+  std::uint64_t swap_us = 0;      // total virtual time spent swapping
+};
+
+// One scheduler instance over a model registry, driven by simulate_sched
+// in the fixed step order of the determinism contract. The registry must
+// outlive the sim and cover SchedConfig::max_batch for every model.
+class SchedSim {
+ public:
+  SchedSim(const ModelRegistry& registry, const SchedConfig& cfg,
+           PercentileMode percentiles = PercentileMode::kExact);
+
+  // Iteration/batch completions due at `now`, lowest replica index first:
+  // per-iteration busy time is recorded, finished residents complete
+  // against the total, their class, and their model sinks, and the
+  // replica is left at a boundary for dispatch() to refill or idle.
+  void begin_step(std::uint64_t now);
+  // Admits one fresh arrival into its class queue (fifo mode: the single
+  // arrival-order queue), with drop-on-full accounting against the
+  // shared capacity.
+  void admit(std::uint64_t now, const Request& r);
+  // Fills replicas, lowest index first: fifo dispatches whole same-model
+  // prefix batches onto idle replicas; cb additionally joins queued
+  // requests into batches standing at an iteration boundary; cb-pre
+  // admits urgent requests first and preempts when full.
+  void dispatch(std::uint64_t now);
+
+  // Next iteration/batch completion across replicas (kNever when none).
+  std::uint64_t next_internal_event_us() const;
+  // No queued or resident work anywhere.
+  bool idle() const;
+
+  // Closes the sinks at `end_us`. Call exactly once, after the driving
+  // loop drains.
+  SchedMetrics finalize(std::uint64_t end_us);
+
+ private:
+  struct Resident {
+    Request req;
+    int remaining = 0;          // iteration slices left
+    std::uint64_t join_seq = 0;  // global join order (preemption victim
+                                 // tie-break: latest joiner restarts)
+  };
+  struct Replica {
+    std::vector<Resident> batch;
+    int model = -1;  // currently loaded model; -1 = nothing loaded yet
+    bool running = false;       // an iteration is in flight
+    std::uint64_t iter_start_us = 0;
+    std::uint64_t iter_done_us = 0;
+    // Swap time charged at activation, consumed by the next iteration.
+    std::uint64_t pending_swap_us = 0;
+    std::vector<int> cache;  // LRU over model ids, most recent at back
+  };
+
+  std::size_t total_depth() const;
+  // Smooth-WRR pick among classes whose head request can join a model-m
+  // batch (m < 0: any nonempty class); -1 when none is eligible.
+  int pick_class(int model) const;
+  // Charges a model activation on `rep` (warm or cold per its LRU cache);
+  // the swap time lands in pending_swap_us for the next iteration.
+  void activate_model(Replica& rep, int model);
+  void start_iteration(Replica& rep, std::uint64_t now);
+  Request pop_class(int c);
+  // cb-pre helpers: whether queued head `r` would miss its deadline even
+  // dispatched alone, and the urgent-admission / preemption pass.
+  bool urgent(std::uint64_t now, const Request& r) const;
+  void admit_urgent(Replica& rep, std::uint64_t now);
+  void fill_wrr(Replica& rep, std::uint64_t now);
+  void dispatch_fifo(std::uint64_t now);
+  void dispatch_cb(std::uint64_t now);
+
+  const ModelRegistry& registry_;
+  SchedConfig cfg_;
+  bool preemptive_ = false;
+  std::vector<Replica> replicas_;
+  // fifo mode: the single arrival-order queue; cb modes: one queue per
+  // class, shared capacity.
+  std::deque<Request> fifo_queue_;
+  std::vector<std::deque<Request>> class_queues_;
+  std::vector<std::uint64_t> served_;  // WRR admission counts per class
+  std::uint64_t join_seq_ = 0;
+  MetricsSink total_;
+  SinkGroup per_class_;
+  SinkGroup per_model_;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t model_swaps_ = 0;
+  std::uint64_t swap_us_ = 0;
+};
+
+// Runs the scheduler event loop over a drained mixed workload. Checks
+// request conservation (total and per class) at drain.
+SchedMetrics simulate_sched(const std::vector<Request>& workload,
+                            const ModelRegistry& registry,
+                            const SchedConfig& cfg,
+                            PercentileMode percentiles =
+                                PercentileMode::kExact);
+
+// Streaming form: consumes arrivals straight from a MixedWorkloadStream,
+// so a 10^6-request sweep point never materializes its workload vector.
+// Identical event sequence to the vector form (which the stream's drain
+// defines), hence identical metrics.
+SchedMetrics simulate_sched(const MixedWorkloadConfig& workload,
+                            const ModelRegistry& registry,
+                            const SchedConfig& cfg,
+                            PercentileMode percentiles =
+                                PercentileMode::kExact);
+
+// A (mode x offered-rate) sweep at fixed traffic mix: every point faces
+// the byte-identical request stream, so mode deltas are scheduling, not
+// sampling. Class traffic (workload.classes) and class scheduling
+// contracts (sched.classes) pair up by index.
+struct SchedSweepConfig {
+  std::vector<std::string> model_names = {"vit-b"};
+  // One serving strategy for the whole zoo; per-model strategy knobs
+  // (the int4 pack factor) come from the catalog entries themselves.
+  core::Strategy strategy = core::Strategy::kVitBit;
+  std::vector<std::string> modes = {"fifo", "cb", "cb-pre"};
+  std::vector<double> rates_rps = {200, 400};
+  // rate_rps/num_models are overridden per point / from model_names.
+  MixedWorkloadConfig workload;
+  SchedConfig sched;
+  SwapCostConfig swap;
+  // kSketch keeps 10^6-request sweeps in O(1) memory per sink; --exact
+  // flips to exact nearest-rank percentiles for small runs and tests.
+  PercentileMode percentiles = PercentileMode::kSketch;
+
+  void validate() const;
+};
+
+struct SchedPoint {
+  std::string mode;
+  double rate_rps = 0.0;
+  SchedMetrics metrics;
+};
+
+// Phase 1 builds the model registry (one memoized latency table per
+// model, through the shared builder); phase 2 fans the event loop out
+// over `pool` per (mode, rate) point in index order — byte-identical
+// results at every pool size.
+std::vector<SchedPoint> run_sched_sweep(const SchedSweepConfig& cfg,
+                                        const arch::OrinSpec& spec,
+                                        const arch::Calibration& calib,
+                                        ThreadPool* pool = nullptr);
+
+// Console rendering: one row per (mode, rate) with aggregate goodput,
+// drop rate, preemption/swap counts, and per-class p99 columns.
+Table sched_table(const SchedSweepConfig& cfg,
+                  const std::vector<SchedPoint>& points);
+
+// Shared flag set of bench/sched_sim and `vitbit_cli sched`: zoo/traffic
+// knobs (--models, --strategy, --modes, --rates/--rate, --classes,
+// --weights, --slos-us, --shares, --arrivals, --mix or per-class
+// --mix0/--mix1/..., --duration-s, --seed) and scheduler knobs
+// (--max-batch, --queue-capacity, --num-gpus, --iters, --slo-us,
+// --cache-models, --load-gbps, --warm-swap-us, --exact). List flags go
+// through the hardened parsers of serve/server.h (duplicate names,
+// non-positive weights, and non-finite mix fractions are rejected with
+// clear errors). Validates the assembled config before returning.
+SchedSweepConfig sched_config_from_cli(const Cli& cli);
+
+// Schema-versioned report: per (mode, rate) one aggregate "all" row plus
+// one row per class and per model (report::SchedPointReport), with the
+// sweep's full knob set in meta. host_wall_seconds is left 0.
+report::RunReport make_sched_report(const SchedSweepConfig& cfg,
+                                    const std::vector<SchedPoint>& points,
+                                    const std::string& tool, int threads);
+
+}  // namespace vitbit::serve

@@ -26,13 +26,13 @@ std::string fmt_rate(double rate) {
 // One memoization entry: simulate a `batch`-image inference under
 // `strategy` and convert cycles to integer virtual microseconds at the
 // spec clock (clock_ghz cycles per nanosecond).
-std::uint64_t simulate_batch_latency_us(const nn::VitConfig& model,
+std::uint64_t simulate_batch_latency_us(const KernelLogForBatch& log_for_batch,
                                         core::Strategy strategy,
                                         const core::StrategyConfig& cfg,
                                         const arch::OrinSpec& spec,
                                         const arch::Calibration& calib,
                                         int batch, ThreadPool* pool) {
-  const auto log = nn::build_kernel_log(model, batch);
+  const auto log = log_for_batch(batch);
   const auto t = core::time_inference(log, strategy, cfg, spec, calib, pool);
   return static_cast<std::uint64_t>(std::llround(
       static_cast<double>(t.total_cycles) / (spec.clock_ghz * 1e3)));
@@ -47,8 +47,9 @@ std::uint64_t LatencyTable::latency_us(std::size_t batch) const {
   return batch_latency_us[batch];
 }
 
-std::vector<LatencyTable> build_latency_tables(
-    const nn::VitConfig& model, const std::vector<core::Strategy>& strategies,
+std::vector<LatencyTable> build_latency_tables_from_logs(
+    const KernelLogForBatch& log_for_batch,
+    const std::vector<core::Strategy>& strategies,
     const core::StrategyConfig& cfg, const arch::OrinSpec& spec,
     const arch::Calibration& calib, int max_batch, ThreadPool* pool) {
   VITBIT_CHECK_MSG(!strategies.empty(), "need >= 1 strategy");
@@ -58,8 +59,8 @@ std::vector<LatencyTable> build_latency_tables(
   const auto n = strategies.size();
   const auto mb = static_cast<std::size_t>(max_batch);
   const auto flat = parallel_map(pool, n * mb, [&](std::size_t i) {
-    return simulate_batch_latency_us(model, strategies[i / mb], cfg, spec,
-                                     calib, static_cast<int>(i % mb) + 1,
+    return simulate_batch_latency_us(log_for_batch, strategies[i / mb], cfg,
+                                     spec, calib, static_cast<int>(i % mb) + 1,
                                      pool);
   });
   std::vector<LatencyTable> tables(n);
@@ -74,6 +75,15 @@ std::vector<LatencyTable> build_latency_tables(
     }
   }
   return tables;
+}
+
+std::vector<LatencyTable> build_latency_tables(
+    const nn::VitConfig& model, const std::vector<core::Strategy>& strategies,
+    const core::StrategyConfig& cfg, const arch::OrinSpec& spec,
+    const arch::Calibration& calib, int max_batch, ThreadPool* pool) {
+  return build_latency_tables_from_logs(
+      [&model](int batch) { return nn::build_kernel_log(model, batch); },
+      strategies, cfg, spec, calib, max_batch, pool);
 }
 
 LatencyTable build_latency_table(const nn::VitConfig& model,
@@ -479,26 +489,72 @@ Table sweep_table(const SweepConfig& cfg,
   return t;
 }
 
-std::vector<double> parse_rate_list(const std::string& spec) {
+std::vector<double> parse_number_list(const std::string& spec,
+                                      const char* what,
+                                      bool require_positive) {
   std::vector<double> out;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
     const auto comma = spec.find(',', pos);
     const std::string item = spec.substr(
         pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    VITBIT_CHECK_MSG(!item.empty(), "empty entry in rate list: " << spec);
+    VITBIT_CHECK_MSG(!item.empty(),
+                     "empty entry in " << what << " list: " << spec);
     char* end = nullptr;
-    const double rate = std::strtod(item.c_str(), &end);
+    const double v = std::strtod(item.c_str(), &end);
     // strtod happily parses "inf"/"nan" and saturates overflow to HUGE_VAL,
     // so the finiteness check is load-bearing, not belt-and-braces.
-    VITBIT_CHECK_MSG(end != nullptr && *end == '\0' && std::isfinite(rate) &&
-                         rate > 0.0,
-                     "rate-list entry is not a positive finite number: "
-                         << item);
-    out.push_back(rate);
+    const bool parsed = end != nullptr && *end == '\0' && std::isfinite(v);
+    if (require_positive) {
+      VITBIT_CHECK_MSG(parsed && v > 0.0,
+                       what << "-list entry is not a positive finite number: "
+                            << item);
+    } else {
+      VITBIT_CHECK_MSG(parsed && v >= 0.0,
+                       what
+                           << "-list entry is not a nonnegative finite number: "
+                           << item);
+    }
+    out.push_back(v);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  return out;
+}
+
+std::vector<double> parse_rate_list(const std::string& spec) {
+  return parse_number_list(spec, "rate", /*require_positive=*/true);
+}
+
+std::vector<std::string> parse_name_list(const std::string& spec,
+                                         const char* what) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    VITBIT_CHECK_MSG(!item.empty(),
+                     "empty entry in " << what << " list: " << spec);
+    VITBIT_CHECK_MSG(std::find(out.begin(), out.end(), item) == out.end(),
+                     "duplicate " << what << " in list: " << item);
+    out.push_back(std::move(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_weight_list(const std::string& spec) {
+  return parse_number_list(spec, "weight", /*require_positive=*/true);
+}
+
+std::vector<double> parse_fraction_list(const std::string& spec,
+                                        const char* what) {
+  auto out = parse_number_list(spec, what, /*require_positive=*/false);
+  double sum = 0.0;
+  for (const double v : out) sum += v;
+  VITBIT_CHECK_MSG(sum > 0.0, what << " list sums to zero: " << spec);
   return out;
 }
 

@@ -19,12 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "arch/calibration.h"
 #include "arch/orin_spec.h"
 #include "common/table.h"
+#include "nn/kernel_log.h"
 #include "nn/vit_config.h"
 #include "report/run_report.h"
 #include "serve/batcher.h"
@@ -53,11 +55,26 @@ struct LatencyTable {
   }
 };
 
-// One table per strategy, each covering batch sizes [1, max_batch]: one
+// Yields the kernel log of one batch-`b` inference of some model — the
+// hook that lets the latency-table builder below cover any workload with
+// a per-batch log builder (ViT, CNN, mixer, int4 variants).
+using KernelLogForBatch = std::function<nn::KernelLog(int batch)>;
+
+// The generic memoized per-batch-size latency-table builder: one table
+// per strategy, each covering batch sizes [1, max_batch], one
 // `time_inference` per distinct (strategy, batch) pair, flattened over
 // `pool`, converted from cycles to microseconds at the spec clock, and
-// validated to never round to zero. This is the single builder every
-// caller (build_latency_table, run_rate_sweep) goes through.
+// validated to never round to zero. Every consumer — the serve sweeps
+// (via the ViT wrapper below), the model registry (serve/models), and
+// the ext_* batch benches — goes through this one helper.
+std::vector<LatencyTable> build_latency_tables_from_logs(
+    const KernelLogForBatch& log_for_batch,
+    const std::vector<core::Strategy>& strategies,
+    const core::StrategyConfig& cfg, const arch::OrinSpec& spec,
+    const arch::Calibration& calib, int max_batch, ThreadPool* pool = nullptr);
+
+// ViT wrapper over build_latency_tables_from_logs, kept as the serve
+// sweeps' entry point (their model knob is a VitConfig).
 std::vector<LatencyTable> build_latency_tables(
     const nn::VitConfig& model, const std::vector<core::Strategy>& strategies,
     const core::StrategyConfig& cfg, const arch::OrinSpec& spec,
@@ -270,11 +287,35 @@ std::vector<SweepPoint> run_rate_sweep(const SweepConfig& cfg,
 Table sweep_table(const SweepConfig& cfg,
                   const std::vector<SweepPoint>& points);
 
-// "100,200,400" -> {100, 200, 400}; every entry must be a positive finite
-// number (throws CheckError otherwise, including on "inf" and entries
-// that overflow double) — the --rates flag of serve_sim and
-// `vitbit_cli serve`.
+// "100,200,400" -> {100, 200, 400}; every entry must be a finite number
+// (throws CheckError otherwise, including on "inf" and entries that
+// overflow double), strictly positive when `require_positive`, and
+// nonnegative otherwise. `what` names the entry kind in errors. The one
+// validated numeric-list parser behind every comma-list flag of
+// serve_sim, fleet_sim, and sched_sim.
+std::vector<double> parse_number_list(const std::string& spec,
+                                      const char* what, bool require_positive);
+
+// parse_number_list for the --rates flag of serve_sim, fleet_sim, and
+// `vitbit_cli serve` / `fleet`: positive finite rates.
 std::vector<double> parse_rate_list(const std::string& spec);
+
+// "vit-b,cnn-edge" -> names; entries must be nonempty and unique (a
+// duplicated model name in --models silently double-counting a zoo
+// member is rejected with a clear error instead).
+std::vector<std::string> parse_name_list(const std::string& spec,
+                                         const char* what);
+
+// Priority-class weights: positive finite numbers ("0" and "-1" are
+// rejected — a zero-weight class could never be admitted).
+std::vector<double> parse_weight_list(const std::string& spec);
+
+// Mix fractions (traffic shares, per-model mixes): finite nonnegative
+// numbers summing to > 0; callers normalize. NaN/inf propagated into a
+// cumulative mix draw would silently skew every class, so finiteness is
+// checked per entry with a clear error.
+std::vector<double> parse_fraction_list(const std::string& spec,
+                                        const char* what);
 
 // Shared flag set of serve_sim and `vitbit_cli serve`: model/workload/
 // server knobs (--layers, --rates/--rate, --arrival, --duration-s,

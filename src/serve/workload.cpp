@@ -114,4 +114,115 @@ std::vector<Request> generate_workload(const WorkloadConfig& cfg) {
   return out;
 }
 
+void MixedWorkloadConfig::validate() const {
+  VITBIT_CHECK_MSG(!classes.empty(), "mixed workload needs >= 1 class");
+  VITBIT_CHECK_MSG(rate_rps > 0.0, "mixed workload rate must be > 0");
+  VITBIT_CHECK_MSG(duration_s > 0.0, "mixed workload duration must be > 0");
+  VITBIT_CHECK_MSG(num_models >= 1, "mixed workload needs >= 1 model");
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto& cls = classes[c];
+    VITBIT_CHECK_MSG(std::isfinite(cls.rate_share) && cls.rate_share > 0.0,
+                     "class " << c << " rate share must be positive finite");
+    if (!cls.model_mix.empty()) {
+      VITBIT_CHECK_MSG(
+          cls.model_mix.size() == static_cast<std::size_t>(num_models),
+          "class " << c << " model mix has " << cls.model_mix.size()
+                   << " entries for " << num_models << " models");
+      double sum = 0.0;
+      for (const double v : cls.model_mix) {
+        VITBIT_CHECK_MSG(std::isfinite(v) && v >= 0.0,
+                         "class " << c
+                                  << " model-mix entry is not a nonnegative "
+                                     "finite number");
+        sum += v;
+      }
+      VITBIT_CHECK_MSG(sum > 0.0, "class " << c << " model mix sums to zero");
+    }
+  }
+}
+
+MixedWorkloadStream::MixedWorkloadStream(const MixedWorkloadConfig& cfg) {
+  cfg.validate();
+  double share_sum = 0.0;
+  for (const auto& cls : cfg.classes) share_sum += cls.rate_share;
+  classes_.reserve(cfg.classes.size());
+  for (std::size_t c = 0; c < cfg.classes.size(); ++c) {
+    const auto& cls = cfg.classes[c];
+    WorkloadConfig w;
+    w.kind = cls.kind;
+    w.rate_rps = cfg.rate_rps * cls.rate_share / share_sum;
+    w.duration_s = cfg.duration_s;
+    // Independent per-class streams (the shard_fault_seed idiom of
+    // serve/cluster.h): arrivals and model draws mix distinct constants,
+    // so the model assignment never perturbs the arrival sequence.
+    w.seed = cfg.seed + 0xbf58476d1ce4e5b9ull * (c + 1);
+    w.burst_on_s = cls.burst_on_s;
+    w.burst_off_s = cls.burst_off_s;
+    PerClass pc{WorkloadStream(w),
+                Rng(cfg.seed + 0x94d049bb133111ebull * (c + 1)),
+                {}};
+    if (!cls.model_mix.empty()) {
+      double sum = 0.0;
+      for (const double v : cls.model_mix) sum += v;
+      pc.cum_mix.reserve(cls.model_mix.size());
+      double acc = 0.0;
+      for (const double v : cls.model_mix) {
+        acc += v / sum;
+        pc.cum_mix.push_back(acc);
+      }
+      pc.cum_mix.back() = 1.0;  // guard the rounding tail
+    }
+    classes_.push_back(std::move(pc));
+  }
+}
+
+bool MixedWorkloadStream::has_next() const {
+  for (const auto& pc : classes_)
+    if (pc.stream.has_next()) return true;
+  return false;
+}
+
+std::size_t MixedWorkloadStream::pick() const {
+  std::size_t best = classes_.size();
+  std::uint64_t best_t = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (!classes_[c].stream.has_next()) continue;
+    const auto t = classes_[c].stream.peek_arrival_us();
+    if (best == classes_.size() || t < best_t) {
+      best = c;
+      best_t = t;
+    }
+  }
+  VITBIT_CHECK_MSG(best < classes_.size(),
+                   "next past the end of the mixed workload stream");
+  return best;
+}
+
+std::uint64_t MixedWorkloadStream::peek_arrival_us() const {
+  return classes_[pick()].stream.peek_arrival_us();
+}
+
+Request MixedWorkloadStream::next() {
+  const std::size_t c = pick();
+  auto& pc = classes_[c];
+  Request r = pc.stream.next();
+  r.id = next_id_++;
+  r.cls = static_cast<int>(c);
+  r.model = 0;
+  if (!pc.cum_mix.empty()) {
+    const double u = pc.model_rng.uniform();
+    while (r.model + 1 < static_cast<int>(pc.cum_mix.size()) &&
+           u >= pc.cum_mix[static_cast<std::size_t>(r.model)])
+      ++r.model;
+  }
+  return r;
+}
+
+std::vector<Request> generate_mixed_workload(const MixedWorkloadConfig& cfg) {
+  MixedWorkloadStream stream(cfg);
+  std::vector<Request> out;
+  while (stream.has_next()) out.push_back(stream.next());
+  return out;
+}
+
 }  // namespace vitbit::serve

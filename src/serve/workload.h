@@ -43,6 +43,11 @@ struct Request {
   // Completed retry attempts so far; 0 for fresh arrivals, incremented
   // each time the retry path (serve/faults.h) requeues the request.
   int attempt = 0;
+  // Priority class and zoo model of the request (serve/sched). Single-
+  // class single-model paths leave both 0, so pre-scheduler workloads are
+  // unchanged byte for byte.
+  int cls = 0;
+  int model = 0;
 };
 
 // Arrival times are nondecreasing; ids are sequential from 0.
@@ -78,5 +83,62 @@ class WorkloadStream {
   bool has_next_ = false;
   Request pending_;
 };
+
+// One priority class's traffic in a mixed multi-tenant stream: its own
+// arrival process (a bursty tenant next to smooth Poisson neighbors), its
+// share of the total offered rate, and its per-model mix over the zoo.
+struct ClassTraffic {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_share = 1.0;  // share of MixedWorkloadConfig::rate_rps (> 0)
+  double burst_on_s = 0.02;   // bursty phase means (kBursty only)
+  double burst_off_s = 0.08;
+  // Per-model weights over [0, num_models); normalized at use. Empty
+  // means "all traffic on model 0".
+  std::vector<double> model_mix;
+};
+
+struct MixedWorkloadConfig {
+  std::vector<ClassTraffic> classes = {ClassTraffic{}};
+  double rate_rps = 200.0;  // total offered rate summed over classes
+  double duration_s = 1.0;
+  std::uint64_t seed = 1;
+  int num_models = 1;
+
+  void validate() const;
+};
+
+// Merge of per-class WorkloadStreams in (arrival time, class index)
+// order, with per-request model assignment drawn from an independent
+// per-class stream. Each class's arrivals and model draws are pure
+// functions of (seed, class index) — adding a class or a model never
+// perturbs another class's sequence — and ids are sequential in merged
+// arrival order, so the stream is byte-identical at every --threads
+// value. O(num_classes) state, like WorkloadStream.
+class MixedWorkloadStream {
+ public:
+  explicit MixedWorkloadStream(const MixedWorkloadConfig& cfg);
+
+  bool has_next() const;
+  // Arrival time of the earliest pending request; has_next() required.
+  std::uint64_t peek_arrival_us() const;
+  // Yields the earliest pending request (ties: lowest class index) with
+  // cls/model filled in and a merged sequential id.
+  Request next();
+
+ private:
+  struct PerClass {
+    WorkloadStream stream;
+    Rng model_rng;
+    std::vector<double> cum_mix;  // cumulative normalized model mix
+  };
+
+  std::size_t pick() const;  // earliest pending class; has_next() required
+
+  std::vector<PerClass> classes_;
+  std::uint64_t next_id_ = 0;
+};
+
+// Drains a MixedWorkloadStream into a vector (small sweeps and tests).
+std::vector<Request> generate_mixed_workload(const MixedWorkloadConfig& cfg);
 
 }  // namespace vitbit::serve

@@ -1,0 +1,308 @@
+// Scheduler-tier tests (serve/sched/sched.h): the FIFO pin against the
+// single-model server, request conservation across every mode, the
+// cb-pre preemption benefit on the high-priority tail, model-swap
+// pricing under the LRU weight cache, byte-determinism of sweeps across
+// pool sizes, sched_points report round-trips, and the hardened CLI
+// parsing shared with bench/sched_sim and `vitbit_cli sched`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/thread_pool.h"
+#include "report/run_report.h"
+#include "serve/sched/sched.h"
+
+namespace vitbit::serve {
+namespace {
+
+const arch::OrinSpec kSpec;
+
+ModelRegistry make_registry(const std::vector<std::string>& names,
+                            int max_batch = 4,
+                            SwapCostConfig swap = SwapCostConfig{}) {
+  return ModelRegistry(names, core::Strategy::kVitBit, kSpec,
+                       arch::default_calibration(), max_batch, swap);
+}
+
+Cli make_cli(const std::vector<std::string>& flags) {
+  std::vector<const char*> argv = {"sched_test"};
+  for (const auto& f : flags) argv.push_back(f.c_str());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+// Field-by-field ServeMetrics equality (the FIFO pin must be exact, not
+// within tolerance).
+void expect_metrics_equal(const ServeMetrics& a, const ServeMetrics& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_DOUBLE_EQ(a.mean_batch_size, b.mean_batch_size);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_DOUBLE_EQ(a.goodput_rps, b.goodput_rps);
+  EXPECT_DOUBLE_EQ(a.drop_rate, b.drop_rate);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.mean_queue_depth, b.mean_queue_depth);
+  EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p90_us, b.p90_us);
+  EXPECT_EQ(a.p95_us, b.p95_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.max_us, b.max_us);
+}
+
+TEST(SchedSim, FifoPinMatchesSingleModelGreedyServer) {
+  // The regression anchor: with the all-default SchedConfig shape (fifo,
+  // one class, one model, iters ignored) the scheduler must reproduce
+  // simulate_server with the "greedy" flush policy bit for bit, on the
+  // very same latency table — at an unsaturated and a saturated rate.
+  const auto reg = make_registry({"vit-tiny"}, 4);
+  for (const double rate : {20'000.0, 400'000.0}) {
+    WorkloadConfig w;
+    w.rate_rps = rate;
+    w.duration_s = 0.05;
+    w.seed = 9;
+    const auto workload = generate_workload(w);
+
+    SchedConfig sc;
+    sc.mode = "fifo";
+    sc.max_batch = 4;
+    sc.queue_capacity = 16;
+    sc.slo_us = 20'000;
+    const auto sched = simulate_sched(workload, reg, sc);
+
+    ServerConfig sv;
+    sv.policy = "greedy";
+    sv.batcher.max_batch_size = 4;
+    sv.batcher.queue_capacity = 16;
+    sv.slo_us = 20'000;
+    const auto server = simulate_server(workload, reg.table(0), sv);
+
+    expect_metrics_equal(sched.total, server);
+    // Single class, single model: the breakdowns restate the total.
+    ASSERT_EQ(sched.per_class.size(), 1u);
+    ASSERT_EQ(sched.per_model.size(), 1u);
+    EXPECT_EQ(sched.per_class[0].completed, server.completed);
+    EXPECT_EQ(sched.per_model[0].completed, server.completed);
+    EXPECT_EQ(sched.preemptions, 0u);
+    EXPECT_EQ(sched.model_swaps, 0u);
+  }
+}
+
+MixedWorkloadConfig mixed_workload(double rate) {
+  MixedWorkloadConfig w;
+  w.rate_rps = rate;
+  w.duration_s = 0.05;
+  w.seed = 21;
+  w.num_models = 2;
+  w.classes.assign(2, ClassTraffic{});
+  w.classes[0].rate_share = 0.25;
+  w.classes[0].model_mix = {0.8, 0.2};
+  w.classes[1].rate_share = 0.75;
+  w.classes[1].model_mix = {0.3, 0.7};
+  return w;
+}
+
+SchedConfig two_class_config(const std::string& mode) {
+  SchedConfig sc;
+  sc.mode = mode;
+  sc.max_batch = 4;
+  sc.queue_capacity = 24;
+  sc.iters = 4;
+  sc.classes = {ClassSpec{"interactive", 4.0, 400},
+                ClassSpec{"batch", 1.0, 500'000}};
+  sc.slo_us = 50'000;
+  return sc;
+}
+
+TEST(SchedSim, ConservationHoldsInEveryMode) {
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  const auto w = mixed_workload(300'000.0);
+  const auto workload = generate_mixed_workload(w);
+  for (const std::string mode : {"fifo", "cb", "cb-pre"}) {
+    const auto m = simulate_sched(workload, reg, two_class_config(mode));
+    EXPECT_EQ(m.total.offered, workload.size()) << mode;
+    EXPECT_EQ(m.total.offered, m.total.completed + m.total.dropped) << mode;
+    EXPECT_EQ(m.total.shed, 0u) << mode;
+    std::uint64_t class_offered = 0;
+    for (const auto& c : m.per_class) {
+      EXPECT_EQ(c.offered, c.completed + c.dropped) << mode;
+      class_offered += c.offered;
+    }
+    EXPECT_EQ(class_offered, m.total.offered) << mode;
+    std::uint64_t model_completed = 0;
+    for (const auto& pm : m.per_model) model_completed += pm.completed;
+    EXPECT_EQ(model_completed, m.total.completed) << mode;
+  }
+}
+
+TEST(SchedSim, StreamingOverloadMatchesVectorForm) {
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  const auto w = mixed_workload(200'000.0);
+  const auto cfg = two_class_config("cb-pre");
+  const auto from_vector =
+      simulate_sched(generate_mixed_workload(w), reg, cfg);
+  const auto from_stream = simulate_sched(w, reg, cfg);
+  expect_metrics_equal(from_vector.total, from_stream.total);
+  EXPECT_EQ(from_vector.preemptions, from_stream.preemptions);
+  EXPECT_EQ(from_vector.model_swaps, from_stream.model_swaps);
+  EXPECT_EQ(from_vector.swap_us, from_stream.swap_us);
+}
+
+TEST(SchedSim, PreemptionProtectsHighPriorityTail) {
+  // Saturating, batch-heavy traffic with an SLO tight enough that queued
+  // interactive requests go urgent: FIFO serves arrival order blind to
+  // class, so the interactive tail rides the batch queue; cb-pre admits
+  // urgent interactive requests first and evicts batch residents. The
+  // interactive p99 must improve, and preemptions must actually fire.
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  const auto w = mixed_workload(100'000.0);
+  const auto workload = generate_mixed_workload(w);
+  auto cfg = two_class_config("fifo");
+  cfg.classes[0].weight = 1.0;
+  cfg.classes[0].slo_us = 250;
+  const auto fifo = simulate_sched(workload, reg, cfg);
+  cfg.mode = "cb-pre";
+  const auto pre = simulate_sched(workload, reg, cfg);
+  EXPECT_EQ(fifo.preemptions, 0u);
+  EXPECT_GT(pre.preemptions, 0u);
+  EXPECT_LT(pre.per_class[0].p99_us, fifo.per_class[0].p99_us);
+  // Both conserve the identical offered stream.
+  EXPECT_EQ(fifo.total.offered, pre.total.offered);
+  EXPECT_EQ(pre.total.offered, pre.total.completed + pre.total.dropped);
+}
+
+TEST(SchedSim, WeightCacheTurnsColdSwapsWarm) {
+  // Two models alternating on one replica: with a one-model cache every
+  // switch reloads weights cold over a slow link; a two-model cache keeps
+  // both resident, so the same switches cost the flat warm activation.
+  SwapCostConfig slow;
+  slow.load_gbps = 0.05;
+  SwapCostConfig roomy = slow;
+  roomy.cache_models = 2;
+  const auto cold_reg = make_registry({"vit-tiny", "vit-tiny-int4"}, 4, slow);
+  const auto warm_reg =
+      make_registry({"vit-tiny", "vit-tiny-int4"}, 4, roomy);
+  const auto w = mixed_workload(150'000.0);
+  const auto workload = generate_mixed_workload(w);
+  const auto cfg = two_class_config("cb");
+  const auto cold = simulate_sched(workload, cold_reg, cfg);
+  const auto warm = simulate_sched(workload, warm_reg, cfg);
+  EXPECT_GT(cold.model_swaps, 0u);
+  EXPECT_GT(warm.model_swaps, 0u);
+  EXPECT_GT(cold.swap_us, warm.swap_us);
+}
+
+SchedSweepConfig small_sweep() {
+  SchedSweepConfig cfg;
+  cfg.model_names = {"vit-tiny", "cnn-small"};
+  cfg.rates_rps = {50'000, 250'000};
+  cfg.workload = mixed_workload(0.0);  // rate overridden per point
+  cfg.sched = two_class_config("fifo");  // mode overridden per point
+  cfg.percentiles = PercentileMode::kSketch;
+  return cfg;
+}
+
+TEST(SchedSweep, ByteIdenticalAcrossPoolSizes) {
+  const auto cfg = small_sweep();
+  const auto& calib = arch::default_calibration();
+  std::string first;
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const auto points = run_sched_sweep(cfg, kSpec, calib, &pool);
+    const auto rep = make_sched_report(cfg, points, "sched_test", 1);
+    const std::string body = report::to_json(rep).dump();
+    if (first.empty())
+      first = body;
+    else
+      EXPECT_EQ(body, first) << "threads=" << threads;
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(SchedSweep, ReportRoundTripsAndIndexes) {
+  const auto cfg = small_sweep();
+  const auto& calib = arch::default_calibration();
+  ThreadPool pool(2);
+  const auto points = run_sched_sweep(cfg, kSpec, calib, &pool);
+  auto rep = make_sched_report(cfg, points, "sched_test", pool.size());
+  // One "all" row plus one per class and per model, per (mode, rate).
+  const auto rows_per_point = 1 + cfg.sched.classes.size() +
+                              cfg.model_names.size();
+  EXPECT_EQ(rep.sched_points.size(),
+            cfg.modes.size() * cfg.rates_rps.size() * rows_per_point);
+
+  const std::string path = "sched_report_roundtrip_test.json";
+  report::save_report_file(path, rep);
+  const auto back = report::load_report_file(path);
+  EXPECT_TRUE(report::to_json(back) == report::to_json(rep));
+
+  const auto* p = back.find_sched_point("fifo.all.all@50000");
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->offered, 0u);
+  EXPECT_EQ(p->offered, p->completed + p->dropped);
+  EXPECT_NE(back.find_sched_point("cb-pre.class.interactive@250000"),
+            nullptr);
+  EXPECT_EQ(back.find_sched_point("lifo.all.all@50000"), nullptr);
+}
+
+TEST(SchedCli, AssemblesConfigFromFlags) {
+  const auto cli = make_cli(
+      {"--models=vit-tiny,cnn-small", "--modes=fifo,cb",
+       "--classes=interactive,batch", "--weights=4,1",
+       "--slos-us=2000,500000", "--shares=0.25,0.75", "--rates=1000,2000",
+       "--mix0=0.8,0.2", "--mix1=0.3,0.7", "--iters=2", "--max-batch=4",
+       "--cache-models=2", "--duration-s=0.1"});
+  const auto cfg = sched_config_from_cli(cli);
+  EXPECT_TRUE(cli.unused().empty());
+  ASSERT_EQ(cfg.model_names.size(), 2u);
+  ASSERT_EQ(cfg.sched.classes.size(), 2u);
+  EXPECT_EQ(cfg.sched.classes[0].name, "interactive");
+  EXPECT_DOUBLE_EQ(cfg.sched.classes[0].weight, 4.0);
+  EXPECT_EQ(cfg.sched.classes[1].slo_us, 500'000u);
+  ASSERT_EQ(cfg.workload.classes.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.workload.classes[1].rate_share, 0.75);
+  ASSERT_EQ(cfg.workload.classes[0].model_mix.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.workload.classes[0].model_mix[0], 0.8);
+  EXPECT_EQ(cfg.sched.iters, 2);
+  EXPECT_EQ(cfg.swap.cache_models, 2);
+}
+
+TEST(SchedCli, RejectsMalformedFlags) {
+  // Duplicate model names.
+  EXPECT_THROW(sched_config_from_cli(
+                   make_cli({"--models=vit-tiny,vit-tiny"})),
+               CheckError);
+  // Non-positive class weight.
+  EXPECT_THROW(sched_config_from_cli(make_cli(
+                   {"--classes=a,b", "--weights=0,1"})),
+               CheckError);
+  // Non-finite mix fraction.
+  EXPECT_THROW(sched_config_from_cli(make_cli(
+                   {"--models=vit-tiny,cnn-small", "--mix=inf,1"})),
+               CheckError);
+  EXPECT_THROW(sched_config_from_cli(make_cli(
+                   {"--classes=a,b", "--shares=nan,0.5"})),
+               CheckError);
+  // Mismatched per-class list lengths.
+  EXPECT_THROW(sched_config_from_cli(make_cli(
+                   {"--classes=a,b", "--weights=1,2,3"})),
+               CheckError);
+  // Unknown scheduling mode.
+  EXPECT_THROW(sched_config_from_cli(make_cli({"--modes=lifo"})),
+               CheckError);
+  // Unknown zoo model surfaces at registry build with the catalog listed.
+  auto cfg = sched_config_from_cli(make_cli({}));
+  cfg.model_names = {"vit-nope"};
+  EXPECT_THROW(run_sched_sweep(cfg, kSpec, arch::default_calibration()),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace vitbit::serve

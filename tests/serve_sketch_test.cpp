@@ -132,6 +132,52 @@ TEST(LatencySketch, EstimatesClampToExactEnvelope) {
   }
 }
 
+TEST(LatencySketch, FewerThanFiveObservationsAreExact) {
+  // Below five samples every P² estimator is still in its sorted start-up
+  // buffer, so each tracked percentile must equal the exact nearest-rank
+  // value of the observed set — no parabolic smearing yet.
+  const std::vector<std::uint64_t> samples = {300, 100, 400, 200};
+  const auto s = sketch_of(samples);
+  EXPECT_EQ(s.count(), 4u);
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const auto exact = percentile_nearest_rank(samples, p);
+    EXPECT_EQ(s.percentile_us(p), exact) << "p=" << p;
+  }
+  EXPECT_EQ(s.percentile_us(0.0), 100u);
+  EXPECT_EQ(s.percentile_us(100.0), 400u);
+}
+
+TEST(LatencySketch, MergeEmptyIntoPopulatedIsIdentity) {
+  // An idle shard contributes an empty sketch; folding it in must leave
+  // every estimate of the populated side untouched.
+  Rng rng(17);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 6'000; ++i) samples.push_back(rng.below(200'000) + 1);
+  auto populated = sketch_of(samples);
+  const LatencySketch empty;
+  auto merged = populated;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), populated.count());
+  for (const double p : {0.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_EQ(merged.percentile_us(p), populated.percentile_us(p))
+        << "p=" << p;
+}
+
+TEST(LatencySketch, MergePopulatedIntoEmptyEqualsPopulated) {
+  // The mirror case: a fresh aggregate absorbing its first shard must
+  // reproduce that shard's estimates exactly.
+  Rng rng(31);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 6'000; ++i) samples.push_back(rng.below(200'000) + 1);
+  const auto populated = sketch_of(samples);
+  LatencySketch agg;
+  agg.merge(populated);
+  EXPECT_EQ(agg.count(), populated.count());
+  for (const double p : {0.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_EQ(agg.percentile_us(p), populated.percentile_us(p))
+        << "p=" << p;
+}
+
 TEST(LatencySketch, RejectsUntrackedPercentile) {
   LatencySketch s;
   s.add(1);

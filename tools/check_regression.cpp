@@ -42,6 +42,7 @@
 #include "report/baseline.h"
 #include "report/run_report.h"
 #include "serve/cluster.h"
+#include "serve/sched/sched.h"
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
 #include "tensor/gemm_timing.h"
@@ -285,6 +286,44 @@ int run(int argc, char** argv) {
                                       fleet_start)
             .count();
     gate("fleet_sweep", fresh);
+  }
+  // Scheduler gate: a reduced mixed-traffic sweep over a three-model zoo
+  // with three priority classes, all three modes (fifo, cb, cb-pre) at
+  // one unsaturated and one saturated rate — so the registry's memoized
+  // tables, WRR admission, deadline preemption, and the model-swap
+  // accounting are all regression-gated alongside the older tiers.
+  {
+    serve::SchedSweepConfig scfg;
+    scfg.model_names = {"vit-tiny", "vit-tiny-int4", "cnn-small"};
+    scfg.rates_rps = {2000, 12000};
+    scfg.workload.duration_s = 0.25;
+    scfg.workload.seed = 7;
+    scfg.workload.classes.assign(3, serve::ClassTraffic{});
+    scfg.workload.classes[0].rate_share = 0.2;
+    scfg.workload.classes[0].model_mix = {0.6, 0.2, 0.2};
+    scfg.workload.classes[1].rate_share = 0.5;
+    scfg.workload.classes[1].model_mix = {0.2, 0.6, 0.2};
+    scfg.workload.classes[2].rate_share = 0.3;
+    scfg.workload.classes[2].model_mix = {0.2, 0.2, 0.6};
+    scfg.sched.max_batch = 4;
+    scfg.sched.queue_capacity = 32;
+    scfg.sched.iters = 4;
+    // The 300 us interactive SLO is deliberately tight: queued
+    // interactive requests go urgent under the saturated rate, so the
+    // preemption counter is nonzero and regression-gated.
+    scfg.sched.classes = {{"interactive", 4.0, 300},
+                          {"standard", 2.0, 20000},
+                          {"batch", 1.0, 100000}};
+    scfg.swap.cache_models = 2;
+    const auto sched_start = std::chrono::steady_clock::now();
+    const auto points = serve::run_sched_sweep(scfg, spec, calib, &pool);
+    auto fresh = serve::make_sched_report(scfg, points, "check_regression",
+                                          pool.size());
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sched_start)
+            .count();
+    gate("sched_sweep", fresh);
   }
   // Host-GEMM gate: the compute-heavy ViT-Base linear shape (fc1,
   // 197x768x3072), int32 and f32 paths under both fast engines. Bit-
