@@ -1,0 +1,52 @@
+// Static register-file compression model (Angerd, Ekemark et al. — see
+// PAPERS.md): values in the register file are stored compressed, so the
+// same SRAM macro holds more architectural registers. We model the scheme
+// at occupancy granularity: a calibrated compression ratio scales the
+// SM's register budget, minus a metadata overhead (per-entry tags, shared
+// dictionaries, width descriptors) that consumes raw capacity.
+//
+// The interesting interaction for this repo is with VitBit's operand
+// packing: packing *reduces* a kernel's registers-per-thread (fewer live
+// accumulators — trace/gemm_traces.cpp derives regs_per_thread from the
+// accumulator count), while RF compression *raises* the SM's effective
+// register capacity. Both relieve the same occupancy limiter from opposite
+// ends, so their combination saturates: once registers stop being the
+// binding resident-warp limit, further ratio buys nothing. The
+// bench/ablation_rf_compress sweep quantifies exactly where that knee sits
+// per packing factor.
+#pragma once
+
+#include "arch/orin_spec.h"
+#include "common/check.h"
+
+namespace vitbit::arch {
+
+struct RfCompressConfig {
+  // Effective storage compression ratio achieved on register values
+  // (>= 1; 1 = uncompressed). Angerd et al. report ~1.2–2.2x for static
+  // narrow-width/dictionary schemes depending on workload.
+  double ratio = 1.0;
+  // Fraction of the *raw* register file spent on compression metadata
+  // (in [0, 1)); charged before the ratio is applied.
+  double metadata_overhead = 0.0;
+
+  bool enabled() const { return ratio != 1.0 || metadata_overhead != 0.0; }
+};
+
+// Effective architectural-register capacity of one SM under `rf`.
+// Disabled configs return spec.registers_per_sm exactly (bit-for-bit the
+// uncompressed occupancy model — no FP rounding on the default path).
+inline int rf_effective_registers(const OrinSpec& spec,
+                                  const RfCompressConfig& rf) {
+  if (!rf.enabled()) return spec.registers_per_sm;
+  VITBIT_CHECK_MSG(rf.ratio >= 1.0, "RF compression ratio must be >= 1, got "
+                                        << rf.ratio);
+  VITBIT_CHECK_MSG(rf.metadata_overhead >= 0.0 && rf.metadata_overhead < 1.0,
+                   "RF metadata overhead must be in [0,1), got "
+                       << rf.metadata_overhead);
+  const double usable =
+      static_cast<double>(spec.registers_per_sm) * (1.0 - rf.metadata_overhead);
+  return static_cast<int>(usable * rf.ratio);
+}
+
+}  // namespace vitbit::arch

@@ -1,0 +1,196 @@
+// Word-aligned dynamic bitset over 64-bit words.
+//
+// The simulator's hot state (scheduler candidate masks, done/at-barrier
+// flags, pending-writeback masks) is huge counts of 1-bit facts that were
+// previously scattered bools and full-vector scans. Packing them into
+// 64-bit words shrinks the working set and turns "find the next runnable
+// warp" into a find-first-set over one or two words — the metalfpga
+// word-aligned-bitset playbook applied to the host simulation loop.
+//
+// Sets of up to 64 bits are stored in one word inside the object itself —
+// no heap allocation, no pointer chase. That covers every mask the
+// simulator keeps per warp or per sub-core (<= 48 warps per SM, and
+// per-warp register counts usually fit one word); larger sets spill to a
+// heap vector transparently.
+//
+// Deliberately minimal: no allocator/iterator machinery, just the
+// operations the scheduler needs — single-bit set/reset/test, bulk
+// and/or/reset, population count, and ordered find-first-set iteration.
+// All single-bit operations are O(1); scans cost one `countr_zero` per
+// visited word. The tail word's unused high bits are kept zero as a class
+// invariant, so whole-word operations (count, any, bulk ops) never need a
+// per-call mask.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vitbit {
+
+class Bitset64 {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  Bitset64() = default;
+  explicit Bitset64(std::size_t bits) { resize(bits); }
+
+  std::size_t size() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+  std::size_t num_words() const { return (bits_ + 63) / 64; }
+  std::uint64_t word(std::size_t w) const { return data()[w]; }
+
+  // Value-preserving resize; new bits are zero. Shrinking clears the
+  // now-out-of-range bits so the tail invariant holds.
+  void resize(std::size_t bits) {
+    const std::size_t new_words = (bits + 63) / 64;
+    if (new_words > 1) {
+      if (bits_ <= 64) {
+        // Inline -> heap: the heap vector may hold stale capacity from an
+        // earlier larger size, so zero-fill before carrying the word over.
+        heap_.assign(new_words, 0);
+        heap_[0] = inline_word_;
+      } else {
+        heap_.resize(new_words, 0);
+      }
+    } else {
+      if (bits_ > 64) inline_word_ = heap_.empty() ? 0 : heap_[0];
+      if (bits == 0) inline_word_ = 0;
+    }
+    bits_ = bits;
+    mask_tail();
+  }
+
+  // Drops to size 0, keeping any heap capacity (reset()-style reuse).
+  void clear() {
+    inline_word_ = 0;
+    heap_.clear();
+    bits_ = 0;
+  }
+
+  void push_back(bool value) {
+    resize(bits_ + 1);
+    if (value) set(bits_ - 1);
+  }
+
+  void set(std::size_t i) { data()[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) {
+    data()[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void assign(std::size_t i, bool value) { value ? set(i) : reset(i); }
+  bool test(std::size_t i) const { return (data()[i >> 6] >> (i & 63)) & 1u; }
+
+  void set_all() {
+    std::uint64_t* w = data();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i)
+      w[i] = ~std::uint64_t{0};
+    mask_tail();
+  }
+  void reset_all() {
+    std::uint64_t* w = data();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i) w[i] = 0;
+  }
+
+  bool any() const {
+    const std::uint64_t* w = data();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i)
+      if (w[i] != 0) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    const std::uint64_t* w = data();
+    for (std::size_t i = 0, m = num_words(); i < m; ++i)
+      n += static_cast<std::size_t>(std::popcount(w[i]));
+    return n;
+  }
+
+  // Bulk operations over same-sized sets (checked by the caller; the
+  // shorter operand's missing words read as zero to keep misuse benign).
+  Bitset64& operator&=(const Bitset64& other) {
+    std::uint64_t* w = data();
+    const std::uint64_t* o = other.data();
+    const std::size_t m = other.num_words();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i)
+      w[i] &= i < m ? o[i] : 0;
+    return *this;
+  }
+  Bitset64& operator|=(const Bitset64& other) {
+    std::uint64_t* w = data();
+    const std::uint64_t* o = other.data();
+    const std::size_t n = std::min(num_words(), other.num_words());
+    for (std::size_t i = 0; i < n; ++i) w[i] |= o[i];
+    return *this;
+  }
+  // this &= ~other (clear every bit set in `other`).
+  Bitset64& and_not(const Bitset64& other) {
+    std::uint64_t* w = data();
+    const std::uint64_t* o = other.data();
+    const std::size_t n = std::min(num_words(), other.num_words());
+    for (std::size_t i = 0; i < n; ++i) w[i] &= ~o[i];
+    return *this;
+  }
+
+  bool operator==(const Bitset64& other) const {
+    if (bits_ != other.bits_) return false;
+    const std::uint64_t* a = data();
+    const std::uint64_t* b = other.data();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i)
+      if (a[i] != b[i]) return false;
+    return true;
+  }
+
+  // Index of the lowest set bit, or npos.
+  std::size_t find_first() const { return find_next(0); }
+
+  // Index of the lowest set bit >= `from`, or npos. The scheduler's
+  // round-robin scan is two of these: [cursor, n) then [0, cursor).
+  std::size_t find_next(std::size_t from) const {
+    if (from >= bits_) return npos;
+    const std::uint64_t* words = data();
+    std::size_t w = from >> 6;
+    std::uint64_t bits = words[w] & (~std::uint64_t{0} << (from & 63));
+    while (bits == 0) {
+      if (++w == num_words()) return npos;
+      bits = words[w];
+    }
+    return (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+  }
+
+  // Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    const std::uint64_t* words = data();
+    for (std::size_t w = 0, n = num_words(); w < n; ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        fn((w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  bool on_heap() const { return bits_ > 64; }
+  std::uint64_t* data() { return on_heap() ? heap_.data() : &inline_word_; }
+  const std::uint64_t* data() const {
+    return on_heap() ? heap_.data() : &inline_word_;
+  }
+
+  void mask_tail() {
+    const std::size_t used = bits_ & 63;
+    if (used != 0) data()[num_words() - 1] &= (std::uint64_t{1} << used) - 1;
+  }
+
+  // Single-word sets (the simulator's per-warp and per-sub-core masks)
+  // live here; `heap_` is only touched above 64 bits.
+  std::uint64_t inline_word_ = 0;
+  std::vector<std::uint64_t> heap_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace vitbit

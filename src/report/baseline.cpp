@@ -235,6 +235,36 @@ void compare_gemm_point(std::vector<MetricDelta>& out,
   }
 }
 
+void compare_sim_loop_point(std::vector<MetricDelta>& out,
+                            const SimLoopPointReport& base,
+                            const SimLoopPointReport& fresh) {
+  const std::string p = "sim_loop." + base.key() + ".";
+  // Simulated results are deterministic: any drift means the packed
+  // simulator's behaviour changed, which is exactly what this gate pins.
+  compare_metric(out, p + "cycles", static_cast<double>(base.cycles),
+                 static_cast<double>(fresh.cycles), 0.0);
+  compare_metric(out, p + "instructions",
+                 static_cast<double>(base.instructions),
+                 static_cast<double>(fresh.instructions), 0.0);
+  compare_metric(out, p + "repeats", base.repeats, fresh.repeats, 0.0);
+  // Byte-identity contract between SmSim and SmSimRef — no tolerance.
+  compare_metric(out, p + "stats_identical", base.stats_identical ? 1.0 : 0.0,
+                 fresh.stats_identical ? 1.0 : 0.0, 0.0);
+  // The measured seconds are machine-dependent and zeroed in baselines;
+  // the gate is one-sided — the fresh packed-vs-reference speedup must
+  // clear the floor recorded at --update time.
+  if (base.min_speedup > 0.0) {
+    MetricDelta d;
+    d.metric = p + "speedup";
+    d.baseline = base.min_speedup;
+    d.fresh = fresh.speedup;
+    d.tolerance = 0.0;
+    d.violated = fresh.speedup < base.min_speedup;
+    d.note = d.violated ? "below min_speedup floor" : "one-sided floor";
+    out.push_back(std::move(d));
+  }
+}
+
 }  // namespace
 
 double relative_delta(double baseline, double fresh) {
@@ -382,6 +412,19 @@ BaselineCheckResult check_against_baseline(const RunReport& fresh,
   for (const auto& p : fresh.gemm_points)
     if (baseline.find_gemm_point(p.key()) == nullptr)
       add_new(out, "gemm." + p.key() + ".max_abs_diff",
+              tol.allow_new_metrics);
+
+  for (const auto& base : baseline.sim_loop_points) {
+    const SimLoopPointReport* f = fresh.find_sim_loop_point(base.key());
+    if (f == nullptr) {
+      add_missing(out, "sim_loop." + base.key() + ".stats_identical");
+      continue;
+    }
+    compare_sim_loop_point(out, base, *f);
+  }
+  for (const auto& p : fresh.sim_loop_points)
+    if (baseline.find_sim_loop_point(p.key()) == nullptr)
+      add_new(out, "sim_loop." + p.key() + ".stats_identical",
               tol.allow_new_metrics);
 
   return result;

@@ -90,6 +90,13 @@ const SchedPointReport* RunReport::find_sched_point(
   return nullptr;
 }
 
+const SimLoopPointReport* RunReport::find_sim_loop_point(
+    const std::string& key) const {
+  for (const auto& p : sim_loop_points)
+    if (p.key() == key) return &p;
+  return nullptr;
+}
+
 std::string GemmPointReport::key() const {
   // Pre-minor-6 documents carry engine == "blocked", so their keys gain
   // the same suffix a fresh blocked measurement produces.
@@ -326,6 +333,20 @@ Json to_json(const GemmPointReport& r) {
   return j;
 }
 
+Json to_json(const SimLoopPointReport& r) {
+  Json j = Json::object();
+  j.set("name", Json(r.name));
+  j.set("cycles", Json(r.cycles));
+  j.set("instructions", Json(r.instructions));
+  j.set("repeats", Json(static_cast<std::int64_t>(r.repeats)));
+  j.set("ref_seconds", Json(r.ref_seconds));
+  j.set("packed_seconds", Json(r.packed_seconds));
+  j.set("speedup", Json(r.speedup));
+  j.set("stats_identical", Json(r.stats_identical));
+  j.set("min_speedup", Json(r.min_speedup));
+  return j;
+}
+
 Json to_json(const RunReport& r) {
   Json j = Json::object();
   j.set("schema_version", Json(static_cast<std::int64_t>(r.schema_version)));
@@ -355,6 +376,9 @@ Json to_json(const RunReport& r) {
   Json sched = Json::array();
   for (const auto& p : r.sched_points) sched.push_back(to_json(p));
   j.set("sched_points", std::move(sched));
+  Json sim_loop = Json::array();
+  for (const auto& p : r.sim_loop_points) sim_loop.push_back(to_json(p));
+  j.set("sim_loop_points", std::move(sim_loop));
   return j;
 }
 
@@ -513,6 +537,20 @@ GemmPointReport gemm_point_from_json(const Json& j) {
   return r;
 }
 
+SimLoopPointReport sim_loop_point_from_json(const Json& j) {
+  SimLoopPointReport r;
+  r.name = j.string_at("name");
+  r.cycles = j.uint_at("cycles");
+  r.instructions = j.uint_at("instructions");
+  r.repeats = static_cast<int>(j.int_at("repeats"));
+  r.ref_seconds = j.double_at("ref_seconds");
+  r.packed_seconds = j.double_at("packed_seconds");
+  r.speedup = j.double_at("speedup");
+  r.stats_identical = j.at("stats_identical").as_bool();
+  r.min_speedup = j.double_at("min_speedup");
+  return r;
+}
+
 L2Report l2_from_json(const Json& j) {
   L2Report r;
   r.name = j.string_at("name");
@@ -566,6 +604,10 @@ RunReport run_report_from_json(const Json& j) {
   if (const Json* sched = j.find("sched_points"); sched != nullptr)
     for (std::size_t i = 0; i < sched->size(); ++i)
       r.sched_points.push_back(sched_point_from_json((*sched)[i]));
+  // Minor-8 addition: absent in older documents.
+  if (const Json* sim_loop = j.find("sim_loop_points"); sim_loop != nullptr)
+    for (std::size_t i = 0; i < sim_loop->size(); ++i)
+      r.sim_loop_points.push_back(sim_loop_point_from_json((*sim_loop)[i]));
   return r;
 }
 

@@ -37,7 +37,9 @@ inline constexpr int kSchemaVersion = 1;
 //            measured engine name joined into the gemm-point key.
 //   minor 7: sched_points (continuous-batching scheduler sweeps over the
 //            multi-model zoo, serve/sched).
-inline constexpr int kSchemaMinorVersion = 7;
+//   minor 8: sim_loop_points (host-simulation-loop timing of the
+//            bit-packed SmSim vs the frozen SmSimRef, sim/sim_loop_timing).
+inline constexpr int kSchemaMinorVersion = 8;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -226,6 +228,28 @@ struct GemmPointReport {
   std::string key() const;
 };
 
+// One workload of a host-simulation-loop timing run (bench/sim_loop,
+// sim/sim_loop_timing.h): the bit-packed SmSim timed against the frozen
+// pre-packing SmSimRef. cycles/instructions are simulated and therefore
+// deterministic; the seconds/speedup fields are machine-dependent and are
+// zeroed in checked-in baselines. The gate enforces stats_identical (the
+// packed layout's byte-identity contract), exact cycles/instructions, and
+// fresh speedup >= the baseline's min_speedup floor. Identified for
+// baseline matching by name — see key().
+struct SimLoopPointReport {
+  std::string name;  // workload label, e.g. "vitbit_fused"
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  int repeats = 0;
+  double ref_seconds = 0.0;     // best-of-repeats, SmSimRef
+  double packed_seconds = 0.0;  // best-of-repeats, SmSim
+  double speedup = 0.0;         // ref_seconds / packed_seconds
+  bool stats_identical = false;  // SmSim stats == SmSimRef stats
+  double min_speedup = 0.0;      // gate floor recorded at --update time
+
+  std::string key() const { return name; }
+};
+
 struct RunReport {
   int schema_version = kSchemaVersion;
   int schema_minor_version = kSchemaMinorVersion;
@@ -254,6 +278,9 @@ struct RunReport {
   // Scheduler sweep points (schema minor 7; empty for reports that ran
   // no scheduler simulation, and for pre-bump documents).
   std::vector<SchedPointReport> sched_points;
+  // Host-simulation-loop timing points (schema minor 8; empty for reports
+  // that ran no sim-loop measurement, and for pre-bump documents).
+  std::vector<SimLoopPointReport> sim_loop_points;
 
   // nullptr when the report has no entry for `strategy`.
   const StrategyReport* find_strategy(const std::string& strategy) const;
@@ -265,6 +292,8 @@ struct RunReport {
   const FleetPointReport* find_fleet_point(const std::string& key) const;
   // nullptr when the report has no sched point with this key().
   const SchedPointReport* find_sched_point(const std::string& key) const;
+  // nullptr when the report has no sim-loop point with this key().
+  const SimLoopPointReport* find_sim_loop_point(const std::string& key) const;
 };
 
 // ---- Builders from live simulator results ----
@@ -288,6 +317,7 @@ Json to_json(const ServePointReport& r);
 Json to_json(const GemmPointReport& r);
 Json to_json(const FleetPointReport& r);
 Json to_json(const SchedPointReport& r);
+Json to_json(const SimLoopPointReport& r);
 Json to_json(const RunReport& r);
 
 // Throw CheckError on schema-version or shape mismatch.

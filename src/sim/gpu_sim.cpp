@@ -110,9 +110,10 @@ GpuRunResult GpuSim::run(const KernelSpec& kernel, const GridGeom& geom,
 
 LaunchResult launch_kernel_l2(const KernelSpec& kernel, const GridGeom& geom,
                               const arch::OrinSpec& spec,
-                              const arch::Calibration& calib) {
+                              const arch::Calibration& calib,
+                              const arch::RfCompressConfig& rf) {
   GpuSim gpu(spec, calib);
-  const int bps = occupancy_blocks_per_sm(kernel, spec);
+  const int bps = occupancy_blocks_per_sm(kernel, spec, rf);
   const auto r = gpu.run(kernel, geom, bps);
   LaunchResult out;
   out.total_cycles =

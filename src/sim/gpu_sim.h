@@ -72,8 +72,11 @@ class GpuSim : public GlobalMemory {
 
 // Occupancy-respecting whole-GPU launch using the L2 model. Returns the
 // same LaunchResult shape as launch_kernel for apples-to-apples benches.
+// `rf` adjusts the register budget behind the occupancy computation, the
+// same as in launch_kernel.
 LaunchResult launch_kernel_l2(const KernelSpec& kernel, const GridGeom& geom,
                               const arch::OrinSpec& spec,
-                              const arch::Calibration& calib);
+                              const arch::Calibration& calib,
+                              const arch::RfCompressConfig& rf = {});
 
 }  // namespace vitbit::sim

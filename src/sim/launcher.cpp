@@ -1,6 +1,7 @@
 #include "sim/launcher.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "common/int_math.h"
@@ -8,24 +9,50 @@
 
 namespace vitbit::sim {
 
-int occupancy_blocks_per_sm(const KernelSpec& kernel,
-                            const arch::OrinSpec& spec) {
+OccupancyLimits occupancy_limits(const KernelSpec& kernel,
+                                 const arch::OrinSpec& spec,
+                                 const arch::RfCompressConfig& rf) {
   const int warps_per_block = static_cast<int>(kernel.block_warps.size());
   VITBIT_CHECK(warps_per_block >= 1);
   VITBIT_CHECK(warps_per_block * spec.warp_size <= spec.max_threads_per_block);
-  int limit = spec.max_blocks_per_sm;
-  limit = std::min(limit, spec.max_warps_per_sm / warps_per_block);
-  if (kernel.smem_bytes > 0)
-    limit = std::min(limit, spec.smem_bytes_per_sm / kernel.smem_bytes);
+  OccupancyLimits lim;
+  lim.by_blocks = spec.max_blocks_per_sm;
+  lim.by_warps = spec.max_warps_per_sm / warps_per_block;
+  lim.by_smem = kernel.smem_bytes > 0
+                    ? spec.smem_bytes_per_sm / kernel.smem_bytes
+                    : std::numeric_limits<int>::max();
+  lim.effective_registers = arch::rf_effective_registers(spec, rf);
   const int regs_per_block =
       kernel.regs_per_thread * spec.warp_size * warps_per_block;
-  if (regs_per_block > 0)
-    limit = std::min(limit, spec.registers_per_sm / regs_per_block);
-  VITBIT_CHECK_MSG(limit >= 1, "kernel cannot fit on an SM: "
-                                   << warps_per_block << " warps, "
-                                   << kernel.smem_bytes << "B smem, "
-                                   << kernel.regs_per_thread << " regs/thread");
-  return limit;
+  lim.by_registers = regs_per_block > 0
+                         ? lim.effective_registers / regs_per_block
+                         : std::numeric_limits<int>::max();
+  lim.blocks = lim.by_blocks;
+  lim.limiter = "blocks";
+  // min over the limits; ties go to the first (coarsest) resource so the
+  // reported limiter is stable across sweeps.
+  const auto tighten = [&lim](int value, const char* name) {
+    if (value < lim.blocks) {
+      lim.blocks = value;
+      lim.limiter = name;
+    }
+  };
+  tighten(lim.by_warps, "warps");
+  tighten(lim.by_smem, "smem");
+  tighten(lim.by_registers, "registers");
+  VITBIT_CHECK_MSG(lim.blocks >= 1,
+                   "kernel cannot fit on an SM: "
+                       << warps_per_block << " warps, " << kernel.smem_bytes
+                       << "B smem, " << kernel.regs_per_thread
+                       << " regs/thread (effective RF "
+                       << lim.effective_registers << ")");
+  return lim;
+}
+
+int occupancy_blocks_per_sm(const KernelSpec& kernel,
+                            const arch::OrinSpec& spec,
+                            const arch::RfCompressConfig& rf) {
+  return occupancy_limits(kernel, spec, rf).blocks;
 }
 
 namespace {
@@ -41,10 +68,11 @@ SmStats simulate_sm(const KernelSpec& kernel, int blocks,
 
 LaunchResult launch_kernel(const KernelSpec& kernel,
                            const arch::OrinSpec& spec,
-                           const arch::Calibration& calib) {
+                           const arch::Calibration& calib,
+                           const arch::RfCompressConfig& rf) {
   VITBIT_CHECK(kernel.grid_blocks >= 1);
   LaunchResult result;
-  result.blocks_per_sm = occupancy_blocks_per_sm(kernel, spec);
+  result.blocks_per_sm = occupancy_blocks_per_sm(kernel, spec, rf);
   result.total_cycles +=
       static_cast<std::uint64_t>(calib.kernel_launch_overhead_cycles);
 

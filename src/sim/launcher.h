@@ -9,6 +9,7 @@
 
 #include "arch/calibration.h"
 #include "arch/orin_spec.h"
+#include "arch/rf_compress.h"
 #include "sim/program.h"
 #include "sim/stats.h"
 
@@ -45,12 +46,34 @@ struct LaunchResult {
   }
 };
 
-// Resident blocks per SM under warp/block/smem/register limits.
+// Per-resource occupancy breakdown: how many blocks each resource alone
+// would admit, which limit binds, and the register budget after RF
+// compression. The ablation bench reports `limiter` so sweeps show *why*
+// occupancy moved, not just that it did.
+struct OccupancyLimits {
+  int by_blocks = 0;  // spec.max_blocks_per_sm
+  int by_warps = 0;
+  int by_smem = 0;      // INT_MAX stand-in when the kernel uses no smem
+  int by_registers = 0; // INT_MAX stand-in when regs_per_thread == 0
+  int effective_registers = 0;  // per SM, after RF compression
+  int blocks = 0;               // min over all limits (>= 1, checked)
+  const char* limiter = "";     // "blocks" | "warps" | "smem" | "registers"
+};
+
+OccupancyLimits occupancy_limits(const KernelSpec& kernel,
+                                 const arch::OrinSpec& spec,
+                                 const arch::RfCompressConfig& rf = {});
+
+// Resident blocks per SM under warp/block/smem/register limits; the
+// register budget is the RF-compression-adjusted effective capacity
+// (default config reproduces the raw spec budget exactly).
 int occupancy_blocks_per_sm(const KernelSpec& kernel,
-                            const arch::OrinSpec& spec);
+                            const arch::OrinSpec& spec,
+                            const arch::RfCompressConfig& rf = {});
 
 LaunchResult launch_kernel(const KernelSpec& kernel,
                            const arch::OrinSpec& spec,
-                           const arch::Calibration& calib);
+                           const arch::Calibration& calib,
+                           const arch::RfCompressConfig& rf = {});
 
 }  // namespace vitbit::sim

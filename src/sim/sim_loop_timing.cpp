@@ -1,0 +1,61 @@
+#include "sim/sim_loop_timing.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "sim/sm_sim.h"
+#include "sim/sm_sim_ref.h"
+
+namespace vitbit::sim {
+
+namespace {
+
+// Wall-clock of one full reset→add_block→run pass over `sm`; the final
+// stats are returned through `out` so the compiler cannot discard the
+// simulation.
+template <typename Sim>
+double time_once(Sim& sm, const KernelSpec& kernel, int resident_blocks,
+                 SmStats& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sm.reset();
+  for (int b = 0; b < resident_blocks; ++b) sm.add_block(kernel.block_warps);
+  out = sm.run();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SimLoopMeasurement measure_sim_loop(const std::string& name,
+                                    const KernelSpec& kernel,
+                                    int resident_blocks,
+                                    const arch::OrinSpec& spec,
+                                    const arch::Calibration& calib,
+                                    int repeats) {
+  VITBIT_CHECK(repeats >= 1);
+  VITBIT_CHECK(resident_blocks >= 1);
+  SimLoopMeasurement out;
+  out.name = name;
+  out.repeats = repeats;
+
+  SmSimRef ref(spec, calib);
+  SmSim packed(spec, calib);
+  SmStats ref_stats, packed_stats;
+  // Best-of-`repeats`, with the two simulators interleaved inside each
+  // repeat so clock-frequency drift over the measurement window biases
+  // neither side.
+  for (int r = 0; r < repeats; ++r) {
+    const double rs = time_once(ref, kernel, resident_blocks, ref_stats);
+    const double ps = time_once(packed, kernel, resident_blocks, packed_stats);
+    if (r == 0 || rs < out.ref_seconds) out.ref_seconds = rs;
+    if (r == 0 || ps < out.packed_seconds) out.packed_seconds = ps;
+  }
+  out.stats_identical = ref_stats == packed_stats;
+  out.cycles = packed_stats.cycles;
+  out.instructions = packed_stats.instructions_issued;
+  out.speedup =
+      out.packed_seconds > 0.0 ? out.ref_seconds / out.packed_seconds : 0.0;
+  return out;
+}
+
+}  // namespace vitbit::sim

@@ -1,0 +1,45 @@
+// Host-simulation-loop measurement shared by bench/sim_loop and the
+// check_regression `sim_loop` gate: times the bit-packed SmSim against the
+// frozen SmSimRef (sim/sm_sim_ref.h) on one workload and verifies the two
+// produce byte-identical SmStats — the packed layout's speedup is only
+// admissible evidence while the stats oracle holds.
+//
+// Timing is best-of-`repeats` wall-clock per simulator (min absorbs
+// scheduler noise far better than the mean on loaded CI machines). Each
+// repeat exercises the full inner loop the way GpuSim drives it:
+// reset() → add_block()×resident → run(). cycles / instructions are
+// deterministic for a given workload, which is what lets the regression
+// gate pin them exactly while only floor-checking the speedup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "sim/launcher.h"
+
+namespace vitbit::sim {
+
+struct SimLoopMeasurement {
+  std::string name;               // workload label, e.g. "vitbit_fused"
+  std::uint64_t cycles = 0;       // simulated cycles (deterministic)
+  std::uint64_t instructions = 0; // issued instructions (deterministic)
+  int repeats = 0;
+  double ref_seconds = 0.0;     // best-of-repeats, SmSimRef
+  double packed_seconds = 0.0;  // best-of-repeats, SmSim
+  double speedup = 0.0;         // ref_seconds / packed_seconds
+  // SmSim stats == SmSimRef stats on every repeat (the contract).
+  bool stats_identical = false;
+};
+
+// Runs `resident_blocks` copies of the kernel's block on one SM under both
+// simulators, `repeats` times each.
+SimLoopMeasurement measure_sim_loop(const std::string& name,
+                                    const KernelSpec& kernel,
+                                    int resident_blocks,
+                                    const arch::OrinSpec& spec,
+                                    const arch::Calibration& calib,
+                                    int repeats);
+
+}  // namespace vitbit::sim

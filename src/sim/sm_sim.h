@@ -9,13 +9,39 @@
 //    fixed latency plus a per-SM bandwidth share (the mechanism that makes
 //    tensor-core GEMM memory-bound at the paper's ratios);
 //  * thread-block barriers.
+//
+// Hot-state layout (the inner loop under every figure bench, the tuner,
+// and the serving tiers' memoized latency tables):
+//  * per-sub-core `issuable` bitsets (common/bitset64.h) mask out done and
+//    at-barrier warps, so the round-robin scan is a find-first-set over
+//    one or two words instead of a walk over every resident warp;
+//  * done / at-barrier flags live in SM-wide bitsets instead of scattered
+//    per-warp bools;
+//  * the scoreboard is tracked incrementally: a per-warp pending-writeback
+//    mask bounds the dependence check to registers with outstanding
+//    writes, and a per-warp running max over scheduled writebacks answers
+//    the EXIT drain ("wait for every outstanding write") in O(1) instead
+//    of the historical O(num_regs) scan over reg_ready;
+//  * a dependence-stalled warp is parked out of the candidate mask until
+//    its (fixed) wake cycle, so the issue scan fails each stall once
+//    instead of once per cycle until the writeback lands;
+//  * the DRAM-channel virtual clock is a Q32.32 integer accumulator — the
+//    integer virtual-time core holds no floating-point state that could
+//    drift across compilers.
+//
+// SmSimRef (sim/sm_sim_ref.h) preserves the previous layout verbatim;
+// tests/sim_packed_test.cpp proves both produce byte-identical SmStats,
+// and the check_regression `sim_loop` gate keeps the packed layout's host
+// speedup above a committed floor.
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <vector>
 
 #include "arch/calibration.h"
 #include "arch/orin_spec.h"
+#include "common/bitset64.h"
 #include "sim/program.h"
 #include "sim/stats.h"
 
@@ -31,6 +57,25 @@ class GlobalMemory {
   virtual std::uint64_t access(std::uint64_t addr, std::uint32_t bytes,
                                std::uint64_t now, bool is_store) = 0;
 };
+
+// The per-SM DRAM channel's virtual clock runs in Q32.32 fixed-point
+// cycles: 32 fractional bits resolve one byte's transfer time (~0.09
+// cycles at the Orin share) to ~2e-11 cycles, and the integer part holds
+// the full 4e8-cycle deadlock guard without overflow. The only floating
+// point is one construction-time conversion of the spec's bytes-per-cycle
+// rate; all per-access arithmetic is integer.
+inline constexpr int kDramFracBits = 32;
+
+inline std::uint64_t dram_q32_per_byte(const arch::OrinSpec& spec) {
+  return static_cast<std::uint64_t>(
+      std::llround(std::ldexp(1.0 / spec.dram_bytes_per_cycle_per_sm(),
+                              kDramFracBits)));
+}
+
+// Smallest whole cycle >= the Q32.32 virtual time.
+inline std::uint64_t dram_ceil_cycles(std::uint64_t q32) {
+  return (q32 + ((std::uint64_t{1} << kDramFracBits) - 1)) >> kDramFracBits;
+}
 
 class SmSim {
  public:
@@ -68,13 +113,42 @@ class SmSim {
   struct WarpState {
     ProgramPtr prog;
     std::uint32_t pc = 0;
+    // reg_ready[r]: cycle the last scheduled write of register r lands.
+    // In-order WAW gating makes each entry monotone over the run.
     std::vector<std::uint64_t> reg_ready;
-    bool at_barrier = false;
-    bool done = false;
+    // Running max over every scheduled writeback. Because entries are
+    // monotone, this equals max(reg_ready) at all times — the O(1)
+    // answer to the EXIT drain that used to scan the whole scoreboard.
+    std::uint64_t max_reg_ready = 0;
+    // Bit r set while register r may still have an outstanding write
+    // (reg_ready[r] > the last cycle the bit was examined). Cleared
+    // lazily on the next dependence check that observes the write has
+    // landed; a clear bit guarantees reg_ready[r] <= current cycle, so
+    // the scoreboard read is skipped entirely.
+    Bitset64 pending;
     int block = 0;
+    // Home sub-core and slot within it, so block-wide barrier release
+    // can restore this warp's issuable bit without a search.
+    std::uint32_t subcore = 0;
+    std::uint32_t slot = 0;
   };
   struct Subcore {
     std::vector<int> warp_ids;
+    // Slot-indexed scheduler candidate mask: bit set iff the warp is
+    // neither done, waiting at a barrier, nor parked on a dependence
+    // stall. The round-robin scan iterates set bits only.
+    Bitset64 issuable;
+    // Dependence stalls, memoized per slot. Registers are private to a
+    // warp and reg_ready entries never change after the write is
+    // scheduled, so a failed dependence check's dep_ready is fixed until
+    // it passes: wake_at[slot] records it, and the scan skips the slot —
+    // without touching the warp's state at all — while cycle < wake_at.
+    // Long stalls additionally park the warp out of `issuable` into
+    // `sleeping` (min_wake caches the earliest parked wake), so a scan
+    // with no due sleeper never even visits those slots.
+    Bitset64 sleeping;
+    std::vector<std::uint64_t> wake_at;
+    std::uint64_t min_wake = UINT64_MAX;
     std::size_t rr_cursor = 0;
     std::uint64_t int_busy_until = 0;
     std::uint64_t fp_busy_until = 0;
@@ -84,12 +158,18 @@ class SmSim {
   struct Block {
     int num_warps = 0;
     int arrived = 0;
+    // Warps of one block occupy contiguous ids [first_warp,
+    // first_warp + num_warps): barrier release walks exactly them.
+    int first_warp = 0;
     std::array<std::uint64_t, 4> operand_bases{};
   };
 
-  // Attempts to issue one instruction on `sc` at `cycle`; returns true if
-  // something issued. Updates `next_wake` with the earliest cycle at which
-  // a currently-blocked candidate could become issuable.
+  // Attempts to issue the warp in `sc`'s slot `idx` at `cycle`; returns
+  // true if it issued. Updates `next_wake` with the earliest cycle a
+  // blocked candidate could become issuable.
+  bool issue_slot(Subcore& sc, std::size_t idx, std::uint64_t cycle,
+                  std::uint64_t& next_wake);
+  // Round-robin over `sc.issuable` starting at rr_cursor.
   bool try_issue(Subcore& sc, std::uint64_t cycle, std::uint64_t& next_wake);
 
   const arch::OrinSpec spec_;
@@ -98,9 +178,13 @@ class SmSim {
   std::vector<WarpState> warps_;
   std::vector<Subcore> subcores_;
   std::vector<Block> blocks_;
+  // Warp-id-indexed packed flags (the former per-warp bools).
+  Bitset64 at_barrier_;
+  Bitset64 done_;
   std::uint64_t lsu_busy_until_ = 0;
-  // Next cycle the DRAM channel is free (per-SM share).
-  double dram_free_ = 0.0;
+  // Next Q32.32 cycle the DRAM channel is free (per-SM share).
+  std::uint64_t dram_free_q32_ = 0;
+  std::uint64_t dram_q32_per_byte_ = 0;
   int done_warps_ = 0;
   SmStats stats_;
 };

@@ -42,6 +42,9 @@ struct SmStats {
   }
 
   SmStats& operator+=(const SmStats& other);
+  // Field-wise equality — the packed simulator's stats-identity oracle
+  // (tests/sim_packed_test.cpp, sim/sim_loop_timing.cpp) compares with it.
+  bool operator==(const SmStats& other) const = default;
 };
 
 }  // namespace vitbit::sim

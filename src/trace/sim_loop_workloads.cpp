@@ -1,0 +1,62 @@
+#include "trace/sim_loop_workloads.h"
+
+#include <algorithm>
+
+#include "common/int_math.h"
+#include "trace/gemm_traces.h"
+
+namespace vitbit::trace {
+
+namespace {
+
+// Blocks the busiest SM keeps resident — the count GpuSim::run and the
+// launcher both simulate, so the timed loop matches production use.
+int resident_for(const sim::KernelSpec& kernel, const arch::OrinSpec& spec) {
+  return std::min(sim::occupancy_blocks_per_sm(kernel, spec),
+                  ceil_div(kernel.grid_blocks, spec.num_sms));
+}
+
+}  // namespace
+
+ElementwisePlan bandwidth_bound_plan() {
+  ElementwisePlan p;
+  p.elems = static_cast<std::int64_t>(197) * 768 * 4;  // fc1 activations
+  p.int_ops_per_elem = 2;  // barely any compute per loaded byte
+  p.fp_ops_per_elem = 0;
+  p.sfu_ops_per_elem = 0;
+  p.conv_ops_per_elem = 0;
+  p.fp_fraction = 0.0;
+  p.bytes_per_elem = 8;  // wide elements: traffic dominates
+  return p;
+}
+
+std::vector<SimLoopWorkload> sim_loop_workloads(
+    const arch::OrinSpec& spec, const arch::Calibration& calib) {
+  std::vector<SimLoopWorkload> out;
+  const GemmShape fc1{197, 768, 3072, 1};
+
+  {
+    SimLoopWorkload w;
+    w.name = "vitbit_fused";
+    w.kernel = build_gemm_kernel(fc1, plan_vitbit(calib, 12), spec, calib);
+    w.resident_blocks = resident_for(w.kernel, spec);
+    out.push_back(std::move(w));
+  }
+  {
+    SimLoopWorkload w;
+    w.name = "ic_gemm";
+    w.kernel = build_gemm_kernel(fc1, plan_ic(calib), spec, calib);
+    w.resident_blocks = resident_for(w.kernel, spec);
+    out.push_back(std::move(w));
+  }
+  {
+    SimLoopWorkload w;
+    w.name = "elementwise_bw";
+    w.kernel = build_elementwise_kernel(bandwidth_bound_plan(), spec, calib);
+    w.resident_blocks = resident_for(w.kernel, spec);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace vitbit::trace

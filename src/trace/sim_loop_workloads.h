@@ -1,0 +1,40 @@
+// Fixed workload set for the host-simulation-loop timing gate
+// (sim/sim_loop_timing.h): shared by bench/sim_loop and the
+// check_regression `sim_loop` gate so the committed baseline and the bench
+// always measure the same kernels. Three points that stress different
+// parts of the simulator's hot state:
+//   vitbit_fused   — the paper's fused TC+IC+FC GEMM block: all four unit
+//                    classes live, barriers every K panel, deep per-warp
+//                    scoreboards (the tensor-core accumulator file);
+//   ic_gemm        — the IC-only GEMM: maximal INT-pipe scheduler
+//                    contention, the round-robin scan dominates;
+//   elementwise_bw — a streaming elementwise kernel with deliberately
+//                    heavy traffic: DRAM-bound, exercises the Q32.32
+//                    channel clock and long-latency pending writebacks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "sim/launcher.h"
+#include "trace/elementwise_traces.h"
+
+namespace vitbit::trace {
+
+struct SimLoopWorkload {
+  std::string name;
+  sim::KernelSpec kernel;
+  int resident_blocks = 0;
+};
+
+// The bandwidth-bound elementwise plan behind `elementwise_bw` — also
+// pinned by the tier-1 DRAM-clock test (the Q32.32 fixed-point counter
+// must keep reproducing these exact cycle counts).
+ElementwisePlan bandwidth_bound_plan();
+
+std::vector<SimLoopWorkload> sim_loop_workloads(const arch::OrinSpec& spec,
+                                                const arch::Calibration& calib);
+
+}  // namespace vitbit::trace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset64.h"
+#include "common/rng.h"
+
+namespace vitbit {
+namespace {
+
+// Sizes straddling the inline-word boundary (<= 64 bits is stored inside
+// the object) and the multi-word tail cases.
+const std::size_t kSizes[] = {0, 1, 63, 64, 65, 128};
+
+TEST(Bitset64, EmptyAndSizes) {
+  for (const std::size_t n : kSizes) {
+    Bitset64 b(n);
+    EXPECT_EQ(b.size(), n);
+    EXPECT_EQ(b.empty(), n == 0);
+    EXPECT_EQ(b.num_words(), (n + 63) / 64);
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_TRUE(b.none());
+    EXPECT_EQ(b.find_first(), Bitset64::npos);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_FALSE(b.test(i));
+  }
+}
+
+TEST(Bitset64, SetResetTestAtBoundaries) {
+  Bitset64 b(128);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                              std::size_t{127}}) {
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.assign(63, true);
+  b.assign(0, false);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_FALSE(b.test(0));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset64, SetAllKeepsTailZero) {
+  for (const std::size_t n : kSizes) {
+    Bitset64 b(n);
+    b.set_all();
+    EXPECT_EQ(b.count(), n);
+    // The tail invariant: unused high bits of the last word stay zero, so
+    // whole-word count()/any() need no per-call masking.
+    if (n % 64 != 0 && n > 0)
+      EXPECT_EQ(b.word(b.num_words() - 1) >> (n % 64), 0u);
+    b.reset_all();
+    EXPECT_TRUE(b.none());
+  }
+}
+
+TEST(Bitset64, FindIterationIsAscending) {
+  Bitset64 b(130);
+  const std::vector<std::size_t> want = {0, 5, 63, 64, 65, 100, 129};
+  for (const auto i : want) b.set(i);
+  std::vector<std::size_t> got;
+  for (std::size_t i = b.find_first(); i != Bitset64::npos;
+       i = b.find_next(i + 1))
+    got.push_back(i);
+  EXPECT_EQ(got, want);
+  got.clear();
+  b.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(b.find_next(66), std::size_t{100});
+  EXPECT_EQ(b.find_next(130), Bitset64::npos);
+}
+
+TEST(Bitset64, BulkOps) {
+  Bitset64 a(100), b(100);
+  for (std::size_t i = 0; i < 100; i += 2) a.set(i);
+  for (std::size_t i = 0; i < 100; i += 3) b.set(i);
+  Bitset64 and_ab = a;
+  and_ab &= b;
+  Bitset64 or_ab = a;
+  or_ab |= b;
+  Bitset64 diff_ab = a;
+  diff_ab.and_not(b);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(and_ab.test(i), i % 2 == 0 && i % 3 == 0) << i;
+    EXPECT_EQ(or_ab.test(i), i % 2 == 0 || i % 3 == 0) << i;
+    EXPECT_EQ(diff_ab.test(i), i % 2 == 0 && i % 3 != 0) << i;
+  }
+}
+
+TEST(Bitset64, PushBackAcrossInlineBoundary) {
+  Bitset64 b;
+  std::vector<bool> want;
+  for (std::size_t i = 0; i < 130; ++i) {
+    const bool v = i % 5 == 0 || i == 63 || i == 64;
+    b.push_back(v);
+    want.push_back(v);
+  }
+  ASSERT_EQ(b.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(b.test(i), want[i]) << i;
+}
+
+TEST(Bitset64, ResizeShrinkClearsDroppedBits) {
+  Bitset64 b(128);
+  b.set_all();
+  b.resize(70);  // heap -> heap shrink
+  EXPECT_EQ(b.count(), 70u);
+  b.resize(40);  // heap -> inline shrink
+  EXPECT_EQ(b.count(), 40u);
+  b.resize(128);  // regrow: new bits must be zero
+  EXPECT_EQ(b.count(), 40u);
+  b.resize(0);
+  b.resize(64);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset64, ClearKeepsNothing) {
+  Bitset64 b(65);
+  b.set_all();
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  b.push_back(false);
+  EXPECT_FALSE(b.test(0));
+}
+
+TEST(Bitset64, Equality) {
+  Bitset64 a(65), b(65);
+  EXPECT_TRUE(a == b);
+  a.set(64);
+  EXPECT_FALSE(a == b);
+  b.set(64);
+  EXPECT_TRUE(a == b);
+  Bitset64 c(64);
+  EXPECT_FALSE(a == c);
+}
+
+// Randomized differential test against std::vector<bool> across the
+// inline/heap boundary: interleaved set/reset/assign/resize/push_back,
+// with count/find iteration checked after every batch.
+TEST(Bitset64, RandomizedDifferential) {
+  Rng rng(20240808);
+  for (const std::size_t start : kSizes) {
+    Bitset64 b(start);
+    std::vector<bool> ref(start, false);
+    for (int batch = 0; batch < 200; ++batch) {
+      const std::uint32_t op = rng.next_u32() % 100;
+      if (op < 40 && !ref.empty()) {
+        const std::size_t i = rng.next_u32() % ref.size();
+        b.set(i);
+        ref[i] = true;
+      } else if (op < 70 && !ref.empty()) {
+        const std::size_t i = rng.next_u32() % ref.size();
+        b.reset(i);
+        ref[i] = false;
+      } else if (op < 80 && !ref.empty()) {
+        const std::size_t i = rng.next_u32() % ref.size();
+        const bool v = (rng.next_u32() & 1) != 0;
+        b.assign(i, v);
+        ref[i] = v;
+      } else if (op < 90) {
+        const bool v = (rng.next_u32() & 1) != 0;
+        b.push_back(v);
+        ref.push_back(v);
+      } else {
+        const std::size_t n = rng.next_u32() % 140;
+        b.resize(n);
+        ref.resize(n, false);
+      }
+      ASSERT_EQ(b.size(), ref.size());
+      std::size_t want_count = 0;
+      for (const bool v : ref) want_count += v ? 1 : 0;
+      ASSERT_EQ(b.count(), want_count);
+      // Full agreement plus ascending find iteration.
+      std::size_t it = b.find_first();
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(b.test(i), ref[i]) << "bit " << i;
+        if (ref[i]) {
+          ASSERT_EQ(it, i);
+          it = b.find_next(it + 1);
+        }
+      }
+      ASSERT_EQ(it, Bitset64::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vitbit

@@ -1,0 +1,116 @@
+// Register-file compression occupancy model (arch/rf_compress.h) and its
+// wiring through the launcher's occupancy breakdown.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "arch/rf_compress.h"
+#include "common/check.h"
+#include "sim/launcher.h"
+
+namespace vitbit::sim {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration kCalib;
+
+ProgramPtr tiny_warp() {
+  ProgramBuilder b;
+  const auto a = b.new_reg();
+  const auto w = b.new_reg();
+  const auto d = b.new_reg();
+  b.imad(d, a, w, d);
+  b.exit();
+  return b.build();
+}
+
+// A register-hungry kernel: 4 warps and enough regs/thread that the
+// register file is the binding occupancy limit at the raw budget.
+KernelSpec reg_bound_kernel(int regs_per_thread) {
+  KernelSpec k;
+  for (int i = 0; i < 4; ++i) k.block_warps.push_back(tiny_warp());
+  k.regs_per_thread = regs_per_thread;
+  k.smem_bytes = 0;
+  return k;
+}
+
+TEST(RfCompress, DisabledConfigReturnsRawBudgetExactly) {
+  const arch::RfCompressConfig off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(arch::rf_effective_registers(kSpec, off), kSpec.registers_per_sm);
+}
+
+TEST(RfCompress, RatioAndOverheadScaleTheBudget) {
+  arch::RfCompressConfig rf;
+  rf.ratio = 2.0;
+  EXPECT_EQ(arch::rf_effective_registers(kSpec, rf),
+            2 * kSpec.registers_per_sm);
+  rf.metadata_overhead = 0.25;
+  // 75% of the raw file usable, stored at 2x density.
+  EXPECT_EQ(arch::rf_effective_registers(kSpec, rf),
+            static_cast<int>(kSpec.registers_per_sm * 0.75 * 2.0));
+  // Overhead alone (ratio 1) is a net capacity loss — still "enabled".
+  arch::RfCompressConfig tags_only;
+  tags_only.metadata_overhead = 0.1;
+  EXPECT_TRUE(tags_only.enabled());
+  EXPECT_LT(arch::rf_effective_registers(kSpec, tags_only),
+            kSpec.registers_per_sm);
+}
+
+TEST(RfCompress, InvalidConfigsThrow) {
+  arch::RfCompressConfig rf;
+  rf.ratio = 0.5;
+  EXPECT_THROW(arch::rf_effective_registers(kSpec, rf), vitbit::CheckError);
+  rf.ratio = 1.0;
+  rf.metadata_overhead = 1.0;
+  EXPECT_THROW(arch::rf_effective_registers(kSpec, rf), vitbit::CheckError);
+}
+
+TEST(RfCompress, CompressionLiftsRegisterBoundOccupancy) {
+  // 128 regs/thread * 32 threads * 4 warps = 16384 regs per block:
+  // 4 blocks at the raw 64K budget, registers binding.
+  const KernelSpec kernel = reg_bound_kernel(128);
+  const OccupancyLimits raw = occupancy_limits(kernel, kSpec);
+  EXPECT_EQ(raw.effective_registers, kSpec.registers_per_sm);
+  EXPECT_EQ(raw.by_registers, 4);
+  EXPECT_EQ(raw.blocks, 4);
+  EXPECT_STREQ(raw.limiter, "registers");
+
+  arch::RfCompressConfig rf;
+  rf.ratio = 2.0;
+  const OccupancyLimits comp = occupancy_limits(kernel, kSpec, rf);
+  EXPECT_EQ(comp.by_registers, 8);
+  EXPECT_EQ(comp.blocks, 8);
+  // Occupancy limits saturate: a huge ratio cannot push past the
+  // warp/block caps, which is the knee bench/ablation_rf_compress maps.
+  arch::RfCompressConfig huge;
+  huge.ratio = 100.0;
+  const OccupancyLimits sat = occupancy_limits(kernel, kSpec, huge);
+  EXPECT_EQ(sat.blocks, kSpec.max_warps_per_sm / 4);
+  EXPECT_STREQ(sat.limiter, "warps");
+}
+
+TEST(RfCompress, LaunchKernelUsesCompressedBudget) {
+  KernelSpec kernel = reg_bound_kernel(128);
+  kernel.grid_blocks = 64;
+  arch::RfCompressConfig rf;
+  rf.ratio = 2.0;
+  const LaunchResult raw = launch_kernel(kernel, kSpec, kCalib);
+  const LaunchResult comp = launch_kernel(kernel, kSpec, kCalib, rf);
+  EXPECT_EQ(raw.blocks_per_sm, 4);
+  EXPECT_EQ(comp.blocks_per_sm, 8);
+  // Double the co-resident blocks on this trivially short kernel cannot
+  // slow the grid down.
+  EXPECT_LE(comp.total_cycles, raw.total_cycles);
+}
+
+TEST(RfCompress, ZeroRegKernelUnlimitedByRegisters) {
+  KernelSpec kernel = reg_bound_kernel(0);
+  const OccupancyLimits lim = occupancy_limits(kernel, kSpec);
+  EXPECT_EQ(lim.by_registers, std::numeric_limits<int>::max());
+}
+
+}  // namespace
+}  // namespace vitbit::sim

@@ -1,0 +1,95 @@
+// Bit-packed SmSim vs the frozen pre-packing SmSimRef: the packed hot
+// state (scheduler candidate masks, pending-writeback masks, running-max
+// EXIT drain, parked-warp wake list, Q32.32 DRAM clock) is a pure layout /
+// scan-order change, so both simulators must produce byte-identical
+// SmStats on every workload. Also pins reset() reuse (run → reset →
+// add_block → run must equal a fresh instance bit-for-bit) and the
+// bandwidth-bound DRAM trace the integer fixed-point channel clock was
+// introduced for.
+#include <gtest/gtest.h>
+
+#include "arch/calibration.h"
+#include "arch/orin_spec.h"
+#include "sim/sm_sim.h"
+#include "sim/sm_sim_ref.h"
+#include "trace/elementwise_traces.h"
+#include "trace/sim_loop_workloads.h"
+
+namespace vitbit::sim {
+namespace {
+
+const arch::OrinSpec kSpec;
+const arch::Calibration& calib() { return arch::default_calibration(); }
+
+template <typename Sim>
+SmStats run_fresh(const KernelSpec& kernel, int resident_blocks) {
+  Sim sm(kSpec, calib());
+  for (int b = 0; b < resident_blocks; ++b) sm.add_block(kernel.block_warps);
+  return sm.run();
+}
+
+TEST(SimPacked, MatchesReferenceOnAllWorkloads) {
+  for (const auto& w : trace::sim_loop_workloads(kSpec, calib())) {
+    const SmStats ref = run_fresh<SmSimRef>(w.kernel, w.resident_blocks);
+    const SmStats packed = run_fresh<SmSim>(w.kernel, w.resident_blocks);
+    EXPECT_EQ(ref, packed) << w.name;
+  }
+}
+
+// reset() must return the SM to its just-constructed state: a reused
+// instance has to reproduce a fresh instance's statistics bit-for-bit,
+// including after a run that left warps parked, flags set, and the DRAM
+// virtual clock advanced.
+TEST(SimPacked, ResetReuseIsBitIdentical) {
+  const auto workloads = trace::sim_loop_workloads(kSpec, calib());
+  SmSim reused(kSpec, calib());
+  for (const auto& w : workloads) {
+    reused.reset();
+    for (int b = 0; b < w.resident_blocks; ++b)
+      reused.add_block(w.kernel.block_warps);
+    const SmStats from_reuse = reused.run();
+    const SmStats fresh = run_fresh<SmSim>(w.kernel, w.resident_blocks);
+    EXPECT_EQ(from_reuse, fresh) << w.name;
+  }
+  // Cross-workload reuse: running workload A then B must equal fresh B
+  // (state from A fully cleared), in both directions.
+  for (std::size_t i = 0; i + 1 < workloads.size(); ++i) {
+    const auto& next = workloads[i + 1];
+    reused.reset();
+    for (int b = 0; b < next.resident_blocks; ++b)
+      reused.add_block(next.kernel.block_warps);
+    EXPECT_EQ(reused.run(), run_fresh<SmSim>(next.kernel, next.resident_blocks))
+        << next.name;
+  }
+}
+
+// Pins the bandwidth-bound elementwise trace end to end. The DRAM channel
+// clock is a Q32.32 integer accumulator (sm_sim.h); this workload issues
+// enough back-to-back transfers that any rounding drift in the
+// fixed-point path (or a change to the channel model) moves total cycles
+// and is caught here with zero tolerance.
+TEST(SimPacked, BandwidthBoundTracePinned) {
+  const auto plan = trace::bandwidth_bound_plan();
+  const auto kernel = trace::build_elementwise_kernel(plan, kSpec, calib());
+  const SmStats packed = run_fresh<SmSim>(kernel, 6);
+  const SmStats ref = run_fresh<SmSimRef>(kernel, 6);
+  EXPECT_EQ(packed, ref);
+  EXPECT_EQ(packed.cycles, 10791u);
+  EXPECT_EQ(packed.instructions_issued, 3120u);
+  EXPECT_EQ(packed.dram_bytes, 122880u);
+}
+
+// The Q32.32 conversion itself: one byte at the Orin per-SM share and the
+// ceil helper's exact-boundary behaviour.
+TEST(SimPacked, DramFixedPointHelpers) {
+  const std::uint64_t q = dram_q32_per_byte(kSpec);
+  EXPECT_GT(q, 0u);
+  // ceil(x) over the fixed-point domain: exact integers stay put, any
+  // fraction rounds up.
+  EXPECT_EQ(dram_ceil_cycles(std::uint64_t{5} << kDramFracBits), 5u);
+  EXPECT_EQ(dram_ceil_cycles((std::uint64_t{5} << kDramFracBits) + 1), 6u);
+  EXPECT_EQ(dram_ceil_cycles(0), 0u);
+}
+
+}  // namespace
+}  // namespace vitbit::sim

@@ -11,6 +11,7 @@
 //   check_regression [--baselines=baselines] [--layers=2]
 //                    [--cycles-tol=0.02] [--ipc-tol=0.01] [--serve-tol=0.05]
 //                    [--gemm-speedup-floor=3.0] [--simd-speedup-floor=6.0]
+//                    [--sim-loop-floor=0.5] [--sim-loop-repeats=3]
 //                    [--json=PATH] [--threads=N]
 //   check_regression --update          regenerate the baseline files
 //
@@ -21,6 +22,13 @@
 // floor recorded in the baseline at --update time (--gemm-speedup-floor
 // for blocked, --simd-speedup-floor for simd; raw GFLOP/s are
 // machine-dependent and never diffed).
+//
+// The sim_loop gate times the bit-packed SmSim against the frozen
+// pre-packing SmSimRef on the fixed workload set of
+// trace/sim_loop_workloads.h: SmStats byte-identity is enforced exactly
+// (stats_identical), simulated cycles/instructions are pinned with zero
+// tolerance, and the packed layout's host speedup must clear the
+// --sim-loop-floor recorded at --update time.
 //
 // --threads=N fans the strategy replays and candidate sweeps over a host
 // thread pool (default: hardware_concurrency; 1 restores the serial
@@ -45,9 +53,11 @@
 #include "serve/sched/sched.h"
 #include "serve/server.h"
 #include "sim/gpu_sim.h"
+#include "sim/sim_loop_timing.h"
 #include "tensor/gemm_timing.h"
 #include "tensor/simd_level.h"
 #include "trace/gemm_traces.h"
+#include "trace/sim_loop_workloads.h"
 #include "vitbit/pipeline.h"
 
 namespace vitbit {
@@ -134,6 +144,15 @@ int run(int argc, char** argv) {
   // at least ~2x faster than that on AVX2 CI machines.
   const double gemm_floor = cli.get_double("gemm-speedup-floor", 3.0);
   const double simd_floor = cli.get_double("simd-speedup-floor", 6.0);
+  // Floor for the packed-simulator host speedup, recorded into the
+  // sim_loop baseline at --update time. The packed layout ranges from
+  // parity (issue-bound int GEMM) to ~7x (memory-stall-bound) on the
+  // development machine; 0.5 sits well under the weakest point, so CI
+  // noise and slower hosts don't trip the gate while a real layout
+  // regression (packed falling far behind the reference) still does.
+  const double sim_loop_floor = cli.get_double("sim-loop-floor", 0.5);
+  const int sim_loop_repeats =
+      static_cast<int>(cli.get_int("sim-loop-repeats", 3));
 
   auto vit_cfg = nn::vit_base();
   vit_cfg.num_layers = layers;
@@ -177,6 +196,14 @@ int run(int argc, char** argv) {
         g.ref_gflops = 0.0;
         g.speedup = 0.0;
         g.simd_level.clear();
+      }
+      // Sim-loop points: the simulated cycles/instructions and the
+      // stats-identity bit stay; the measured seconds/speedup are
+      // machine-dependent and are zeroed like the GEMM GFLOP/s.
+      for (auto& s : stable.sim_loop_points) {
+        s.ref_seconds = 0.0;
+        s.packed_seconds = 0.0;
+        s.speedup = 0.0;
       }
       report::save_report_file(path, stable);
       std::cout << "regenerated " << path << "\n";
@@ -371,6 +398,39 @@ int run(int argc, char** argv) {
                                       gemm_start)
             .count();
     gate("host_gemm", fresh);
+  }
+  // Sim-loop gate: the packed simulator vs the frozen reference on the
+  // fixed workload set. Byte-identical SmStats is the admissibility
+  // contract; the one-sided speedup floor keeps the bit-packed layout's
+  // perf win regression-protected rather than anecdotal.
+  {
+    const auto sim_loop_start = std::chrono::steady_clock::now();
+    report::RunReport fresh;
+    fresh.tool = "check_regression";
+    fresh.meta = report::build_metadata();
+    fresh.meta["figure"] = "sim_loop";
+    for (const auto& w : trace::sim_loop_workloads(spec, calib)) {
+      const auto m = sim::measure_sim_loop(w.name, w.kernel,
+                                           w.resident_blocks, spec, calib,
+                                           sim_loop_repeats);
+      report::SimLoopPointReport p;
+      p.name = m.name;
+      p.cycles = m.cycles;
+      p.instructions = m.instructions;
+      p.repeats = m.repeats;
+      p.ref_seconds = m.ref_seconds;
+      p.packed_seconds = m.packed_seconds;
+      p.speedup = m.speedup;
+      p.stats_identical = m.stats_identical;
+      p.min_speedup = sim_loop_floor;
+      fresh.sim_loop_points.push_back(std::move(p));
+    }
+    fresh.threads = pool.size();
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sim_loop_start)
+            .count();
+    gate("sim_loop", fresh);
   }
   if (!json_out.empty()) {
     report::save_json_file(json_out, combined);
