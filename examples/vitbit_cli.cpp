@@ -293,6 +293,39 @@ int cmd_sched(const Cli& cli, ThreadPool& pool) {
   return 0;
 }
 
+// Scheduled-fleet sweep (serve/cluster.h simulate_fleet_sched): the
+// mixed multi-class stream routed across many scheduler shards, warm
+// routing and model placement compared against jsq. --json writes the
+// schema-versioned fleet_sched_points report (schema minor 9).
+int cmd_fleet_sched(const Cli& cli, ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& calib = arch::default_calibration();
+  // The one flag set shared with bench/fleet_sched_sim, validated on
+  // return.
+  const auto cfg = serve::fleet_sched_config_from_cli(cli);
+
+  const auto points = serve::run_fleet_sched_sweep(cfg, kSpec, calib, &pool);
+  serve::fleet_sched_table(cfg, points).print(std::cout);
+
+  const std::string out = cli.json_path();
+  if (!out.empty()) {
+    auto rep = serve::make_fleet_sched_report(cfg, points, "vitbit_cli",
+                                              pool.size());
+    rep.host_wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    report::save_report_file(out, rep);
+    // Same self-check as `report`: the artifact must round-trip before
+    // anything downstream trusts it.
+    const auto back = report::load_report_file(out);
+    VITBIT_CHECK_MSG(report::to_json(back) == report::to_json(rep),
+                     "fleet-sched report round-trip mismatch: " << out);
+    std::cout << "wrote " << out << " (" << rep.fleet_sched_points.size()
+              << " sweep rows)\n";
+  }
+  return 0;
+}
+
 int cmd_layout(const Cli& cli) {
   const int bits = static_cast<int>(cli.get_int("bits", 8));
   for (const auto mode : {swar::LaneMode::kUnsigned, swar::LaneMode::kOffset,
@@ -312,6 +345,7 @@ int dispatch(const Cli& cli, const std::string& cmd, ThreadPool& pool) {
   if (cmd == "serve") return cmd_serve(cli, pool);
   if (cmd == "fleet") return cmd_fleet(cli, pool);
   if (cmd == "sched") return cmd_sched(cli, pool);
+  if (cmd == "fleet-sched") return cmd_fleet_sched(cli, pool);
   return -1;
 }
 
@@ -339,8 +373,8 @@ int run(int argc, char** argv) {
     return rc;
   }
   std::cout << "usage: vitbit_cli "
-               "<study|tune|infer|layout|report|serve|fleet|sched> "
-               "[--flags]\n"
+               "<study|tune|infer|layout|report|serve|fleet|sched|"
+               "fleet-sched> [--flags]\n"
                "  study  --m --k --n        Section 3.2 GEMM ratio study\n"
                "  tune   --m --k --n        derive the VitBit split ratios\n"
                "  infer  --model=vit|cnn --strategy=NAME --pack=2\n"
@@ -373,6 +407,13 @@ int run(int argc, char** argv) {
                "         --warm-swap-us=N --exact [--json=PATH]\n"
                "         continuous-batching scheduler with priority\n"
                "         classes over the multi-model zoo\n"
+               "  fleet-sched  the sched flags plus --shards=N\n"
+               "         --routes=jsq,warm --route-seed=N\n"
+               "         --placement=none|spread --cold-route-classes=N;\n"
+               "         autoscaling adds --scale-preempt-per-s=X\n"
+               "         --scale-slo-miss-rate=X to the fleet knobs\n"
+               "         class-aware scheduled fleet: warm routing and\n"
+               "         model placement vs jsq [--json=PATH]\n"
                "  all subcommands: --threads=N  host threads for the\n"
                "         simulation fan-out (default: all cores, 1=serial;\n"
                "         simulated results are identical for every N)\n"

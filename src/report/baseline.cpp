@@ -206,6 +206,50 @@ void compare_sched_point(std::vector<MetricDelta>& out,
                  static_cast<double>(fresh.model_swaps), tol.serve);
 }
 
+void compare_fleet_sched_point(std::vector<MetricDelta>& out,
+                               const FleetSchedPointReport& base,
+                               const FleetSchedPointReport& fresh,
+                               const ToleranceSpec& tol) {
+  const std::string p = "fleet_sched." + base.key() + ".";
+  // offered counts arrivals of the seeded mixed workload — exact by
+  // construction; everything downstream inherits latency drift through
+  // the routed queue dynamics.
+  compare_metric(out, p + "offered", static_cast<double>(base.offered),
+                 static_cast<double>(fresh.offered), tol.instructions);
+  compare_metric(out, p + "completed", static_cast<double>(base.completed),
+                 static_cast<double>(fresh.completed), tol.serve);
+  compare_metric(out, p + "drop_rate", base.drop_rate, fresh.drop_rate,
+                 tol.serve);
+  compare_metric(out, p + "throughput_rps", base.throughput_rps,
+                 fresh.throughput_rps, tol.serve);
+  compare_metric(out, p + "goodput_rps", base.goodput_rps, fresh.goodput_rps,
+                 tol.serve);
+  compare_metric(out, p + "utilization", base.utilization, fresh.utilization,
+                 tol.serve);
+  compare_metric(out, p + "p50_us", static_cast<double>(base.p50_us),
+                 static_cast<double>(fresh.p50_us), tol.serve);
+  compare_metric(out, p + "p99_us", static_cast<double>(base.p99_us),
+                 static_cast<double>(fresh.p99_us), tol.serve);
+  compare_metric(out, p + "preemptions",
+                 static_cast<double>(base.preemptions),
+                 static_cast<double>(fresh.preemptions), tol.serve);
+  compare_metric(out, p + "model_swaps",
+                 static_cast<double>(base.model_swaps),
+                 static_cast<double>(fresh.model_swaps), tol.serve);
+  compare_metric(out, p + "cold_swaps",
+                 static_cast<double>(base.cold_swaps),
+                 static_cast<double>(fresh.cold_swaps), tol.serve);
+  compare_metric(out, p + "scale_ups", static_cast<double>(base.scale_ups),
+                 static_cast<double>(fresh.scale_ups), tol.serve);
+  compare_metric(out, p + "scale_downs",
+                 static_cast<double>(base.scale_downs),
+                 static_cast<double>(fresh.scale_downs), tol.serve);
+  compare_metric(out, p + "shard_util_min", base.shard_util_min,
+                 fresh.shard_util_min, tol.serve);
+  compare_metric(out, p + "shard_util_max", base.shard_util_max,
+                 fresh.shard_util_max, tol.serve);
+}
+
 void compare_gemm_point(std::vector<MetricDelta>& out,
                         const GemmPointReport& base,
                         const GemmPointReport& fresh) {
@@ -399,6 +443,19 @@ BaselineCheckResult check_against_baseline(const RunReport& fresh,
   for (const auto& p : fresh.sched_points)
     if (baseline.find_sched_point(p.key()) == nullptr)
       add_new(out, "sched." + p.key() + ".goodput_rps",
+              tol.allow_new_metrics);
+
+  for (const auto& base : baseline.fleet_sched_points) {
+    const FleetSchedPointReport* f = fresh.find_fleet_sched_point(base.key());
+    if (f == nullptr) {
+      add_missing(out, "fleet_sched." + base.key() + ".goodput_rps");
+      continue;
+    }
+    compare_fleet_sched_point(out, base, *f, tol);
+  }
+  for (const auto& p : fresh.fleet_sched_points)
+    if (baseline.find_fleet_sched_point(p.key()) == nullptr)
+      add_new(out, "fleet_sched." + p.key() + ".goodput_rps",
               tol.allow_new_metrics);
 
   for (const auto& base : baseline.gemm_points) {

@@ -90,6 +90,19 @@ const SchedPointReport* RunReport::find_sched_point(
   return nullptr;
 }
 
+std::string FleetSchedPointReport::key() const {
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%g", rate_rps);
+  return mode + "." + route + "." + scope + "." + group + "@" + rate;
+}
+
+const FleetSchedPointReport* RunReport::find_fleet_sched_point(
+    const std::string& key) const {
+  for (const auto& p : fleet_sched_points)
+    if (p.key() == key) return &p;
+  return nullptr;
+}
+
 const SimLoopPointReport* RunReport::find_sim_loop_point(
     const std::string& key) const {
   for (const auto& p : sim_loop_points)
@@ -315,6 +328,39 @@ Json to_json(const SchedPointReport& r) {
   return j;
 }
 
+Json to_json(const FleetSchedPointReport& r) {
+  Json j = Json::object();
+  j.set("mode", Json(r.mode));
+  j.set("route", Json(r.route));
+  j.set("scope", Json(r.scope));
+  j.set("group", Json(r.group));
+  j.set("rate_rps", Json(r.rate_rps));
+  j.set("offered", Json(r.offered));
+  j.set("completed", Json(r.completed));
+  j.set("dropped", Json(r.dropped));
+  j.set("preemptions", Json(r.preemptions));
+  j.set("model_swaps", Json(r.model_swaps));
+  j.set("cold_swaps", Json(r.cold_swaps));
+  j.set("swap_us", Json(r.swap_us));
+  j.set("batches", Json(r.batches));
+  j.set("mean_batch_size", Json(r.mean_batch_size));
+  j.set("drop_rate", Json(r.drop_rate));
+  j.set("throughput_rps", Json(r.throughput_rps));
+  j.set("goodput_rps", Json(r.goodput_rps));
+  j.set("utilization", Json(r.utilization));
+  j.set("mean_queue_depth", Json(r.mean_queue_depth));
+  j.set("max_queue_depth", Json(r.max_queue_depth));
+  j.set("p50_us", Json(r.p50_us));
+  j.set("p90_us", Json(r.p90_us));
+  j.set("p95_us", Json(r.p95_us));
+  j.set("p99_us", Json(r.p99_us));
+  j.set("scale_ups", Json(r.scale_ups));
+  j.set("scale_downs", Json(r.scale_downs));
+  j.set("shard_util_min", Json(r.shard_util_min));
+  j.set("shard_util_max", Json(r.shard_util_max));
+  return j;
+}
+
 Json to_json(const GemmPointReport& r) {
   Json j = Json::object();
   j.set("name", Json(r.name));
@@ -376,6 +422,14 @@ Json to_json(const RunReport& r) {
   Json sched = Json::array();
   for (const auto& p : r.sched_points) sched.push_back(to_json(p));
   j.set("sched_points", std::move(sched));
+  // Written only when present so pre-minor-9 baselines stay byte-for-byte
+  // reproducible without regeneration.
+  if (!r.fleet_sched_points.empty()) {
+    Json fleet_sched = Json::array();
+    for (const auto& p : r.fleet_sched_points)
+      fleet_sched.push_back(to_json(p));
+    j.set("fleet_sched_points", std::move(fleet_sched));
+  }
   Json sim_loop = Json::array();
   for (const auto& p : r.sim_loop_points) sim_loop.push_back(to_json(p));
   j.set("sim_loop_points", std::move(sim_loop));
@@ -516,6 +570,39 @@ SchedPointReport sched_point_from_json(const Json& j) {
   return r;
 }
 
+FleetSchedPointReport fleet_sched_point_from_json(const Json& j) {
+  FleetSchedPointReport r;
+  r.mode = j.string_at("mode");
+  r.route = j.string_at("route");
+  r.scope = j.string_at("scope");
+  r.group = j.string_at("group");
+  r.rate_rps = j.double_at("rate_rps");
+  r.offered = j.uint_at("offered");
+  r.completed = j.uint_at("completed");
+  r.dropped = j.uint_at("dropped");
+  r.preemptions = j.uint_at("preemptions");
+  r.model_swaps = j.uint_at("model_swaps");
+  r.cold_swaps = j.uint_at("cold_swaps");
+  r.swap_us = j.uint_at("swap_us");
+  r.batches = j.uint_at("batches");
+  r.mean_batch_size = j.double_at("mean_batch_size");
+  r.drop_rate = j.double_at("drop_rate");
+  r.throughput_rps = j.double_at("throughput_rps");
+  r.goodput_rps = j.double_at("goodput_rps");
+  r.utilization = j.double_at("utilization");
+  r.mean_queue_depth = j.double_at("mean_queue_depth");
+  r.max_queue_depth = j.uint_at("max_queue_depth");
+  r.p50_us = j.uint_at("p50_us");
+  r.p90_us = j.uint_at("p90_us");
+  r.p95_us = j.uint_at("p95_us");
+  r.p99_us = j.uint_at("p99_us");
+  r.scale_ups = j.uint_at("scale_ups");
+  r.scale_downs = j.uint_at("scale_downs");
+  r.shard_util_min = j.double_at("shard_util_min");
+  r.shard_util_max = j.double_at("shard_util_max");
+  return r;
+}
+
 GemmPointReport gemm_point_from_json(const Json& j) {
   GemmPointReport r;
   r.name = j.string_at("name");
@@ -608,6 +695,11 @@ RunReport run_report_from_json(const Json& j) {
   if (const Json* sim_loop = j.find("sim_loop_points"); sim_loop != nullptr)
     for (std::size_t i = 0; i < sim_loop->size(); ++i)
       r.sim_loop_points.push_back(sim_loop_point_from_json((*sim_loop)[i]));
+  // Minor-9 addition: absent in older documents (and in minor-9 documents
+  // from tools that carry no scheduled-fleet points).
+  if (const Json* fs = j.find("fleet_sched_points"); fs != nullptr)
+    for (std::size_t i = 0; i < fs->size(); ++i)
+      r.fleet_sched_points.push_back(fleet_sched_point_from_json((*fs)[i]));
   return r;
 }
 

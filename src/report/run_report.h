@@ -39,7 +39,10 @@ inline constexpr int kSchemaVersion = 1;
 //            multi-model zoo, serve/sched).
 //   minor 8: sim_loop_points (host-simulation-loop timing of the
 //            bit-packed SmSim vs the frozen SmSimRef, sim/sim_loop_timing).
-inline constexpr int kSchemaMinorVersion = 8;
+//   minor 9: fleet_sched_points (class-aware scheduled fleet sweeps — the
+//            sched and cluster tiers unified, serve/cluster.h
+//            simulate_fleet_sched).
+inline constexpr int kSchemaMinorVersion = 9;
 
 // sim::SmStats with names instead of enum indices (only nonzero counters
 // are kept, so reports stay small and resilient to ISA growth).
@@ -198,6 +201,50 @@ struct SchedPointReport {
   std::string key() const;
 };
 
+// One row of a class-aware scheduled-fleet sweep (serve/cluster.h
+// simulate_fleet_sched — the sched and cluster tiers unified; schema
+// minor 9). Each (mode, route, rate) sweep point expands like a sched
+// point: one aggregate row (scope "all", group "all") plus one row per
+// priority class and per zoo model. Whole-run counters — preemptions,
+// swaps, autoscale actions, utilization spread — ride the "all" row
+// only. Identified for baseline matching by (mode, route, scope, group,
+// rate_rps) — see key().
+struct FleetSchedPointReport {
+  std::string mode;   // fifo | cb | cb-pre
+  std::string route;  // serve::route_policy_name (jsq | warm | ...)
+  std::string scope;  // "all" | "class" | "model"
+  std::string group;  // "all", class name, or model name
+  double rate_rps = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t preemptions = 0;  // "all" rows only
+  std::uint64_t model_swaps = 0;  // "all" rows only
+  std::uint64_t cold_swaps = 0;   // "all" rows only — the full-load subset
+  std::uint64_t swap_us = 0;      // "all" rows only
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  double drop_rate = 0.0;
+  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;
+  double utilization = 0.0;  // "all" rows only (members share replicas)
+  double mean_queue_depth = 0.0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  // Fleet-only signals ("all" rows only): autoscale actions summed over
+  // shards and the spread of per-shard utilization.
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  double shard_util_min = 0.0;
+  double shard_util_max = 0.0;
+
+  // Stable identity within a report, e.g. "cb-pre.warm.class.gold@400".
+  std::string key() const;
+};
+
 // One (shape, dtype, engine) point of a host-GEMM engine sweep
 // (bench/host_gemm, tensor/gemm_timing.h): a candidate engine (blocked or
 // simd) timed against the reference triple loop. gflops/ref_gflops/
@@ -278,6 +325,9 @@ struct RunReport {
   // Scheduler sweep points (schema minor 7; empty for reports that ran
   // no scheduler simulation, and for pre-bump documents).
   std::vector<SchedPointReport> sched_points;
+  // Scheduled-fleet sweep points (schema minor 9; empty for reports that
+  // ran no scheduled-fleet simulation, and for pre-bump documents).
+  std::vector<FleetSchedPointReport> fleet_sched_points;
   // Host-simulation-loop timing points (schema minor 8; empty for reports
   // that ran no sim-loop measurement, and for pre-bump documents).
   std::vector<SimLoopPointReport> sim_loop_points;
@@ -292,6 +342,9 @@ struct RunReport {
   const FleetPointReport* find_fleet_point(const std::string& key) const;
   // nullptr when the report has no sched point with this key().
   const SchedPointReport* find_sched_point(const std::string& key) const;
+  // nullptr when the report has no scheduled-fleet point with this key().
+  const FleetSchedPointReport* find_fleet_sched_point(
+      const std::string& key) const;
   // nullptr when the report has no sim-loop point with this key().
   const SimLoopPointReport* find_sim_loop_point(const std::string& key) const;
 };
@@ -317,6 +370,7 @@ Json to_json(const ServePointReport& r);
 Json to_json(const GemmPointReport& r);
 Json to_json(const FleetPointReport& r);
 Json to_json(const SchedPointReport& r);
+Json to_json(const FleetSchedPointReport& r);
 Json to_json(const SimLoopPointReport& r);
 Json to_json(const RunReport& r);
 

@@ -9,6 +9,7 @@
 #include "common/cli.h"
 #include "common/thread_pool.h"
 #include "nn/vit_model.h"
+#include "serve/fleet_loop.h"
 
 namespace vitbit::serve {
 
@@ -28,6 +29,35 @@ std::string fmt_rate(double rate) {
 // never alias).
 std::uint64_t shard_fault_seed(std::uint64_t seed, int shard) {
   return seed + 0xbf58476d1ce4e5b9ull * (static_cast<std::uint64_t>(shard) + 1);
+}
+
+// Unsigned CLI knob: a negative value would wrap through the uint64 cast
+// into an absurdly huge one (e.g. --scale-cooldown-us=-1 becoming a
+// cooldown of ~584 000 years that then overflows the expiry arithmetic),
+// so fail loud instead.
+std::uint64_t get_uint(const Cli& cli, const std::string& name,
+                       std::int64_t def) {
+  const auto v = cli.get_int(name, def);
+  VITBIT_CHECK_MSG(v >= 0, "--" << name << " must be >= 0, got " << v);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string join_list(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += ",";
+    out += s;
+  }
+  return out;
+}
+
+std::string join_nums(const std::vector<double>& items) {
+  std::string out;
+  for (const double v : items) {
+    if (!out.empty()) out += ",";
+    out += fmt_rate(v);
+  }
+  return out;
 }
 
 }  // namespace
@@ -109,44 +139,19 @@ FleetMetrics simulate_fleet(const WorkloadConfig& workload,
   }
   Router router(cfg.route, cfg.route_seed, cfg.num_shards);
   WorkloadStream stream(workload);
-  std::vector<std::size_t> loads(n);
 
-  // The fleet event loop: every shard steps at every global timestamp in
-  // shard-index order (fault transitions and completions first, then
-  // autoscale decisions, arrivals routed on live loads, retries,
-  // dispatch), then time advances to the earliest next event anywhere.
-  std::uint64_t now = 0;
-  std::uint64_t end = 0;
-  while (true) {
-    for (auto& sh : shards) sh->begin_step(now);
-    for (auto& sh : shards) sh->maybe_autoscale(now);
-    while (stream.has_next() && stream.peek_arrival_us() <= now) {
-      const Request r = stream.next();
-      for (std::size_t s = 0; s < n; ++s) loads[s] = shards[s]->load();
-      shards[static_cast<std::size_t>(router.route(r, loads))]->admit(now, r);
-    }
-    for (auto& sh : shards) sh->admit_due_retries(now);
-    for (auto& sh : shards) sh->dispatch(now);
-
-    std::uint64_t t_next = kNever;
-    for (auto& sh : shards)
-      t_next = std::min(t_next, sh->next_internal_event_us());
-    if (stream.has_next()) t_next = std::min(t_next, stream.peek_arrival_us());
-    bool all_idle = true;
-    for (auto& sh : shards)
-      if (!sh->idle()) {
-        all_idle = false;
-        break;
-      }
-    if (!stream.has_next() && all_idle) break;  // drained
-    // Fault and autoscale timers only keep the loop alive while work
-    // remains somewhere in the fleet.
-    for (auto& sh : shards) t_next = std::min(t_next, sh->next_timer_us());
-    VITBIT_CHECK_MSG(t_next != kNever && t_next > now,
-                     "fleet loop failed to advance");
-    now = t_next;
-    end = std::max(end, now);
-  }
+  // The fleet event loop, shared with the scheduled tiers
+  // (serve/fleet_loop.h): every shard steps at every global timestamp in
+  // shard-index order, arrivals route on live loads, then time advances
+  // to the earliest next event anywhere.
+  std::vector<ShardSim*> shard_ptrs;
+  shard_ptrs.reserve(n);
+  for (auto& sh : shards) shard_ptrs.push_back(sh.get());
+  const std::uint64_t end = drive_fleet_loop(
+      stream, shard_ptrs,
+      [&router](const Request& r, const std::vector<std::size_t>& loads) {
+        return router.route(r, loads);
+      });
 
   FleetMetrics fm;
   fm.per_shard.reserve(n);
@@ -185,13 +190,22 @@ FleetMetrics simulate_fleet(const WorkloadConfig& workload,
     fm.total.p99_us = at(99.0);
     fm.total.max_us = at(100.0);
   }
-  if (!fm.per_shard.empty()) {
-    fm.shard_util_min = fm.per_shard.front().utilization;
-    fm.shard_util_max = fm.per_shard.front().utilization;
-    for (const auto& s : fm.per_shard) {
-      fm.shard_util_min = std::min(fm.shard_util_min, s.utilization);
-      fm.shard_util_max = std::max(fm.shard_util_max, s.utilization);
+  // Utilization spread over the shards that actually served: a shard the
+  // router never touched finalizes with a zero-width span (end_us == 0)
+  // and a meaningless 0.0 utilization — including it would pin the min to
+  // zero and report the full fleet as maximally imbalanced. When every
+  // shard is degenerate the spread stays 0/0.
+  bool have_util = false;
+  for (const auto& s : fm.per_shard) {
+    if (s.end_us == 0) continue;
+    if (!have_util) {
+      fm.shard_util_min = s.utilization;
+      fm.shard_util_max = s.utilization;
+      have_util = true;
+      continue;
     }
+    fm.shard_util_min = std::min(fm.shard_util_min, s.utilization);
+    fm.shard_util_max = std::max(fm.shard_util_max, s.utilization);
   }
   VITBIT_CHECK_MSG(
       fm.total.offered == fm.total.completed + fm.total.dropped + fm.total.shed,
@@ -334,15 +348,13 @@ FleetSweepConfig fleet_config_from_cli(const Cli& cli) {
       static_cast<int>(cli.get_int("min-replicas", fleet.shard.num_gpus));
   as.max_replicas =
       static_cast<int>(cli.get_int("max-replicas", as.min_replicas));
-  as.interval_us =
-      static_cast<std::uint64_t>(cli.get_int("scale-interval-us", 50000));
+  as.interval_us = get_uint(cli, "scale-interval-us", 50000);
   as.up_queue_depth =
-      static_cast<std::size_t>(cli.get_int("scale-up-depth", 16));
+      static_cast<std::size_t>(get_uint(cli, "scale-up-depth", 16));
   as.down_queue_depth =
-      static_cast<std::size_t>(cli.get_int("scale-down-depth", 2));
-  as.up_p99_us = static_cast<std::uint64_t>(cli.get_int("scale-p99-us", 0));
-  as.cooldown_us =
-      static_cast<std::uint64_t>(cli.get_int("scale-cooldown-us", 200000));
+      static_cast<std::size_t>(get_uint(cli, "scale-down-depth", 2));
+  as.up_p99_us = get_uint(cli, "scale-p99-us", 0);
+  as.cooldown_us = get_uint(cli, "scale-cooldown-us", 200000);
 
   const std::string fb = cli.get("fallback", "TC");
   found = false;
@@ -432,6 +444,424 @@ report::RunReport make_fleet_report(const FleetSweepConfig& cfg,
     fp.shard_util_min = p.metrics.shard_util_min;
     fp.shard_util_max = p.metrics.shard_util_max;
     rep.fleet_points.push_back(std::move(fp));
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Class-aware scheduled fleet (see cluster.h).
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kNone:
+      return "none";
+    case PlacementPolicy::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+PlacementPolicy placement_policy_from_name(const std::string& name) {
+  if (name == "none") return PlacementPolicy::kNone;
+  if (name == "spread") return PlacementPolicy::kSpread;
+  VITBIT_CHECK_MSG(false, "unknown placement policy: " << name
+                                                       << " (want none|spread)");
+  return PlacementPolicy::kNone;
+}
+
+void FleetSchedConfig::validate() const {
+  VITBIT_CHECK_MSG(num_shards >= 1, "fleet needs >= 1 shard");
+  VITBIT_CHECK_MSG(cold_route_classes >= 0,
+                   "cold_route_classes must be >= 0, got "
+                       << cold_route_classes);
+  shard.validate();
+  autoscale.validate();
+}
+
+FleetSchedMetrics simulate_fleet_sched(const MixedWorkloadConfig& workload,
+                                       const ModelRegistry& registry,
+                                       const FleetSchedConfig& cfg) {
+  cfg.validate();
+  const auto n = static_cast<std::size_t>(cfg.num_shards);
+  std::vector<std::unique_ptr<SchedSim>> shards;
+  shards.reserve(n);
+  for (int s = 0; s < cfg.num_shards; ++s)
+    shards.push_back(std::make_unique<SchedSim>(registry, cfg.shard,
+                                                cfg.percentiles,
+                                                cfg.autoscale));
+  if (cfg.placement == PlacementPolicy::kSpread)
+    for (int s = 0; s < cfg.num_shards; ++s)
+      shards[static_cast<std::size_t>(s)]->prestage(s %
+                                                    registry.num_models());
+  Router router(cfg.route, cfg.route_seed, cfg.num_shards);
+  MixedWorkloadStream stream(workload);
+
+  // Warm routing steers by class rank: the lowest-priority
+  // cold_route_classes classes prefer cold shards, everyone else prefers
+  // warm ones. Clamped so at least one class routes warm whenever there
+  // are >= 2 classes (with one class, all traffic is "interactive").
+  const int n_classes = static_cast<int>(cfg.shard.classes.size());
+  const int cold_classes =
+      n_classes > 1 ? std::min(cfg.cold_route_classes, n_classes - 1) : 0;
+
+  std::vector<SchedSim*> shard_ptrs;
+  shard_ptrs.reserve(n);
+  for (auto& sh : shards) shard_ptrs.push_back(sh.get());
+  std::vector<char> warm(n, 0);
+  const std::uint64_t end = drive_fleet_loop(
+      stream, shard_ptrs,
+      [&](const Request& r, const std::vector<std::size_t>& loads) {
+        if (router.policy() != RoutePolicy::kWarm)
+          return router.route(r, loads);
+        // Warmth is sampled live per decision, like the loads: prior
+        // routing decisions move the LRU caches, and the mask must see
+        // them.
+        for (std::size_t s = 0; s < n; ++s)
+          warm[s] = shard_ptrs[s]->warm_for(r.model) ? 1 : 0;
+        const bool prefer_cold =
+            cold_classes > 0 && r.cls >= n_classes - cold_classes;
+        return router.route(r, loads, warm, prefer_cold);
+      });
+
+  FleetSchedMetrics fm;
+  fm.per_shard.reserve(n);
+  for (auto& sh : shards) {
+    // Per-shard spans, exactly as simulate_fleet: denominators reflect
+    // the time each shard actually served.
+    fm.per_shard.push_back(sh->finalize(sh->last_activity_us()));
+    fm.scale_ups += sh->scale_ups();
+    fm.scale_downs += sh->scale_downs();
+  }
+
+  // Cross-shard percentiles per scope, merged in shard-index order (the
+  // P² merge is not associative, so the order is part of the determinism
+  // contract).
+  const auto fill_percentiles = [&](ServeMetrics& m, auto&& sink_of) {
+    if (cfg.percentiles == PercentileMode::kSketch) {
+      LatencySketch merged;
+      for (std::size_t s = 0; s < n; ++s) merged.merge(sink_of(s).sketch());
+      m.p50_us = merged.percentile_us(50.0);
+      m.p90_us = merged.percentile_us(90.0);
+      m.p95_us = merged.percentile_us(95.0);
+      m.p99_us = merged.percentile_us(99.0);
+      m.max_us = merged.max_us();
+    } else {
+      std::vector<std::uint64_t> all;
+      for (std::size_t s = 0; s < n; ++s) {
+        const auto& v = sink_of(s).latencies();
+        all.insert(all.end(), v.begin(), v.end());
+      }
+      std::sort(all.begin(), all.end());
+      m.p50_us = percentile_nearest_rank(all, 50.0);
+      m.p90_us = percentile_nearest_rank(all, 90.0);
+      m.p95_us = percentile_nearest_rank(all, 95.0);
+      m.p99_us = percentile_nearest_rank(all, 99.0);
+      m.max_us = percentile_nearest_rank(all, 100.0);
+    }
+  };
+
+  std::vector<ServeMetrics> rows(n);
+  for (std::size_t s = 0; s < n; ++s) rows[s] = fm.per_shard[s].total;
+  fm.total.total = aggregate_shard_metrics(rows, end);
+  fill_percentiles(fm.total.total, [&](std::size_t s) -> const MetricsSink& {
+    return shards[s]->total_sink();
+  });
+  const auto n_class = fm.per_shard.empty() ? 0 : fm.per_shard[0].per_class.size();
+  fm.total.per_class.resize(n_class);
+  for (std::size_t c = 0; c < n_class; ++c) {
+    for (std::size_t s = 0; s < n; ++s) rows[s] = fm.per_shard[s].per_class[c];
+    fm.total.per_class[c] = aggregate_shard_metrics(rows, end);
+    fill_percentiles(fm.total.per_class[c],
+                     [&](std::size_t s) -> const MetricsSink& {
+                       return shards[s]->class_sink(c);
+                     });
+  }
+  const auto n_model = fm.per_shard.empty() ? 0 : fm.per_shard[0].per_model.size();
+  fm.total.per_model.resize(n_model);
+  for (std::size_t m = 0; m < n_model; ++m) {
+    for (std::size_t s = 0; s < n; ++s) rows[s] = fm.per_shard[s].per_model[m];
+    fm.total.per_model[m] = aggregate_shard_metrics(rows, end);
+    fill_percentiles(fm.total.per_model[m],
+                     [&](std::size_t s) -> const MetricsSink& {
+                       return shards[s]->model_sink(m);
+                     });
+  }
+  for (const auto& ps : fm.per_shard) {
+    fm.total.preemptions += ps.preemptions;
+    fm.total.model_swaps += ps.model_swaps;
+    fm.total.cold_swaps += ps.cold_swaps;
+    fm.total.swap_us += ps.swap_us;
+  }
+
+  // Utilization spread over the shards that actually served (a shard the
+  // router never touched has a zero-width span — see simulate_fleet).
+  bool have_util = false;
+  for (const auto& ps : fm.per_shard) {
+    if (ps.total.end_us == 0) continue;
+    if (!have_util) {
+      fm.shard_util_min = ps.total.utilization;
+      fm.shard_util_max = ps.total.utilization;
+      have_util = true;
+      continue;
+    }
+    fm.shard_util_min = std::min(fm.shard_util_min, ps.total.utilization);
+    fm.shard_util_max = std::max(fm.shard_util_max, ps.total.utilization);
+  }
+
+  VITBIT_CHECK_MSG(
+      fm.total.total.offered ==
+          fm.total.total.completed + fm.total.total.dropped,
+      "fleet-sched request conservation violated at drain: offered "
+          << fm.total.total.offered << " != completed "
+          << fm.total.total.completed << " + dropped "
+          << fm.total.total.dropped);
+  for (std::size_t c = 0; c < fm.total.per_class.size(); ++c)
+    VITBIT_CHECK_MSG(fm.total.per_class[c].offered ==
+                         fm.total.per_class[c].completed +
+                             fm.total.per_class[c].dropped,
+                     "fleet-sched class " << c
+                                          << " conservation violated at drain");
+  return fm;
+}
+
+void FleetSchedSweepConfig::validate() const {
+  VITBIT_CHECK_MSG(!model_names.empty(), "sweep needs >= 1 model");
+  VITBIT_CHECK_MSG(!modes.empty(), "sweep needs >= 1 mode");
+  VITBIT_CHECK_MSG(!routes.empty(), "sweep needs >= 1 route");
+  VITBIT_CHECK_MSG(!rates_rps.empty(), "sweep needs >= 1 rate");
+  VITBIT_CHECK_MSG(workload.classes.size() == fleet.shard.classes.size(),
+                   "traffic classes (" << workload.classes.size()
+                                       << ") and scheduling classes ("
+                                       << fleet.shard.classes.size()
+                                       << ") must pair up");
+  // Mode names are validated through the shard config they will be swept
+  // into, so the error fires here rather than mid-sweep.
+  for (const auto& m : modes) {
+    SchedConfig s = fleet.shard;
+    s.mode = m;
+    s.validate();
+  }
+  fleet.validate();
+  swap.validate();
+}
+
+std::vector<FleetSchedPoint> run_fleet_sched_sweep(
+    const FleetSchedSweepConfig& cfg, const arch::OrinSpec& spec,
+    const arch::Calibration& calib, ThreadPool* pool) {
+  cfg.validate();
+  // Phase 1: one memoized latency table per zoo model, shared immutably
+  // by every shard of every sweep point.
+  const ModelRegistry registry(cfg.model_names, cfg.strategy, spec, calib,
+                               cfg.fleet.shard.max_batch, cfg.swap, pool);
+  // Phase 2: one single-threaded fleet loop per (mode, route, rate)
+  // point, fanned out over the pool in index order. The workload
+  // regenerates from the shared seed, so every point faces the
+  // byte-identical request stream.
+  const auto n_modes = cfg.modes.size();
+  const auto n_routes = cfg.routes.size();
+  const auto n_rates = cfg.rates_rps.size();
+  return parallel_map(pool, n_modes * n_routes * n_rates, [&](std::size_t i) {
+    const std::size_t mi = i / (n_routes * n_rates);
+    const std::size_t rem = i % (n_routes * n_rates);
+    const std::size_t ri = rem / n_rates;
+    const std::size_t r = rem % n_rates;
+    MixedWorkloadConfig w = cfg.workload;
+    w.rate_rps = cfg.rates_rps[r];
+    w.num_models = static_cast<int>(cfg.model_names.size());
+    FleetSchedConfig fc = cfg.fleet;
+    fc.shard.mode = cfg.modes[mi];
+    fc.route = cfg.routes[ri];
+    FleetSchedPoint point;
+    point.mode = cfg.modes[mi];
+    point.route = cfg.routes[ri];
+    point.rate_rps = w.rate_rps;
+    point.metrics = simulate_fleet_sched(w, registry, fc);
+    return point;
+  });
+}
+
+Table fleet_sched_table(const FleetSchedSweepConfig& cfg,
+                        const std::vector<FleetSchedPoint>& points) {
+  Table t("scheduled fleet — " + std::to_string(cfg.fleet.num_shards) +
+          " shards over " + join_list(cfg.model_names) + ", placement " +
+          placement_policy_name(cfg.fleet.placement));
+  t.header({"mode", "route", "rate (req/s)", "goodput", "p99 (ms)", "drop %",
+            "preempt", "cold swaps", "util spread"});
+  for (const auto& p : points) {
+    auto& row = t.row();
+    row.cell(p.mode)
+        .cell(route_policy_name(p.route))
+        .cell(p.rate_rps, 1)
+        .cell(p.metrics.total.total.goodput_rps, 1)
+        .cell(static_cast<double>(p.metrics.total.total.p99_us) / 1e3, 3)
+        .cell(p.metrics.total.total.drop_rate * 100.0, 2)
+        .cell(static_cast<double>(p.metrics.total.preemptions), 0)
+        .cell(static_cast<double>(p.metrics.total.cold_swaps), 0)
+        .cell(p.metrics.shard_util_max - p.metrics.shard_util_min, 3);
+  }
+  return t;
+}
+
+FleetSchedSweepConfig fleet_sched_config_from_cli(const Cli& cli) {
+  // The zoo / traffic / per-shard scheduler surface is exactly the sched
+  // tier's flag set; the fleet knobs layer on top.
+  SchedSweepConfig base = sched_config_from_cli(cli);
+  FleetSchedSweepConfig cfg;
+  cfg.model_names = std::move(base.model_names);
+  cfg.strategy = base.strategy;
+  cfg.modes = std::move(base.modes);
+  cfg.rates_rps = std::move(base.rates_rps);
+  cfg.workload = std::move(base.workload);
+  cfg.swap = base.swap;
+  cfg.fleet.shard = std::move(base.sched);
+  cfg.fleet.percentiles = base.percentiles;
+
+  auto& fleet = cfg.fleet;
+  fleet.num_shards = static_cast<int>(cli.get_int("shards", 4));
+  if (cli.has("routes"))
+    cfg.routes = parse_route_list(cli.get("routes", ""));
+  else if (cli.has("route"))
+    cfg.routes = {route_policy_from_name(cli.get("route", ""))};
+  fleet.route_seed = static_cast<std::uint64_t>(cli.get_int("route-seed", 1));
+  fleet.placement = placement_policy_from_name(cli.get("placement", "spread"));
+  fleet.cold_route_classes =
+      static_cast<int>(get_uint(cli, "cold-route-classes", 1));
+
+  auto& as = fleet.autoscale;
+  as.min_replicas =
+      static_cast<int>(cli.get_int("min-replicas", fleet.shard.num_gpus));
+  as.max_replicas =
+      static_cast<int>(cli.get_int("max-replicas", as.min_replicas));
+  as.interval_us = get_uint(cli, "scale-interval-us", 50000);
+  as.up_queue_depth =
+      static_cast<std::size_t>(get_uint(cli, "scale-up-depth", 16));
+  as.down_queue_depth =
+      static_cast<std::size_t>(get_uint(cli, "scale-down-depth", 2));
+  as.up_p99_us = get_uint(cli, "scale-p99-us", 0);
+  as.cooldown_us = get_uint(cli, "scale-cooldown-us", 200000);
+  as.up_preempt_per_s = cli.get_double("scale-preempt-per-s", 0.0);
+  as.up_slo_miss_rate = cli.get_double("scale-slo-miss-rate", 0.0);
+
+  cfg.validate();
+  return cfg;
+}
+
+report::RunReport make_fleet_sched_report(
+    const FleetSchedSweepConfig& cfg,
+    const std::vector<FleetSchedPoint>& points, const std::string& tool,
+    int threads) {
+  report::RunReport rep;
+  rep.tool = tool;
+  rep.meta = report::build_metadata();
+  rep.meta["models"] = join_list(cfg.model_names);
+  rep.meta["strategy"] = core::strategy_name(cfg.strategy);
+  rep.meta["modes"] = join_list(cfg.modes);
+  {
+    std::vector<std::string> names, arrivals, routes;
+    std::vector<double> weights, slos, shares;
+    for (const auto& c : cfg.fleet.shard.classes) {
+      names.push_back(c.name);
+      weights.push_back(c.weight);
+      slos.push_back(static_cast<double>(c.slo_us));
+    }
+    for (std::size_t c = 0; c < cfg.workload.classes.size(); ++c) {
+      const auto& t = cfg.workload.classes[c];
+      arrivals.push_back(arrival_kind_name(t.kind));
+      shares.push_back(t.rate_share);
+      rep.meta["mix" + std::to_string(c)] = join_nums(t.model_mix);
+    }
+    for (const auto r : cfg.routes) routes.push_back(route_policy_name(r));
+    rep.meta["classes"] = join_list(names);
+    rep.meta["weights"] = join_nums(weights);
+    rep.meta["slos_us"] = join_nums(slos);
+    rep.meta["shares"] = join_nums(shares);
+    rep.meta["arrivals"] = join_list(arrivals);
+    rep.meta["routes"] = join_list(routes);
+  }
+  rep.meta["duration_s"] = fmt_rate(cfg.workload.duration_s);
+  rep.meta["seed"] = std::to_string(cfg.workload.seed);
+  rep.meta["max_batch"] = std::to_string(cfg.fleet.shard.max_batch);
+  rep.meta["queue_capacity"] =
+      std::to_string(cfg.fleet.shard.queue_capacity);
+  rep.meta["num_gpus"] = std::to_string(cfg.fleet.shard.num_gpus);
+  rep.meta["iters"] = std::to_string(cfg.fleet.shard.iters);
+  rep.meta["slo_us"] = std::to_string(cfg.fleet.shard.slo_us);
+  rep.meta["cache_models"] = std::to_string(cfg.swap.cache_models);
+  rep.meta["load_gbps"] = fmt_rate(cfg.swap.load_gbps);
+  rep.meta["warm_swap_us"] = std::to_string(cfg.swap.warm_swap_us);
+  rep.meta["percentiles"] =
+      cfg.fleet.percentiles == PercentileMode::kExact ? "exact" : "sketch";
+  rep.meta["shards"] = std::to_string(cfg.fleet.num_shards);
+  rep.meta["route_seed"] = std::to_string(cfg.fleet.route_seed);
+  rep.meta["placement"] = placement_policy_name(cfg.fleet.placement);
+  rep.meta["cold_route_classes"] =
+      std::to_string(cfg.fleet.cold_route_classes);
+  const auto& as = cfg.fleet.autoscale;
+  rep.meta["min_replicas"] = std::to_string(as.min_replicas);
+  rep.meta["max_replicas"] = std::to_string(as.max_replicas);
+  rep.meta["scale_interval_us"] = std::to_string(as.interval_us);
+  rep.meta["scale_up_depth"] = std::to_string(as.up_queue_depth);
+  rep.meta["scale_down_depth"] = std::to_string(as.down_queue_depth);
+  rep.meta["scale_p99_us"] = std::to_string(as.up_p99_us);
+  rep.meta["scale_cooldown_us"] = std::to_string(as.cooldown_us);
+  rep.meta["scale_preempt_per_s"] = fmt_rate(as.up_preempt_per_s);
+  rep.meta["scale_slo_miss_rate"] = fmt_rate(as.up_slo_miss_rate);
+  rep.threads = threads;
+
+  auto fill = [](report::FleetSchedPointReport& fp, const ServeMetrics& m) {
+    fp.offered = m.offered;
+    fp.completed = m.completed;
+    fp.dropped = m.dropped;
+    fp.batches = m.batches;
+    fp.mean_batch_size = m.mean_batch_size;
+    fp.drop_rate = m.drop_rate;
+    fp.throughput_rps = m.throughput_rps;
+    fp.goodput_rps = m.goodput_rps;
+    fp.mean_queue_depth = m.mean_queue_depth;
+    fp.max_queue_depth = m.max_queue_depth;
+    fp.p50_us = m.p50_us;
+    fp.p90_us = m.p90_us;
+    fp.p95_us = m.p95_us;
+    fp.p99_us = m.p99_us;
+  };
+  for (const auto& p : points) {
+    report::FleetSchedPointReport all;
+    all.mode = p.mode;
+    all.route = route_policy_name(p.route);
+    all.scope = "all";
+    all.group = "all";
+    all.rate_rps = p.rate_rps;
+    fill(all, p.metrics.total.total);
+    all.utilization = p.metrics.total.total.utilization;
+    all.preemptions = p.metrics.total.preemptions;
+    all.model_swaps = p.metrics.total.model_swaps;
+    all.cold_swaps = p.metrics.total.cold_swaps;
+    all.swap_us = p.metrics.total.swap_us;
+    all.scale_ups = p.metrics.scale_ups;
+    all.scale_downs = p.metrics.scale_downs;
+    all.shard_util_min = p.metrics.shard_util_min;
+    all.shard_util_max = p.metrics.shard_util_max;
+    rep.fleet_sched_points.push_back(std::move(all));
+    for (std::size_t c = 0; c < p.metrics.total.per_class.size(); ++c) {
+      report::FleetSchedPointReport fp;
+      fp.mode = p.mode;
+      fp.route = route_policy_name(p.route);
+      fp.scope = "class";
+      fp.group = cfg.fleet.shard.classes[c].name;
+      fp.rate_rps = p.rate_rps;
+      fill(fp, p.metrics.total.per_class[c]);
+      rep.fleet_sched_points.push_back(std::move(fp));
+    }
+    for (std::size_t m = 0; m < p.metrics.total.per_model.size(); ++m) {
+      report::FleetSchedPointReport fp;
+      fp.mode = p.mode;
+      fp.route = route_policy_name(p.route);
+      fp.scope = "model";
+      fp.group = cfg.model_names[m];
+      fp.rate_rps = p.rate_rps;
+      fill(fp, p.metrics.total.per_model[m]);
+      rep.fleet_sched_points.push_back(std::move(fp));
+    }
   }
   return rep;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "serve/router.h"
+#include "serve/sched/sched.h"
 #include "serve/server.h"
 
 namespace vitbit::serve {
@@ -130,5 +131,128 @@ FleetSweepConfig fleet_config_from_cli(const Cli& cli);
 report::RunReport make_fleet_report(const FleetSweepConfig& cfg,
                                     const std::vector<FleetPoint>& points,
                                     const std::string& tool, int threads);
+
+// ---------------------------------------------------------------------------
+// Class-aware scheduled fleet: the sched and cluster tiers unified. Each
+// shard is a full SchedSim (any SchedMode, priority classes, per-replica
+// LRU weight caches, optional preemption-aware autoscaling) and the
+// shared fleet loop (serve/fleet_loop.h) interleaves them under the same
+// determinism contract as simulate_fleet: single-threaded global
+// virtual-time loop per sweep point, shards stepped in index order,
+// router decisions pure functions of (seed, policy, request id), and
+// cross-shard sketch merges in shard-index order.
+
+// How the model zoo is staged across shards before traffic:
+//   kNone    no prestaging — every shard starts cold, first load free
+//            (the pre-unification SchedSim behavior)
+//   kSpread  shard s prestages model (s mod num_models) on all its
+//            replicas — every model warm somewhere (when shards >=
+//            models), which the warm routing policy exploits to keep
+//            interactive traffic off cold weight swaps
+enum class PlacementPolicy { kNone, kSpread };
+
+const char* placement_policy_name(PlacementPolicy policy);
+// Accepts "none" | "spread"; throws CheckError otherwise.
+PlacementPolicy placement_policy_from_name(const std::string& name);
+
+struct FleetSchedConfig {
+  int num_shards = 4;
+  RoutePolicy route = RoutePolicy::kJsq;
+  std::uint64_t route_seed = 1;
+  // Per-shard scheduler knobs; num_gpus is the per-shard replica count.
+  // Every shard shares one immutable ModelRegistry (latency tables and
+  // swap costs); all mutable model state — the LRU weight caches — lives
+  // inside each shard's replicas.
+  SchedConfig shard;
+  AutoscaleConfig autoscale;
+  PlacementPolicy placement = PlacementPolicy::kNone;
+  // Under kWarm routing, the lowest-priority `cold_route_classes`
+  // classes prefer cold shards (batch traffic stays off the warm set);
+  // all higher classes prefer warm shards. Clamped so at least one class
+  // routes warm when there are >= 2 classes; with a single class all
+  // traffic routes warm.
+  int cold_route_classes = 1;
+  PercentileMode percentiles = PercentileMode::kSketch;
+
+  void validate() const;
+};
+
+// Fleet-level aggregate in the span-weighted sense of
+// aggregate_shard_metrics, applied per scope: the total and every
+// per-class / per-model breakdown aggregate across shards, with latency
+// percentiles merged in shard-index order (P² sketches in kSketch mode,
+// exact nearest-rank over concatenated samples in kExact).
+struct FleetSchedMetrics {
+  SchedMetrics total;
+  std::vector<SchedMetrics> per_shard;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  double shard_util_min = 0.0;
+  double shard_util_max = 0.0;
+};
+
+// Runs the scheduled fleet over one mixed workload until drained. With
+// num_shards == 1, jsq routing, no autoscaling, and kNone placement this
+// reproduces simulate_sched exactly (fleet_sched_test pins it in all
+// three modes).
+FleetSchedMetrics simulate_fleet_sched(const MixedWorkloadConfig& workload,
+                                       const ModelRegistry& registry,
+                                       const FleetSchedConfig& cfg);
+
+// A (mode x route x rate) sweep at fixed traffic mix — every point faces
+// the byte-identical request stream, so mode and route deltas are
+// scheduling and placement, never sampling.
+struct FleetSchedSweepConfig {
+  std::vector<std::string> model_names = {"vit-tiny", "cnn-small"};
+  core::Strategy strategy = core::Strategy::kVitBit;
+  std::vector<std::string> modes = {"fifo", "cb", "cb-pre"};
+  std::vector<RoutePolicy> routes = {RoutePolicy::kJsq, RoutePolicy::kWarm};
+  std::vector<double> rates_rps = {200, 400};
+  // rate_rps/num_models are overridden per point / from model_names.
+  MixedWorkloadConfig workload;
+  FleetSchedConfig fleet;
+  SwapCostConfig swap;
+
+  void validate() const;
+};
+
+struct FleetSchedPoint {
+  std::string mode;
+  RoutePolicy route = RoutePolicy::kJsq;
+  double rate_rps = 0.0;
+  FleetSchedMetrics metrics;
+};
+
+// Phase 1 builds the shared model registry; phase 2 fans the fleet loop
+// out over `pool` per (mode, route, rate) point in index order —
+// byte-identical results at every pool size.
+std::vector<FleetSchedPoint> run_fleet_sched_sweep(
+    const FleetSchedSweepConfig& cfg, const arch::OrinSpec& spec,
+    const arch::Calibration& calib, ThreadPool* pool = nullptr);
+
+// Console rendering: one row per (mode, route, rate) with goodput, p99,
+// drop rate, preemption / cold-swap counts, and the utilization spread.
+Table fleet_sched_table(const FleetSchedSweepConfig& cfg,
+                        const std::vector<FleetSchedPoint>& points);
+
+// Shared flag set of bench/fleet_sched_sim and `vitbit_cli fleet-sched`:
+// all of sched_config_from_cli's zoo/traffic/scheduler flags (--num-gpus
+// is the per-shard replica count) plus the fleet knobs --shards,
+// --routes/--route, --route-seed, --placement (none|spread),
+// --cold-route-classes, and the autoscaling knobs (--min-replicas,
+// --max-replicas, --scale-interval-us, --scale-up-depth,
+// --scale-down-depth, --scale-p99-us, --scale-cooldown-us, plus the
+// preemption-aware --scale-preempt-per-s and --scale-slo-miss-rate).
+// Validates the assembled config before returning.
+FleetSchedSweepConfig fleet_sched_config_from_cli(const Cli& cli);
+
+// Schema-versioned report (schema minor 9): per (mode, route, rate) one
+// aggregate "all" row plus one row per class and per model
+// (report::FleetSchedPointReport), with the sweep's full knob set in
+// meta. host_wall_seconds is left 0.
+report::RunReport make_fleet_sched_report(
+    const FleetSchedSweepConfig& cfg,
+    const std::vector<FleetSchedPoint>& points, const std::string& tool,
+    int threads);
 
 }  // namespace vitbit::serve

@@ -31,6 +31,8 @@ const char* route_policy_name(RoutePolicy policy) {
       return "jsq";
     case RoutePolicy::kPo2c:
       return "po2c";
+    case RoutePolicy::kWarm:
+      return "warm";
   }
   return "?";
 }
@@ -40,8 +42,9 @@ RoutePolicy route_policy_from_name(const std::string& name) {
   if (name == "rr") return RoutePolicy::kRoundRobin;
   if (name == "jsq") return RoutePolicy::kJsq;
   if (name == "po2c") return RoutePolicy::kPo2c;
+  if (name == "warm") return RoutePolicy::kWarm;
   VITBIT_CHECK_MSG(false, "unknown route policy: "
-                              << name << " (want random|rr|jsq|po2c)");
+                              << name << " (want random|rr|jsq|po2c|warm)");
   return RoutePolicy::kRandom;
 }
 
@@ -78,6 +81,7 @@ int Router::route(const Request& req,
     }
     case RoutePolicy::kRoundRobin:
       return static_cast<int>(req.id % n);
+    case RoutePolicy::kWarm:  // warmth-blind call sites degrade to jsq
     case RoutePolicy::kJsq: {
       int best = 0;
       for (int s = 1; s < num_shards_; ++s)
@@ -98,6 +102,38 @@ int Router::route(const Request& req,
   }
   VITBIT_CHECK_MSG(false, "unreachable route policy");
   return 0;
+}
+
+int Router::route(const Request& req, const std::vector<std::size_t>& loads,
+                  const std::vector<char>& warm, bool prefer_cold) const {
+  if (policy_ != RoutePolicy::kWarm) return route(req, loads);
+  VITBIT_CHECK_MSG(loads.size() == static_cast<std::size_t>(num_shards_),
+                   "router got " << loads.size() << " loads for "
+                                 << num_shards_ << " shards");
+  VITBIT_CHECK_MSG(warm.size() == loads.size(),
+                   "router got " << warm.size() << " warmth flags for "
+                                 << num_shards_ << " shards");
+  // jsq among the eligible shards (warm for this model, or cold when the
+  // class prefers cold); lowest load wins, ties to the lowest index.
+  int best = -1;
+  for (int s = 0; s < num_shards_; ++s) {
+    const bool eligible = prefer_cold
+                              ? warm[static_cast<std::size_t>(s)] == 0
+                              : warm[static_cast<std::size_t>(s)] != 0;
+    if (!eligible) continue;
+    if (best < 0 || loads[static_cast<std::size_t>(s)] <
+                        loads[static_cast<std::size_t>(best)])
+      best = s;
+  }
+  if (best >= 0) return best;
+  // No eligible shard (e.g. nothing warm yet, or every shard warm while
+  // the class prefers cold): fall back to jsq among all.
+  best = 0;
+  for (int s = 1; s < num_shards_; ++s)
+    if (loads[static_cast<std::size_t>(s)] <
+        loads[static_cast<std::size_t>(best)])
+      best = s;
+  return best;
 }
 
 }  // namespace vitbit::serve

@@ -24,10 +24,20 @@ namespace vitbit::serve {
 //                the less-loaded wins (ties: lower index) — near-JSQ tail
 //                behavior at O(1) probe cost, the classic Mitzenmacher
 //                result the fleet sweep reproduces
-enum class RoutePolicy { kRandom, kRoundRobin, kJsq, kPo2c };
+//   kWarm        model-affinity routing for the scheduled fleet
+//                (serve/cluster.h simulate_fleet_sched): jsq restricted
+//                to shards whose weight caches are warm for the
+//                request's model (interactive classes) or cold (batch
+//                classes, keeping them off the warm shards); falls back
+//                to plain jsq when no shard is eligible. Deterministic —
+//                no random draws. Through the mask-free route() overload
+//                (the classic fleet path has no warmth signal) it
+//                degrades to jsq exactly.
+enum class RoutePolicy { kRandom, kRoundRobin, kJsq, kPo2c, kWarm };
 
 const char* route_policy_name(RoutePolicy policy);
-// Accepts "random" | "rr" | "jsq" | "po2c"; throws CheckError otherwise.
+// Accepts "random" | "rr" | "jsq" | "po2c" | "warm"; throws CheckError
+// otherwise.
 RoutePolicy route_policy_from_name(const std::string& name);
 // "rr,jsq,po2c" -> the parsed list; throws CheckError on empty entries or
 // unknown names — the --routes flag of fleet_sim and `vitbit_cli fleet`.
@@ -39,8 +49,20 @@ class Router {
 
   // Destination shard for `req` given the current per-shard loads
   // (queued + in-flight requests, ShardSim::load). `loads` must have one
-  // entry per shard.
+  // entry per shard. kWarm has no warmth signal on this overload and
+  // behaves as jsq.
   int route(const Request& req, const std::vector<std::size_t>& loads) const;
+
+  // Class-aware overload for the scheduled fleet: `warm[s]` is nonzero
+  // when shard s holds the request's model weights (SchedSim::warm_for,
+  // sampled live before each decision, like `loads`). Under kWarm the
+  // shard is picked by jsq among the eligible shards — warm ones, or the
+  // cold ones when `prefer_cold` (batch-class traffic staying off the
+  // warm set) — falling back to jsq among all shards when no shard is
+  // eligible. Ties break to the lowest index; no random draws. Every
+  // other policy ignores the mask and defers to the base overload.
+  int route(const Request& req, const std::vector<std::size_t>& loads,
+            const std::vector<char>& warm, bool prefer_cold) const;
 
   RoutePolicy policy() const { return policy_; }
 

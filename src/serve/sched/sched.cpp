@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/cli.h"
 #include "common/thread_pool.h"
+#include "serve/fleet_loop.h"
 
 namespace vitbit::serve {
 
@@ -84,11 +85,13 @@ void SchedConfig::validate() const {
 }
 
 SchedSim::SchedSim(const ModelRegistry& registry, const SchedConfig& cfg,
-                   PercentileMode percentiles)
+                   PercentileMode percentiles, const AutoscaleConfig& autoscale)
     : registry_(registry),
       cfg_(cfg),
+      as_(autoscale),
       preemptive_(cfg.mode == "cb-pre"),
-      replicas_(static_cast<std::size_t>(cfg.num_gpus)),
+      replicas_(static_cast<std::size_t>(
+          autoscale.enabled() ? autoscale.max_replicas : cfg.num_gpus)),
       class_queues_(cfg.classes.size()),
       served_(cfg.classes.size(), 0),
       total_(percentiles,
@@ -104,12 +107,21 @@ SchedSim::SchedSim(const ModelRegistry& registry, const SchedConfig& cfg,
                      static_cast<std::size_t>(registry.num_models()), 0),
                  percentiles) {
   cfg_.validate();
+  as_.validate();
   for (int m = 0; m < registry_.num_models(); ++m)
     VITBIT_CHECK_MSG(registry_.table(m).max_batch() >= cfg_.max_batch,
                      "model " << registry_.name(m)
                               << " latency table covers batches up to "
                               << registry_.table(m).max_batch()
                               << ", scheduler needs " << cfg_.max_batch);
+  enabled_ = as_.enabled() ? std::clamp(cfg_.num_gpus, as_.min_replicas,
+                                        as_.max_replicas)
+                           : cfg_.num_gpus;
+  // The first evaluation lands one interval in; t = 0 has no signal yet.
+  next_autoscale_us_ = as_.interval_us;
+  tick_preempted_.assign(cfg_.classes.size(), 0);
+  tick_completed_.assign(cfg_.classes.size(), 0);
+  tick_missed_.assign(cfg_.classes.size(), 0);
 }
 
 std::size_t SchedSim::total_depth() const {
@@ -127,6 +139,7 @@ void SchedSim::begin_step(std::uint64_t now) {
     if (!rep.running || rep.iter_done_us > now) continue;
     total_.on_batch(rep.batch.size(), rep.iter_done_us - rep.iter_start_us);
     rep.running = false;
+    touch(now);
     std::vector<Resident> keep;
     keep.reserve(rep.batch.size());
     for (auto& res : rep.batch) {
@@ -140,12 +153,17 @@ void SchedSim::begin_step(std::uint64_t now) {
           .on_completion(r.arrival_us, now);
       per_model_.at(static_cast<std::size_t>(r.model))
           .on_completion(r.arrival_us, now);
+      ++tick_completed_[static_cast<std::size_t>(r.cls)];
+      if (now - r.arrival_us >
+          cfg_.classes[static_cast<std::size_t>(r.cls)].slo_us)
+        ++tick_missed_[static_cast<std::size_t>(r.cls)];
     }
     rep.batch = std::move(keep);
   }
 }
 
 void SchedSim::admit(std::uint64_t now, const Request& r) {
+  touch(now);
   VITBIT_CHECK_MSG(r.cls >= 0 &&
                        r.cls < static_cast<int>(cfg_.classes.size()),
                    "request class " << r.cls << " outside the "
@@ -170,11 +188,48 @@ void SchedSim::admit(std::uint64_t now, const Request& r) {
   total_.on_queue_depth(now, total_depth());
 }
 
+bool wrr_prefers(double weight_c, std::uint64_t served_c, double weight_b,
+                 std::uint64_t served_b) {
+  // weight_c * (served_b + 1) > weight_b * (served_c + 1), exactly: each
+  // weight splits into a 53-bit integer mantissa and an exponent (frexp
+  // yields the mantissa in [0.5, 1), so scaling by 2^53 is lossless for
+  // every positive finite double, denormals included), the mantissa-
+  // times-count products fit 128 bits with room to spare (< 2^117), and
+  // the exponent gap shifts the larger-exponent side back in. A shift
+  // that would pass 2^127 decides the comparison outright — the other
+  // side is bounded by 2^117.
+  int ec = 0;
+  int eb = 0;
+  auto lhs = static_cast<unsigned __int128>(std::ldexp(
+                 std::frexp(weight_c, &ec), 53)) *
+             (static_cast<unsigned __int128>(served_b) + 1);
+  auto rhs = static_cast<unsigned __int128>(std::ldexp(
+                 std::frexp(weight_b, &eb), 53)) *
+             (static_cast<unsigned __int128>(served_c) + 1);
+  const auto bits = [](unsigned __int128 v) {
+    int n = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++n;
+    }
+    return n;
+  };
+  if (const int x = ec - eb; x > 0) {
+    if (bits(lhs) + x > 127) return true;
+    lhs <<= x;
+  } else if (x < 0) {
+    if (bits(rhs) - x > 127) return false;
+    rhs <<= -x;
+  }
+  return lhs > rhs;
+}
+
 int SchedSim::pick_class(int model) const {
   // Smooth weighted round-robin: the eligible class maximizing
-  // weight / (served + 1), compared by cross-multiplication so the pick
-  // is exact in integers-times-doubles (no accumulated quotients); ties
-  // resolve to the lower class index (the higher priority).
+  // weight / (served + 1), compared by exact cross-multiplication (see
+  // wrr_prefers — plain double products silently starve low-weight
+  // classes at extreme weight ratios); ties resolve to the lower class
+  // index (the higher priority).
   int best = -1;
   for (int c = 0; c < static_cast<int>(class_queues_.size()); ++c) {
     const auto& q = class_queues_[static_cast<std::size_t>(c)];
@@ -184,12 +239,11 @@ int SchedSim::pick_class(int model) const {
       best = c;
       continue;
     }
-    const double wc = cfg_.classes[static_cast<std::size_t>(c)].weight;
-    const double wb = cfg_.classes[static_cast<std::size_t>(best)].weight;
-    const auto sc = static_cast<double>(served_[static_cast<std::size_t>(c)]);
-    const auto sb =
-        static_cast<double>(served_[static_cast<std::size_t>(best)]);
-    if (wc * (sb + 1.0) > wb * (sc + 1.0)) best = c;
+    if (wrr_prefers(cfg_.classes[static_cast<std::size_t>(c)].weight,
+                    served_[static_cast<std::size_t>(c)],
+                    cfg_.classes[static_cast<std::size_t>(best)].weight,
+                    served_[static_cast<std::size_t>(best)]))
+      best = c;
   }
   return best;
 }
@@ -214,6 +268,7 @@ void SchedSim::activate_model(Replica& rep, int model) {
   } else {
     cost = registry_.cold_swap_us(model);
     ++model_swaps_;
+    ++cold_swaps_;
   }
   if (it != rep.cache.end()) rep.cache.erase(it);
   rep.cache.push_back(model);
@@ -237,6 +292,7 @@ void SchedSim::start_iteration(Replica& rep, std::uint64_t now) {
   rep.running = true;
   rep.iter_start_us = now;
   rep.iter_done_us = now + busy;
+  touch(now);
 }
 
 bool SchedSim::urgent(std::uint64_t now, const Request& r) const {
@@ -276,6 +332,7 @@ void SchedSim::admit_urgent(Replica& rep, std::uint64_t now) {
         class_queues_[static_cast<std::size_t>(evicted.cls)].push_front(
             evicted);
         ++preemptions_;
+        ++tick_preempted_[static_cast<std::size_t>(evicted.cls)];
         total_.on_queue_depth(now, total_depth());
       }
       const Request r = pop_class(c);
@@ -306,11 +363,13 @@ void SchedSim::dispatch_fifo(std::uint64_t now) {
   // of serve/batcher.h restated over per-model latency tables.
   while (!fifo_queue_.empty()) {
     Replica* idle = nullptr;
-    for (auto& rep : replicas_)
+    for (int g = 0; g < enabled_; ++g) {
+      auto& rep = replicas_[static_cast<std::size_t>(g)];
       if (rep.batch.empty() && !rep.running) {
         idle = &rep;
         break;
       }
+    }
     if (idle == nullptr) break;
     const int model = fifo_queue_.front().model;
     std::vector<Resident> batch;
@@ -332,7 +391,8 @@ void SchedSim::dispatch_cb(std::uint64_t now) {
   // requests join, and the next iteration is scheduled from the current
   // batch size. An emptied replica may switch models (swap charged to
   // the first iteration of the new batch).
-  for (auto& rep : replicas_) {
+  for (int g = 0; g < enabled_; ++g) {
+    auto& rep = replicas_[static_cast<std::size_t>(g)];
     if (rep.running) continue;  // mid-iteration
     if (preemptive_) admit_urgent(rep, now);
     fill_wrr(rep, now);
@@ -346,6 +406,112 @@ void SchedSim::dispatch(std::uint64_t now) {
     dispatch_fifo(now);
   else
     dispatch_cb(now);
+}
+
+void SchedSim::accrue_replica_time(std::uint64_t now) {
+  replica_time_integral_us_ += static_cast<std::uint64_t>(enabled_) *
+                               (now - last_enabled_change_us_);
+  last_enabled_change_us_ = now;
+}
+
+std::uint64_t SchedSim::cooldown_expiry_us(std::uint64_t t) const {
+  // Saturating t + cooldown, same contract as ShardSim: a near-uint64-max
+  // cooldown means "never scale again", not an overflow past zero that
+  // re-arms at the very next tick.
+  return t > kNever - as_.cooldown_us ? kNever : t + as_.cooldown_us;
+}
+
+void SchedSim::maybe_autoscale(std::uint64_t now) {
+  if (!as_.enabled()) return;
+  while (next_autoscale_us_ <= now) {
+    const std::uint64_t t = next_autoscale_us_;
+    next_autoscale_us_ += as_.interval_us;
+    // Per-class signal rates over the closing interval. The counters
+    // reset at every tick — cooldown or not — so each decision sees one
+    // interval's worth of signal, never a backlog.
+    bool class_hot = false;
+    for (std::size_t c = 0; c < cfg_.classes.size(); ++c) {
+      if (as_.up_preempt_per_s > 0.0 &&
+          static_cast<double>(tick_preempted_[c]) * 1e6 /
+                  static_cast<double>(as_.interval_us) >
+              as_.up_preempt_per_s)
+        class_hot = true;
+      if (as_.up_slo_miss_rate > 0.0 && tick_completed_[c] > 0 &&
+          static_cast<double>(tick_missed_[c]) /
+                  static_cast<double>(tick_completed_[c]) >
+              as_.up_slo_miss_rate)
+        class_hot = true;
+      tick_preempted_[c] = 0;
+      tick_completed_[c] = 0;
+      tick_missed_[c] = 0;
+    }
+    if (t < cooldown_until_us_) continue;
+    const std::size_t depth = total_depth();
+    const bool hot = class_hot || depth > as_.up_queue_depth ||
+                     (as_.up_p99_us > 0 &&
+                      total_.running_p99_us() > as_.up_p99_us);
+    if (hot && enabled_ < as_.max_replicas) {
+      accrue_replica_time(t);
+      ++enabled_;
+      ++scale_ups_;
+      cooldown_until_us_ = cooldown_expiry_us(t);
+      touch(t);
+      continue;
+    }
+    // Only a replica that is neither running nor holding residents is
+    // retired — never abort or strand partial work.
+    const auto& top = replicas_[static_cast<std::size_t>(enabled_ - 1)];
+    if (!hot && depth <= as_.down_queue_depth &&
+        enabled_ > as_.min_replicas && !top.running && top.batch.empty()) {
+      accrue_replica_time(t);
+      --enabled_;
+      ++scale_downs_;
+      cooldown_until_us_ = cooldown_expiry_us(t);
+      touch(t);
+    }
+  }
+}
+
+std::uint64_t SchedSim::next_timer_us() const {
+  return as_.enabled() ? next_autoscale_us_ : kNever;
+}
+
+std::size_t SchedSim::load() const {
+  std::size_t n = total_depth();
+  for (const auto& rep : replicas_) n += rep.batch.size();
+  return n;
+}
+
+bool SchedSim::warm_for(int model) const {
+  for (int g = 0; g < enabled_; ++g) {
+    const auto& rep = replicas_[static_cast<std::size_t>(g)];
+    if (rep.model == model) return true;
+    if (std::find(rep.cache.begin(), rep.cache.end(), model) !=
+        rep.cache.end())
+      return true;
+  }
+  return false;
+}
+
+void SchedSim::prestage(int model) {
+  VITBIT_CHECK_MSG(model >= 0 && model < registry_.num_models(),
+                   "prestage model " << model << " outside the "
+                                     << registry_.num_models()
+                                     << "-model registry");
+  // Every replica — including ones beyond the enabled window — so a
+  // later scale-up comes online warm for the placed model.
+  for (auto& rep : replicas_) {
+    rep.model = model;
+    rep.cache.assign(1, model);
+  }
+}
+
+const MetricsSink& SchedSim::class_sink(std::size_t c) const {
+  return per_class_.at(c);
+}
+
+const MetricsSink& SchedSim::model_sink(std::size_t m) const {
+  return per_model_.at(m);
 }
 
 std::uint64_t SchedSim::next_internal_event_us() const {
@@ -363,12 +529,19 @@ bool SchedSim::idle() const {
 }
 
 SchedMetrics SchedSim::finalize(std::uint64_t end_us) {
+  if (as_.enabled()) {
+    // Exact available-replica-time under autoscaling; without it the
+    // sink falls back to num_gpus * end_us (the fixed-pool case).
+    accrue_replica_time(end_us);
+    total_.add_replica_time_us(replica_time_integral_us_);
+  }
   SchedMetrics m;
   m.total = total_.finalize(cfg_.num_gpus, end_us, cfg_.slo_us);
   m.per_class = per_class_.finalize(cfg_.num_gpus, end_us);
   m.per_model = per_model_.finalize(cfg_.num_gpus, end_us);
   m.preemptions = preemptions_;
   m.model_swaps = model_swaps_;
+  m.cold_swaps = cold_swaps_;
   m.swap_us = swap_us_;
   return m;
 }
@@ -377,26 +550,19 @@ namespace {
 
 // The one driving loop behind both simulate_sched overloads; `Source`
 // exposes has_next / peek_arrival_us / next (WorkloadStream shape).
+// Since the sched/cluster unification this is the shared fleet loop
+// degenerated to one shard and a constant route — the event sequence
+// (begin_step, admit arrivals, dispatch, advance) is identical to the
+// pre-unification scheduler loop, which the committed sched_sweep
+// baseline pins byte for byte.
 template <typename Source>
 SchedMetrics drive_sched(Source& source, const ModelRegistry& registry,
                          const SchedConfig& cfg, PercentileMode percentiles) {
   SchedSim sim(registry, cfg, percentiles);
-  std::uint64_t now = 0;
-  std::uint64_t end = 0;
-  while (true) {
-    sim.begin_step(now);
-    while (source.has_next() && source.peek_arrival_us() <= now)
-      sim.admit(now, source.next());
-    sim.dispatch(now);
-    std::uint64_t t_next = sim.next_internal_event_us();
-    if (source.has_next())
-      t_next = std::min(t_next, source.peek_arrival_us());
-    if (!source.has_next() && sim.idle()) break;  // drained
-    VITBIT_CHECK_MSG(t_next != kNever && t_next > now,
-                     "scheduler event loop failed to advance");
-    now = t_next;
-    end = std::max(end, now);
-  }
+  const std::vector<SchedSim*> shards = {&sim};
+  const std::uint64_t end = drive_fleet_loop(
+      source, shards,
+      [](const Request&, const std::vector<std::size_t>&) { return 0; });
   auto m = sim.finalize(end);
   VITBIT_CHECK_MSG(m.total.offered == m.total.completed + m.total.dropped,
                    "request conservation violated at drain: offered "

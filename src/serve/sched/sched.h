@@ -83,16 +83,30 @@ struct SchedMetrics {
   std::vector<ServeMetrics> per_model;
   std::uint64_t preemptions = 0;  // residents evicted for urgent arrivals
   std::uint64_t model_swaps = 0;  // cold + warm model activations charged
+  std::uint64_t cold_swaps = 0;   // the cold (full weight load) subset
   std::uint64_t swap_us = 0;      // total virtual time spent swapping
 };
 
 // One scheduler instance over a model registry, driven by simulate_sched
-// in the fixed step order of the determinism contract. The registry must
-// outlive the sim and cover SchedConfig::max_batch for every model.
+// (one instance) or simulate_fleet_sched (one instance per shard) through
+// the shared fleet loop (serve/fleet_loop.h) in the fixed step order of
+// the determinism contract. The registry must outlive the sim and cover
+// SchedConfig::max_batch for every model.
+//
+// Promoted to the full shard surface the fleet loop drives: with an
+// enabled AutoscaleConfig the replica pool sizes to max_replicas and an
+// enabled-replica window [0, enabled) grows and shrinks on the decision
+// grid — scale up on queue depth, running p99, per-class preemption
+// rate, or per-class SLO-miss rate (the preemption-aware signals of
+// AutoscaleConfig::up_preempt_per_s / up_slo_miss_rate); scale down only
+// retires a replica that is neither running nor holding residents. The
+// default (disabled) config reproduces the fixed num_gpus pool bit for
+// bit — the committed sched_sweep baseline pins that.
 class SchedSim {
  public:
   SchedSim(const ModelRegistry& registry, const SchedConfig& cfg,
-           PercentileMode percentiles = PercentileMode::kExact);
+           PercentileMode percentiles = PercentileMode::kExact,
+           const AutoscaleConfig& autoscale = {});
 
   // Iteration/batch completions due at `now`, lowest replica index first:
   // per-iteration busy time is recorded, finished residents complete
@@ -109,10 +123,47 @@ class SchedSim {
   // admits urgent requests first and preempts when full.
   void dispatch(std::uint64_t now);
 
+  // Autoscale evaluation when `now` lands on the interval grid: catches
+  // up tick by tick, applying at most one action per tick outside the
+  // cooldown window. No-op when autoscaling is disabled.
+  void maybe_autoscale(std::uint64_t now);
+  // No retry path in this tier (retries belong to the fault-injecting
+  // classic fleet); the hook exists so the shared fleet loop can drive
+  // both shard kinds through one code path.
+  void admit_due_retries(std::uint64_t /*now*/) {}
+
   // Next iteration/batch completion across replicas (kNever when none).
   std::uint64_t next_internal_event_us() const;
+  // Next autoscale decision tick (kNever when autoscaling is disabled) —
+  // keeps the fleet loop alive across idle stretches only while work
+  // remains somewhere.
+  std::uint64_t next_timer_us() const;
   // No queued or resident work anywhere.
   bool idle() const;
+  // Queued plus resident (in-batch) requests — the live signal the
+  // fleet router balances on.
+  std::size_t load() const;
+  // Timestamp of the last admission, completion, dispatch, or scale
+  // action — the per-shard finalize span in a fleet.
+  std::uint64_t last_activity_us() const { return last_activity_us_; }
+
+  // Whether any enabled replica could serve `model` without a cold load:
+  // it is the loaded model or sits in an LRU weight cache. The fleet's
+  // warm routing policy steers interactive classes by this.
+  bool warm_for(int model) const;
+  // Stages `model`'s weights on every replica (free, before traffic) —
+  // the fleet's model-placement policy. Replaces the implicit
+  // first-load-is-free state: after prestaging, activating a different
+  // model charges a real cold swap.
+  void prestage(int model);
+
+  std::uint64_t scale_ups() const { return scale_ups_; }
+  std::uint64_t scale_downs() const { return scale_downs_; }
+  // Sink access for the fleet tier's cross-shard percentile merges
+  // (shard-index order; the P² merge is not associative).
+  const MetricsSink& total_sink() const { return total_; }
+  const MetricsSink& class_sink(std::size_t c) const;
+  const MetricsSink& model_sink(std::size_t m) const;
 
   // Closes the sinks at `end_us`. Call exactly once, after the driving
   // loop drains.
@@ -152,9 +203,17 @@ class SchedSim {
   void fill_wrr(Replica& rep, std::uint64_t now);
   void dispatch_fifo(std::uint64_t now);
   void dispatch_cb(std::uint64_t now);
+  void touch(std::uint64_t now) { last_activity_us_ = now; }
+  // Saturating t + cooldown (a near-max cooldown means "never again").
+  std::uint64_t cooldown_expiry_us(std::uint64_t t) const;
+  // Folds enabled * elapsed into the replica-time integral at an
+  // enabled-count change (and finalize) — exact available-replica-time
+  // for utilization under autoscaling.
+  void accrue_replica_time(std::uint64_t now);
 
   const ModelRegistry& registry_;
   SchedConfig cfg_;
+  AutoscaleConfig as_;
   bool preemptive_ = false;
   std::vector<Replica> replicas_;
   // fifo mode: the single arrival-order queue; cb modes: one queue per
@@ -168,8 +227,38 @@ class SchedSim {
   SinkGroup per_model_;
   std::uint64_t preemptions_ = 0;
   std::uint64_t model_swaps_ = 0;
+  std::uint64_t cold_swaps_ = 0;
   std::uint64_t swap_us_ = 0;
+  // Autoscaling state: the enabled-replica window is [0, enabled_).
+  int enabled_ = 0;
+  std::uint64_t next_autoscale_us_ = 0;
+  std::uint64_t cooldown_until_us_ = 0;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  std::uint64_t replica_time_integral_us_ = 0;
+  std::uint64_t last_enabled_change_us_ = 0;
+  std::uint64_t last_activity_us_ = 0;
+  // Per-class signal counters since the last autoscale tick (victim
+  // class for preemptions; completions and SLO misses per class).
+  std::vector<std::uint64_t> tick_preempted_;
+  std::vector<std::uint64_t> tick_completed_;
+  std::vector<std::uint64_t> tick_missed_;
 };
+
+// The smooth-WRR admission comparison: whether a candidate class with
+// weight `weight_c` and served count `served_c` strictly beats the
+// incumbent (weight_b, served_b), i.e. weight_c / (served_c + 1) >
+// weight_b / (served_b + 1), decided by exact cross-multiplication.
+// Doubles lose the cross products once one exceeds 2^53 (an extreme
+// weight ratio, e.g. 1e9:1, times a long-run served count), silently
+// starving the low-weight class at tie boundaries; here each weight is
+// split into its 53-bit mantissa and exponent, the mantissa-times-count
+// products compare in 128-bit integers, and the exponent gap shifts one
+// side exactly — so the pick is correct for every positive finite
+// weight. Agrees with the double comparison wherever doubles are exact.
+// Exposed for sched_test's precision pins.
+bool wrr_prefers(double weight_c, std::uint64_t served_c, double weight_b,
+                 std::uint64_t served_b);
 
 // Runs the scheduler event loop over a drained mixed workload. Checks
 // request conservation (total and per class) at drain.

@@ -120,6 +120,10 @@ void AutoscaleConfig::validate() const {
                                        << " above up_queue_depth "
                                        << up_queue_depth
                                        << " (hysteresis inverted)");
+  VITBIT_CHECK_MSG(std::isfinite(up_preempt_per_s) && up_preempt_per_s >= 0.0,
+                   "up_preempt_per_s must be finite and >= 0");
+  VITBIT_CHECK_MSG(std::isfinite(up_slo_miss_rate) && up_slo_miss_rate >= 0.0,
+                   "up_slo_miss_rate must be finite and >= 0");
 }
 
 ShardSim::ShardSim(const LatencyTable& latency, const ServerConfig& cfg,
@@ -256,7 +260,7 @@ void ShardSim::maybe_autoscale(std::uint64_t now) {
       accrue_replica_time(t);
       ++enabled_;
       ++scale_ups_;
-      cooldown_until_us_ = t + as_.cooldown_us;
+      cooldown_until_us_ = cooldown_expiry_us(t);
       touch(t);
       continue;
     }
@@ -267,10 +271,18 @@ void ShardSim::maybe_autoscale(std::uint64_t now) {
       accrue_replica_time(t);
       --enabled_;
       ++scale_downs_;
-      cooldown_until_us_ = t + as_.cooldown_us;
+      cooldown_until_us_ = cooldown_expiry_us(t);
       touch(t);
     }
   }
+}
+
+std::uint64_t ShardSim::cooldown_expiry_us(std::uint64_t t) const {
+  // Saturating t + cooldown: a near-uint64-max cooldown (for instance a
+  // negative CLI value wrapped through the unsigned cast) must mean
+  // "never scale again", not overflow past zero and re-arm at the very
+  // next decision tick — including the first tick after virtual time 0.
+  return t > kNever - as_.cooldown_us ? kNever : t + as_.cooldown_us;
 }
 
 void ShardSim::admit(std::uint64_t now, const Request& r) {

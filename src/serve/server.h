@@ -127,6 +127,16 @@ struct AutoscaleConfig {
   std::size_t down_queue_depth = 2;
   std::uint64_t up_p99_us = 0;
   std::uint64_t cooldown_us = 200000;  // min virtual time between actions
+  // Preemption-aware scale-up signals, evaluated per priority class over
+  // the last decision interval by the scheduler tier (serve/sched); the
+  // classic single-class shard (ShardSim) has no preemptions or class
+  // deadlines and ignores both. 0 disables a signal.
+  //   up_preempt_per_s   scale up when any class's preemption rate
+  //                      (victims per virtual second) exceeds this
+  //   up_slo_miss_rate   scale up when any class's completed-request
+  //                      SLO-miss fraction (0..1) exceeds this
+  double up_preempt_per_s = 0.0;
+  double up_slo_miss_rate = 0.0;
 
   bool enabled() const { return max_replicas > min_replicas; }
   void validate() const;
@@ -210,6 +220,8 @@ class ShardSim {
 
   void fail_batch(std::uint64_t t, std::vector<Request>&& batch);
   void accrue_replica_time(std::uint64_t now);
+  // Saturating t + cooldown (a near-max cooldown means "never again").
+  std::uint64_t cooldown_expiry_us(std::uint64_t t) const;
   int live_enabled() const;
   void touch(std::uint64_t now) { last_activity_us_ = now; }
 

@@ -18,24 +18,42 @@ P2Quantile::P2Quantile(double q) : q_(q) {
 }
 
 void P2Quantile::establish() {
+  // The buffer normally holds exactly five samples, but a merge of two
+  // still-buffering estimators can leave more (the concatenation stays
+  // exact until the next add()). Seat the markers at the nearest-rank
+  // positions for the q-quantile, then clamp them strictly increasing so
+  // the P² invariants hold; for n == 5 this reduces to positions 1..5 and
+  // heights = sorted buffer, byte-identical to the classic start-up.
   std::sort(buffer_.begin(), buffer_.end());
+  const auto n = static_cast<double>(buffer_.size());
+  positions_[0] = 1.0;
+  positions_[4] = n;
+  for (int i = 1; i <= 3; ++i)
+    positions_[i] =
+        static_cast<double>(std::llround(1.0 + (n - 1.0) * increments_[i]));
+  for (int i = 1; i <= 3; ++i)
+    positions_[i] = std::max(positions_[i], positions_[i - 1] + 1.0);
+  for (int i = 3; i >= 1; --i)
+    positions_[i] = std::min(positions_[i], positions_[i + 1] - 1.0);
   for (int i = 0; i < 5; ++i) {
-    heights_[i] = buffer_[static_cast<std::size_t>(i)];
-    positions_[i] = i + 1;
-    desired_[i] = 1.0 + 4.0 * increments_[i];
+    heights_[i] = buffer_[static_cast<std::size_t>(positions_[i]) - 1];
+    desired_[i] = 1.0 + (n - 1.0) * increments_[i];
   }
   buffer_.clear();
   buffer_.shrink_to_fit();
 }
 
+bool P2Quantile::established() const { return count_ > 0 && buffer_.empty(); }
+
 void P2Quantile::add(double x) {
+  const bool est = established();
   ++count_;
-  if (count_ <= 5) {
-    buffer_.push_back(x);
-    if (count_ == 5) establish();
+  if (est) {
+    add_established(x);
     return;
   }
-  add_established(x);
+  buffer_.push_back(x);
+  if (buffer_.size() >= 5) establish();
 }
 
 void P2Quantile::add_established(double x) {
@@ -86,7 +104,7 @@ void P2Quantile::add_established(double x) {
 
 double P2Quantile::value() const {
   if (count_ == 0) return 0.0;
-  if (count_ <= 5 && !buffer_.empty()) {
+  if (!buffer_.empty()) {
     // Exact nearest-rank over the start-up buffer.
     auto sorted = buffer_;
     std::sort(sorted.begin(), sorted.end());
@@ -104,6 +122,17 @@ void P2Quantile::merge(const P2Quantile& other) {
                                    "quantiles");
   if (other.count_ == 0) return;
   if (!other.buffer_.empty()) {
+    if (!established()) {
+      // Both sides are still buffering: concatenate the exact samples and
+      // stay in buffer mode, so merged-then-queried percentiles equal the
+      // exact path over the combined stream and a later add() establishes
+      // the markers from the full concatenation (never from a stale
+      // five-sample prefix of one side).
+      buffer_.insert(buffer_.end(), other.buffer_.begin(),
+                     other.buffer_.end());
+      count_ += other.count_;
+      return;
+    }
     // The source never left its start-up buffer: replay it exactly.
     for (const double x : other.buffer_) add(x);
     return;

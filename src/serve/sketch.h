@@ -40,20 +40,25 @@ class P2Quantile {
 
   // Folds `other` into this estimator: counts add, the min/max markers
   // take the elementwise extreme, and interior marker heights combine as
-  // count-weighted averages. Either side still in its exact start-up
-  // buffer is replayed sample by sample instead. Deterministic for a
-  // fixed merge order; see the header comment for why the order is part
-  // of the contract.
+  // count-weighted averages. When both sides are still in their exact
+  // start-up buffers the merge concatenates the buffers and stays exact
+  // (no matter how many samples that leaves buffered); when exactly one
+  // side is established the buffered side is replayed sample by sample
+  // into it. Deterministic for a fixed merge order; see the header
+  // comment for why the order is part of the contract.
   void merge(const P2Quantile& other);
 
  private:
+  bool established() const;
   void add_established(double x);
-  // Leaves buffer mode: sorts the buffer into the five markers.
+  // Leaves buffer mode: sorts the buffered samples (five on the classic
+  // start-up path, possibly more after a buffered+buffered merge) into
+  // the five markers at their nearest-rank positions.
   void establish();
 
   double q_ = 0.5;
   std::uint64_t count_ = 0;
-  // Start-up buffer (exact while count_ < 5); markers afterwards.
+  // Start-up buffer (exact while un-established); markers afterwards.
   std::vector<double> buffer_;
   double heights_[5] = {};   // marker heights q_0..q_4
   double positions_[5] = {};  // marker positions n_0..n_4 (1-based)

@@ -1,0 +1,344 @@
+// Scheduled-fleet tests (serve/cluster.h simulate_fleet_sched): the
+// one-shard pin against simulate_sched in every mode, warm routing's
+// cold-swap reduction against jsq at identical offered traffic, spread
+// placement's warm-start benefit, the preemption-aware autoscale
+// signals, byte-determinism of sweeps across pool sizes,
+// fleet_sched_points report round-trips, and the layered CLI parsing
+// shared with bench/fleet_sched_sim and `vitbit_cli fleet-sched`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/thread_pool.h"
+#include "report/run_report.h"
+#include "serve/cluster.h"
+
+namespace vitbit::serve {
+namespace {
+
+const arch::OrinSpec kSpec;
+
+ModelRegistry make_registry(const std::vector<std::string>& names,
+                            int max_batch = 4,
+                            SwapCostConfig swap = SwapCostConfig{}) {
+  return ModelRegistry(names, core::Strategy::kVitBit, kSpec,
+                       arch::default_calibration(), max_batch, swap);
+}
+
+Cli make_cli(const std::vector<std::string>& flags) {
+  std::vector<const char*> argv = {"fleet_sched_test"};
+  for (const auto& f : flags) argv.push_back(f.c_str());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+// Field-by-field ServeMetrics equality — the one-shard pin must be
+// exact, not within tolerance.
+void expect_metrics_equal(const ServeMetrics& a, const ServeMetrics& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_DOUBLE_EQ(a.mean_batch_size, b.mean_batch_size);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_DOUBLE_EQ(a.goodput_rps, b.goodput_rps);
+  EXPECT_DOUBLE_EQ(a.drop_rate, b.drop_rate);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.mean_queue_depth, b.mean_queue_depth);
+  EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p90_us, b.p90_us);
+  EXPECT_EQ(a.p95_us, b.p95_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.max_us, b.max_us);
+}
+
+MixedWorkloadConfig mixed_workload(double rate) {
+  MixedWorkloadConfig w;
+  w.rate_rps = rate;
+  w.duration_s = 0.05;
+  w.seed = 21;
+  w.num_models = 2;
+  w.classes.assign(2, ClassTraffic{});
+  w.classes[0].rate_share = 0.25;
+  w.classes[0].model_mix = {0.8, 0.2};
+  w.classes[1].rate_share = 0.75;
+  w.classes[1].model_mix = {0.3, 0.7};
+  return w;
+}
+
+SchedConfig two_class_config(const std::string& mode) {
+  SchedConfig sc;
+  sc.mode = mode;
+  sc.max_batch = 4;
+  sc.queue_capacity = 24;
+  sc.iters = 4;
+  sc.classes = {ClassSpec{"interactive", 4.0, 400},
+                ClassSpec{"batch", 1.0, 500'000}};
+  sc.slo_us = 50'000;
+  return sc;
+}
+
+TEST(FleetSched, OneShardReproducesSimulateSchedInEveryMode) {
+  // The unification pin: one shard, jsq routing, no autoscaling, kNone
+  // placement must reproduce the standalone scheduler bit for bit —
+  // aggregate, every class, every model, and the swap/preempt counters.
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  const auto w = mixed_workload(300'000.0);
+  for (const std::string mode : {"fifo", "cb", "cb-pre"}) {
+    const auto sc = two_class_config(mode);
+    const auto direct = simulate_sched(w, reg, sc, PercentileMode::kExact);
+
+    FleetSchedConfig fc;
+    fc.num_shards = 1;
+    fc.route = RoutePolicy::kJsq;
+    fc.shard = sc;
+    fc.percentiles = PercentileMode::kExact;
+    const auto fleet = simulate_fleet_sched(w, reg, fc);
+
+    expect_metrics_equal(fleet.total.total, direct.total);
+    ASSERT_EQ(fleet.total.per_class.size(), direct.per_class.size()) << mode;
+    for (std::size_t c = 0; c < direct.per_class.size(); ++c)
+      expect_metrics_equal(fleet.total.per_class[c], direct.per_class[c]);
+    ASSERT_EQ(fleet.total.per_model.size(), direct.per_model.size()) << mode;
+    for (std::size_t m = 0; m < direct.per_model.size(); ++m)
+      expect_metrics_equal(fleet.total.per_model[m], direct.per_model[m]);
+    EXPECT_EQ(fleet.total.preemptions, direct.preemptions) << mode;
+    EXPECT_EQ(fleet.total.model_swaps, direct.model_swaps) << mode;
+    EXPECT_EQ(fleet.total.cold_swaps, direct.cold_swaps) << mode;
+    EXPECT_EQ(fleet.total.swap_us, direct.swap_us) << mode;
+    EXPECT_EQ(fleet.scale_ups, 0u) << mode;
+    EXPECT_EQ(fleet.scale_downs, 0u) << mode;
+  }
+}
+
+TEST(FleetSched, WarmRoutingEliminatesColdSwapsUnderSpreadPlacement) {
+  // Single class (all traffic routes warm), two models spread over four
+  // shards with one LRU slot per replica: model-affinity routing keeps
+  // every shard on its prestaged model forever (zero swaps), while jsq
+  // mixes models on every shard and churns the caches cold.
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  MixedWorkloadConfig w;
+  w.rate_rps = 100'000.0;
+  w.duration_s = 0.05;
+  w.seed = 5;
+  w.num_models = 2;
+  w.classes.assign(1, ClassTraffic{});
+  w.classes[0].model_mix = {0.5, 0.5};
+
+  FleetSchedConfig fc;
+  fc.num_shards = 4;
+  fc.shard.mode = "cb";
+  fc.shard.max_batch = 4;
+  fc.shard.iters = 4;
+  fc.shard.queue_capacity = 24;
+  fc.placement = PlacementPolicy::kSpread;
+
+  fc.route = RoutePolicy::kJsq;
+  const auto jsq = simulate_fleet_sched(w, reg, fc);
+  fc.route = RoutePolicy::kWarm;
+  const auto warm = simulate_fleet_sched(w, reg, fc);
+
+  EXPECT_EQ(warm.total.total.offered, jsq.total.total.offered);
+  EXPECT_GT(jsq.total.cold_swaps, 0u);
+  EXPECT_EQ(warm.total.cold_swaps, 0u);
+  EXPECT_EQ(warm.total.model_swaps, 0u);
+  EXPECT_LT(warm.total.cold_swaps, jsq.total.cold_swaps);
+}
+
+TEST(FleetSched, SpreadPlacementBeatsColdStartUnderWarmRouting) {
+  // Same traffic and warm routing, placement toggled: prestaging the zoo
+  // means the warm mask is populated from the first arrival; with kNone
+  // every shard starts empty (first load free, but the router has no
+  // warm shard to steer to until loads have happened).
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  MixedWorkloadConfig w;
+  w.rate_rps = 100'000.0;
+  w.duration_s = 0.05;
+  w.seed = 5;
+  w.num_models = 2;
+  w.classes.assign(1, ClassTraffic{});
+  w.classes[0].model_mix = {0.5, 0.5};
+
+  FleetSchedConfig fc;
+  fc.num_shards = 4;
+  fc.shard.mode = "cb";
+  fc.shard.max_batch = 4;
+  fc.shard.iters = 4;
+  fc.shard.queue_capacity = 24;
+  fc.route = RoutePolicy::kWarm;
+
+  fc.placement = PlacementPolicy::kNone;
+  const auto cold_start = simulate_fleet_sched(w, reg, fc);
+  fc.placement = PlacementPolicy::kSpread;
+  const auto prestaged = simulate_fleet_sched(w, reg, fc);
+
+  EXPECT_EQ(prestaged.total.total.offered, cold_start.total.total.offered);
+  EXPECT_LE(prestaged.total.cold_swaps, cold_start.total.cold_swaps);
+  EXPECT_EQ(prestaged.total.cold_swaps, 0u);
+}
+
+TEST(FleetSched, PreemptionSignalDrivesScaleUps) {
+  // cb-pre with a 400 us interactive deadline at saturating load preempts
+  // constantly. With the depth and p99 signals disabled, only the
+  // preemption-rate signal can fire: on, replicas scale up; off, the
+  // pool never grows.
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  const auto w = mixed_workload(300'000.0);
+
+  FleetSchedConfig fc;
+  fc.num_shards = 2;
+  fc.shard = two_class_config("cb-pre");
+  // Equal weights and a 250 us deadline: queued interactive requests go
+  // urgent under batch-heavy saturation, so eviction actually fires
+  // (the same shape sched_test's preemption-benefit pin uses).
+  fc.shard.classes[0].weight = 1.0;
+  fc.shard.classes[0].slo_us = 250;
+  fc.autoscale.min_replicas = 1;
+  fc.autoscale.max_replicas = 4;
+  fc.autoscale.interval_us = 5'000;
+  fc.autoscale.cooldown_us = 0;
+  fc.autoscale.up_queue_depth = 1'000'000;  // depth signal off
+  fc.autoscale.up_p99_us = 0;               // p99 signal off
+
+  fc.autoscale.up_preempt_per_s = 1.0;
+  const auto with_signal = simulate_fleet_sched(w, reg, fc);
+  EXPECT_GT(with_signal.total.preemptions, 0u);
+  EXPECT_GT(with_signal.scale_ups, 0u);
+
+  fc.autoscale.up_preempt_per_s = 0.0;
+  const auto without = simulate_fleet_sched(w, reg, fc);
+  EXPECT_EQ(without.scale_ups, 0u);
+}
+
+TEST(FleetSched, SloMissSignalDrivesScaleUps) {
+  // Same setup, but the scale-up trigger is the per-class SLO-miss rate:
+  // the 400 us interactive deadline misses under saturation, so any
+  // nonzero completed-and-missed fraction above 1% fires the signal.
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  const auto w = mixed_workload(300'000.0);
+
+  FleetSchedConfig fc;
+  fc.num_shards = 2;
+  fc.shard = two_class_config("cb");
+  fc.autoscale.min_replicas = 1;
+  fc.autoscale.max_replicas = 4;
+  fc.autoscale.interval_us = 5'000;
+  fc.autoscale.cooldown_us = 0;
+  fc.autoscale.up_queue_depth = 1'000'000;
+  fc.autoscale.up_p99_us = 0;
+  fc.autoscale.up_slo_miss_rate = 0.01;
+  const auto scaled = simulate_fleet_sched(w, reg, fc);
+  EXPECT_GT(scaled.scale_ups, 0u);
+}
+
+FleetSchedSweepConfig small_sweep() {
+  FleetSchedSweepConfig cfg;
+  cfg.model_names = {"vit-tiny", "cnn-small"};
+  cfg.rates_rps = {50'000, 250'000};
+  cfg.workload = mixed_workload(0.0);    // rate overridden per point
+  cfg.fleet.shard = two_class_config("fifo");  // mode overridden per point
+  cfg.fleet.num_shards = 2;
+  cfg.fleet.placement = PlacementPolicy::kSpread;
+  return cfg;
+}
+
+TEST(FleetSchedSweep, ByteIdenticalAcrossPoolSizes) {
+  const auto cfg = small_sweep();
+  const auto& calib = arch::default_calibration();
+  std::string first;
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const auto points = run_fleet_sched_sweep(cfg, kSpec, calib, &pool);
+    const auto rep = make_fleet_sched_report(cfg, points, "fleet_sched_test",
+                                             1);
+    const std::string body = report::to_json(rep).dump();
+    if (first.empty())
+      first = body;
+    else
+      EXPECT_EQ(body, first) << "threads=" << threads;
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(FleetSchedSweep, ReportRoundTripsAndIndexes) {
+  const auto cfg = small_sweep();
+  const auto& calib = arch::default_calibration();
+  ThreadPool pool(2);
+  const auto points = run_fleet_sched_sweep(cfg, kSpec, calib, &pool);
+  EXPECT_EQ(points.size(), cfg.modes.size() * cfg.routes.size() *
+                               cfg.rates_rps.size());
+  auto rep = make_fleet_sched_report(cfg, points, "fleet_sched_test",
+                                     static_cast<int>(pool.size()));
+  // One "all" row plus one per class and per model, per point.
+  const auto rows_per_point =
+      1 + cfg.fleet.shard.classes.size() + cfg.model_names.size();
+  EXPECT_EQ(rep.fleet_sched_points.size(), points.size() * rows_per_point);
+
+  const std::string path = "fleet_sched_report_roundtrip_test.json";
+  report::save_report_file(path, rep);
+  const auto back = report::load_report_file(path);
+  EXPECT_TRUE(report::to_json(back) == report::to_json(rep));
+
+  const auto* p = back.find_fleet_sched_point("fifo.jsq.all.all@50000");
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->offered, 0u);
+  EXPECT_EQ(p->offered, p->completed + p->dropped);
+  EXPECT_NE(back.find_fleet_sched_point("cb-pre.warm.class.interactive@250000"),
+            nullptr);
+  EXPECT_EQ(back.find_fleet_sched_point("fifo.po2c.all.all@50000"), nullptr);
+}
+
+TEST(FleetSchedCli, AssemblesConfigFromFlags) {
+  const auto cli = make_cli(
+      {"--models=vit-tiny,cnn-small", "--modes=cb,cb-pre",
+       "--classes=interactive,batch", "--weights=4,1",
+       "--slos-us=2000,500000", "--shares=0.25,0.75", "--rates=1000,2000",
+       "--mix=0.5,0.5", "--iters=2", "--max-batch=4", "--shards=3",
+       "--routes=jsq,warm", "--placement=spread", "--cold-route-classes=1",
+       "--num-gpus=2", "--min-replicas=1", "--max-replicas=4",
+       "--scale-preempt-per-s=2.5", "--scale-slo-miss-rate=0.05",
+       "--duration-s=0.1"});
+  const auto cfg = fleet_sched_config_from_cli(cli);
+  EXPECT_TRUE(cli.unused().empty());
+  EXPECT_EQ(cfg.fleet.num_shards, 3);
+  ASSERT_EQ(cfg.routes.size(), 2u);
+  EXPECT_EQ(cfg.routes[1], RoutePolicy::kWarm);
+  EXPECT_EQ(cfg.fleet.placement, PlacementPolicy::kSpread);
+  EXPECT_EQ(cfg.fleet.cold_route_classes, 1);
+  EXPECT_EQ(cfg.fleet.shard.num_gpus, 2);
+  EXPECT_TRUE(cfg.fleet.autoscale.enabled());
+  EXPECT_DOUBLE_EQ(cfg.fleet.autoscale.up_preempt_per_s, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.fleet.autoscale.up_slo_miss_rate, 0.05);
+  ASSERT_EQ(cfg.fleet.shard.classes.size(), 2u);
+  EXPECT_EQ(cfg.fleet.shard.classes[0].name, "interactive");
+}
+
+TEST(FleetSchedCli, RejectsMalformedFlags) {
+  // Negative unsigned knob: must fail loud, not wrap.
+  EXPECT_THROW(fleet_sched_config_from_cli(make_cli(
+                   {"--models=vit-tiny", "--cold-route-classes=-1"})),
+               CheckError);
+  // Unknown placement policy.
+  EXPECT_THROW(fleet_sched_config_from_cli(make_cli(
+                   {"--models=vit-tiny", "--placement=affinity"})),
+               CheckError);
+  // Unknown route policy.
+  EXPECT_THROW(fleet_sched_config_from_cli(make_cli(
+                   {"--models=vit-tiny", "--routes=jsq,hot"})),
+               CheckError);
+  // Negative preemption-rate threshold (validated once autoscaling is
+  // actually enabled by max > min replicas).
+  EXPECT_THROW(fleet_sched_config_from_cli(make_cli(
+                   {"--models=vit-tiny", "--max-replicas=4",
+                    "--scale-preempt-per-s=-1"})),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace vitbit::serve

@@ -6,16 +6,26 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/cli.h"
 #include "serve/cluster.h"
 #include "serve/router.h"
 #include "serve/server.h"
 
 namespace vitbit::serve {
 namespace {
+
+Cli make_cli(const std::vector<std::string>& flags) {
+  std::vector<const char*> argv = {"fleet_test"};
+  for (const auto& f : flags) argv.push_back(f.c_str());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
 
 // Synthetic two-batch table: batch 1 -> 100 us, batch 2 -> 150 us.
 LatencyTable tiny_table() {
@@ -139,6 +149,38 @@ TEST(AggregateShardMetrics, SpanWeightedRatios) {
   EXPECT_DOUBLE_EQ(m.duration_s, 300e-6);
   EXPECT_DOUBLE_EQ(m.throughput_rps, 40.0 / 300e-6);
   EXPECT_DOUBLE_EQ(m.goodput_rps, 38.0 / 300e-6);
+}
+
+TEST(AggregateShardMetrics, IdleShardDoesNotPoisonAggregates) {
+  // A shard the router never touched finalizes with every field zero
+  // (end_us == 0, replica_time_us == 0). Folding it into the aggregate
+  // must leave every ratio finite and identical to the busy-shards-only
+  // aggregate — a 0/0 from the degenerate shard must never surface as
+  // NaN in utilization, mean queue depth, or the rates.
+  ServeMetrics busy;
+  busy.offered = 10;
+  busy.completed = 10;
+  busy.within_slo = 8;
+  busy.batches = 5;
+  busy.batched_requests = 10;
+  busy.busy_us = 50;
+  busy.replica_time_us = 100;
+  busy.depth_integral_us = 200;
+  busy.end_us = 100;
+  busy.max_queue_depth = 4;
+  const ServeMetrics idle;  // all-zero: the shard never saw a request
+
+  const auto m = aggregate_shard_metrics({busy, idle}, /*end_us=*/100);
+  EXPECT_TRUE(std::isfinite(m.utilization));
+  EXPECT_TRUE(std::isfinite(m.mean_queue_depth));
+  EXPECT_TRUE(std::isfinite(m.throughput_rps));
+  EXPECT_TRUE(std::isfinite(m.goodput_rps));
+  EXPECT_TRUE(std::isfinite(m.drop_rate));
+  const auto solo = aggregate_shard_metrics({busy}, /*end_us=*/100);
+  EXPECT_EQ(m.offered, solo.offered);
+  EXPECT_DOUBLE_EQ(m.utilization, solo.utilization);
+  EXPECT_DOUBLE_EQ(m.mean_queue_depth, solo.mean_queue_depth);
+  EXPECT_DOUBLE_EQ(m.throughput_rps, solo.throughput_rps);
 }
 
 FleetConfig small_fleet(RoutePolicy route, PercentileMode mode) {
@@ -331,6 +373,147 @@ TEST(SimulateFleet, AutoscaleReactsToABurst) {
   EXPECT_GT(m.scale_ups, 0u);
   EXPECT_EQ(m.total.offered,
             m.total.completed + m.total.dropped + m.total.shed);
+}
+
+TEST(SimulateFleet, IdleShardIsExcludedFromUtilizationSpread) {
+  // At 100 rps the 10 ms interarrival gap dwarfs the 100 us service time,
+  // so join-shortest-queue sees every shard empty at every arrival and
+  // ties break to shard 0 — shard 1 never serves a request. The idle
+  // shard's zero-width span must not drag shard_util_min to 0 (reporting
+  // a maximally imbalanced fleet) or leak NaN into the aggregate.
+  const auto m = simulate_fleet(small_workload(100), tiny_table(),
+                                small_fleet(RoutePolicy::kJsq,
+                                            PercentileMode::kSketch));
+  ASSERT_EQ(m.per_shard.size(), 2u);
+  EXPECT_GT(m.per_shard[0].completed, 0u);
+  EXPECT_EQ(m.per_shard[1].offered, 0u);
+  EXPECT_EQ(m.per_shard[1].end_us, 0u);
+  EXPECT_TRUE(std::isfinite(m.total.utilization));
+  EXPECT_TRUE(std::isfinite(m.total.mean_queue_depth));
+  EXPECT_GT(m.shard_util_min, 0.0);
+  EXPECT_DOUBLE_EQ(m.shard_util_min, m.per_shard[0].utilization);
+  EXPECT_DOUBLE_EQ(m.shard_util_max, m.per_shard[0].utilization);
+}
+
+TEST(ShardSimAutoscale, NoDecisionTickAtVirtualTimeZero) {
+  // The first evaluation lands one interval in: a deep queue at t = 0
+  // must not trigger an instant scale-up (there is no load signal yet),
+  // and the cooldown arithmetic must not underflow at time zero.
+  AutoscaleConfig as;
+  as.min_replicas = 1;
+  as.max_replicas = 2;
+  as.interval_us = 100;
+  as.up_queue_depth = 4;
+  as.down_queue_depth = 1;
+  as.cooldown_us = 100;
+  ServerConfig cfg;
+  cfg.policy = "greedy";
+  cfg.batcher.max_batch_size = 2;
+  cfg.batcher.queue_capacity = 16;
+  const auto table = tiny_table();
+  ShardSim sim(table, cfg, nullptr, PercentileMode::kSketch, as);
+  sim.begin_step(0);
+  for (std::uint64_t i = 0; i < 10; ++i) sim.admit(0, {i, 0});
+  sim.maybe_autoscale(0);  // depth 10 > 4, but t = 0 is before any tick
+  EXPECT_EQ(sim.scale_ups(), 0u);
+  EXPECT_EQ(sim.enabled_replicas(), 1);
+}
+
+TEST(ShardSimAutoscale, DrainPhaseReplicaSecondsAreExact) {
+  // Pins the replica-time integral through a scale-down that happens
+  // during the final drain (queue already empty, one batch still in
+  // flight). 10 arrivals at t=0 into one replica, greedy 2-batches at
+  // 150 us: scale-up at the t=100 tick, scale-down at the t=400 tick,
+  // last completion at t=450. The exact integral is
+  //   1 replica * [0, 100) + 2 * [100, 400) + 1 * [400, 450] = 750 us,
+  // and with both replicas busy whenever enabled, utilization is 1.0.
+  AutoscaleConfig as;
+  as.min_replicas = 1;
+  as.max_replicas = 2;
+  as.interval_us = 100;
+  as.up_queue_depth = 4;
+  as.down_queue_depth = 1;
+  as.cooldown_us = 100;
+  ServerConfig cfg;
+  cfg.policy = "greedy";
+  cfg.batcher.max_batch_size = 2;
+  cfg.batcher.queue_capacity = 16;
+  const auto table = tiny_table();
+  ShardSim sim(table, cfg, nullptr, PercentileMode::kSketch, as);
+
+  sim.begin_step(0);
+  sim.maybe_autoscale(0);
+  for (std::uint64_t i = 0; i < 10; ++i) sim.admit(0, {i, 0});
+  sim.admit_due_retries(0);
+  sim.dispatch(0);
+  std::uint64_t now = 0;
+  while (!sim.idle()) {
+    now = std::min(sim.next_internal_event_us(), sim.next_timer_us());
+    sim.begin_step(now);
+    sim.maybe_autoscale(now);
+    sim.admit_due_retries(now);
+    sim.dispatch(now);
+  }
+  EXPECT_EQ(now, 450u);
+  const auto m = sim.finalize(now);
+  EXPECT_EQ(m.completed, 10u);
+  EXPECT_EQ(sim.scale_ups(), 1u);
+  EXPECT_EQ(sim.scale_downs(), 1u);
+  EXPECT_EQ(m.replica_time_us, 750u);
+  EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(ShardSimAutoscale, HugeCooldownSaturatesInsteadOfWrapping) {
+  // A cooldown near uint64 max (what a negative CLI value would wrap to)
+  // must mean "never act again", not overflow past zero and re-arm the
+  // autoscaler at the very next tick. After the one scale-up the shard
+  // must never scale down, even once fully drained.
+  AutoscaleConfig as;
+  as.min_replicas = 1;
+  as.max_replicas = 2;
+  as.interval_us = 100;
+  as.up_queue_depth = 4;
+  as.down_queue_depth = 1;
+  as.cooldown_us = std::numeric_limits<std::uint64_t>::max();
+  ServerConfig cfg;
+  cfg.policy = "greedy";
+  cfg.batcher.max_batch_size = 2;
+  cfg.batcher.queue_capacity = 16;
+  const auto table = tiny_table();
+  ShardSim sim(table, cfg, nullptr, PercentileMode::kSketch, as);
+
+  sim.begin_step(0);
+  for (std::uint64_t i = 0; i < 10; ++i) sim.admit(0, {i, 0});
+  sim.dispatch(0);
+  std::uint64_t now = 0;
+  while (!sim.idle()) {
+    now = std::min(sim.next_internal_event_us(), sim.next_timer_us());
+    sim.begin_step(now);
+    sim.maybe_autoscale(now);
+    sim.admit_due_retries(now);
+    sim.dispatch(now);
+  }
+  sim.finalize(now);
+  EXPECT_EQ(sim.scale_ups(), 1u);
+  EXPECT_EQ(sim.scale_downs(), 0u);
+  EXPECT_EQ(sim.enabled_replicas(), 2);
+}
+
+TEST(FleetCli, RejectsNegativeAutoscaleFlags) {
+  // Each autoscale duration/threshold flag parses through a signed
+  // integer before the uint64 cast; a negative value must fail loud
+  // instead of wrapping to a near-max cooldown or interval.
+  EXPECT_THROW(fleet_config_from_cli(make_cli({"--scale-cooldown-us=-1"})),
+               CheckError);
+  EXPECT_THROW(fleet_config_from_cli(make_cli({"--scale-interval-us=-5"})),
+               CheckError);
+  EXPECT_THROW(fleet_config_from_cli(make_cli({"--scale-up-depth=-2"})),
+               CheckError);
+  // Sanity: the flags still work with legal values.
+  const auto cfg = fleet_config_from_cli(
+      make_cli({"--min-replicas=1", "--max-replicas=2",
+                "--scale-cooldown-us=1000"}));
+  EXPECT_EQ(cfg.fleet.autoscale.cooldown_us, 1000u);
 }
 
 TEST(FleetConfigValidate, RejectsBadShardCounts) {

@@ -199,6 +199,135 @@ TEST(SchedSim, WeightCacheTurnsColdSwapsWarm) {
   EXPECT_GT(cold.swap_us, warm.swap_us);
 }
 
+TEST(WrrPrefers, ExactWhereDoublesRound) {
+  // The double-precision hazard the exact comparator exists for: with
+  // equal weights and served counts straddling 2^53, the cross products
+  // 1 * (2^53 + 1) and 1 * 2^53 collapse to the same double, so the
+  // double comparison reports a tie and the candidate never wins. The
+  // exact comparison sees the strict inequality.
+  const std::uint64_t big = 1ull << 53;
+  EXPECT_FALSE(1.0 * (static_cast<double>(big) + 1.0) >
+               1.0 * (static_cast<double>(big - 1) + 1.0));  // doubles tie
+  EXPECT_TRUE(wrr_prefers(1.0, big - 1, 1.0, big));
+  EXPECT_FALSE(wrr_prefers(1.0, big, 1.0, big - 1));
+  // A ~2^30:1 weight ratio at the exact tie boundary: the low-weight
+  // candidate's product is 2^53 + 1 against the incumbent's 2^30 * 2^23
+  // = 2^53 — strictly ahead, but indistinguishable in doubles.
+  const double heavy = 1073741824.0;  // 2^30
+  EXPECT_TRUE(wrr_prefers(1.0, (1ull << 23) - 1, heavy, 1ull << 53));
+  EXPECT_FALSE(wrr_prefers(heavy, 1ull << 53, 1.0, (1ull << 23) - 1));
+}
+
+TEST(WrrPrefers, AgreesWithDoublesOnExactCases) {
+  // Anywhere the double cross products are exact the comparator must
+  // reproduce them — the sched_sweep baseline depends on identical picks
+  // for small weights and counts.
+  for (const double wc : {1.0, 2.0, 4.0, 0.5, 10.0})
+    for (const double wb : {1.0, 2.0, 4.0, 0.5, 10.0})
+      for (const std::uint64_t sc : {0ull, 1ull, 7ull, 1000ull})
+        for (const std::uint64_t sb : {0ull, 3ull, 9ull, 999ull})
+          EXPECT_EQ(wrr_prefers(wc, sc, wb, sb),
+                    wc * (static_cast<double>(sb) + 1.0) >
+                        wb * (static_cast<double>(sc) + 1.0))
+              << wc << "/" << sc << " vs " << wb << "/" << sb;
+}
+
+TEST(WrrPrefers, ExtremeRatioSharesMatchWeights) {
+  // Drive the smooth-WRR selection loop the way pick_class does, with a
+  // 1e9:1 weight ratio and both classes always eligible: the low-weight
+  // class is outweighed at every pick until the heavy class has been
+  // served 10^9 times, so the selection itself must stay exact — any
+  // rounding in the comparison flips picks at the tie boundaries. Scaled
+  // down to 5:1, a full cycle of 6 picks must land exactly {5, 1}.
+  const double weights[2] = {5.0, 1.0};
+  std::uint64_t served[2] = {0, 0};
+  for (int i = 0; i < 6 * 100; ++i) {
+    const int pick = wrr_prefers(weights[1], served[1], weights[0], served[0])
+                         ? 1
+                         : 0;
+    ++served[pick];
+  }
+  EXPECT_EQ(served[0], 500u);
+  EXPECT_EQ(served[1], 100u);
+  // At 1e9:1 the low class must win exactly when its claim pulls ahead:
+  // after the heavy class has been served 1e9 times, not one pick before.
+  EXPECT_FALSE(wrr_prefers(1.0, 0, 1e9, 999'999'999));
+  EXPECT_TRUE(wrr_prefers(1.0, 0, 1e9, 1'000'000'000));
+}
+
+TEST(SchedSim, SameModelPreemptionChargesNoSwap) {
+  // cb-pre preemption against the weight cache, pinned end to end: a
+  // low-priority model-0 resident is evicted mid-batch by an urgent
+  // same-model interactive request. The replica's loaded weights serve
+  // both the preemptor and the victim's restart, so the whole exchange
+  // must charge zero swaps — preemption must not be double-billed as a
+  // model activation.
+  const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4);
+  SchedConfig sc;
+  sc.mode = "cb-pre";
+  sc.max_batch = 1;  // the urgent arrival can only enter by preempting
+  sc.queue_capacity = 8;
+  sc.iters = 4;
+  sc.classes = {ClassSpec{"interactive", 4.0, 1},  // always urgent
+                ClassSpec{"batch", 1.0, 1'000'000'000}};
+  sc.slo_us = 1'000'000'000;
+  const std::vector<Request> workload = {
+      {0, 0, 0, /*cls=*/1, /*model=*/0},
+      {1, 1, 0, /*cls=*/0, /*model=*/0},
+  };
+  const auto m = simulate_sched(workload, reg, sc);
+  EXPECT_EQ(m.total.completed, 2u);
+  EXPECT_EQ(m.preemptions, 1u);
+  EXPECT_EQ(m.model_swaps, 0u);
+  EXPECT_EQ(m.swap_us, 0u);
+  // The victim restarted from its original arrival, so it finished after
+  // the preemptor despite arriving first.
+  ASSERT_EQ(m.per_class.size(), 2u);
+  EXPECT_GT(m.per_class[1].p99_us, m.per_class[0].p99_us);
+}
+
+TEST(SchedSim, CrossModelUrgencyCannotPreemptAndPricesLruExactly) {
+  // The cross-model companion pin: an urgent request of a different
+  // model can never evict residents (joining a busy different-model
+  // batch is impossible), and once the batch drains the model switches
+  // are priced off the replica's LRU cache exactly — cold for an
+  // uncached model, warm when a roomier cache kept it resident.
+  SwapCostConfig one_slot;
+  one_slot.cache_models = 1;
+  SwapCostConfig two_slots;
+  two_slots.cache_models = 2;
+  SchedConfig sc;
+  sc.mode = "cb-pre";
+  sc.max_batch = 1;
+  sc.queue_capacity = 8;
+  sc.iters = 4;
+  sc.classes = {ClassSpec{"interactive", 4.0, 1},
+                ClassSpec{"batch", 1.0, 1'000'000'000}};
+  sc.slo_us = 1'000'000'000;
+  // Model 0 serving when an urgent model-1 request arrives; a model-0
+  // request far in the future forces a second activation of model 0.
+  const std::vector<Request> workload = {
+      {0, 0, 0, /*cls=*/1, /*model=*/0},
+      {1, 1, 0, /*cls=*/0, /*model=*/1},
+      {2, 100'000'000, 0, /*cls=*/1, /*model=*/0},
+  };
+  for (const int cache_models : {1, 2}) {
+    const auto reg = make_registry({"vit-tiny", "cnn-small"}, 4,
+                                   cache_models == 1 ? one_slot : two_slots);
+    const auto m = simulate_sched(workload, reg, sc);
+    EXPECT_EQ(m.total.completed, 3u) << cache_models;
+    EXPECT_EQ(m.preemptions, 0u) << cache_models;
+    EXPECT_EQ(m.model_swaps, 2u) << cache_models;
+    // Swap 1 (model 0 -> 1) is always cold. Swap 2 (back to model 0) is
+    // cold again with one cache slot (model 0 was evicted when model 1
+    // loaded) but warm with two (model 0 stayed resident).
+    const auto expected =
+        cache_models == 1 ? reg.cold_swap_us(1) + reg.cold_swap_us(0)
+                          : reg.cold_swap_us(1) + reg.warm_swap_us();
+    EXPECT_EQ(m.swap_us, expected) << cache_models;
+  }
+}
+
 SchedSweepConfig small_sweep() {
   SchedSweepConfig cfg;
   cfg.model_names = {"vit-tiny", "cnn-small"};

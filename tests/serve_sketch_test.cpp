@@ -219,6 +219,89 @@ TEST(LatencySketch, MergeReplaysStartupBuffers) {
   EXPECT_EQ(a.percentile_us(50.0), 20u);
 }
 
+TEST(LatencySketch, MergeBufferedIntoBufferedStaysExact) {
+  // Two sides still in their start-up buffers whose combined sample count
+  // crosses five: the merge must stay exact over the concatenation, not
+  // establish markers from a five-sample prefix and estimate the rest.
+  // 4 + 4 = 8 samples; every tracked percentile is pinned to the exact
+  // nearest-rank value over the union.
+  LatencySketch a, b;
+  std::vector<std::uint64_t> all;
+  for (const std::uint64_t x : {700, 100, 500, 300}) {
+    a.add(x);
+    all.push_back(x);
+  }
+  for (const std::uint64_t x : {800, 200, 600, 400}) {
+    b.add(x);
+    all.push_back(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_EQ(a.percentile_us(0.0), 100u);
+  EXPECT_EQ(a.percentile_us(100.0), 800u);
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const auto exact = percentile_nearest_rank(all, p);
+    EXPECT_EQ(a.percentile_us(p), exact) << "p=" << p;
+  }
+}
+
+TEST(LatencySketch, AddAfterBufferedMergeSeesNoStaleMarkers) {
+  // After a buffered+buffered merge leaves more than five samples exact,
+  // a later add() must establish markers from the full concatenation —
+  // byte-identically to a single sketch that saw the same sample sequence
+  // from the start. A stale five-sample establishment would diverge.
+  LatencySketch merged, sequential;
+  const std::vector<std::uint64_t> left = {900, 100, 500};
+  const std::vector<std::uint64_t> right = {700, 300, 1100};
+  LatencySketch b;
+  for (const auto x : left) merged.add(x);
+  for (const auto x : right) b.add(x);
+  merged.merge(b);
+  for (const auto x : left) sequential.add(x);
+  for (const auto x : right) sequential.add(x);
+  // Note: `sequential` established at its fifth add; `merged` is still
+  // buffering six samples. Streaming the same pinned tail through both
+  // must agree on every estimate once both are established, because the
+  // merged side seats its markers at the exact nearest-rank positions of
+  // the concatenation.
+  Rng rng(41);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto x = rng.below(1'000) + 1;
+    merged.add(x);
+    sequential.add(x);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_EQ(merged.min_us(), sequential.min_us());
+  EXPECT_EQ(merged.max_us(), sequential.max_us());
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    // Same sample multiset, same accuracy bound against exact.
+    EXPECT_LE(rel_err(merged.percentile_us(p), sequential.percentile_us(p)),
+              0.05)
+        << "p=" << p;
+  }
+}
+
+TEST(LatencySketch, MergeBufferedIntoPopulatedReplaysExactSamples) {
+  // Buffered source into an established destination: the source samples
+  // are replayed one by one, so the result is byte-identical to having
+  // streamed those samples into the destination directly.
+  Rng rng(37);
+  LatencySketch dest, replayed;
+  for (int i = 0; i < 4'000; ++i) {
+    const auto x = rng.below(50'000) + 1;
+    dest.add(x);
+    replayed.add(x);
+  }
+  LatencySketch buffered;
+  const std::vector<std::uint64_t> tail = {60'000, 5, 25'000, 12'000};
+  for (const auto x : tail) buffered.add(x);
+  dest.merge(buffered);
+  for (const auto x : tail) replayed.add(x);
+  EXPECT_EQ(dest.count(), replayed.count());
+  for (const double p : {0.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_EQ(dest.percentile_us(p), replayed.percentile_us(p)) << "p=" << p;
+}
+
 TEST(LatencySketch, MergeIsDeterministicForAFixedOrder) {
   // The fleet contract: merging the same per-shard sketches in the same
   // (shard-index) order must reproduce bit-identical estimates. This is

@@ -2,9 +2,11 @@
 //
 // Runs the fig5 (end-to-end inference) and fig10 (IPC) pipelines on a
 // reduced-layer ViT-Base plus reduced serving-simulator sweeps — a
-// single-server rate sweep, a faults sweep (serve/server.h), and a
-// sharded fleet sweep (serve/cluster.h) — emits schema-versioned run
-// reports, and diffs them against the checked-in baselines. Exit 0 when
+// single-server rate sweep, a faults sweep (serve/server.h), a sharded
+// fleet sweep, a mixed-class scheduler sweep (serve/sched/sched.h), and
+// a class-aware scheduled-fleet sweep (serve/cluster.h) — emits
+// schema-versioned run reports, and diffs them against the checked-in
+// baselines. Exit 0 when
 // every metric is within tolerance; exit 1 naming the first offending
 // metric otherwise.
 //
@@ -351,6 +353,79 @@ int run(int argc, char** argv) {
                                       sched_start)
             .count();
     gate("sched_sweep", fresh);
+  }
+  // Scheduled-fleet gate: the same three-model / three-class mix sharded
+  // over four continuous-batching shards with spread placement, warm vs
+  // jsq routing, and the preemption-aware autoscaler enabled — so the
+  // unified tier (warm-mask routing, placement prestaging, per-class
+  // scale signals, span-weighted cross-shard aggregation) is
+  // regression-gated end to end. Beyond the baseline diff, the gate
+  // hard-asserts the tentpole claim: at equal offered traffic, warm
+  // routing must produce strictly fewer cold weight swaps than jsq.
+  {
+    serve::FleetSchedSweepConfig scfg;
+    scfg.model_names = {"vit-tiny", "vit-tiny-int4", "cnn-small"};
+    scfg.rates_rps = {2000, 12000};
+    scfg.workload.duration_s = 0.25;
+    scfg.workload.seed = 7;
+    scfg.workload.classes.assign(3, serve::ClassTraffic{});
+    scfg.workload.classes[0].rate_share = 0.2;
+    scfg.workload.classes[0].model_mix = {0.6, 0.2, 0.2};
+    scfg.workload.classes[1].rate_share = 0.5;
+    scfg.workload.classes[1].model_mix = {0.2, 0.6, 0.2};
+    scfg.workload.classes[2].rate_share = 0.3;
+    scfg.workload.classes[2].model_mix = {0.2, 0.2, 0.6};
+    scfg.fleet.shard.max_batch = 4;
+    scfg.fleet.shard.queue_capacity = 32;
+    scfg.fleet.shard.iters = 4;
+    scfg.fleet.shard.classes = {{"interactive", 4.0, 300},
+                                {"standard", 2.0, 20000},
+                                {"batch", 1.0, 100000}};
+    // One cached model per replica: every cross-model dispatch on a
+    // mis-routed shard is a cold swap, so the warm-vs-jsq contrast below
+    // measures routing quality, not cache capacity.
+    scfg.swap.cache_models = 1;
+    scfg.fleet.num_shards = 4;
+    scfg.fleet.placement = serve::PlacementPolicy::kSpread;
+    scfg.fleet.cold_route_classes = 1;
+    scfg.fleet.autoscale.min_replicas = 1;
+    scfg.fleet.autoscale.max_replicas = 2;
+    scfg.fleet.autoscale.interval_us = 20000;
+    scfg.fleet.autoscale.up_queue_depth = 8;
+    scfg.fleet.autoscale.down_queue_depth = 1;
+    scfg.fleet.autoscale.cooldown_us = 40000;
+    scfg.fleet.autoscale.up_preempt_per_s = 50.0;
+    const auto fs_start = std::chrono::steady_clock::now();
+    const auto points = serve::run_fleet_sched_sweep(scfg, spec, calib,
+                                                     &pool);
+    // Tentpole invariant: summed over the identical (mode, rate) grid,
+    // warm routing strictly reduces cold swaps vs jsq. Checked on the
+    // fresh run (not the baseline) so a routing regression trips even a
+    // --update run.
+    std::uint64_t jsq_cold = 0, warm_cold = 0;
+    for (const auto& p : points) {
+      if (p.route == serve::RoutePolicy::kJsq)
+        jsq_cold += p.metrics.total.cold_swaps;
+      else if (p.route == serve::RoutePolicy::kWarm)
+        warm_cold += p.metrics.total.cold_swaps;
+    }
+    std::cout << "fleet_sched cold swaps: jsq=" << jsq_cold
+              << " warm=" << warm_cold << "\n";
+    if (!(warm_cold < jsq_cold)) {
+      all_ok = false;
+      if (offending.empty()) offending = "fleet_sched.warm_cold_swaps";
+      std::cerr << "fleet_sched: warm routing did not reduce cold swaps ("
+                << warm_cold << " vs jsq " << jsq_cold << ")\n";
+      if (update) return 1;
+    }
+    auto fresh = serve::make_fleet_sched_report(scfg, points,
+                                                "check_regression",
+                                                pool.size());
+    fresh.host_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      fs_start)
+            .count();
+    gate("fleet_sched", fresh);
   }
   // Host-GEMM gate: the compute-heavy ViT-Base linear shape (fc1,
   // 197x768x3072), int32 and f32 paths under both fast engines. Bit-
